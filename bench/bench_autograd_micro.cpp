@@ -1,0 +1,125 @@
+// Substrate microbenchmarks: forward/backward cost of the autograd kernels
+// that dominate DIAL training (matmul chains, transformer layers, the
+// contrastive loss graph).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/optim.h"
+#include "autograd/ops.h"
+#include "nn/transformer.h"
+
+namespace {
+
+using dial::autograd::Tape;
+using dial::autograd::Var;
+
+void BM_MatMulForwardBackward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  dial::util::Rng rng(1);
+  dial::autograd::Parameter a("a", n, n), b("b", n, n);
+  a.value.RandNormal(rng, 0.1f);
+  b.value.RandNormal(rng, 0.1f);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tape tape;
+    Var loss = dial::autograd::MeanAll(
+        dial::autograd::Square(dial::autograd::MatMul(tape.Leaf(&a), tape.Leaf(&b))));
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(a.grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_MatMulForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransformerForward(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  dial::util::Rng rng(2);
+  dial::nn::TransformerConfig config;
+  config.vocab_size = 2048;
+  config.dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_dim = 64;
+  config.max_positions = 64;
+  dial::nn::TransformerEncoder encoder("enc", config, rng);
+  std::vector<int> ids(len), segments(len, 0);
+  for (size_t i = 0; i < len; ++i) ids[i] = 5 + static_cast<int>(i % 100);
+  for (auto _ : state) {
+    Tape tape;
+    dial::nn::ForwardContext ctx{&tape, &rng, false};
+    benchmark::DoNotOptimize(encoder.Forward(ctx, ids, segments).value().data());
+  }
+}
+BENCHMARK(BM_TransformerForward)->Arg(16)->Arg(28)->Arg(60);
+
+void BM_TransformerTrainStep(benchmark::State& state) {
+  dial::util::Rng rng(3);
+  dial::nn::TransformerConfig config;
+  config.vocab_size = 2048;
+  config.dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_dim = 64;
+  config.max_positions = 64;
+  dial::nn::TransformerEncoder encoder("enc", config, rng);
+  dial::nn::Linear probe("probe", 32, 1, rng);
+  std::vector<dial::autograd::Parameter*> params = encoder.Parameters();
+  for (auto* p : probe.Parameters()) params.push_back(p);
+  dial::autograd::AdamW optimizer({{params, 1e-3f}});
+  std::vector<int> ids(48), segments(48, 0);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = 5 + static_cast<int>(i % 100);
+  for (auto _ : state) {
+    Tape tape;
+    dial::nn::ForwardContext ctx{&tape, &rng, true};
+    Var h = encoder.Forward(ctx, ids, segments);
+    Var logits = probe.Forward(ctx, dial::autograd::SliceRows(h, 0, 1));
+    Var loss = dial::autograd::BceWithLogits(logits, {1.0f});
+    optimizer.ZeroGrad();
+    tape.Backward(loss);
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+BENCHMARK(BM_TransformerTrainStep);
+
+void BM_ContrastiveLossGraph(benchmark::State& state) {
+  const size_t b = static_cast<size_t>(state.range(0));
+  dial::util::Rng rng(4);
+  dial::autograd::Parameter u("u", 32, 32);
+  u.value.RandNormal(rng, 0.2f);
+  dial::la::Matrix pr(b, 32), ps(b, 32), nr(b, 32), ns(b, 32);
+  pr.RandNormal(rng, 1.0f);
+  ps.RandNormal(rng, 1.0f);
+  nr.RandNormal(rng, 1.0f);
+  ns.RandNormal(rng, 1.0f);
+  for (auto _ : state) {
+    u.ZeroGrad();
+    Tape tape;
+    Var w = tape.Leaf(&u);
+    auto enc = [&](const dial::la::Matrix& m) {
+      return dial::autograd::NormalizeRows(
+          dial::autograd::Tanh(dial::autograd::MatMul(tape.Constant(m), w)));
+    };
+    Var p_r = enc(pr), p_s = enc(ps), n_r = enc(nr), n_s = enc(ns);
+    Var d_pos = dial::autograd::RowwiseSquaredDistance(p_r, p_s);
+    Var d_sr = dial::autograd::PairwiseSquaredDistance(p_s, n_r);
+    Var d_rs = dial::autograd::PairwiseSquaredDistance(p_r, n_s);
+    Var d_rr = dial::autograd::RowwiseSquaredDistance(n_r, n_s);
+    Var shared = dial::autograd::TileRows(
+        dial::autograd::Transpose(dial::autograd::ScalarMul(d_rr, -4.0f)), b);
+    Var terms = dial::autograd::ConcatCols(
+        {dial::autograd::ScalarMul(d_pos, -4.0f),
+         dial::autograd::ScalarMul(d_sr, -4.0f),
+         dial::autograd::ScalarMul(d_rs, -4.0f), shared});
+    Var loss = dial::autograd::MeanAll(dial::autograd::Add(
+        dial::autograd::LogSumExpRows(terms), dial::autograd::ScalarMul(d_pos, 4.0f)));
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(u.grad.data());
+  }
+}
+BENCHMARK(BM_ContrastiveLossGraph)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+#ifndef DIAL_BENCH_BENCH_COMMON_H_
+#define DIAL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/rules.h"
+#include "core/experiment.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+/// \file
+/// Shared plumbing for the paper-table bench harnesses: common flags,
+/// experiment caching (one vocab+pretrained model per dataset per process,
+/// disk-cached across processes), and an AL runner that maps a blocking
+/// strategy name to a configured loop.
+
+namespace dial::bench {
+
+struct BenchFlags {
+  util::FlagSet flags;
+  std::string* scale;
+  std::string* datasets;  // comma-separated filter; "" = benchmark five
+  int64_t* rounds;        // 0 = scale default
+  int64_t* seed;
+
+  explicit BenchFlags(const std::string& default_datasets = "") {
+    scale = flags.AddString("scale", "smoke", "smoke|small|medium");
+    datasets = flags.AddString("datasets", default_datasets,
+                               "comma-separated dataset filter");
+    rounds = flags.AddInt("rounds", 0, "AL rounds (0 = scale default)");
+    seed = flags.AddInt("seed", 7, "experiment seed");
+  }
+
+  void Parse(int argc, char** argv) { flags.Parse(argc, argv); }
+
+  data::Scale ParsedScale() const { return data::ParseScale(*scale); }
+
+  std::vector<std::string> DatasetList() const {
+    if (datasets->empty()) return data::BenchmarkDatasetNames();
+    return util::Split(*datasets, ",");
+  }
+};
+
+/// Per-process experiment cache (pretraining also hits the on-disk model
+/// cache, so repeated bench binaries stay fast).
+inline core::Experiment& GetExperiment(const std::string& dataset, data::Scale scale,
+                                       uint64_t data_seed = 1) {
+  static std::map<std::string, std::unique_ptr<core::Experiment>>* cache =
+      new std::map<std::string, std::unique_ptr<core::Experiment>>();
+  const std::string key =
+      dataset + "/" + data::ScaleName(scale) + "/" + std::to_string(data_seed);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    core::ExperimentConfig config = core::DefaultExperimentConfig(scale);
+    config.data_seed = data_seed;
+    it = cache
+             ->emplace(key, std::make_unique<core::Experiment>(
+                                core::PrepareExperiment(dataset, config)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Runs one AL loop with the given blocking strategy over a prepared
+/// experiment. `tweak` (optional) adjusts the AlConfig before the run.
+template <typename Tweak>
+core::AlResult RunStrategy(core::Experiment& exp, data::Scale scale,
+                           core::BlockingStrategy blocking, uint64_t seed,
+                           int64_t rounds_override, Tweak tweak) {
+  core::AlConfig config = core::DefaultAlConfig(scale, seed);
+  config.blocking = blocking;
+  if (rounds_override > 0) config.rounds = static_cast<size_t>(rounds_override);
+  tweak(config);
+  core::ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
+  if (blocking == core::BlockingStrategy::kFixedExternal) {
+    loop.SetExternalCandidates(baselines::RulesCandidates(exp.bundle));
+  }
+  return loop.Run();
+}
+
+inline core::AlResult RunStrategy(core::Experiment& exp, data::Scale scale,
+                                  core::BlockingStrategy blocking, uint64_t seed,
+                                  int64_t rounds_override) {
+  return RunStrategy(exp, scale, blocking, seed, rounds_override,
+                     [](core::AlConfig&) {});
+}
+
+inline std::string Pct(double fraction, int precision = 1) {
+  return util::TablePrinter::Num(100.0 * fraction, precision);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s; shapes comparable, absolute values "
+              "are CPU-scale — see EXPERIMENTS.md)\n\n",
+              title.c_str(), paper_ref.c_str());
+}
+
+}  // namespace dial::bench
+
+#endif  // DIAL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Extension (motivating claim, Sec. 2.2): TPLM matchers are robust on
+// "dirty" data. Clean vs dirty variant of each dataset, DIAL (schema-
+// agnostic TPLM) vs the Random-Forest baseline (schema-aligned similarity
+// features). The dirty transform displaces attribute values into wrong
+// columns while preserving each record's token content (data/dirty.h), so
+// feature-based methods degrade and serialization-based ones should not.
+
+#include "baselines/rf_al.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,dblp_acm");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader(
+      "Extension: dirty-data robustness",
+      "Sec. 2.2 robustness claim (DeepMatcher-style dirty variants)");
+
+  dial::util::TablePrinter table(
+      {"Dataset", "variant", "DIAL F1", "RF F1", "DIAL drop", "RF drop"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    double dial_clean = 0.0, rf_clean = 0.0;
+    for (const bool dirty : {false, true}) {
+      const std::string name = dirty ? "dirty_" + dataset : dataset;
+      auto& exp = dial::bench::GetExperiment(name, scale);
+      const auto dial_result = dial::bench::RunStrategy(
+          exp, scale, dial::core::BlockingStrategy::kDial,
+          static_cast<uint64_t>(*flags.seed), *flags.rounds);
+
+      dial::baselines::RfAlConfig rf;
+      const dial::core::AlConfig al =
+          dial::core::DefaultAlConfig(scale, static_cast<uint64_t>(*flags.seed));
+      rf.rounds = *flags.rounds > 0 ? static_cast<size_t>(*flags.rounds) : al.rounds;
+      rf.budget_per_round = al.budget_per_round;
+      rf.seed_per_class = al.seed_per_class;
+      rf.seed = static_cast<uint64_t>(*flags.seed);
+      const auto rf_result = dial::baselines::RunRandomForestAl(exp.bundle, rf);
+
+      if (!dirty) {
+        dial_clean = dial_result.final_allpairs.f1;
+        rf_clean = rf_result.final_allpairs.f1;
+      }
+      table.AddRow(
+          {dataset, dirty ? "dirty" : "clean",
+           dial::bench::Pct(dial_result.final_allpairs.f1),
+           dial::bench::Pct(rf_result.final_allpairs.f1),
+           dirty ? dial::bench::Pct(dial_clean - dial_result.final_allpairs.f1)
+                 : "-",
+           dirty ? dial::bench::Pct(rf_clean - rf_result.final_allpairs.f1)
+                 : "-"});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape: the forest's F1 drop on dirty variants exceeds DIAL's — the\n"
+      "TPLM's schema-agnostic serialization is what the paper's Sec. 2.2\n"
+      "robustness claim rests on.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4: progressive test-set F1 against number of labeled pairs, for
+// SentenceBERT / PairedFixed / PairedAdapt / DIAL on the five benchmarks.
+
+#include "bench_common.h"
+
+namespace {
+
+const std::pair<const char*, dial::core::BlockingStrategy> kMethods[] = {
+    {"SentenceBERT", dial::core::BlockingStrategy::kSentenceBert},
+    {"PairedFixed", dial::core::BlockingStrategy::kPairedFixed},
+    {"PairedAdapt", dial::core::BlockingStrategy::kPairedAdapt},
+    {"DIAL", dial::core::BlockingStrategy::kDial},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags;
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Figure 4: progressive test-set F1", "paper Fig. 4");
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    std::printf("--- %s ---\n", dataset.c_str());
+    dial::util::TablePrinter table({"|T| labels", "SentenceBERT", "PairedFixed",
+                                    "PairedAdapt", "DIAL"});
+    std::vector<dial::core::AlResult> results;
+    for (const auto& [name, strategy] : kMethods) {
+      results.push_back(dial::bench::RunStrategy(
+          exp, scale, strategy, static_cast<uint64_t>(*flags.seed), *flags.rounds));
+    }
+    const size_t rounds = results[0].rounds.size();
+    for (size_t r = 0; r < rounds; ++r) {
+      std::vector<std::string> row{std::to_string(results[0].rounds[r].labels_in_t)};
+      for (const auto& res : results) {
+        row.push_back(dial::bench::Pct(res.rounds[r].test_prf.f1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

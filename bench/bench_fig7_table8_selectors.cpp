@@ -1,0 +1,63 @@
+// Figure 7 + Table 8: example selection strategies — Random, Greedy, QBC,
+// Partition-2, Partition-4, BADGE, Uncertainty — all-pairs F1 per round
+// (Fig. 7) and at the end of AL (Table 8), running DIAL's blocker.
+
+#include "bench_common.h"
+
+namespace {
+
+const dial::core::SelectorKind kSelectors[] = {
+    dial::core::SelectorKind::kRandom,      dial::core::SelectorKind::kGreedy,
+    dial::core::SelectorKind::kQbc,         dial::core::SelectorKind::kPartition4,
+    dial::core::SelectorKind::kBadge,       dial::core::SelectorKind::kPartition2,
+    dial::core::SelectorKind::kUncertainty,
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,dblp_acm");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Figure 7 + Table 8: selection strategies",
+                           "paper Fig. 7 / Table 8");
+  dial::util::TablePrinter final_table({"Dataset", "Random", "Greedy", "QBC",
+                                        "Partition-4", "BADGE", "Partition-2",
+                                        "Uncertainty"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    std::printf("--- %s (Fig. 7 series: all-pairs F1 per |T|) ---\n",
+                dataset.c_str());
+    dial::util::TablePrinter fig({"|T| labels", "Random", "Greedy", "QBC",
+                                  "Partition-4", "BADGE", "Partition-2",
+                                  "Uncertainty"});
+    std::vector<dial::core::AlResult> results;
+    for (const auto selector : kSelectors) {
+      results.push_back(dial::bench::RunStrategy(
+          exp, scale, dial::core::BlockingStrategy::kDial,
+          static_cast<uint64_t>(*flags.seed), *flags.rounds,
+          [selector](dial::core::AlConfig& config) {
+            config.selector = selector;
+            config.qbc_committee_size = 2;  // bootstrap matcher committee
+          }));
+    }
+    for (size_t r = 0; r < results[0].rounds.size(); ++r) {
+      std::vector<std::string> row{std::to_string(results[0].rounds[r].labels_in_t)};
+      for (const auto& res : results) {
+        row.push_back(dial::bench::Pct(res.rounds[r].allpairs_prf.f1));
+      }
+      fig.AddRow(std::move(row));
+    }
+    std::printf("%s\n", fig.ToString().c_str());
+
+    std::vector<std::string> final_row{dataset};
+    for (const auto& res : results) {
+      final_row.push_back(dial::bench::Pct(res.final_allpairs.f1));
+    }
+    final_table.AddRow(std::move(final_row));
+  }
+  std::printf("Table 8: final all-pairs F1 per selector\n%s\n",
+              final_table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Ablation (beyond the paper's tables): index-backend choice for the
+// blocker's retrieval step — the "to index or not to index" trade-off the
+// paper discusses in Sec. 5.4 (FAISS k-selection vs DITTO's blocked matmul
+// vs DeepER/AutoBlock LSH). Two parts:
+//
+//   1. On each benchmark dataset: candidate recall + retrieval time per
+//      backend over the pretrained TPLM's single-mode embeddings.
+//   2. A synthetic scale sweep (clustered vectors) showing how build/search
+//      cost and recall move as the database grows — where the approximate
+//      structures start paying for themselves.
+
+#include <set>
+
+#include "bench_common.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/ivfpq_index.h"
+#include "index/lsh_index.h"
+#include "index/matmul_search.h"
+#include "index/pq_index.h"
+#include "index/sq_index.h"
+
+namespace {
+
+std::unique_ptr<dial::index::VectorIndex> Make(dial::core::IndexBackend backend,
+                                               size_t dim) {
+  using dial::core::IndexBackend;
+  using namespace dial::index;
+  switch (backend) {
+    case IndexBackend::kFlat:
+      return std::make_unique<FlatIndex>(dim, Metric::kL2);
+    case IndexBackend::kIvf:
+      return std::make_unique<IvfIndex>(dim, Metric::kL2, IvfIndex::Options{});
+    case IndexBackend::kLsh:
+      return std::make_unique<LshIndex>(dim, Metric::kL2, LshIndex::Options{});
+    case IndexBackend::kPq:
+      return std::make_unique<PqIndex>(dim, Metric::kL2,
+                                       ProductQuantizer::Options{});
+    case IndexBackend::kIvfPq:
+      return std::make_unique<IvfPqIndex>(dim, Metric::kL2,
+                                          IvfPqIndex::Options{});
+    case IndexBackend::kSq:
+      return std::make_unique<SqIndex>(dim, Metric::kL2);
+    case IndexBackend::kHnsw:
+      return std::make_unique<HnswIndex>(dim, Metric::kL2, HnswIndex::Options{});
+    case IndexBackend::kMatmul:
+      return std::make_unique<MatmulSearchIndex>(dim, Metric::kL2);
+  }
+  return nullptr;
+}
+
+dial::la::Matrix Clustered(size_t n, size_t d, size_t clusters, uint64_t seed) {
+  dial::util::Rng rng(seed);
+  dial::la::Matrix centers(clusters, d);
+  centers.RandNormal(rng, 8.0f);
+  dial::la::Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformInt(clusters);
+    for (size_t j = 0; j < d; ++j) {
+      m(i, j) = centers(c, j) + static_cast<float>(rng.Normal()) * 0.5f;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,dblp_acm");
+  int64_t* k = flags.flags.AddInt("k", 3, "neighbours per probe");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader(
+      "Ablation: blocker index backend",
+      "Sec. 5.4 design discussion (FAISS vs matmul vs LSH) — not a paper table");
+
+  // Part 1: real blocker embeddings.
+  dial::util::TablePrinter table(
+      {"Dataset", "backend", "cand", "recall", "retrieve ms"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    dial::core::AlConfig al =
+        dial::core::DefaultAlConfig(scale, static_cast<uint64_t>(*flags.seed));
+    dial::core::Matcher matcher(exp.pretrained->config(), al.matcher, 0x1d1);
+    matcher.ResetFromPretrained(*exp.pretrained);
+    dial::core::RecordEncodings encodings(exp.bundle, exp.vocab,
+                                          exp.pretrained->config().max_single_len);
+    std::vector<const dial::text::EncodedSequence*> r_seqs, s_seqs;
+    for (size_t i = 0; i < encodings.r_size(); ++i) r_seqs.push_back(&encodings.R(i));
+    for (size_t i = 0; i < encodings.s_size(); ++i) s_seqs.push_back(&encodings.S(i));
+    const dial::la::Matrix emb_r = matcher.EmbedSingleMode(r_seqs);
+    const dial::la::Matrix emb_s = matcher.EmbedSingleMode(s_seqs);
+
+    for (const auto backend : dial::core::AllIndexBackends()) {
+      dial::core::IbcConfig ibc;
+      ibc.k_neighbors = static_cast<size_t>(*k);
+      ibc.backend = backend;
+      dial::util::WallTimer timer;
+      const auto cand = dial::core::DirectKnnCandidates(emb_r, emb_s, ibc);
+      const double ms = timer.Seconds() * 1000.0;
+      table.AddRow({dataset, dial::core::IndexBackendName(backend),
+                    std::to_string(cand.size()),
+                    dial::bench::Pct(dial::core::CandidateRecall(
+                        dial::core::CandidatePairs(cand), exp.bundle)),
+                    dial::util::TablePrinter::Num(ms, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Part 2: synthetic scale sweep (recall@10 vs flat truth).
+  std::printf("Scale sweep (clustered vectors, dim 32, recall@10 vs exact):\n");
+  dial::util::TablePrinter sweep(
+      {"n", "backend", "build ms", "search ms", "recall@10"});
+  const size_t dim = 32;
+  for (const size_t n : {size_t{2000}, size_t{8000}}) {
+    const dial::la::Matrix data = Clustered(n, dim, 32, 5);
+    const dial::la::Matrix queries = Clustered(200, dim, 32, 6);
+    dial::index::FlatIndex truth_index(dim, dial::index::Metric::kL2);
+    truth_index.Add(data);
+    const auto truth = truth_index.Search(queries, 10);
+    for (const auto backend : dial::core::AllIndexBackends()) {
+      auto index = Make(backend, dim);
+      dial::util::WallTimer timer;
+      index->Add(data);
+      const double build_ms = timer.Seconds() * 1000.0;
+      timer.Restart();
+      const auto got = index->Search(queries, 10);
+      const double search_ms = timer.Seconds() * 1000.0;
+      size_t hits = 0, total = 0;
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        std::set<int> expected;
+        for (const auto& nb : truth[q]) expected.insert(nb.id);
+        for (const auto& nb : got[q]) hits += expected.count(nb.id);
+        total += truth[q].size();
+      }
+      sweep.AddRow({std::to_string(n), dial::core::IndexBackendName(backend),
+                    dial::util::TablePrinter::Num(build_ms, 1),
+                    dial::util::TablePrinter::Num(search_ms, 1),
+                    dial::bench::Pct(static_cast<double>(hits) /
+                                     static_cast<double>(total))});
+    }
+  }
+  std::printf("%s\n", sweep.ToString().c_str());
+  std::printf(
+      "Shape: exact backends (flat/matmul) share 100%% recall; matmul's GEMM\n"
+      "amortization wins as n grows; IVF/HNSW cut search time at mild recall\n"
+      "cost; PQ/IVFPQ additionally shrink memory ~dim*4/m per vector.\n");
+  return 0;
+}

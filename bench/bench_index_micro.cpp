@@ -1,0 +1,78 @@
+// Substrate microbenchmarks: kNN throughput and recall trade-offs of the
+// three index backends (flat exact, IVF, LSH) — the ablation on DIAL's
+// retrieval substrate called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "index/lsh_index.h"
+
+namespace {
+
+dial::la::Matrix RandomVectors(size_t n, size_t d, uint64_t seed) {
+  dial::util::Rng rng(seed);
+  dial::la::Matrix m(n, d);
+  m.RandNormal(rng, 1.0f);
+  return m;
+}
+
+void BM_FlatSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 32;
+  const auto data = RandomVectors(n, d, 1);
+  const auto queries = RandomVectors(64, d, 2);
+  dial::index::FlatIndex index(d, dial::index::Metric::kL2);
+  index.Add(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FlatSearch)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_IvfSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 32;
+  const auto data = RandomVectors(n, d, 1);
+  const auto queries = RandomVectors(64, d, 2);
+  dial::index::IvfIndex::Options options;
+  options.nlist = 32;
+  options.nprobe = 4;
+  dial::index::IvfIndex index(d, dial::index::Metric::kL2, options);
+  index.Add(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_IvfSearch)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_LshSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 32;
+  const auto data = RandomVectors(n, d, 1);
+  const auto queries = RandomVectors(64, d, 2);
+  dial::index::LshIndex index(d, dial::index::Metric::kL2, {});
+  index.Add(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LshSearch)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto data = RandomVectors(n, 32, 3);
+  for (auto _ : state) {
+    dial::index::FlatIndex index(32, dial::index::Metric::kL2);
+    index.Add(data);
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(2000)->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

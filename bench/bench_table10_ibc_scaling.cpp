@@ -1,0 +1,38 @@
+// Table 10: testing time (blocking + matching inference, no training) of
+// DIAL with committee sizes N ∈ {1, 3, 10} — the Index-By-Committee
+// scalability claim: time grows only a few percent from N=1 to N=10 because
+// per-member cost is one affine transform plus one index probe.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,dblp_scholar,abt_buy");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 10: testing time vs committee size",
+                           "paper Table 10");
+  dial::util::TablePrinter table({"Dataset", "N=1 (s)", "N=3 (s)", "N=10 (s)",
+                                  "N=10 / N=1"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    double seconds[3] = {0, 0, 0};
+    const size_t sizes[3] = {1, 3, 10};
+    for (int i = 0; i < 3; ++i) {
+      const size_t n = sizes[i];
+      const auto result = dial::bench::RunStrategy(
+          exp, scale, dial::core::BlockingStrategy::kDial,
+          static_cast<uint64_t>(*flags.seed),
+          /*rounds_override=*/1, [n](dial::core::AlConfig& config) {
+            config.blocker.committee_size = n;
+          });
+      seconds[i] = result.block_match_seconds;
+    }
+    table.AddRow({dataset, dial::util::StrFormat("%.2f", seconds[0]),
+                  dial::util::StrFormat("%.2f", seconds[1]),
+                  dial::util::StrFormat("%.2f", seconds[2]),
+                  dial::util::StrFormat("%.3f", seconds[2] / seconds[0])});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

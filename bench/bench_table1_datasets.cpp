@@ -1,0 +1,25 @@
+// Table 1: dataset statistics — sizes, duplicate rate, test-split size for
+// the five ER benchmarks plus the multilingual dataset.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags;
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 1: dataset statistics", "paper Table 1");
+  dial::util::TablePrinter table(
+      {"Dataset", "|R|", "|S|", "|dups|", "dups/(RxS)", "|Dtest|"});
+  for (const std::string& name : dial::data::AllDatasetNames()) {
+    const auto bundle =
+        dial::data::MakeDataset(name, scale, static_cast<uint64_t>(*flags.seed));
+    const auto stats = dial::data::ComputeStats(bundle);
+    table.AddRow({stats.name, std::to_string(stats.r_size),
+                  std::to_string(stats.s_size), std::to_string(stats.num_dups),
+                  dial::util::StrFormat("%.1e", stats.dup_rate),
+                  std::to_string(stats.test_size)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

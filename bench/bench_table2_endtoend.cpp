@@ -1,0 +1,70 @@
+// Table 2: end-of-AL all-pairs Precision / Recall / F1 and RT (seconds to
+// produce all duplicate pairs: blocking + matching inference) for every
+// method — Random Forest, JedAI (schema-based & agnostic), SentenceBERT,
+// PairedFixed, PairedAdapt, Rules, DIAL.
+
+#include "baselines/jedai.h"
+#include "baselines/rf_al.h"
+#include "bench_common.h"
+#include "core/metrics.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags;
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 2: all-pairs P/R/F1 and RT per method",
+                           "paper Table 2");
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    std::printf("--- %s ---\n", dataset.c_str());
+    dial::util::TablePrinter table({"Method", "P", "R", "F1", "RT(s)"});
+    auto add_prf = [&](const std::string& name, const dial::core::Prf& prf,
+                       double seconds) {
+      table.AddRow({name, dial::bench::Pct(prf.precision), dial::bench::Pct(prf.recall),
+                    dial::bench::Pct(prf.f1), dial::util::StrFormat("%.2f", seconds)});
+    };
+
+    // Non-TPLM baselines.
+    {
+      dial::baselines::RfAlConfig config;
+      config.rounds = *flags.rounds > 0
+                          ? static_cast<size_t>(*flags.rounds)
+                          : dial::core::DefaultAlConfig(scale, 0).rounds;
+      const auto al = dial::core::DefaultAlConfig(scale, 0);
+      config.budget_per_round = al.budget_per_round;
+      config.seed_per_class = al.seed_per_class;
+      config.seed = static_cast<uint64_t>(*flags.seed);
+      const auto rf = dial::baselines::RunRandomForestAl(exp.bundle, config);
+      add_prf("Random Forest", rf.final_allpairs, rf.block_match_seconds);
+    }
+    {
+      const auto jedai = dial::baselines::RunJedaiSchemaBased(exp.bundle);
+      add_prf("JedAI:Schema-based",
+              dial::core::EvaluatePredictedPairs(exp.bundle, jedai.predicted),
+              jedai.seconds);
+    }
+    {
+      const auto jedai = dial::baselines::RunJedaiSchemaAgnostic(exp.bundle);
+      add_prf("JedAI:Schema-agnostic",
+              dial::core::EvaluatePredictedPairs(exp.bundle, jedai.predicted),
+              jedai.seconds);
+    }
+
+    // TPLM-based methods (uniform protocol).
+    const std::pair<const char*, dial::core::BlockingStrategy> kTplmMethods[] = {
+        {"SentenceBERT", dial::core::BlockingStrategy::kSentenceBert},
+        {"PairedFixed", dial::core::BlockingStrategy::kPairedFixed},
+        {"PairedAdapt", dial::core::BlockingStrategy::kPairedAdapt},
+        {"Rules", dial::core::BlockingStrategy::kFixedExternal},
+        {"DIAL", dial::core::BlockingStrategy::kDial},
+    };
+    for (const auto& [name, strategy] : kTplmMethods) {
+      const auto result = dial::bench::RunStrategy(
+          exp, scale, strategy, static_cast<uint64_t>(*flags.seed), *flags.rounds);
+      add_prf(name, result.final_allpairs, result.block_match_seconds);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

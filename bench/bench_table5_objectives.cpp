@@ -1,0 +1,37 @@
+// Table 5: blocker training objective ablation — classification vs triplet
+// vs contrastive (Eq. 8) — test and all-pairs F1 after AL.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,amazon_google,abt_buy");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 5: blocker objective ablation", "paper Table 5");
+  const dial::core::BlockerObjective kObjectives[] = {
+      dial::core::BlockerObjective::kClassification,
+      dial::core::BlockerObjective::kTriplet,
+      dial::core::BlockerObjective::kContrastive,
+  };
+
+  dial::util::TablePrinter table({"Dataset", "Objective", "cand recall", "test F1",
+                                  "all-pairs F1"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    for (const auto objective : kObjectives) {
+      const auto result = dial::bench::RunStrategy(
+          exp, scale, dial::core::BlockingStrategy::kDial,
+          static_cast<uint64_t>(*flags.seed), *flags.rounds,
+          [objective](dial::core::AlConfig& config) {
+            config.blocker.objective = objective;
+          });
+      table.AddRow({dataset, dial::core::ObjectiveName(objective),
+                    dial::bench::Pct(result.final_cand_recall),
+                    dial::bench::Pct(result.final_test.f1),
+                    dial::bench::Pct(result.final_allpairs.f1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 6: candidate-set size ablation. Small = 3·|dups|, Medium = 3·|S|,
+// Large = 5·|S| (10/20·|S| for the Abt-Buy-style textual dataset, following
+// Sec. 4.6.3) — cand recall and all-pairs F1.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,amazon_google,abt_buy");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 6: candidate-set size ablation", "paper Table 6");
+  dial::util::TablePrinter table(
+      {"Dataset", "|cand| setting", "|cand|", "cand recall", "all-pairs F1"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    const bool textual = dataset == "abt_buy";
+    struct Setting {
+      const char* name;
+      size_t absolute;   // 0 = use multiplier
+      double multiplier;
+    };
+    const Setting settings[] = {
+        {"Small (3|dups|)", 3 * exp.bundle.dups.size(), 0.0},
+        {"Medium", 0, textual ? 10.0 : 3.0},
+        {"Large", 0, textual ? 20.0 : 5.0},
+    };
+    for (const Setting& setting : settings) {
+      const auto result = dial::bench::RunStrategy(
+          exp, scale, dial::core::BlockingStrategy::kDial,
+          static_cast<uint64_t>(*flags.seed), *flags.rounds,
+          [&setting](dial::core::AlConfig& config) {
+            config.cand_size_override = setting.absolute;
+            if (setting.multiplier > 0) config.cand_multiplier = setting.multiplier;
+          });
+      table.AddRow({dataset, setting.name,
+                    std::to_string(result.rounds.back().cand_size),
+                    dial::bench::Pct(result.final_cand_recall),
+                    dial::bench::Pct(result.final_allpairs.f1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 7: committee size ablation N ∈ {1, 3, 5} — test and all-pairs F1.
+// --mask-sweep additionally sweeps the masking probability p (the design
+// knob Sec. 3.2.1 introduces).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags("walmart_amazon,amazon_google,abt_buy");
+  bool* mask_sweep = flags.flags.AddBool("mask-sweep", false,
+                                         "also sweep mask keep probability");
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 7: committee size ablation", "paper Table 7");
+  dial::util::TablePrinter table(
+      {"Dataset", "N", "cand recall", "test F1", "all-pairs F1"});
+  for (const std::string& dataset : flags.DatasetList()) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    for (const size_t n : {size_t{1}, size_t{3}, size_t{5}}) {
+      const auto result = dial::bench::RunStrategy(
+          exp, scale, dial::core::BlockingStrategy::kDial,
+          static_cast<uint64_t>(*flags.seed), *flags.rounds,
+          [n](dial::core::AlConfig& config) { config.blocker.committee_size = n; });
+      table.AddRow({dataset, std::to_string(n),
+                    dial::bench::Pct(result.final_cand_recall),
+                    dial::bench::Pct(result.final_test.f1),
+                    dial::bench::Pct(result.final_allpairs.f1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  if (*mask_sweep) {
+    std::printf("Masking probability sweep (N=3):\n");
+    dial::util::TablePrinter sweep({"Dataset", "keep p", "cand recall",
+                                    "all-pairs F1"});
+    for (const std::string& dataset : flags.DatasetList()) {
+      auto& exp = dial::bench::GetExperiment(dataset, scale);
+      for (const double p : {0.5, 0.8, 1.0}) {
+        const auto result = dial::bench::RunStrategy(
+            exp, scale, dial::core::BlockingStrategy::kDial,
+            static_cast<uint64_t>(*flags.seed), *flags.rounds,
+            [p](dial::core::AlConfig& config) {
+              config.blocker.mask_keep_prob = p;
+            });
+        sweep.AddRow({dataset, dial::util::StrFormat("%.1f", p),
+                      dial::bench::Pct(result.final_cand_recall),
+                      dial::bench::Pct(result.final_allpairs.f1)});
+      }
+    }
+    std::printf("%s\n", sweep.ToString().c_str());
+  }
+  return 0;
+}

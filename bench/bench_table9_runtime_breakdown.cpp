@@ -1,0 +1,32 @@
+// Table 9: wall seconds of each DIAL operation in the final AL round —
+// matcher training, committee training (incl. single-mode embedding),
+// indexing & retrieval, and selection.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags;
+  flags.Parse(argc, argv);
+  const auto scale = flags.ParsedScale();
+
+  dial::bench::PrintHeader("Table 9: per-operation time in the last AL round",
+                           "paper Table 9");
+  dial::util::TablePrinter table({"Operation", "unit"});
+  std::vector<std::string> datasets = flags.DatasetList();
+  dial::util::TablePrinter out({"Dataset", "Train Matcher (s)",
+                                "Train Committee (s)", "Index+Retrieve (s)",
+                                "Selection (s)"});
+  for (const std::string& dataset : datasets) {
+    auto& exp = dial::bench::GetExperiment(dataset, scale);
+    const auto result = dial::bench::RunStrategy(
+        exp, scale, dial::core::BlockingStrategy::kDial,
+        static_cast<uint64_t>(*flags.seed), *flags.rounds);
+    const auto& last = result.rounds.back();
+    out.AddRow({dataset, dial::util::StrFormat("%.2f", last.t_train_matcher),
+                dial::util::StrFormat("%.2f", last.t_train_committee),
+                dial::util::StrFormat("%.3f", last.t_index_retrieve),
+                dial::util::StrFormat("%.2f", last.t_select)});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Cross-lingual record matching (Sec. 4.5): list R is English, list S is a
+// morphologically transformed pseudo-German. Hand-written blocking rules are
+// impossible here (no shared whole tokens) — the learned blocker works from
+// shared-subword TPLM embeddings. Follows the paper's multilingual protocol:
+// the transformer body stays frozen during matcher fine-tuning.
+//
+// Usage: multilingual_matching [--scale=smoke] [--rounds=2]
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  dial::util::FlagSet flags;
+  std::string* scale_text = flags.AddString("scale", "smoke", "smoke|small|medium");
+  int64_t* rounds = flags.AddInt("rounds", 2, "active learning rounds");
+  flags.Parse(argc, argv);
+  const auto scale = dial::data::ParseScale(*scale_text);
+
+  dial::core::Experiment exp = dial::core::PrepareExperiment(
+      "multilingual", dial::core::DefaultExperimentConfig(scale));
+
+  std::printf("Aligned EN/DE corpus (%zu elements). Example pair:\n",
+              exp.bundle.r_table.size());
+  std::printf("  EN: %s\n  DE: %s\n\n", exp.bundle.r_table.TextOf(0).c_str(),
+              exp.bundle.s_table.TextOf(0).c_str());
+
+  dial::core::AlConfig al = dial::core::DefaultAlConfig(scale, 21);
+  al.rounds = static_cast<size_t>(*rounds);
+  al.matcher.freeze_transformer = true;  // Sec. 4.5 finding
+  dial::core::ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(),
+                                      al);
+  const dial::core::AlResult result = loop.Run();
+
+  std::printf("%-6s %-10s %-8s %-8s\n", "round", "cand_rec", "test_F1", "ap_F1");
+  for (const auto& r : result.rounds) {
+    std::printf("%-6zu %-10.3f %-8.3f %-8.3f\n", r.round, r.cand_recall,
+                r.test_prf.f1, r.allpairs_prf.f1);
+  }
+  std::printf("\nNo token-overlap rule could block this dataset; the learned "
+              "blocker reached %.1f%% recall.\n",
+              100.0 * result.final_cand_recall);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace dial::autograd {
+
+GradCheckResult CheckGradients(const std::vector<Parameter*>& params,
+                               const std::function<float()>& loss_fn,
+                               float epsilon, float tolerance) {
+  GradCheckResult result;
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float original = p->value.data()[i];
+      p->value.data()[i] = original + epsilon;
+      const float plus = loss_fn();
+      p->value.data()[i] = original - epsilon;
+      const float minus = loss_fn();
+      p->value.data()[i] = original;
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      const float analytic = p->grad.data()[i];
+      const float abs_err = std::fabs(numeric - analytic);
+      const float denom = std::max(1.0f, std::max(std::fabs(numeric), std::fabs(analytic)));
+      const float rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    }
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace dial::autograd

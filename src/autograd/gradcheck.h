@@ -1,0 +1,30 @@
+#ifndef DIAL_AUTOGRAD_GRADCHECK_H_
+#define DIAL_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/tape.h"
+
+/// \file
+/// Central-difference gradient verification used by the autograd and nn test
+/// suites. `loss_fn` must rebuild the graph from the current parameter
+/// values on every call (it is invoked 2 * num_entries + 1 times).
+
+namespace dial::autograd {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  bool ok = false;
+};
+
+/// Compares analytic gradients (from one Backward pass) against numeric
+/// central differences for every entry of every parameter.
+GradCheckResult CheckGradients(const std::vector<Parameter*>& params,
+                               const std::function<float()>& loss_fn,
+                               float epsilon = 1e-3f, float tolerance = 2e-2f);
+
+}  // namespace dial::autograd
+
+#endif  // DIAL_AUTOGRAD_GRADCHECK_H_

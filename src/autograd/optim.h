@@ -1,0 +1,84 @@
+#ifndef DIAL_AUTOGRAD_OPTIM_H_
+#define DIAL_AUTOGRAD_OPTIM_H_
+
+#include <vector>
+
+#include "autograd/tape.h"
+
+/// \file
+/// Optimizers over `Parameter`s. Matches the paper's setup (Sec. 4.2): AdamW
+/// with two learning-rate groups — 3e-5 for the transformer body, 1e-3 for
+/// the task heads / committee embeddings — and a linear decay schedule with
+/// no warm-up.
+
+namespace dial::autograd {
+
+/// A set of parameters sharing a base learning rate.
+struct ParamGroup {
+  std::vector<Parameter*> params;
+  float lr = 1e-3f;
+};
+
+/// Decoupled weight decay Adam (Loshchilov & Hutter).
+class AdamW {
+ public:
+  struct Options {
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+    /// Gradient-norm clipping; <= 0 disables.
+    float clip_norm = 1.0f;
+  };
+
+  AdamW(std::vector<ParamGroup> groups, Options options);
+  explicit AdamW(std::vector<ParamGroup> groups);
+
+  /// Applies one update using the accumulated gradients, scaled by
+  /// `lr_scale` (the schedule multiplier), then leaves gradients untouched
+  /// (call ZeroGrad separately).
+  void Step(float lr_scale = 1.0f);
+
+  /// Zeroes all gradients in all groups.
+  void ZeroGrad();
+
+  int64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<ParamGroup> groups_;
+  Options options_;
+  int64_t t_ = 0;
+};
+
+/// Plain SGD, used by unit tests and the gradient checker.
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr) : params_(std::move(params)), lr_(lr) {}
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+/// Linear decay from 1 at step 0 to 0 at `total_steps` (no warm-up), as used
+/// for all fine-tuning in the paper.
+class LinearSchedule {
+ public:
+  explicit LinearSchedule(int64_t total_steps) : total_steps_(total_steps) {}
+
+  float Multiplier(int64_t step) const {
+    if (total_steps_ <= 0) return 1.0f;
+    if (step >= total_steps_) return 0.0f;
+    return 1.0f - static_cast<float>(step) / static_cast<float>(total_steps_);
+  }
+
+ private:
+  int64_t total_steps_;
+};
+
+}  // namespace dial::autograd
+
+#endif  // DIAL_AUTOGRAD_OPTIM_H_

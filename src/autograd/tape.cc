@@ -1,0 +1,58 @@
+#include "autograd/tape.h"
+
+namespace dial::autograd {
+
+float Var::scalar() const {
+  DIAL_CHECK_EQ(node_->rows(), 1u);
+  DIAL_CHECK_EQ(node_->cols(), 1u);
+  return node_->value()(0, 0);
+}
+
+Var Tape::Constant(la::Matrix value) {
+  Node* n = NewNode(std::move(value), /*requires_grad=*/false);
+  return Var(n);
+}
+
+Var Tape::Leaf(Parameter* param) {
+  DIAL_CHECK(param != nullptr);
+  auto node = std::make_unique<Node>();
+  node->tape = this;
+  node->value_ptr = &param->value;
+  node->requires_grad = true;
+  Node* raw = node.get();
+  node->backward = [raw, param]() {
+    if (!raw->HasGrad()) return;
+    DIAL_CHECK_EQ(param->grad.rows(), raw->rows());
+    DIAL_CHECK_EQ(param->grad.cols(), raw->cols());
+    la::AddInPlace(param->grad, raw->grad);
+  };
+  nodes_.push_back(std::move(node));
+  return Var(raw);
+}
+
+Node* Tape::NewNode(la::Matrix value, bool requires_grad) {
+  auto node = std::make_unique<Node>();
+  node->tape = this;
+  node->owned_value = std::move(value);
+  node->value_ptr = &node->owned_value;
+  node->requires_grad = requires_grad;
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+void Tape::Backward(Var loss) {
+  DIAL_CHECK(!backward_ran_) << "Backward may run once per tape";
+  backward_ran_ = true;
+  DIAL_CHECK(loss.valid());
+  DIAL_CHECK_EQ(loss.rows(), 1u);
+  DIAL_CHECK_EQ(loss.cols(), 1u);
+  loss.node()->EnsureGrad()(0, 0) = 1.0f;
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    Node* n = nodes_[i].get();
+    if (!n->requires_grad || !n->backward || !n->HasGrad()) continue;
+    n->backward();
+  }
+}
+
+}  // namespace dial::autograd

@@ -1,0 +1,58 @@
+#include "baselines/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dial::baselines {
+
+namespace {
+constexpr size_t kPerAttribute = 5;
+
+/// Relative numeric similarity: 1 - |a-b|/max(|a|,|b|), or 0 when either is
+/// not numeric.
+float NumericSimilarity(const std::string& a, const std::string& b) {
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  const double va = std::strtod(a.c_str(), &end_a);
+  const double vb = std::strtod(b.c_str(), &end_b);
+  if (end_a == a.c_str() || end_b == b.c_str()) return 0.0f;
+  const double denom = std::max(std::fabs(va), std::fabs(vb));
+  if (denom == 0.0) return 1.0f;
+  const double sim = 1.0 - std::fabs(va - vb) / denom;
+  return static_cast<float>(std::clamp(sim, 0.0, 1.0));
+}
+
+}  // namespace
+
+size_t PairFeatureCount(const data::DatasetBundle& bundle) {
+  return bundle.r_table.schema().size() * kPerAttribute + 1;
+}
+
+std::vector<float> PairFeatures(const data::DatasetBundle& bundle,
+                                data::PairId pair) {
+  std::vector<float> features;
+  features.reserve(PairFeatureCount(bundle));
+  const auto& schema = bundle.r_table.schema();
+  const data::Record& r = bundle.r_table[pair.r];
+  const data::Record& s = bundle.s_table[pair.s];
+  for (size_t a = 0; a < schema.size(); ++a) {
+    const std::string& va = r.values[a];
+    const std::string& vb = s.values[a];
+    features.push_back(static_cast<float>(util::TokenJaccard(va, vb)));
+    features.push_back(static_cast<float>(
+        util::Jaccard(util::CharQGrams(va, 3), util::CharQGrams(vb, 3))));
+    // Edit distance on capped prefixes (quadratic cost).
+    features.push_back(static_cast<float>(util::NormalizedEditSimilarity(
+        va.substr(0, 64), vb.substr(0, 64))));
+    features.push_back(va == vb && !va.empty() ? 1.0f : 0.0f);
+    features.push_back(NumericSimilarity(va, vb));
+  }
+  features.push_back(static_cast<float>(
+      util::TokenJaccard(bundle.r_table.TextOf(pair.r), bundle.s_table.TextOf(pair.s))));
+  return features;
+}
+
+}  // namespace dial::baselines

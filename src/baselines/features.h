@@ -1,0 +1,25 @@
+#ifndef DIAL_BASELINES_FEATURES_H_
+#define DIAL_BASELINES_FEATURES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+/// \file
+/// Classical per-pair similarity features for the Random-Forest baseline
+/// ([40]/[39]-style learners): per-attribute token Jaccard, 3-gram Jaccard,
+/// normalized edit similarity, exact match, relative numeric difference,
+/// plus a whole-record token Jaccard.
+
+namespace dial::baselines {
+
+/// Number of features produced for this dataset's schema.
+size_t PairFeatureCount(const data::DatasetBundle& bundle);
+
+/// Feature vector for one pair. Values are in [0, 1] (numeric difference is
+/// clamped).
+std::vector<float> PairFeatures(const data::DatasetBundle& bundle, data::PairId pair);
+
+}  // namespace dial::baselines
+
+#endif  // DIAL_BASELINES_FEATURES_H_

@@ -1,0 +1,132 @@
+#include "baselines/jedai.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dial::baselines {
+
+namespace {
+
+struct WeightedPair {
+  data::PairId pair;
+  double weight = 0.0;
+};
+
+/// Best-F1 threshold over the grid (the paper grid-searches JedAI configs
+/// against the gold duplicate list).
+std::pair<double, std::vector<data::PairId>> GridSearchThreshold(
+    const std::vector<WeightedPair>& weighted, const std::vector<double>& grid,
+    const data::DatasetBundle& bundle) {
+  double best_f1 = -1.0;
+  double best_threshold = grid.empty() ? 0.0 : grid[0];
+  std::vector<data::PairId> best_predicted;
+  for (const double threshold : grid) {
+    std::vector<data::PairId> predicted;
+    for (const WeightedPair& wp : weighted) {
+      if (wp.weight >= threshold) predicted.push_back(wp.pair);
+    }
+    const core::Prf prf = core::EvaluatePredictedPairs(bundle, predicted);
+    if (prf.f1 > best_f1) {
+      best_f1 = prf.f1;
+      best_threshold = threshold;
+      best_predicted = std::move(predicted);
+    }
+  }
+  return {best_threshold, best_predicted};
+}
+
+}  // namespace
+
+JedaiResult RunJedaiSchemaAgnostic(const data::DatasetBundle& bundle,
+                                   const JedaiAgnosticConfig& config) {
+  JedaiResult result;
+  util::WallTimer timer;
+
+  // 1-2. Token blocking + block purging (+ optional block filtering).
+  BlockCollection collection = TokenBlocking(bundle);
+  PurgeBlocks(collection, config.max_block_comparisons);
+  if (config.block_filter_ratio < 1.0) {
+    FilterBlocks(collection, config.block_filter_ratio);
+  }
+  result.num_blocks = collection.blocks.size();
+
+  // 3. Meta-blocking under the configured weighting and pruning schemes.
+  MetaBlockingConfig meta;
+  meta.weighting = config.weighting;
+  meta.pruning = config.pruning;
+  const MetaBlockingResult pruned = MetaBlock(collection, meta);
+  result.comparisons = pruned.input_edges;
+
+  // Normalize weights by the max so the grid is scheme-agnostic.
+  double max_weight = 0.0;
+  for (const WeightedEdge& e : pruned.edges) max_weight = std::max(max_weight, e.weight);
+  std::vector<WeightedPair> weighted;
+  weighted.reserve(pruned.edges.size());
+  for (const WeightedEdge& e : pruned.edges) {
+    weighted.push_back({e.pair, max_weight > 0.0 ? e.weight / max_weight : 0.0});
+  }
+  result.seconds = timer.Seconds();
+
+  // 4. Matching: threshold grid search (not timed — offline configuration).
+  auto [threshold, predicted] =
+      GridSearchThreshold(weighted, config.threshold_grid, bundle);
+  result.best_threshold = threshold;
+  result.predicted = std::move(predicted);
+  return result;
+}
+
+JedaiResult RunJedaiSchemaBased(const data::DatasetBundle& bundle,
+                                const JedaiSchemaConfig& config) {
+  JedaiResult result;
+  util::WallTimer timer;
+
+  // q-gram sets of the primary attribute.
+  const std::string& key_attr = bundle.r_table.schema()[0];
+  std::vector<std::unordered_set<std::string>> r_grams(bundle.r_table.size());
+  std::vector<std::unordered_set<std::string>> s_grams(bundle.s_table.size());
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  for (size_t i = 0; i < bundle.r_table.size(); ++i) {
+    r_grams[i] =
+        util::CharQGrams(util::ToLower(bundle.r_table.Value(i, key_attr)), config.qgram);
+    for (const std::string& g : r_grams[i]) {
+      index[g].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  const double min_threshold =
+      *std::min_element(config.threshold_grid.begin(), config.threshold_grid.end());
+
+  std::vector<WeightedPair> weighted;
+  for (size_t s = 0; s < bundle.s_table.size(); ++s) {
+    s_grams[s] =
+        util::CharQGrams(util::ToLower(bundle.s_table.Value(s, key_attr)), config.qgram);
+    std::unordered_map<uint32_t, size_t> inter;
+    for (const std::string& g : s_grams[s]) {
+      auto it = index.find(g);
+      if (it == index.end()) continue;
+      for (const uint32_t r : it->second) ++inter[r];
+    }
+    for (const auto& [r, count] : inter) {
+      const double denom = static_cast<double>(r_grams[r].size() + s_grams[s].size()) -
+                           static_cast<double>(count);
+      const double sim = denom <= 0.0 ? 1.0 : static_cast<double>(count) / denom;
+      if (sim >= min_threshold) {
+        weighted.push_back({{r, static_cast<uint32_t>(s)}, sim});
+      }
+    }
+  }
+  result.comparisons = weighted.size();
+  result.seconds = timer.Seconds();
+
+  auto [threshold, predicted] =
+      GridSearchThreshold(weighted, config.threshold_grid, bundle);
+  result.best_threshold = threshold;
+  result.predicted = std::move(predicted);
+  return result;
+}
+
+}  // namespace dial::baselines

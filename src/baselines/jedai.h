@@ -1,0 +1,57 @@
+#ifndef DIAL_BASELINES_JEDAI_H_
+#define DIAL_BASELINES_JEDAI_H_
+
+#include <vector>
+
+#include "baselines/meta_blocking.h"
+#include "data/dataset.h"
+
+/// \file
+/// Re-implementation of the two JedAI workflows the paper compares against
+/// (Sec. 4.3, [47, 51]):
+///
+///  * schema-agnostic: token blocking over all attribute values → block
+///    purging → meta-blocking (Jaccard-scheme edge weighting + weighted-edge
+///    pruning) → matching by thresholded similarity, threshold grid-searched
+///    against the gold duplicates (as the paper's "best configuration").
+///  * schema-based: q-gram Jaccard similarity join on the primary attribute,
+///    threshold grid-searched the same way.
+
+namespace dial::baselines {
+
+struct JedaiResult {
+  std::vector<data::PairId> predicted;
+  double seconds = 0.0;          // end-to-end wall time (grid search excluded)
+  size_t num_blocks = 0;         // blocks surviving purging (agnostic only)
+  size_t comparisons = 0;        // candidate pairs examined
+  double best_threshold = 0.0;   // grid-search winner
+};
+
+struct JedaiAgnosticConfig {
+  /// Blocks whose |r|*|s| comparison count exceeds this are purged.
+  size_t max_block_comparisons = 2000;
+  /// Block-filtering ratio (fraction of each record's smallest blocks kept);
+  /// 1.0 disables filtering.
+  double block_filter_ratio = 1.0;
+  /// Meta-blocking configuration (JedAI default: Jaccard weighting + WEP).
+  EdgeWeighting weighting = EdgeWeighting::kJs;
+  PruningScheme pruning = PruningScheme::kWep;
+  /// Candidate thresholds for the matching grid search, as fractions of the
+  /// maximum surviving edge weight (weight scales differ per scheme).
+  std::vector<double> threshold_grid = {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5};
+};
+
+struct JedaiSchemaConfig {
+  size_t qgram = 3;
+  std::vector<double> threshold_grid = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+};
+
+JedaiResult RunJedaiSchemaAgnostic(const data::DatasetBundle& bundle,
+                                   const JedaiAgnosticConfig& config = {});
+
+JedaiResult RunJedaiSchemaBased(const data::DatasetBundle& bundle,
+                                const JedaiSchemaConfig& config = {});
+
+}  // namespace dial::baselines
+
+#endif  // DIAL_BASELINES_JEDAI_H_

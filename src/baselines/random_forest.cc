@@ -1,0 +1,151 @@
+#include "baselines/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dial::baselines {
+
+namespace {
+
+double Gini(size_t pos, size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const la::Matrix& x, const std::vector<int>& y,
+                       const TreeOptions& options, util::Rng& rng) {
+  DIAL_CHECK_EQ(x.rows(), y.size());
+  DIAL_CHECK_GT(x.rows(), 0u);
+  nodes_.clear();
+  std::vector<size_t> samples(x.rows());
+  for (size_t i = 0; i < samples.size(); ++i) samples[i] = i;
+  Build(x, y, samples, 0, options, rng);
+}
+
+int DecisionTree::Build(const la::Matrix& x, const std::vector<int>& y,
+                        const std::vector<size_t>& samples, size_t depth,
+                        const TreeOptions& options, util::Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  size_t pos = 0;
+  for (const size_t i : samples) pos += y[i];
+  const double node_gini = Gini(pos, samples.size());
+  nodes_[node_id].prob =
+      static_cast<float>(pos) / static_cast<float>(samples.size());
+
+  if (depth >= options.max_depth || samples.size() < 2 * options.min_samples_leaf ||
+      node_gini == 0.0) {
+    return node_id;
+  }
+
+  const size_t num_features = x.cols();
+  size_t features_to_try = options.features_per_split;
+  if (features_to_try == 0) {
+    features_to_try = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(num_features))));
+  }
+  features_to_try = std::min(features_to_try, num_features);
+
+  double best_impurity = node_gini;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, int>> values(samples.size());
+  for (const size_t f : rng.SampleWithoutReplacement(num_features, features_to_try)) {
+    for (size_t i = 0; i < samples.size(); ++i) {
+      values[i] = {x(samples[i], f), y[samples[i]]};
+    }
+    std::sort(values.begin(), values.end());
+    // Scan split points between distinct values.
+    size_t left_pos = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+      left_pos += values[i - 1].second;
+      if (values[i].first == values[i - 1].first) continue;
+      const size_t left_n = i;
+      const size_t right_n = values.size() - i;
+      if (left_n < options.min_samples_leaf || right_n < options.min_samples_leaf) {
+        continue;
+      }
+      const size_t right_pos = pos - left_pos;
+      const double weighted =
+          (static_cast<double>(left_n) * Gini(left_pos, left_n) +
+           static_cast<double>(right_n) * Gini(right_pos, right_n)) /
+          static_cast<double>(values.size());
+      if (weighted + 1e-9 < best_impurity) {
+        best_impurity = weighted;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5f * (values[i].first + values[i - 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_samples, right_samples;
+  for (const size_t i : samples) {
+    if (x(i, best_feature) <= best_threshold) {
+      left_samples.push_back(i);
+    } else {
+      right_samples.push_back(i);
+    }
+  }
+  if (left_samples.empty() || right_samples.empty()) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(x, y, left_samples, depth + 1, options, rng);
+  const int right = Build(x, y, right_samples, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+float DecisionTree::PredictProb(const float* features) const {
+  DIAL_CHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = features[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].prob;
+}
+
+void RandomForest::Fit(const la::Matrix& x, const std::vector<int>& y,
+                       const ForestOptions& options) {
+  DIAL_CHECK_EQ(x.rows(), y.size());
+  trees_.assign(options.num_trees, {});
+  util::Rng rng(options.seed);
+  for (auto& tree : trees_) {
+    // Bootstrap sample (sampling with replacement, same size as input).
+    const auto indices = rng.SampleWithReplacement(x.rows(), x.rows());
+    la::Matrix bx(indices.size(), x.cols());
+    std::vector<int> by(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      std::copy(x.row(indices[i]), x.row(indices[i]) + x.cols(), bx.row(i));
+      by[i] = y[indices[i]];
+    }
+    util::Rng tree_rng = rng.Fork();
+    tree.Fit(bx, by, options.tree, tree_rng);
+  }
+}
+
+float RandomForest::PredictProb(const float* features) const {
+  DIAL_CHECK(!trees_.empty());
+  float total = 0.0f;
+  for (const auto& tree : trees_) total += tree.PredictProb(features);
+  return total / static_cast<float>(trees_.size());
+}
+
+size_t RandomForest::MatchVotes(const float* features) const {
+  size_t votes = 0;
+  for (const auto& tree : trees_) votes += tree.Predict(features);
+  return votes;
+}
+
+}  // namespace dial::baselines

@@ -1,0 +1,82 @@
+#ifndef DIAL_BASELINES_RANDOM_FOREST_H_
+#define DIAL_BASELINES_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+/// \file
+/// CART decision trees + bagged random forest — the paper's strongest
+/// non-deep baseline ([40]: random forests with learner-aware QBC "perform
+/// remarkably well"). The forest's bootstrap structure doubles as the QBC
+/// committee: selection variance comes from per-tree votes.
+
+namespace dial::baselines {
+
+struct TreeOptions {
+  size_t max_depth = 12;
+  size_t min_samples_leaf = 2;
+  /// Number of features examined per split; 0 = sqrt(num_features).
+  size_t features_per_split = 0;
+};
+
+/// Binary CART with Gini impurity.
+class DecisionTree {
+ public:
+  /// X: (n, f), y: n binary labels. `rng` drives bootstrap-free feature
+  /// subsampling at each node.
+  void Fit(const la::Matrix& x, const std::vector<int>& y, const TreeOptions& options,
+           util::Rng& rng);
+
+  /// P(y=1) from the leaf's class distribution.
+  float PredictProb(const float* features) const;
+
+  /// Hard vote.
+  int Predict(const float* features) const { return PredictProb(features) > 0.5f; }
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 => leaf
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    float prob = 0.0f;      // leaf positive probability
+  };
+
+  int Build(const la::Matrix& x, const std::vector<int>& y,
+            const std::vector<size_t>& samples, size_t depth,
+            const TreeOptions& options, util::Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+struct ForestOptions {
+  size_t num_trees = 20;
+  TreeOptions tree;
+  uint64_t seed = 404;
+};
+
+/// Bagged forest; per-tree probabilities expose the QBC committee votes.
+class RandomForest {
+ public:
+  void Fit(const la::Matrix& x, const std::vector<int>& y, const ForestOptions& options);
+
+  /// Mean of tree probabilities.
+  float PredictProb(const float* features) const;
+
+  /// #trees voting "match" — the committee vote count for QBC variance.
+  size_t MatchVotes(const float* features) const;
+
+  size_t size() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace dial::baselines
+
+#endif  // DIAL_BASELINES_RANDOM_FOREST_H_

@@ -1,0 +1,130 @@
+#include "baselines/rf_al.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "baselines/features.h"
+#include "baselines/rules.h"
+#include "util/timer.h"
+
+namespace dial::baselines {
+
+namespace {
+
+/// Memoizing feature extractor.
+class FeatureCache {
+ public:
+  explicit FeatureCache(const data::DatasetBundle* bundle) : bundle_(bundle) {}
+
+  const std::vector<float>& Get(data::PairId pair) {
+    auto it = cache_.find(pair.Key());
+    if (it != cache_.end()) return it->second;
+    return cache_.emplace(pair.Key(), PairFeatures(*bundle_, pair)).first->second;
+  }
+
+ private:
+  const data::DatasetBundle* bundle_;
+  std::unordered_map<uint64_t, std::vector<float>> cache_;
+};
+
+}  // namespace
+
+core::AlResult RunRandomForestAl(const data::DatasetBundle& bundle,
+                                 const RfAlConfig& config) {
+  util::Rng rng(config.seed);
+  data::OracleLabeler oracle(&bundle);
+  data::LabeledSet labeled = data::SampleSeedSet(bundle, config.seed_per_class, rng);
+  FeatureCache features(&bundle);
+
+  // Fixed candidate set from the hand-crafted rules (classical pipelines
+  // assume a given blocker; Sec. 4.3).
+  const std::vector<core::Candidate> cand = RulesCandidates(bundle);
+  std::unordered_set<uint64_t> cand_keys;
+  for (const core::Candidate& c : cand) cand_keys.insert(c.pair.Key());
+
+  core::AlResult result;
+  RandomForest forest;
+  const size_t num_features = PairFeatureCount(bundle);
+
+  for (size_t round = 0; round < config.rounds; ++round) {
+    core::RoundMetrics metrics;
+    metrics.round = round;
+    metrics.labels_in_t = labeled.size();
+    metrics.cand_size = cand.size();
+    metrics.cand_recall = core::CandidateRecall(cand_keys, bundle);
+
+    // Train the forest.
+    util::WallTimer timer;
+    const auto pairs = labeled.AllPairs();
+    la::Matrix x(pairs.size(), num_features);
+    std::vector<int> y(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const auto& f = features.Get(pairs[i].pair);
+      std::copy(f.begin(), f.end(), x.row(i));
+      y[i] = pairs[i].is_duplicate ? 1 : 0;
+    }
+    ForestOptions forest_options = config.forest;
+    forest_options.seed = config.seed ^ (0xf0f0 + round);
+    forest.Fit(x, y, forest_options);
+    metrics.t_train_matcher = timer.Seconds();
+
+    // Evaluate.
+    std::vector<float> test_probs;
+    test_probs.reserve(bundle.test_pairs.size());
+    for (const auto& lp : bundle.test_pairs) {
+      test_probs.push_back(forest.PredictProb(features.Get(lp.pair).data()));
+    }
+    metrics.test_prf = core::EvaluateTestSet(bundle, test_probs, cand_keys);
+
+    std::vector<float> cand_probs(cand.size());
+    timer.Restart();
+    for (size_t i = 0; i < cand.size(); ++i) {
+      cand_probs[i] = forest.PredictProb(features.Get(cand[i].pair).data());
+    }
+    metrics.allpairs_prf =
+        core::EvaluateAllPairs(bundle, core::CandidatePairs(cand), cand_probs);
+
+    // QBC selection: variance of the forest's per-tree votes (Sec. 2.3.1).
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (bundle.InTest(cand[i].pair) || labeled.Contains(cand[i].pair)) continue;
+      const double frac =
+          static_cast<double>(forest.MatchVotes(features.Get(cand[i].pair).data())) /
+          static_cast<double>(forest.size());
+      scored.push_back({frac * (1.0 - frac), i});
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    metrics.t_select = timer.Seconds();
+
+    const size_t budget = std::min(config.budget_per_round, scored.size());
+    for (size_t i = 0; i < budget; ++i) {
+      const data::PairId pair = cand[scored[i].second].pair;
+      if (oracle.Label(pair)) {
+        labeled.AddPositive(pair);
+      } else {
+        labeled.AddNegative(pair);
+      }
+    }
+    result.rounds.push_back(metrics);
+  }
+
+  const auto& last = result.rounds.back();
+  result.final_test = last.test_prf;
+  result.final_allpairs = last.allpairs_prf;
+  result.final_cand_recall = last.cand_recall;
+  result.labels_used = oracle.labels_used();
+
+  // RT: blocking (rules) + forest inference over cand.
+  util::WallTimer timer;
+  const auto timed_cand = RulesCandidates(bundle);
+  for (const core::Candidate& c : timed_cand) {
+    forest.PredictProb(features.Get(c.pair).data());
+  }
+  result.block_match_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace dial::baselines

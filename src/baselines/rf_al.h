@@ -1,0 +1,30 @@
+#ifndef DIAL_BASELINES_RF_AL_H_
+#define DIAL_BASELINES_RF_AL_H_
+
+#include "baselines/random_forest.h"
+#include "core/al_loop.h"
+
+/// \file
+/// The Random-Forest + bootstrap-QBC active-learning baseline ([40], as
+/// benchmarked by [39]): classical similarity features, a bagged forest
+/// matcher, variance-based committee selection, and the Rules candidate set
+/// as its (fixed) blocker — classical AL-ER end to end. Produces the same
+/// AlResult shape as the deep loops so the Table 2 harness treats every
+/// method uniformly.
+
+namespace dial::baselines {
+
+struct RfAlConfig {
+  size_t rounds = 10;
+  size_t budget_per_round = 128;
+  size_t seed_per_class = 64;
+  ForestOptions forest;
+  uint64_t seed = 99;
+};
+
+core::AlResult RunRandomForestAl(const data::DatasetBundle& bundle,
+                                 const RfAlConfig& config);
+
+}  // namespace dial::baselines
+
+#endif  // DIAL_BASELINES_RF_AL_H_

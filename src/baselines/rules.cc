@@ -1,0 +1,87 @@
+#include "baselines/rules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace dial::baselines {
+
+RulesConfig DefaultRulesFor(const std::string& dataset_name) {
+  RulesConfig config;
+  if (dataset_name == "dblp_acm" || dataset_name == "dblp_scholar") {
+    config.min_overlap = 2;
+    config.max_token_df = 40;
+  } else if (dataset_name == "abt_buy") {
+    config.min_overlap = 2;
+    config.max_token_df = 30;
+  } else {
+    config.min_overlap = 1;
+    config.max_token_df = 12;
+  }
+  return config;
+}
+
+std::vector<core::Candidate> RulesCandidates(const data::DatasetBundle& bundle,
+                                             const RulesConfig& config) {
+  // Document frequency over both lists.
+  std::unordered_map<std::string, size_t> df;
+  auto count_tokens = [&df](const data::Table& table) {
+    for (size_t i = 0; i < table.size(); ++i) {
+      std::unordered_map<std::string, bool> seen;
+      for (const std::string& tok : text::BasicTokenize(table.TextOf(i))) {
+        if (tok.size() < 2) continue;  // punctuation / single chars join nothing
+        if (!seen.emplace(tok, true).second) continue;
+        ++df[tok];
+      }
+    }
+  };
+  count_tokens(bundle.r_table);
+  count_tokens(bundle.s_table);
+
+  // Inverted index over rare tokens of R.
+  std::unordered_map<std::string, std::vector<uint32_t>> index;
+  for (size_t i = 0; i < bundle.r_table.size(); ++i) {
+    std::unordered_map<std::string, bool> seen;
+    for (const std::string& tok : text::BasicTokenize(bundle.r_table.TextOf(i))) {
+      if (tok.size() < 2 || df[tok] > config.max_token_df) continue;
+      if (!seen.emplace(tok, true).second) continue;
+      index[tok].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Probe with S records; accumulate overlap counts.
+  std::vector<core::Candidate> candidates;
+  std::unordered_map<uint64_t, size_t> overlap;
+  for (size_t s = 0; s < bundle.s_table.size(); ++s) {
+    overlap.clear();
+    std::unordered_map<std::string, bool> seen;
+    for (const std::string& tok : text::BasicTokenize(bundle.s_table.TextOf(s))) {
+      if (tok.size() < 2 || df[tok] > config.max_token_df) continue;
+      if (!seen.emplace(tok, true).second) continue;
+      auto it = index.find(tok);
+      if (it == index.end()) continue;
+      for (const uint32_t r : it->second) {
+        ++overlap[data::PairId{r, static_cast<uint32_t>(s)}.Key()];
+      }
+    }
+    for (const auto& [key, count] : overlap) {
+      if (count < config.min_overlap) continue;
+      const data::PairId pair{static_cast<uint32_t>(key >> 32),
+                              static_cast<uint32_t>(key & 0xffffffffu)};
+      candidates.push_back({pair, -static_cast<float>(count)});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const core::Candidate& a, const core::Candidate& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.pair.Key() < b.pair.Key();
+            });
+  return candidates;
+}
+
+std::vector<core::Candidate> RulesCandidates(const data::DatasetBundle& bundle) {
+  return RulesCandidates(bundle, DefaultRulesFor(bundle.name));
+}
+
+}  // namespace dial::baselines

@@ -1,0 +1,57 @@
+#ifndef DIAL_CORE_CHECKPOINT_H_
+#define DIAL_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/al_loop.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file
+/// Checkpoint/resume for the active-learning loop. Human labeling sessions
+/// are long-lived and interruptible; a checkpoint written after each round
+/// captures everything the loop carries across rounds — the labeled set T
+/// (with pseudo-label flags, in insertion order), the calibration pairs, the
+/// loop RNG state, the per-round metrics, and the labeler's budget counter.
+/// Models are deliberately NOT checkpointed: the paper's protocol retrains
+/// from the pretrained weights every round (Sec. 4.2, "we do not warm start
+/// the model parameters between active learning rounds"), so a resumed run
+/// reproduces the uninterrupted run bit-for-bit from this state alone.
+
+namespace dial::core {
+
+struct AlCheckpoint {
+  /// Dataset the run was on; resume refuses a different dataset.
+  std::string dataset_name;
+  /// Fingerprint of the AL protocol fields of AlConfig; resume refuses a
+  /// mismatching configuration.
+  uint64_t config_fingerprint = 0;
+  /// Next round to execute (rounds [0, next_round) are complete).
+  uint32_t next_round = 0;
+  uint64_t labels_used = 0;
+  util::Rng::State rng_state;
+  /// T, split as stored by LabeledSet (order within each list preserved).
+  std::vector<data::LabeledSet::Entry> positives;
+  std::vector<data::LabeledSet::Entry> negatives;
+  /// Presumed-negative calibration pairs pending for the next round.
+  std::vector<data::PairId> calibration;
+  /// Metrics of completed rounds.
+  std::vector<RoundMetrics> rounds;
+};
+
+/// Fingerprint over the protocol-relevant fields of the configuration
+/// (budgets, candidate sizing, selector, blocking strategy, seeds). The
+/// total round count is excluded so a finished budget can be extended;
+/// model hyper-parameters are included via the matcher/blocker seeds only.
+uint64_t AlConfigFingerprint(const AlConfig& config, const std::string& dataset);
+
+/// Writes `checkpoint` to `path` (atomically: temp file + rename).
+util::Status SaveAlCheckpoint(const std::string& path, const AlCheckpoint& checkpoint);
+
+/// Reads a checkpoint; non-OK on missing/corrupted/version-mismatched files.
+util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint);
+
+}  // namespace dial::core
+
+#endif  // DIAL_CORE_CHECKPOINT_H_

@@ -1,0 +1,28 @@
+#include "core/encodings.h"
+
+namespace dial::core {
+
+RecordEncodings::RecordEncodings(const data::DatasetBundle& bundle,
+                                 const text::SubwordVocab& vocab,
+                                 size_t max_single_len) {
+  r_.reserve(bundle.r_table.size());
+  for (size_t i = 0; i < bundle.r_table.size(); ++i) {
+    r_.push_back(vocab.EncodeSingle(bundle.r_table.TextOf(i), max_single_len));
+  }
+  s_.reserve(bundle.s_table.size());
+  for (size_t i = 0; i < bundle.s_table.size(); ++i) {
+    s_.push_back(vocab.EncodeSingle(bundle.s_table.TextOf(i), max_single_len));
+  }
+}
+
+const text::EncodedSequence& PairEncodingCache::Get(data::PairId pair) {
+  const uint64_t key = pair.Key();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  text::EncodedSequence seq = vocab_->EncodePair(bundle_->r_table.TextOf(pair.r),
+                                                 bundle_->s_table.TextOf(pair.s),
+                                                 max_pair_len_);
+  return cache_.emplace(key, std::move(seq)).first->second;
+}
+
+}  // namespace dial::core

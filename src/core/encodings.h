@@ -1,0 +1,54 @@
+#ifndef DIAL_CORE_ENCODINGS_H_
+#define DIAL_CORE_ENCODINGS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/vocab.h"
+
+/// \file
+/// Tokenization caches. Tokenizing is deterministic, so each record (single
+/// mode) and each touched pair (paired mode) is encoded exactly once per
+/// dataset run.
+
+namespace dial::core {
+
+/// Pre-encoded single-mode sequences for every record of R and S.
+class RecordEncodings {
+ public:
+  RecordEncodings(const data::DatasetBundle& bundle, const text::SubwordVocab& vocab,
+                  size_t max_single_len);
+
+  const text::EncodedSequence& R(size_t i) const { return r_[i]; }
+  const text::EncodedSequence& S(size_t i) const { return s_[i]; }
+  size_t r_size() const { return r_.size(); }
+  size_t s_size() const { return s_.size(); }
+
+ private:
+  std::vector<text::EncodedSequence> r_;
+  std::vector<text::EncodedSequence> s_;
+};
+
+/// Lazily encodes pairs in paired mode, memoized by pair key.
+class PairEncodingCache {
+ public:
+  PairEncodingCache(const data::DatasetBundle* bundle, const text::SubwordVocab* vocab,
+                    size_t max_pair_len)
+      : bundle_(bundle), vocab_(vocab), max_pair_len_(max_pair_len) {}
+
+  const text::EncodedSequence& Get(data::PairId pair);
+
+  size_t size() const { return cache_.size(); }
+  const data::DatasetBundle* bundle() const { return bundle_; }
+
+ private:
+  const data::DatasetBundle* bundle_;
+  const text::SubwordVocab* vocab_;
+  size_t max_pair_len_;
+  std::unordered_map<uint64_t, text::EncodedSequence> cache_;
+};
+
+}  // namespace dial::core
+
+#endif  // DIAL_CORE_ENCODINGS_H_

@@ -1,0 +1,89 @@
+#include "core/experiment.h"
+
+#include "util/timer.h"
+
+namespace dial::core {
+
+Experiment PrepareExperiment(const std::string& dataset_name,
+                             const ExperimentConfig& config) {
+  Experiment exp;
+  exp.bundle = data::MakeDataset(dataset_name, config.scale, config.data_seed);
+
+  const std::vector<std::string> corpus = exp.bundle.CorpusLines();
+  text::SubwordVocab::Options vocab_options;
+  vocab_options.max_vocab = config.tplm.transformer.vocab_size;
+  exp.vocab = text::SubwordVocab::Train(corpus, vocab_options);
+
+  tplm::TplmConfig tplm_config = config.tplm;
+  // The embedding table must cover the trained vocabulary; shrink to fit.
+  tplm_config.transformer.vocab_size = exp.vocab.size();
+
+  exp.pretrained = std::make_unique<tplm::TplmModel>(
+      "pretrained_tplm", tplm_config, /*seed=*/config.data_seed ^ 0x7a7a7a);
+
+  tplm::ModelCache cache = config.cache_dir == "default"
+                               ? tplm::ModelCache::Default()
+                               : tplm::ModelCache(config.cache_dir);
+  util::WallTimer timer;
+  exp.pretrain_stats = cache.GetOrPretrain(*exp.pretrained, exp.vocab, corpus,
+                                           config.pretrain,
+                                           tplm::CorpusFingerprint(corpus));
+  exp.pretrain_cache_hit = cache.last_was_hit();
+  if (!exp.pretrain_cache_hit) {
+    DIAL_LOG_INFO << dataset_name << ": MLM pretraining took " << timer.Seconds()
+                  << "s (loss " << exp.pretrain_stats.initial_loss << " -> "
+                  << exp.pretrain_stats.final_loss << ")";
+  }
+  return exp;
+}
+
+ExperimentConfig DefaultExperimentConfig(data::Scale scale) {
+  ExperimentConfig config;
+  config.scale = scale;
+  switch (scale) {
+    case data::Scale::kSmoke:
+      config.pretrain.epochs = 20;
+      config.pretrain.pair_epochs = 10;
+      break;
+    case data::Scale::kSmall:
+      config.pretrain.epochs = 40;
+      config.pretrain.pair_epochs = 20;
+      break;
+    case data::Scale::kMedium:
+      config.pretrain.epochs = 48;
+      config.pretrain.pair_epochs = 24;
+      break;
+  }
+  return config;
+}
+
+AlConfig DefaultAlConfig(data::Scale scale, uint64_t seed) {
+  AlConfig config;
+  config.seed = seed;
+  switch (scale) {
+    case data::Scale::kSmoke:
+      config.rounds = 2;
+      config.budget_per_round = 16;
+      config.seed_per_class = 10;
+      config.matcher.epochs = 12;
+      config.blocker.epochs = 40;
+      break;
+    case data::Scale::kSmall:
+      config.rounds = 4;
+      config.budget_per_round = 32;
+      config.seed_per_class = 24;
+      config.matcher.epochs = 20;
+      config.blocker.epochs = 80;
+      break;
+    case data::Scale::kMedium:
+      config.rounds = 6;
+      config.budget_per_round = 64;
+      config.seed_per_class = 32;
+      config.matcher.epochs = 20;
+      config.blocker.epochs = 120;
+      break;
+  }
+  return config;
+}
+
+}  // namespace dial::core

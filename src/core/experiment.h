@@ -1,0 +1,62 @@
+#ifndef DIAL_CORE_EXPERIMENT_H_
+#define DIAL_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/al_loop.h"
+#include "data/registry.h"
+#include "tplm/model_cache.h"
+
+/// \file
+/// Shared experiment plumbing for the examples and bench harnesses: build a
+/// dataset, train its subword vocabulary, and MLM-pretrain (or cache-load)
+/// the TPLM — the fixed preamble of every experiment in Sec. 4.
+
+namespace dial::core {
+
+struct ExperimentConfig {
+  data::Scale scale = data::Scale::kSmall;
+  uint64_t data_seed = 1;
+  /// TPLM shape (defaults match DESIGN.md's CPU-scale model).
+  tplm::TplmConfig tplm;
+  tplm::PretrainOptions pretrain;
+  /// "" disables the on-disk model cache.
+  std::string cache_dir = "default";
+
+  ExperimentConfig() {
+    tplm.transformer.dim = 32;
+    tplm.transformer.num_layers = 2;
+    tplm.transformer.num_heads = 4;
+    tplm.transformer.ffn_dim = 64;
+    tplm.transformer.vocab_size = 2048;
+    pretrain.epochs = 40;
+  }
+};
+
+/// A ready-to-run experiment context.
+struct Experiment {
+  data::DatasetBundle bundle;
+  text::SubwordVocab vocab;
+  std::unique_ptr<tplm::TplmModel> pretrained;
+  tplm::PretrainStats pretrain_stats;
+  bool pretrain_cache_hit = false;
+};
+
+/// Generates `dataset_name`, trains the vocabulary on its corpus, and
+/// pretrains the TPLM with MLM (cache-backed).
+Experiment PrepareExperiment(const std::string& dataset_name,
+                             const ExperimentConfig& config);
+
+/// ExperimentConfig with pretraining depth matched to the scale (smoke runs
+/// shorten pretraining so test/bench turnaround stays fast).
+ExperimentConfig DefaultExperimentConfig(data::Scale scale);
+
+/// AL configuration scaled to match the experiment scale (rounds, budget,
+/// seed size shrink below paper values to fit CPU budgets; ratios match
+/// Sec. 4.2).
+AlConfig DefaultAlConfig(data::Scale scale, uint64_t seed);
+
+}  // namespace dial::core
+
+#endif  // DIAL_CORE_EXPERIMENT_H_

@@ -1,0 +1,169 @@
+#include "core/ibc.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/ivfpq_index.h"
+#include "index/lsh_index.h"
+#include "index/matmul_search.h"
+#include "index/pq_index.h"
+#include "index/sq_index.h"
+
+namespace dial::core {
+
+IndexBackend ParseIndexBackend(const std::string& text) {
+  if (text == "flat") return IndexBackend::kFlat;
+  if (text == "ivf") return IndexBackend::kIvf;
+  if (text == "lsh") return IndexBackend::kLsh;
+  if (text == "pq") return IndexBackend::kPq;
+  if (text == "ivfpq") return IndexBackend::kIvfPq;
+  if (text == "sq") return IndexBackend::kSq;
+  if (text == "hnsw") return IndexBackend::kHnsw;
+  if (text == "matmul") return IndexBackend::kMatmul;
+  DIAL_LOG_FATAL << "Unknown index backend '" << text << "'";
+  return IndexBackend::kFlat;
+}
+
+std::string IndexBackendName(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kFlat: return "flat";
+    case IndexBackend::kIvf: return "ivf";
+    case IndexBackend::kLsh: return "lsh";
+    case IndexBackend::kPq: return "pq";
+    case IndexBackend::kIvfPq: return "ivfpq";
+    case IndexBackend::kSq: return "sq";
+    case IndexBackend::kHnsw: return "hnsw";
+    case IndexBackend::kMatmul: return "matmul";
+  }
+  return "unknown";
+}
+
+std::vector<IndexBackend> AllIndexBackends() {
+  return {IndexBackend::kFlat,  IndexBackend::kIvf,  IndexBackend::kLsh,
+          IndexBackend::kPq,    IndexBackend::kIvfPq, IndexBackend::kSq,
+          IndexBackend::kHnsw,  IndexBackend::kMatmul};
+}
+
+namespace {
+
+/// PQ needs num_subspaces | dim; picks the largest divisor of dim <= want.
+size_t PqSubspacesFor(size_t dim, size_t want) {
+  for (size_t m = std::min(want, dim); m >= 1; --m) {
+    if (dim % m == 0) return m;
+  }
+  return 1;
+}
+
+std::unique_ptr<index::VectorIndex> MakeIndex(IndexBackend backend, size_t dim,
+                                              index::Metric metric,
+                                              util::ThreadPool* pool) {
+  switch (backend) {
+    case IndexBackend::kFlat:
+      return std::make_unique<index::FlatIndex>(dim, metric, pool);
+    case IndexBackend::kIvf:
+      return std::make_unique<index::IvfIndex>(dim, metric, index::IvfIndex::Options{});
+    case IndexBackend::kLsh:
+      return std::make_unique<index::LshIndex>(dim, metric, index::LshIndex::Options{});
+    case IndexBackend::kPq: {
+      index::ProductQuantizer::Options pq;
+      pq.num_subspaces = PqSubspacesFor(dim, 4);
+      return std::make_unique<index::PqIndex>(dim, metric, pq);
+    }
+    case IndexBackend::kIvfPq: {
+      index::IvfPqIndex::Options opts;
+      opts.pq.num_subspaces = PqSubspacesFor(dim, 4);
+      return std::make_unique<index::IvfPqIndex>(dim, metric, opts);
+    }
+    case IndexBackend::kSq:
+      return std::make_unique<index::SqIndex>(dim, metric);
+    case IndexBackend::kHnsw:
+      return std::make_unique<index::HnswIndex>(dim, metric,
+                                                index::HnswIndex::Options{});
+    case IndexBackend::kMatmul:
+      return std::make_unique<index::MatmulSearchIndex>(dim, metric);
+  }
+  return nullptr;
+}
+
+/// Merges per-member retrievals keeping the minimum distance per pair, then
+/// sorts ascending and truncates.
+std::vector<Candidate> MergeAndTruncate(
+    std::unordered_map<uint64_t, Candidate>& best, size_t cand_size) {
+  std::vector<Candidate> merged;
+  merged.reserve(best.size());
+  for (auto& [key, cand] : best) merged.push_back(cand);
+  std::sort(merged.begin(), merged.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.pair.Key() < b.pair.Key();
+  });
+  if (cand_size > 0 && merged.size() > cand_size) merged.resize(cand_size);
+  return merged;
+}
+
+void AccumulateRetrieval(const index::SearchBatch& batch,
+                         std::unordered_map<uint64_t, Candidate>& best) {
+  for (size_t s = 0; s < batch.size(); ++s) {
+    for (const index::Neighbor& nb : batch[s]) {
+      const data::PairId pair{static_cast<uint32_t>(nb.id), static_cast<uint32_t>(s)};
+      auto [it, inserted] = best.try_emplace(pair.Key(), Candidate{pair, nb.distance});
+      if (!inserted && nb.distance < it->second.distance) {
+        it->second.distance = nb.distance;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
+                                        const la::Matrix& emb_r,
+                                        const la::Matrix& emb_s,
+                                        const IbcConfig& config,
+                                        util::ThreadPool* pool) {
+  DIAL_CHECK_GT(committee.size(), 0u);
+  // Members are independent until the merge, so encode/index/probe runs one
+  // member per pool task (this is what keeps IBC's cost nearly flat in N,
+  // the paper's Table 10 claim). The merge applies per-member batches in
+  // member order, so results are identical with or without a pool.
+  std::vector<index::SearchBatch> batches(committee.size());
+  util::ParallelFor(pool, committee.size(), [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      const la::Matrix enc_r = committee.Encode(k, emb_r);
+      const la::Matrix enc_s = committee.Encode(k, emb_s);
+      // Per-member index searches run serially inside the member task; the
+      // pool is not forwarded to avoid nested parallelism.
+      auto idx = MakeIndex(config.backend, enc_r.cols(), config.metric, nullptr);
+      idx->Add(enc_r);
+      batches[k] = idx->Search(enc_s, config.k_neighbors);
+    }
+  });
+  std::unordered_map<uint64_t, Candidate> best;
+  for (const index::SearchBatch& batch : batches) {
+    AccumulateRetrieval(batch, best);
+  }
+  return MergeAndTruncate(best, config.cand_size);
+}
+
+std::vector<Candidate> DirectKnnCandidates(const la::Matrix& emb_r,
+                                           const la::Matrix& emb_s,
+                                           const IbcConfig& config,
+                                           util::ThreadPool* pool) {
+  std::unordered_map<uint64_t, Candidate> best;
+  auto idx = MakeIndex(config.backend, emb_r.cols(), config.metric, pool);
+  idx->Add(emb_r);
+  AccumulateRetrieval(idx->Search(emb_s, config.k_neighbors), best);
+  return MergeAndTruncate(best, config.cand_size);
+}
+
+std::vector<data::PairId> CandidatePairs(const std::vector<Candidate>& cand) {
+  std::vector<data::PairId> out;
+  out.reserve(cand.size());
+  for (const Candidate& c : cand) out.push_back(c.pair);
+  return out;
+}
+
+}  // namespace dial::core

@@ -1,0 +1,70 @@
+#ifndef DIAL_CORE_IBC_H_
+#define DIAL_CORE_IBC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/committee.h"
+#include "index/vector_index.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// Index-By-Committee (Alg. 1 lines 9–25): every committee member indexes
+/// its embeddings of R, probes with its embeddings of S, and the closest
+/// pairs across all members form the candidate set `cand`.
+
+namespace dial::core {
+
+/// One retrieved pair with its best (minimum over members) distance.
+struct Candidate {
+  data::PairId pair;
+  float distance = 0.0f;
+};
+
+enum class IndexBackend {
+  kFlat,    // exact brute force (faiss::IndexFlat)
+  kIvf,     // inverted file, flat residuals (faiss::IndexIVFFlat)
+  kLsh,     // random hyperplanes (DeepER/AutoBlock retrieval)
+  kPq,      // exhaustive ADC over PQ codes (faiss::IndexPQ)
+  kIvfPq,   // IVF + residual PQ (faiss::IndexIVFPQ)
+  kSq,      // 8-bit scalar quantization (faiss::IndexScalarQuantizer)
+  kHnsw,    // navigable small-world graph (faiss::IndexHNSW)
+  kMatmul,  // exact, blocked-GEMM scoring (DITTO / Abuzaid et al. [1])
+};
+
+IndexBackend ParseIndexBackend(const std::string& text);
+std::string IndexBackendName(IndexBackend backend);
+
+/// All backends, in enum order (used by the backend-ablation bench/tests).
+std::vector<IndexBackend> AllIndexBackends();
+
+struct IbcConfig {
+  /// k nearest neighbours per member per probe (paper: 3; 20 for Abt-Buy).
+  size_t k_neighbors = 3;
+  /// Final |cand| (closest pairs kept after the cross-member merge).
+  size_t cand_size = 0;  // 0 = keep every retrieved pair
+  IndexBackend backend = IndexBackend::kFlat;
+  index::Metric metric = index::Metric::kL2;
+};
+
+/// Runs IBC: returns candidates sorted by ascending distance, truncated to
+/// cand_size. `emb_r`/`emb_s` are the frozen single-mode embeddings E(x).
+std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
+                                        const la::Matrix& emb_r,
+                                        const la::Matrix& emb_s,
+                                        const IbcConfig& config,
+                                        util::ThreadPool* pool = nullptr);
+
+/// Direct kNN over raw embeddings (no committee) — the retrieval used by
+/// the PairedFixed / PairedAdapt / SentenceBERT baselines.
+std::vector<Candidate> DirectKnnCandidates(const la::Matrix& emb_r,
+                                           const la::Matrix& emb_s,
+                                           const IbcConfig& config,
+                                           util::ThreadPool* pool = nullptr);
+
+/// Extracts just the pairs.
+std::vector<data::PairId> CandidatePairs(const std::vector<Candidate>& cand);
+
+}  // namespace dial::core
+
+#endif  // DIAL_CORE_IBC_H_

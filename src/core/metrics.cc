@@ -1,0 +1,141 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace dial::core {
+
+Prf PrfFromCounts(size_t true_positives, size_t predicted_positives,
+                  size_t actual_positives) {
+  Prf prf;
+  prf.true_positives = true_positives;
+  prf.predicted_positives = predicted_positives;
+  prf.actual_positives = actual_positives;
+  prf.precision = predicted_positives == 0
+                      ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(predicted_positives);
+  prf.recall = actual_positives == 0 ? 0.0
+                                     : static_cast<double>(true_positives) /
+                                           static_cast<double>(actual_positives);
+  prf.f1 = (prf.precision + prf.recall) == 0.0
+               ? 0.0
+               : 2.0 * prf.precision * prf.recall / (prf.precision + prf.recall);
+  return prf;
+}
+
+double CandidateRecall(const std::vector<data::PairId>& candidates,
+                       const data::DatasetBundle& bundle) {
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(candidates.size() * 2);
+  for (const data::PairId& p : candidates) keys.insert(p.Key());
+  return CandidateRecall(keys, bundle);
+}
+
+double CandidateRecall(const std::unordered_set<uint64_t>& candidate_keys,
+                       const data::DatasetBundle& bundle) {
+  if (bundle.dups.empty()) return 0.0;
+  size_t hit = 0;
+  for (const data::PairId& p : bundle.dups) hit += candidate_keys.count(p.Key());
+  return static_cast<double>(hit) / static_cast<double>(bundle.dups.size());
+}
+
+Prf EvaluateTestSet(const data::DatasetBundle& bundle,
+                    const std::vector<float>& test_probs,
+                    const std::unordered_set<uint64_t>& candidate_keys) {
+  DIAL_CHECK_EQ(test_probs.size(), bundle.test_pairs.size());
+  size_t tp = 0;
+  size_t predicted = 0;
+  size_t actual = 0;
+  for (size_t i = 0; i < bundle.test_pairs.size(); ++i) {
+    const auto& lp = bundle.test_pairs[i];
+    actual += lp.is_duplicate ? 1 : 0;
+    const bool predicted_dup =
+        candidate_keys.count(lp.pair.Key()) > 0 && test_probs[i] > 0.5f;
+    if (predicted_dup) {
+      ++predicted;
+      if (lp.is_duplicate) ++tp;
+    }
+  }
+  return PrfFromCounts(tp, predicted, actual);
+}
+
+Prf EvaluateAllPairs(const data::DatasetBundle& bundle,
+                     const std::vector<data::PairId>& candidates,
+                     const std::vector<float>& candidate_probs) {
+  DIAL_CHECK_EQ(candidates.size(), candidate_probs.size());
+  size_t tp = 0;
+  size_t predicted = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidate_probs[i] <= 0.5f) continue;
+    ++predicted;
+    if (bundle.IsDuplicate(candidates[i])) ++tp;
+  }
+  return PrfFromCounts(tp, predicted, bundle.dups.size());
+}
+
+Prf EvaluatePredictedPairs(const data::DatasetBundle& bundle,
+                           const std::vector<data::PairId>& predicted) {
+  size_t tp = 0;
+  for (const data::PairId& p : predicted) {
+    if (bundle.IsDuplicate(p)) ++tp;
+  }
+  return PrfFromCounts(tp, predicted.size(), bundle.dups.size());
+}
+
+namespace {
+
+/// Candidate indices by descending probability (stable on pair key).
+std::vector<size_t> RankByProb(const std::vector<data::PairId>& candidates,
+                               const std::vector<float>& probs) {
+  DIAL_CHECK_EQ(candidates.size(), probs.size());
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (probs[a] != probs[b]) return probs[a] > probs[b];
+    return candidates[a].Key() < candidates[b].Key();
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<PrCurvePoint> PrCurve(const data::DatasetBundle& bundle,
+                                  const std::vector<data::PairId>& candidates,
+                                  const std::vector<float>& candidate_probs) {
+  const std::vector<size_t> order = RankByProb(candidates, candidate_probs);
+  const double actual = static_cast<double>(bundle.dups.size());
+  std::vector<PrCurvePoint> curve;
+  size_t tp = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (bundle.IsDuplicate(candidates[order[rank]])) ++tp;
+    const bool last = rank + 1 == order.size();
+    // Emit one point per distinct threshold (process ties together).
+    if (!last &&
+        candidate_probs[order[rank]] == candidate_probs[order[rank + 1]]) {
+      continue;
+    }
+    PrCurvePoint point;
+    point.threshold = candidate_probs[order[rank]];
+    point.precision = static_cast<double>(tp) / static_cast<double>(rank + 1);
+    point.recall = actual > 0 ? static_cast<double>(tp) / actual : 0.0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double AveragePrecision(const data::DatasetBundle& bundle,
+                        const std::vector<data::PairId>& candidates,
+                        const std::vector<float>& candidate_probs) {
+  const std::vector<size_t> order = RankByProb(candidates, candidate_probs);
+  if (bundle.dups.empty()) return 0.0;
+  size_t tp = 0;
+  double sum = 0.0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (!bundle.IsDuplicate(candidates[order[rank]])) continue;
+    ++tp;
+    sum += static_cast<double>(tp) / static_cast<double>(rank + 1);
+  }
+  return sum / static_cast<double>(bundle.dups.size());
+}
+
+}  // namespace dial::core

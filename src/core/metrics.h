@@ -1,0 +1,77 @@
+#ifndef DIAL_CORE_METRICS_H_
+#define DIAL_CORE_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+
+/// \file
+/// The paper's three evaluation measures (Sec. 4.1): recall of the blocker's
+/// candidate set, P/R/F1 on the fixed test split Dtest, and P/R/F1 on all
+/// pairs against the gold duplicate list.
+
+namespace dial::core {
+
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t predicted_positives = 0;
+  size_t actual_positives = 0;
+};
+
+/// P/R/F1 from counts. Precision of zero predictions is defined as 0.
+Prf PrfFromCounts(size_t true_positives, size_t predicted_positives,
+                  size_t actual_positives);
+
+/// Fraction of gold duplicates covered by the candidate pair set.
+double CandidateRecall(const std::vector<data::PairId>& candidates,
+                       const data::DatasetBundle& bundle);
+double CandidateRecall(const std::unordered_set<uint64_t>& candidate_keys,
+                       const data::DatasetBundle& bundle);
+
+/// Test-set evaluation: a pair is predicted duplicate iff it is in `cand`
+/// AND the matcher probability exceeds 0.5 (Sec. 4.1). `test_probs[i]`
+/// corresponds to `bundle.test_pairs[i]`.
+Prf EvaluateTestSet(const data::DatasetBundle& bundle,
+                    const std::vector<float>& test_probs,
+                    const std::unordered_set<uint64_t>& candidate_keys);
+
+/// All-pairs evaluation: predicted duplicates = candidate pairs with
+/// probability > 0.5, scored against the gold dups.
+Prf EvaluateAllPairs(const data::DatasetBundle& bundle,
+                     const std::vector<data::PairId>& candidates,
+                     const std::vector<float>& candidate_probs);
+
+/// All-pairs evaluation for methods that output a plain predicted-pairs set
+/// (JedAI, similarity joins).
+Prf EvaluatePredictedPairs(const data::DatasetBundle& bundle,
+                           const std::vector<data::PairId>& predicted);
+
+/// One operating point of a precision-recall sweep.
+struct PrCurvePoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Precision-recall curve over the candidate probabilities in all-pairs
+/// semantics (recall denominator = |dups|, so the curve tops out at the
+/// blocker's recall). One point per distinct probability, descending
+/// threshold; ties are processed together.
+std::vector<PrCurvePoint> PrCurve(const data::DatasetBundle& bundle,
+                                  const std::vector<data::PairId>& candidates,
+                                  const std::vector<float>& candidate_probs);
+
+/// Average precision: Σ over gold hits of precision-at-that-rank / |dups|.
+/// The single-number summary of the matcher's ranking quality that, unlike
+/// F1@0.5, is threshold-free.
+double AveragePrecision(const data::DatasetBundle& bundle,
+                        const std::vector<data::PairId>& candidates,
+                        const std::vector<float>& candidate_probs);
+
+}  // namespace dial::core
+
+#endif  // DIAL_CORE_METRICS_H_

@@ -1,0 +1,120 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace dial::data {
+
+std::vector<std::string> DatasetBundle::CorpusLines() const {
+  std::vector<std::string> lines = r_table.AllTexts();
+  const auto s_lines = s_table.AllTexts();
+  lines.insert(lines.end(), s_lines.begin(), s_lines.end());
+  return lines;
+}
+
+double DatasetBundle::DupRate() const {
+  const double total =
+      static_cast<double>(r_table.size()) * static_cast<double>(s_table.size());
+  return total == 0.0 ? 0.0 : static_cast<double>(dups.size()) / total;
+}
+
+void DatasetBundle::Validate() const {
+  DIAL_CHECK_EQ(dups.size(), dup_keys.size()) << name << ": duplicate dup entries";
+  for (const PairId& p : dups) {
+    DIAL_CHECK_LT(p.r, r_table.size());
+    DIAL_CHECK_LT(p.s, s_table.size());
+  }
+  for (const LabeledPair& lp : test_pairs) {
+    DIAL_CHECK_LT(lp.pair.r, r_table.size());
+    DIAL_CHECK_LT(lp.pair.s, s_table.size());
+    DIAL_CHECK_EQ(lp.is_duplicate, IsDuplicate(lp.pair));
+  }
+  for (const PairId& p : seed_pos_pool) DIAL_CHECK(IsDuplicate(p));
+  for (const PairId& p : seed_neg_pool) DIAL_CHECK(!IsDuplicate(p));
+  // Seed pools must be disjoint from the test split.
+  for (const PairId& p : seed_pos_pool) DIAL_CHECK(!InTest(p));
+  for (const PairId& p : seed_neg_pool) DIAL_CHECK(!InTest(p));
+}
+
+void LabeledSet::AddPositive(PairId p, bool pseudo) {
+  if (!keys_.insert(p.Key()).second) return;
+  positives_.push_back({p, pseudo});
+}
+
+void LabeledSet::AddNegative(PairId p, bool pseudo) {
+  if (!keys_.insert(p.Key()).second) return;
+  negatives_.push_back({p, pseudo});
+}
+
+std::vector<LabeledPair> LabeledSet::AllPairs() const {
+  std::vector<LabeledPair> out;
+  out.reserve(size());
+  for (const Entry& e : positives_) out.push_back({e.pair, true});
+  for (const Entry& e : negatives_) out.push_back({e.pair, false});
+  return out;
+}
+
+LabeledSet SampleSeedSet(const DatasetBundle& bundle, size_t per_class,
+                         util::Rng& rng) {
+  LabeledSet seed;
+  DIAL_CHECK(!bundle.seed_pos_pool.empty()) << bundle.name << ": empty seed pool";
+  DIAL_CHECK(!bundle.seed_neg_pool.empty()) << bundle.name << ": empty seed pool";
+  const size_t npos = std::min(per_class, bundle.seed_pos_pool.size());
+  const size_t nneg = std::min(per_class, bundle.seed_neg_pool.size());
+  for (const size_t i : rng.SampleWithoutReplacement(bundle.seed_pos_pool.size(), npos)) {
+    seed.AddPositive(bundle.seed_pos_pool[i]);
+  }
+  for (const size_t i : rng.SampleWithoutReplacement(bundle.seed_neg_pool.size(), nneg)) {
+    seed.AddNegative(bundle.seed_neg_pool[i]);
+  }
+  return seed;
+}
+
+void BuildEvalSplit(DatasetBundle& bundle, std::vector<PairId> hard_negatives,
+                    double test_fraction, util::Rng& rng) {
+  // Drop any accidental duplicates-of-dups or repeated pairs.
+  std::unordered_set<uint64_t> seen;
+  std::vector<PairId> negatives;
+  negatives.reserve(hard_negatives.size());
+  for (const PairId& p : hard_negatives) {
+    if (bundle.IsDuplicate(p)) continue;
+    if (!seen.insert(p.Key()).second) continue;
+    negatives.push_back(p);
+  }
+
+  // Split dups: test positives vs seed-pool positives.
+  std::vector<size_t> dup_order(bundle.dups.size());
+  for (size_t i = 0; i < dup_order.size(); ++i) dup_order[i] = i;
+  rng.Shuffle(dup_order);
+  size_t n_test_pos = static_cast<size_t>(
+      static_cast<double>(bundle.dups.size()) * test_fraction);
+  n_test_pos = std::max<size_t>(n_test_pos, std::min<size_t>(10, bundle.dups.size() / 2));
+  for (size_t i = 0; i < dup_order.size(); ++i) {
+    const PairId p = bundle.dups[dup_order[i]];
+    if (i < n_test_pos) {
+      bundle.test_pairs.push_back({p, true});
+      bundle.test_keys.insert(p.Key());
+    } else {
+      bundle.seed_pos_pool.push_back(p);
+    }
+  }
+
+  // Split negatives: 2 negatives per test positive go to Dtest, rest to the
+  // seed pool.
+  std::vector<size_t> neg_order(negatives.size());
+  for (size_t i = 0; i < neg_order.size(); ++i) neg_order[i] = i;
+  rng.Shuffle(neg_order);
+  const size_t n_test_neg = std::min(negatives.size(), 2 * n_test_pos);
+  for (size_t i = 0; i < neg_order.size(); ++i) {
+    const PairId p = negatives[neg_order[i]];
+    if (i < n_test_neg) {
+      bundle.test_pairs.push_back({p, false});
+      bundle.test_keys.insert(p.Key());
+    } else {
+      bundle.seed_neg_pool.push_back(p);
+    }
+  }
+  DIAL_CHECK(!bundle.seed_neg_pool.empty())
+      << bundle.name << ": not enough hard negatives generated";
+}
+
+}  // namespace dial::data

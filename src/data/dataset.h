@@ -1,0 +1,128 @@
+#ifndef DIAL_DATA_DATASET_H_
+#define DIAL_DATA_DATASET_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/record.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+/// \file
+/// A fully materialized ER benchmark instance: lists R and S, the gold
+/// duplicate set, the DeepMatcher-style labeled test split, and the pools
+/// the AL seed set is drawn from (Sec. 4.1/4.2 protocol).
+
+namespace dial::data {
+
+/// A pair (r, s) ∈ R × S, by record ids.
+struct PairId {
+  uint32_t r = 0;
+  uint32_t s = 0;
+
+  uint64_t Key() const { return util::PairKey(r, s); }
+  bool operator==(const PairId& other) const { return r == other.r && s == other.s; }
+};
+
+struct LabeledPair {
+  PairId pair;
+  bool is_duplicate = false;
+};
+
+struct DatasetBundle {
+  std::string name;
+  Table r_table;
+  Table s_table;
+
+  /// Gold duplicates (dups ⊂ R × S, possibly many-to-many).
+  std::vector<PairId> dups;
+  std::unordered_set<uint64_t> dup_keys;
+
+  /// Dtest: the fixed labeled evaluation pairs (positives + hard negatives),
+  /// mirroring the DeepMatcher test splits the paper evaluates on.
+  std::vector<LabeledPair> test_pairs;
+  std::unordered_set<uint64_t> test_keys;
+
+  /// Pools for sampling the initial labeled seed set T (pairs from the
+  /// benchmark train split: remaining dups / remaining blocked non-dups).
+  std::vector<PairId> seed_pos_pool;
+  std::vector<PairId> seed_neg_pool;
+
+  bool IsDuplicate(PairId p) const { return dup_keys.count(p.Key()) > 0; }
+  bool InTest(PairId p) const { return test_keys.count(p.Key()) > 0; }
+
+  /// Unlabeled corpus R ∪ S (vocab training + MLM pretraining).
+  std::vector<std::string> CorpusLines() const;
+
+  /// Duplicate density |dups| / |R×S|.
+  double DupRate() const;
+
+  /// Internal consistency checks; aborts on violation (used by tests and by
+  /// every generator before returning).
+  void Validate() const;
+};
+
+/// Simulated human labeler backed by the gold duplicate set. Tracks budget
+/// consumption the way the paper counts labels.
+class OracleLabeler {
+ public:
+  explicit OracleLabeler(const DatasetBundle* bundle) : bundle_(bundle) {}
+
+  bool Label(PairId pair) {
+    ++labels_used_;
+    return bundle_->IsDuplicate(pair);
+  }
+
+  size_t labels_used() const { return labels_used_; }
+
+  /// Restores the budget counter when resuming from a checkpoint.
+  void SetLabelsUsed(size_t n) { labels_used_ = n; }
+
+ private:
+  const DatasetBundle* bundle_;
+  size_t labels_used_ = 0;
+};
+
+/// The labeled set T, partitioned into duplicates T_p and non-duplicates
+/// T_n. Supports the pseudo-labels added by Partition-4 (Sec. 2.3.3).
+class LabeledSet {
+ public:
+  struct Entry {
+    PairId pair;
+    bool pseudo = false;  // added without consuming labeler budget
+  };
+
+  void AddPositive(PairId p, bool pseudo = false);
+  void AddNegative(PairId p, bool pseudo = false);
+
+  bool Contains(PairId p) const { return keys_.count(p.Key()) > 0; }
+
+  const std::vector<Entry>& positives() const { return positives_; }
+  const std::vector<Entry>& negatives() const { return negatives_; }
+  size_t size() const { return positives_.size() + negatives_.size(); }
+
+  /// Pairs + binary labels in insertion order (for matcher training).
+  std::vector<LabeledPair> AllPairs() const;
+
+ private:
+  std::vector<Entry> positives_;
+  std::vector<Entry> negatives_;
+  std::unordered_set<uint64_t> keys_;
+};
+
+/// Draws the initial seed T: `per_class` positives and negatives from the
+/// bundle's seed pools (Sec. 4.2: 64 + 64 at full scale).
+LabeledSet SampleSeedSet(const DatasetBundle& bundle, size_t per_class,
+                         util::Rng& rng);
+
+/// Shared helper used by the generators: builds test split + seed pools.
+/// `hard_negatives` are non-duplicate pairs that look similar (rule-blocked
+/// near misses); a `test_fraction` slice of dups and 2x that many hard
+/// negatives become Dtest, the remainder feed the seed pools.
+void BuildEvalSplit(DatasetBundle& bundle, std::vector<PairId> hard_negatives,
+                    double test_fraction, util::Rng& rng);
+
+}  // namespace dial::data
+
+#endif  // DIAL_DATA_DATASET_H_

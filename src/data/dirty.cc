@@ -1,0 +1,52 @@
+#include "data/dirty.h"
+
+#include <algorithm>
+
+namespace dial::data {
+
+namespace {
+
+void DirtyTable(Table& table, const DirtyConfig& config, util::Rng& rng) {
+  const size_t num_attrs = table.schema().size();
+  if (num_attrs < 2) return;
+  const size_t first = config.allow_primary ? 0 : 1;
+  if (first >= num_attrs) return;
+  for (size_t row = 0; row < table.size(); ++row) {
+    Record& record = table[row];
+    for (size_t a = first; a < num_attrs; ++a) {
+      if (record.values[a].empty()) continue;
+      if (!rng.Bernoulli(config.move_prob)) continue;
+      // Displace into a different column (uniform among the others).
+      size_t target = rng.UniformInt(num_attrs - 1);
+      if (target >= a) ++target;
+      std::string& dst = record.values[target];
+      if (dst.empty()) {
+        dst = record.values[a];
+      } else {
+        dst += " " + record.values[a];
+      }
+      record.values[a].clear();
+    }
+  }
+}
+
+}  // namespace
+
+void MakeDirty(DatasetBundle& bundle, const DirtyConfig& config) {
+  util::Rng rng(config.seed);
+  DirtyTable(bundle.s_table, config, rng);
+  if (config.dirty_r) DirtyTable(bundle.r_table, config, rng);
+  bundle.Validate();
+}
+
+double DirtiedFraction(const Table& table, const Table& original) {
+  DIAL_CHECK_EQ(table.size(), original.size());
+  if (table.empty()) return 0.0;
+  size_t changed = 0;
+  for (size_t row = 0; row < table.size(); ++row) {
+    if (table[row].values != original[row].values) ++changed;
+  }
+  return static_cast<double>(changed) / static_cast<double>(table.size());
+}
+
+}  // namespace dial::data

@@ -1,0 +1,39 @@
+#ifndef DIAL_DATA_DIRTY_H_
+#define DIAL_DATA_DIRTY_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+/// \file
+/// "Dirty" dataset variants in the DeepMatcher sense: attribute values are
+/// moved into the wrong column, so schema-aligned similarity features break
+/// while the record's full text is preserved. The paper leans on exactly
+/// this property of TPLMs — "they have been shown to lead to ... state of
+/// the art performance on 'dirty' datasets" (Sec. 2.2) — and DIAL's
+/// schema-agnostic serialization is what makes it robust here. The transform
+/// keeps record ids and the gold duplicate set intact.
+
+namespace dial::data {
+
+struct DirtyConfig {
+  /// Per-attribute probability of being displaced into another column.
+  double move_prob = 0.3;
+  /// Also dirty list R (default: only S, like the common dirty variants).
+  bool dirty_r = false;
+  /// The primary attribute (column 0) is exempt unless set.
+  bool allow_primary = false;
+  uint64_t seed = 77;
+};
+
+/// In-place dirtying: for each selected attribute value, appends it to a
+/// different random column and blanks the source. No-op for single-column
+/// schemas. The bundle still passes Validate().
+void MakeDirty(DatasetBundle& bundle, const DirtyConfig& config);
+
+/// Fraction of records in `table` whose values differ from a clean rendering
+/// — diagnostic used by tests ("how dirty did we make it").
+double DirtiedFraction(const Table& table, const Table& original);
+
+}  // namespace dial::data
+
+#endif  // DIAL_DATA_DIRTY_H_

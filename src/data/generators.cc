@@ -1,0 +1,384 @@
+#include "data/generators.h"
+
+#include <algorithm>
+
+#include "data/word_factory.h"
+#include "util/string_util.h"
+
+namespace dial::data {
+
+namespace {
+
+enum class Placement { kMatched, kROnly, kSOnly, kDiscard };
+
+Placement RollPlacement(double p_matched, double p_r_only, double p_s_only,
+                        util::Rng& rng) {
+  const double roll = rng.Uniform();
+  if (roll < p_matched) return Placement::kMatched;
+  if (roll < p_matched + p_r_only) return Placement::kROnly;
+  if (roll < p_matched + p_r_only + p_s_only) return Placement::kSOnly;
+  return Placement::kDiscard;
+}
+
+/// Collects, per family, the ids of R records and S records so we can later
+/// form cross-entity hard negatives within the family.
+struct FamilyMembers {
+  std::vector<std::pair<int, int>> r_records;  // (record id, entity id)
+  std::vector<std::pair<int, int>> s_records;
+};
+
+std::vector<PairId> CrossFamilyNegatives(const std::vector<FamilyMembers>& families) {
+  std::vector<PairId> negatives;
+  for (const FamilyMembers& fam : families) {
+    for (const auto& [rid, r_ent] : fam.r_records) {
+      for (const auto& [sid, s_ent] : fam.s_records) {
+        if (r_ent == s_ent) continue;
+        negatives.push_back({static_cast<uint32_t>(rid), static_cast<uint32_t>(sid)});
+      }
+    }
+  }
+  return negatives;
+}
+
+}  // namespace
+
+DatasetBundle GenerateProducts(const std::string& name, const ProductsConfig& config) {
+  WordFactory words(config.seed);
+  util::Rng& rng = words.rng();
+
+  DatasetBundle bundle;
+  bundle.name = name;
+  if (config.textual) {
+    bundle.r_table = Table({"name", "description", "price"});
+    bundle.s_table = Table({"name", "description", "price"});
+  } else {
+    bundle.r_table = Table({"title", "brand", "modelno", "price"});
+    bundle.s_table = Table({"title", "brand", "modelno", "price"});
+  }
+
+  struct Entity {
+    std::string brand;
+    std::string noun;
+    std::vector<std::string> adjectives;
+    std::string model;
+    std::string color;
+    double price;
+  };
+
+  std::vector<FamilyMembers> families(config.families);
+  int next_entity = 0;
+  for (size_t f = 0; f < config.families; ++f) {
+    const std::string brand = words.MakeBrand();
+    const std::string noun = words.Pick(WordFactory::ProductNouns());
+    const auto base_adjs = words.PickDistinct(WordFactory::Adjectives(), 2);
+    const double base_price = std::strtod(words.MakePrice(8, 900).c_str(), nullptr);
+    const size_t k = config.min_entities_per_family +
+                     rng.UniformInt(config.max_entities_per_family -
+                                    config.min_entities_per_family + 1);
+    // Siblings share the family stem but differ in several surface tokens
+    // (distinct colors and variant adjectives, distinct model codes) — like
+    // real product variants. This keeps the matcher's job hard but solvable:
+    // the evidence is a handful of token mismatches, not a single character.
+    const auto family_colors =
+        words.PickDistinct(WordFactory::Colors(), std::min(k, WordFactory::Colors().size()));
+    const auto family_variants = words.PickDistinct(
+        WordFactory::Adjectives(), std::min(k, WordFactory::Adjectives().size()));
+    for (size_t e = 0; e < k; ++e) {
+      Entity ent;
+      ent.brand = brand;
+      ent.noun = noun;
+      ent.adjectives = base_adjs;
+      ent.adjectives.push_back(family_variants[e % family_variants.size()]);
+      ent.model = words.MakeModelCode();
+      ent.color = family_colors[e % family_colors.size()];
+      ent.price = base_price * (0.8 + 0.4 * rng.Uniform());
+      const int entity_id = next_entity++;
+
+      const Placement placement =
+          RollPlacement(config.p_matched, config.p_r_only, config.p_s_only, rng);
+      if (placement == Placement::kDiscard) continue;
+
+      // Clean R rendering.
+      auto render_r = [&]() {
+        Record rec;
+        rec.entity_id = entity_id;
+        const std::string title = util::Join(ent.adjectives, " ") + " " + ent.noun +
+                                  " " + ent.color;
+        if (config.textual) {
+          std::string description = title;
+          for (int w = 0; w < 6; ++w) {
+            description += " " + words.Pick(WordFactory::CommonWords());
+          }
+          description += " " + ent.model;
+          rec.values = {ent.brand + " " + ent.noun, description,
+                        util::StrFormat("%.2f", ent.price)};
+        } else {
+          rec.values = {title, ent.brand, ent.model,
+                        util::StrFormat("%.2f", ent.price)};
+        }
+        return rec;
+      };
+
+      // Dirty, schema-heterogeneous S rendering: like the real benchmarks,
+      // the second list reformats model numbers, merges structured fields
+      // into the title, and leaves attributes empty — whole-token and
+      // exact-match evidence degrades while subword evidence survives.
+      auto render_s = [&]() {
+        Record rec;
+        rec.entity_id = entity_id;
+        std::vector<std::string> tokens;
+        for (const std::string& adj : ent.adjectives) {
+          tokens.push_back(rng.Bernoulli(config.synonym_prob)
+                               ? WordFactory::Synonym(adj)
+                               : adj);
+        }
+        tokens.push_back(rng.Bernoulli(config.synonym_prob)
+                             ? WordFactory::Synonym(ent.noun)
+                             : ent.noun);
+        tokens.push_back(ent.color);
+        tokens.push_back(ent.brand);
+        tokens = PerturbTokens(tokens, config.noise, rng);
+        if (rng.Bernoulli(0.4)) {
+          tokens.push_back(words.Pick(WordFactory::MarketingWords()));
+        }
+        // Model number: frequently reformatted (dash dropped / brand prefix)
+        // and placed in the title instead of the modelno field.
+        std::string model = ent.model;
+        if (rng.Bernoulli(0.5)) {
+          std::string no_dash;
+          for (const char c : model) {
+            if (c != '-') no_dash.push_back(c);
+          }
+          model = no_dash;
+        }
+        if (rng.Bernoulli(0.15)) model = ApplyTypo(model, rng);
+        std::string model_attr;
+        if (rng.Bernoulli(0.5)) {
+          tokens.push_back(model);  // embedded in the title
+        } else {
+          model_attr = model;
+        }
+        std::string price =
+            JitterNumber(util::StrFormat("%.2f", ent.price), config.price_jitter, rng);
+        if (rng.Bernoulli(0.2)) price.clear();
+        std::string brand_attr = ent.brand;
+        if (rng.Bernoulli(0.3)) brand_attr.clear();
+        if (config.textual) {
+          std::string description = util::Join(tokens, " ");
+          for (int w = 0; w < 5; ++w) {
+            description += " " + words.Pick(WordFactory::CommonWords());
+          }
+          // Textual data often omits the model number (the hard case).
+          if (rng.Bernoulli(0.6)) description += " " + model;
+          rec.values = {ent.brand + " " + ent.noun, description, price};
+        } else {
+          rec.values = {util::Join(tokens, " "), brand_attr, model_attr, price};
+        }
+        return rec;
+      };
+
+      if (placement == Placement::kMatched || placement == Placement::kROnly) {
+        const int rid = bundle.r_table.Add(render_r());
+        families[f].r_records.push_back({rid, entity_id});
+        if (placement == Placement::kMatched) {
+          const int sid = bundle.s_table.Add(render_s());
+          families[f].s_records.push_back({sid, entity_id});
+          bundle.dups.push_back(
+              {static_cast<uint32_t>(rid), static_cast<uint32_t>(sid)});
+          if (rng.Bernoulli(config.extra_s_listing_prob)) {
+            const int sid2 = bundle.s_table.Add(render_s());
+            families[f].s_records.push_back({sid2, entity_id});
+            bundle.dups.push_back(
+                {static_cast<uint32_t>(rid), static_cast<uint32_t>(sid2)});
+          }
+        }
+      } else {  // kSOnly
+        const int sid = bundle.s_table.Add(render_s());
+        families[f].s_records.push_back({sid, entity_id});
+      }
+    }
+  }
+
+  for (const PairId& p : bundle.dups) bundle.dup_keys.insert(p.Key());
+  BuildEvalSplit(bundle, CrossFamilyNegatives(families), config.test_fraction, rng);
+  bundle.Validate();
+  return bundle;
+}
+
+DatasetBundle GenerateCitations(const std::string& name,
+                                const CitationsConfig& config) {
+  WordFactory words(config.seed);
+  util::Rng& rng = words.rng();
+
+  DatasetBundle bundle;
+  bundle.name = name;
+  bundle.r_table = Table({"title", "authors", "venue", "year"});
+  bundle.s_table = Table({"title", "authors", "venue", "year"});
+
+  std::vector<FamilyMembers> families(config.topics);
+  int next_entity = 0;
+  for (size_t t = 0; t < config.topics; ++t) {
+    const auto stem = words.PickDistinct(WordFactory::AcademicWords(), 3);
+    const size_t venue_idx = rng.UniformInt(WordFactory::Venues().size());
+    const size_t k =
+        config.min_papers_per_topic +
+        rng.UniformInt(config.max_papers_per_topic - config.min_papers_per_topic + 1);
+    for (size_t e = 0; e < k; ++e) {
+      const int entity_id = next_entity++;
+      // Paper identity.
+      std::vector<std::string> title = stem;
+      for (const auto& extra : words.PickDistinct(WordFactory::AcademicWords(), 3)) {
+        title.push_back(extra);
+      }
+      rng.Shuffle(title);
+      std::vector<std::string> authors;
+      const size_t n_authors = 2 + rng.UniformInt(3);
+      for (size_t a = 0; a < n_authors; ++a) authors.push_back(words.MakePersonName());
+      const std::string year = words.MakeYear(1995, 2015);
+
+      const Placement placement =
+          RollPlacement(config.p_matched, config.p_r_only, config.p_s_only, rng);
+      if (placement == Placement::kDiscard) continue;
+
+      auto render_r = [&]() {
+        Record rec;
+        rec.entity_id = entity_id;
+        rec.values = {util::Join(title, " "), util::Join(authors, " , "),
+                      WordFactory::Venues()[venue_idx], year};
+        return rec;
+      };
+      auto render_s = [&]() {
+        Record rec;
+        rec.entity_id = entity_id;
+        std::vector<std::string> s_title = PerturbTokens(title, config.noise, rng);
+        std::vector<std::string> s_authors;
+        for (const std::string& a : authors) {
+          if (rng.Bernoulli(config.author_initials_prob)) {
+            const auto parts = util::Split(a);
+            s_authors.push_back(std::string(1, parts[0][0]) + ". " + parts.back());
+          } else {
+            s_authors.push_back(a);
+          }
+        }
+        const std::string venue = rng.Bernoulli(config.venue_abbrev_prob)
+                                      ? WordFactory::VenueAbbreviations()[venue_idx]
+                                      : WordFactory::Venues()[venue_idx];
+        std::string s_year = year;
+        if (rng.Bernoulli(config.year_off_by_one_prob)) {
+          s_year = std::to_string(std::atoi(year.c_str()) + (rng.Bernoulli(0.5) ? 1 : -1));
+        }
+        rec.values = {util::Join(s_title, " "), util::Join(s_authors, " , "), venue,
+                      s_year};
+        return rec;
+      };
+
+      if (placement == Placement::kMatched || placement == Placement::kROnly) {
+        const int rid = bundle.r_table.Add(render_r());
+        families[t].r_records.push_back({rid, entity_id});
+        if (placement == Placement::kMatched) {
+          const int sid = bundle.s_table.Add(render_s());
+          families[t].s_records.push_back({sid, entity_id});
+          bundle.dups.push_back(
+              {static_cast<uint32_t>(rid), static_cast<uint32_t>(sid)});
+          if (rng.Bernoulli(config.extra_s_listing_prob)) {
+            const int sid2 = bundle.s_table.Add(render_s());
+            families[t].s_records.push_back({sid2, entity_id});
+            bundle.dups.push_back(
+                {static_cast<uint32_t>(rid), static_cast<uint32_t>(sid2)});
+          }
+        }
+      } else {
+        const int sid = bundle.s_table.Add(render_s());
+        families[t].s_records.push_back({sid, entity_id});
+      }
+    }
+  }
+
+  for (const PairId& p : bundle.dups) bundle.dup_keys.insert(p.Key());
+  BuildEvalSplit(bundle, CrossFamilyNegatives(families), config.test_fraction, rng);
+  bundle.Validate();
+  return bundle;
+}
+
+DatasetBundle GenerateMultilingual(const std::string& name,
+                                   const MultilingualConfig& config) {
+  WordFactory words(config.seed);
+  util::Rng& rng = words.rng();
+
+  DatasetBundle bundle;
+  bundle.name = name;
+  bundle.r_table = Table({"content"});
+  bundle.s_table = Table({"content"});
+
+  static const char* const kPatterns[] = {"p", "h1", "li", "td", "code"};
+  std::vector<int> pattern_of(config.num_elements);
+
+  for (size_t i = 0; i < config.num_elements; ++i) {
+    const size_t pattern = rng.UniformInt(std::size(kPatterns));
+    pattern_of[i] = static_cast<int>(pattern);
+    const std::string tag = kPatterns[pattern];
+    const size_t n_words =
+        config.min_words + rng.UniformInt(config.max_words - config.min_words + 1);
+    std::vector<std::string> tokens;
+    for (size_t w = 0; w < n_words; ++w) {
+      if (rng.Bernoulli(0.12)) {
+        tokens.push_back(std::to_string(rng.UniformInt(2000)));
+      } else if (rng.Bernoulli(0.3)) {
+        tokens.push_back(words.Pick(WordFactory::AcademicWords()));
+      } else {
+        tokens.push_back(words.Pick(WordFactory::CommonWords()));
+      }
+    }
+    // Optional inline emphasis around one word.
+    if (tokens.size() > 3 && rng.Bernoulli(0.3)) {
+      const size_t w = 1 + rng.UniformInt(tokens.size() - 2);
+      tokens[w] = "<b> " + tokens[w] + " </b>";
+    }
+    const std::string english = "<" + tag + "> " + util::Join(tokens, " ") + " </" +
+                                tag + ">";
+
+    Record r_rec;
+    r_rec.entity_id = static_cast<int>(i);
+    r_rec.values = {english};
+    const int rid = bundle.r_table.Add(r_rec);
+
+    // German side: morph transform + occasional word drop.
+    std::string german = GermanMorphSentence(english);
+    if (config.drop_prob > 0) {
+      auto g_tokens = util::Split(german);
+      std::vector<std::string> kept;
+      for (const auto& t : g_tokens) {
+        if (t[0] != '<' && kept.size() + 1 < g_tokens.size() &&
+            rng.Bernoulli(config.drop_prob)) {
+          continue;
+        }
+        kept.push_back(t);
+      }
+      german = util::Join(kept, " ");
+    }
+    Record s_rec;
+    s_rec.entity_id = static_cast<int>(i);
+    s_rec.values = {german};
+    const int sid = bundle.s_table.Add(s_rec);
+    bundle.dups.push_back({static_cast<uint32_t>(rid), static_cast<uint32_t>(sid)});
+  }
+
+  for (const PairId& p : bundle.dups) bundle.dup_keys.insert(p.Key());
+
+  // Hard negatives: same tag pattern, different element.
+  std::vector<PairId> negatives;
+  for (size_t i = 0; i < config.num_elements; ++i) {
+    size_t found = 0;
+    for (size_t tries = 0; tries < 50 && found < 3; ++tries) {
+      const size_t j = rng.UniformInt(config.num_elements);
+      if (j == i || pattern_of[j] != pattern_of[i]) continue;
+      negatives.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+      ++found;
+    }
+  }
+  BuildEvalSplit(bundle, std::move(negatives), config.test_fraction, rng);
+  bundle.Validate();
+  return bundle;
+}
+
+}  // namespace dial::data

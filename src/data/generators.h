@@ -1,0 +1,84 @@
+#ifndef DIAL_DATA_GENERATORS_H_
+#define DIAL_DATA_GENERATORS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "data/perturb.h"
+
+/// \file
+/// Synthetic ER benchmark generators — the stand-ins for the Magellan /
+/// DeepMatcher / ER-Benchmark datasets and the multilingual corpus of [26]
+/// (substitution rationale in DESIGN.md §2). Each generator emulates its
+/// family's *shape*: list-size ratio, duplicate sparsity, many-to-many
+/// matings, and the kind of dirtiness separating the two lists. Gold
+/// duplicates are known by construction.
+///
+/// Hard negatives come from "families": groups of sibling entities sharing
+/// brand/type (products) or topic (citations) that differ in model code /
+/// edition — exactly the near-duplicates the paper's matcher must separate
+/// and its blocker must *not* be trained on (Sec. 3.2.2).
+
+namespace dial::data {
+
+struct ProductsConfig {
+  /// Hard-negative groups; each holds several sibling entities.
+  size_t families = 120;
+  size_t min_entities_per_family = 2;
+  size_t max_entities_per_family = 5;
+  /// Placement probabilities per entity (remainder = discarded).
+  double p_matched = 0.30;   // listed in R and S => a duplicate pair
+  double p_r_only = 0.15;    // listed only in R
+  double p_s_only = 0.50;    // listed only in S
+  /// Probability a matched entity gets an extra S listing (many-to-many).
+  double extra_s_listing_prob = 0.15;
+  /// Dirtiness of the S rendering.
+  TokenNoise noise;
+  /// Probability that S renders an adjective/noun with its synonym — the
+  /// semantic (non-token-overlap) variation that separates TPLM methods
+  /// from classical similarity features on product data.
+  double synonym_prob = 0.2;
+  double price_jitter = 0.05;
+  /// Abt-Buy style: long textual descriptions instead of structured attrs.
+  bool textual = false;
+  double test_fraction = 0.2;
+  uint64_t seed = 1;
+};
+
+struct CitationsConfig {
+  size_t topics = 80;  // hard-negative groups of related papers
+  size_t min_papers_per_topic = 2;
+  size_t max_papers_per_topic = 6;
+  double p_matched = 0.55;
+  double p_r_only = 0.15;
+  double p_s_only = 0.30;
+  /// Scholar-style second S entry for the same paper.
+  double extra_s_listing_prob = 0.05;
+  TokenNoise noise;
+  /// Probability S renders the venue abbreviated / authors as initials.
+  double venue_abbrev_prob = 0.6;
+  double author_initials_prob = 0.4;
+  double year_off_by_one_prob = 0.05;
+  double test_fraction = 0.2;
+  uint64_t seed = 2;
+};
+
+struct MultilingualConfig {
+  /// Number of aligned EN/DE element pairs (|R| = |S| = |dups|).
+  size_t num_elements = 400;
+  size_t min_words = 6;
+  size_t max_words = 14;
+  /// Token drop probability when rendering the German side.
+  double drop_prob = 0.03;
+  double test_fraction = 0.2;
+  uint64_t seed = 3;
+};
+
+DatasetBundle GenerateProducts(const std::string& name, const ProductsConfig& config);
+DatasetBundle GenerateCitations(const std::string& name, const CitationsConfig& config);
+DatasetBundle GenerateMultilingual(const std::string& name,
+                                   const MultilingualConfig& config);
+
+}  // namespace dial::data
+
+#endif  // DIAL_DATA_GENERATORS_H_

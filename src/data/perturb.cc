@@ -1,0 +1,137 @@
+#include "data/perturb.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dial::data {
+
+std::string ApplyTypo(const std::string& word, util::Rng& rng) {
+  if (word.size() < 3) return word;
+  std::string out = word;
+  const size_t pos = 1 + rng.UniformInt(out.size() - 2);
+  switch (rng.UniformInt(4)) {
+    case 0:  // swap with next
+      std::swap(out[pos], out[pos - 1]);
+      break;
+    case 1:  // drop
+      out.erase(pos, 1);
+      break;
+    case 2:  // duplicate
+      out.insert(pos, 1, out[pos]);
+      break;
+    default:  // replace with neighbouring letter
+      out[pos] = static_cast<char>('a' + rng.UniformInt(26));
+      break;
+  }
+  return out;
+}
+
+std::string Abbreviate(const std::string& word, util::Rng& rng) {
+  if (word.size() < 5) return word;
+  const size_t keep = 3 + rng.UniformInt(2);
+  return word.substr(0, keep) + ".";
+}
+
+std::vector<std::string> PerturbTokens(const std::vector<std::string>& tokens,
+                                       const TokenNoise& noise, util::Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    if (out.size() + 1 < tokens.size() && rng.Bernoulli(noise.drop_prob)) {
+      continue;  // drop (but never drop the final remaining token)
+    }
+    std::string t = token;
+    if (rng.Bernoulli(noise.abbrev_prob)) {
+      t = Abbreviate(t, rng);
+    } else if (rng.Bernoulli(noise.typo_prob)) {
+      t = ApplyTypo(t, rng);
+    }
+    out.push_back(std::move(t));
+  }
+  if (out.empty()) out.push_back(tokens.empty() ? "" : tokens[0]);
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    if (rng.Bernoulli(noise.swap_prob)) std::swap(out[i], out[i + 1]);
+  }
+  return out;
+}
+
+std::string JitterNumber(const std::string& value, double rel_noise, util::Rng& rng) {
+  const double v = std::strtod(value.c_str(), nullptr);
+  const double factor = 1.0 + (rng.Uniform() * 2.0 - 1.0) * rel_noise;
+  return util::StrFormat("%.2f", v * factor);
+}
+
+std::string GermanMorph(const std::string& word) {
+  if (word.empty()) return word;
+  std::string out;
+  out.reserve(word.size() + 4);
+  for (size_t i = 0; i < word.size(); ++i) {
+    const char c = word[i];
+    const char next = i + 1 < word.size() ? word[i + 1] : '\0';
+    if (c == 't' && next == 'h') {
+      out.push_back('t');
+      ++i;
+    } else if (c == 'p' && next == 'h') {
+      out.push_back('f');
+      ++i;
+    } else if (c == 'c' && next == 'k') {
+      out += "kk";
+      ++i;
+    } else if (c == 'c') {
+      out.push_back('k');
+    } else if (c == 'w') {
+      out.push_back('v');
+    } else if (c == 'y') {
+      out.push_back('j');
+    } else {
+      out.push_back(c);
+    }
+  }
+  // Affixes keyed on word shape (deterministic).
+  const char last = out.back();
+  const bool vowel_end = last == 'a' || last == 'e' || last == 'i' || last == 'o' ||
+                         last == 'u';
+  if (out.size() >= 6) {
+    out = "ge" + out;
+  }
+  if (vowel_end) {
+    out += "n";
+  } else {
+    out += "en";
+  }
+  return out;
+}
+
+std::string GermanMorphSentence(const std::string& sentence) {
+  std::string out;
+  std::string word;
+  auto flush = [&]() {
+    if (word.empty()) return;
+    bool alpha = true;
+    for (const char c : word) {
+      if (!std::isalpha(static_cast<unsigned char>(c))) {
+        alpha = false;
+        break;
+      }
+    }
+    out += alpha ? GermanMorph(word) : word;
+    word.clear();
+  };
+  bool in_tag = false;
+  for (const char c : sentence) {
+    if (c == '<') in_tag = true;
+    if (in_tag || !std::isalpha(static_cast<unsigned char>(c))) {
+      flush();
+      out.push_back(c);
+      if (c == '>') in_tag = false;
+    } else {
+      word.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace dial::data

@@ -1,0 +1,52 @@
+#ifndef DIAL_DATA_PERTURB_H_
+#define DIAL_DATA_PERTURB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file
+/// Dirtiness operators applied when rendering an entity into list S: typos,
+/// abbreviations, token drops/swaps, numeric jitter — the noise families the
+/// benchmark datasets exhibit and that TPLMs are robust to (Sec. 2.2). Plus
+/// the deterministic "Deutsch" morphological transform that powers the
+/// multilingual dataset substitute (DESIGN.md §2).
+
+namespace dial::data {
+
+/// One random character edit: swap / drop / duplicate / replace. Words of
+/// length < 3 are returned unchanged.
+std::string ApplyTypo(const std::string& word, util::Rng& rng);
+
+/// Prefix abbreviation: "electronics" -> "electr."; no-op for short words.
+std::string Abbreviate(const std::string& word, util::Rng& rng);
+
+struct TokenNoise {
+  double typo_prob = 0.08;
+  double abbrev_prob = 0.05;
+  double drop_prob = 0.08;
+  double swap_prob = 0.05;  // probability of swapping a token with its successor
+};
+
+/// Applies TokenNoise to each token; may drop tokens (never all of them).
+std::vector<std::string> PerturbTokens(const std::vector<std::string>& tokens,
+                                       const TokenNoise& noise, util::Rng& rng);
+
+/// Multiplies a numeric string by (1 ± rel_noise); keeps 2 decimals.
+std::string JitterNumber(const std::string& value, double rel_noise, util::Rng& rng);
+
+/// Deterministic pseudo-German morphological transform. Preserves enough
+/// character n-gram overlap for a shared-subword MLM model to align the two
+/// languages, while destroying whole-token equality (so token-overlap rules
+/// are useless — the paper's motivation for the multilingual experiment):
+///   "printer" -> "geprinteren"-style affix + consonant shifts.
+std::string GermanMorph(const std::string& word);
+
+/// Applies GermanMorph to every alphabetic token of a sentence, leaving
+/// XML/HTML tags, punctuation and numbers untouched.
+std::string GermanMorphSentence(const std::string& sentence);
+
+}  // namespace dial::data
+
+#endif  // DIAL_DATA_PERTURB_H_

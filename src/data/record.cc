@@ -1,0 +1,31 @@
+#include "data/record.h"
+
+namespace dial::data {
+
+const std::string& Table::Value(size_t row, const std::string& attribute) const {
+  static const std::string kEmpty;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == attribute) return records_[row].values[i];
+  }
+  return kEmpty;
+}
+
+std::string Table::TextOf(size_t row) const {
+  const Record& r = records_[row];
+  std::string out;
+  for (const std::string& v : r.values) {
+    if (v.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += v;
+  }
+  return out;
+}
+
+std::vector<std::string> Table::AllTexts() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) out.push_back(TextOf(i));
+  return out;
+}
+
+}  // namespace dial::data

@@ -1,0 +1,62 @@
+#ifndef DIAL_DATA_RECORD_H_
+#define DIAL_DATA_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file
+/// Entity records and record lists (the paper's lists R and S). Attributes
+/// are predominantly textual (Sec. 2.1); numeric attributes (price, year)
+/// are stored as strings, matching how the benchmarks serialize them.
+
+namespace dial::data {
+
+/// One entity mention. `entity_id` is generator ground truth (two records
+/// match iff they share it); it is never exposed to models.
+struct Record {
+  int id = -1;                       // position within its table
+  int entity_id = -1;                // gold cluster id
+  std::vector<std::string> values;   // aligned with Table::schema
+};
+
+/// A list of records sharing a schema.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> schema) : schema_(std::move(schema)) {}
+
+  const std::vector<std::string>& schema() const { return schema_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& operator[](size_t i) const { return records_[i]; }
+  Record& operator[](size_t i) { return records_[i]; }
+
+  /// Appends and assigns the record's id. Returns the id.
+  int Add(Record record) {
+    record.id = static_cast<int>(records_.size());
+    DIAL_CHECK_EQ(record.values.size(), schema_.size());
+    records_.push_back(std::move(record));
+    return records_.back().id;
+  }
+
+  /// Attribute value by name ("" when the schema lacks it).
+  const std::string& Value(size_t row, const std::string& attribute) const;
+
+  /// Whole-record text: attribute values joined by spaces. This is what the
+  /// TPLM tokenizes (the schema-agnostic serialization used by DITTO/DIAL).
+  std::string TextOf(size_t row) const;
+
+  /// All record texts (corpus lines for vocab training / MLM).
+  std::vector<std::string> AllTexts() const;
+
+ private:
+  std::vector<std::string> schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace dial::data
+
+#endif  // DIAL_DATA_RECORD_H_

@@ -1,0 +1,250 @@
+#include "data/word_factory.h"
+
+#include <cmath>
+#include <unordered_map>
+#include "util/string_util.h"
+
+namespace dial::data {
+
+namespace {
+
+const char* const kSyllables[] = {
+    "ka", "ro", "ti", "mon", "lex", "ar", "ven", "zu", "pel", "dor",
+    "mi", "sa", "tor", "bel", "qui", "nor", "fa", "lu", "gan", "rex",
+    "vi", "sol", "tek", "mar", "den", "pho", "ri", "cas", "wol", "zen",
+};
+
+std::vector<std::string>* NewPool(std::initializer_list<const char*> words) {
+  auto* pool = new std::vector<std::string>();
+  for (const char* w : words) pool->push_back(w);
+  return pool;
+}
+
+}  // namespace
+
+std::string WordFactory::MakeWord(size_t syllables) {
+  std::string out;
+  for (size_t i = 0; i < syllables; ++i) {
+    out += kSyllables[rng_.UniformInt(std::size(kSyllables))];
+  }
+  return out;
+}
+
+std::string WordFactory::MakeBrand() { return MakeWord(2 + rng_.UniformInt(2)); }
+
+std::string WordFactory::MakeModelCode() {
+  static const char* kLetters = "abcdefghjkmnprstuvwxz";
+  std::string out;
+  const size_t letters = 1 + rng_.UniformInt(2);
+  for (size_t i = 0; i < letters; ++i) {
+    out.push_back(kLetters[rng_.UniformInt(21)]);
+  }
+  if (rng_.Bernoulli(0.5)) out.push_back('-');
+  const size_t digits = 3 + rng_.UniformInt(2);
+  for (size_t i = 0; i < digits; ++i) {
+    out.push_back(static_cast<char>('0' + rng_.UniformInt(10)));
+  }
+  if (rng_.Bernoulli(0.3)) out.push_back(kLetters[rng_.UniformInt(21)]);
+  return out;
+}
+
+std::string WordFactory::MakePersonName() {
+  return Pick(FirstNames()) + " " + Pick(LastNames());
+}
+
+std::string WordFactory::MakePrice(double lo, double hi) {
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  const double value = std::exp(log_lo + rng_.Uniform() * (log_hi - log_lo));
+  return util::StrFormat("%.2f", value);
+}
+
+std::string WordFactory::MakeYear(int lo, int hi) {
+  return std::to_string(rng_.UniformRange(lo, hi));
+}
+
+const std::string& WordFactory::Pick(const std::vector<std::string>& pool) {
+  DIAL_CHECK(!pool.empty());
+  return pool[rng_.UniformInt(pool.size())];
+}
+
+std::vector<std::string> WordFactory::PickDistinct(
+    const std::vector<std::string>& pool, size_t k) {
+  DIAL_CHECK_LE(k, pool.size());
+  std::vector<std::string> out;
+  for (const size_t i : rng_.SampleWithoutReplacement(pool.size(), k)) {
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+const std::vector<std::string>& WordFactory::ProductNouns() {
+  static const auto* pool = NewPool({
+      "player",  "camera",   "printer", "speaker", "cable",   "laptop",
+      "monitor", "keyboard", "mouse",   "router",  "charger", "adapter",
+      "headset", "tablet",   "phone",   "battery", "drive",   "memory",
+      "scanner", "projector", "tripod", "lens",    "case",    "dock",
+      "stand",   "hub",      "switch",  "webcam",  "microphone", "amplifier",
+      "receiver", "subwoofer", "turntable", "recorder", "radio", "console",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::Adjectives() {
+  static const auto* pool = NewPool({
+      "wireless", "portable", "digital",  "compact",   "premium",  "ultra",
+      "slim",     "rugged",   "smart",    "professional", "classic", "advanced",
+      "dual",     "universal", "flexible", "ergonomic", "optical",  "magnetic",
+      "waterproof", "foldable", "adjustable", "rechargeable", "bluetooth", "stereo",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::Colors() {
+  static const auto* pool = NewPool({
+      "black", "white", "silver", "blue", "red", "gray", "green", "gold",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::MarketingWords() {
+  static const auto* pool = NewPool({
+      "new", "genuine", "oem", "edition", "bundle", "pack", "kit", "series",
+      "pro", "plus", "max", "mini", "sale", "retail",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::AcademicWords() {
+  static const auto* pool = NewPool({
+      "efficient", "scalable",  "adaptive",  "distributed", "parallel",
+      "query",     "database",  "index",     "learning",    "optimization",
+      "stream",    "graph",     "cluster",   "transaction", "storage",
+      "semantic",  "relational", "temporal", "spatial",     "probabilistic",
+      "mining",    "retrieval", "integration", "resolution", "matching",
+      "processing", "analysis", "evaluation", "framework",  "algorithm",
+      "system",    "model",     "approach",  "method",      "architecture",
+      "caching",   "sampling",  "ranking",   "estimation",  "compression",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::Venues() {
+  static const auto* pool = NewPool({
+      "international conference on data engineering",
+      "conference on management of data",
+      "very large data bases journal",
+      "transactions on database systems",
+      "symposium on principles of database systems",
+      "conference on information and knowledge management",
+      "transactions on knowledge and data engineering",
+      "international conference on extending database technology",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::VenueAbbreviations() {
+  static const auto* pool = NewPool({
+      "icde", "sigmod", "vldb j", "tods", "pods", "cikm", "tkde", "edbt",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::FirstNames() {
+  static const auto* pool = NewPool({
+      "james", "maria", "wei",   "anna",  "david", "elena",  "rajiv", "yuki",
+      "peter", "laura", "igor",  "sofia", "omar",  "claire", "henrik", "priya",
+      "carlos", "mei",  "tomas", "ingrid",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::LastNames() {
+  static const auto* pool = NewPool({
+      "garcia",  "mueller", "chen",     "novak",   "rossi",    "tanaka",
+      "kumar",   "ivanov",  "andersson", "martin",  "silva",    "kowalski",
+      "nguyen",  "haddad",  "okafor",   "johansson", "moreau",  "petrov",
+      "yamamoto", "fischer",
+  });
+  return *pool;
+}
+
+const std::vector<std::string>& WordFactory::CommonWords() {
+  static const auto* pool = NewPool({
+      "the",  "quick", "bright", "garden", "river",  "mountain", "window",
+      "market", "village", "winter", "summer", "machine", "engine", "signal",
+      "story", "letter", "number", "house",  "street", "music",   "light",
+      "water", "paper",  "silver", "table",  "handle", "button",  "screen",
+      "forest", "castle", "bridge", "harbor", "field",  "stone",   "cloud",
+      "thunder", "morning", "evening", "journey", "teacher", "doctor", "hunter",
+  });
+  return *pool;
+}
+
+std::string WordFactory::Synonym(const std::string& word) {
+  static const auto* map = new std::unordered_map<std::string, std::string>{
+      // adjectives
+      {"wireless", "cordless"},
+      {"portable", "travel"},
+      {"digital", "electronic"},
+      {"compact", "small"},
+      {"premium", "deluxe"},
+      {"ultra", "extreme"},
+      {"slim", "thin"},
+      {"rugged", "durable"},
+      {"smart", "intelligent"},
+      {"professional", "prograde"},
+      {"classic", "vintage"},
+      {"advanced", "modern"},
+      {"dual", "double"},
+      {"universal", "allround"},
+      {"flexible", "bendable"},
+      {"ergonomic", "comfort"},
+      {"optical", "optic"},
+      {"magnetic", "magnet"},
+      {"waterproof", "watertight"},
+      {"foldable", "folding"},
+      {"adjustable", "adjusting"},
+      {"rechargeable", "recharging"},
+      {"stereo", "stereophonic"},
+      // nouns
+      {"player", "mediaplayer"},
+      {"camera", "camcorder"},
+      {"printer", "inkjet"},
+      {"speaker", "loudspeaker"},
+      {"cable", "cord"},
+      {"laptop", "notebook"},
+      {"monitor", "display"},
+      {"keyboard", "keypad"},
+      {"mouse", "pointer"},
+      {"router", "modem"},
+      {"charger", "recharger"},
+      {"adapter", "converter"},
+      {"headset", "headphones"},
+      {"tablet", "slate"},
+      {"phone", "handset"},
+      {"battery", "powercell"},
+      {"drive", "disk"},
+      {"memory", "storage"},
+      {"scanner", "digitizer"},
+      {"projector", "beamer"},
+      {"tripod", "stand3"},
+      {"lens", "optics"},
+      {"dock", "docking"},
+      {"hub", "splitter"},
+      {"webcam", "webcamera"},
+      {"microphone", "mic"},
+      {"amplifier", "amp"},
+      {"receiver", "tuner"},
+      {"subwoofer", "woofer"},
+      {"turntable", "recordplayer"},
+      {"recorder", "recording"},
+      {"radio", "tuner2"},
+      {"console", "gamestation"},
+  };
+  auto it = map->find(word);
+  if (it == map->end()) return word;
+  return it->second;
+}
+
+}  // namespace dial::data

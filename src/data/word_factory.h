@@ -1,0 +1,67 @@
+#ifndef DIAL_DATA_WORD_FACTORY_H_
+#define DIAL_DATA_WORD_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file
+/// Deterministic synthetic vocabulary for the dataset generators: fixed
+/// English word pools (product nouns, adjectives, academic terms, venues)
+/// plus seeded generators for brands, model codes, and person names. Using
+/// real English words keeps subword statistics natural, which matters for
+/// the MLM-pretrained TPLM substitute.
+
+namespace dial::data {
+
+class WordFactory {
+ public:
+  explicit WordFactory(uint64_t seed) : rng_(seed) {}
+
+  /// Pronounceable made-up word of `syllables` syllables ("veltoro").
+  std::string MakeWord(size_t syllables);
+  /// Brand-like word ("zenvia", "kortek").
+  std::string MakeBrand();
+  /// Alphanumeric model code ("sx-4821", "dw390b").
+  std::string MakeModelCode();
+  /// "firstname lastname".
+  std::string MakePersonName();
+  /// Price string like "149.99", log-uniform in [lo, hi].
+  std::string MakePrice(double lo, double hi);
+  /// Year in [lo, hi].
+  std::string MakeYear(int lo, int hi);
+
+  /// Uniformly picks one element.
+  const std::string& Pick(const std::vector<std::string>& pool);
+  /// Picks k distinct elements (k <= pool size).
+  std::vector<std::string> PickDistinct(const std::vector<std::string>& pool, size_t k);
+
+  util::Rng& rng() { return rng_; }
+
+  // Fixed pools (process-lifetime constants).
+  static const std::vector<std::string>& ProductNouns();
+  static const std::vector<std::string>& Adjectives();
+  static const std::vector<std::string>& Colors();
+  static const std::vector<std::string>& MarketingWords();
+  static const std::vector<std::string>& AcademicWords();
+  static const std::vector<std::string>& Venues();
+  static const std::vector<std::string>& VenueAbbreviations();
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& CommonWords();
+
+  /// Synonym used by the heterogeneous list S ("wireless" -> "cordless",
+  /// "monitor" -> "display"). Returns `word` itself when no synonym exists.
+  /// Several synonyms share subwords with their base form, mirroring how
+  /// real product language varies — whole-token overlap breaks while
+  /// subword/semantic evidence survives.
+  static std::string Synonym(const std::string& word);
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace dial::data
+
+#endif  // DIAL_DATA_WORD_FACTORY_H_

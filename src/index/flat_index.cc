@@ -1,0 +1,52 @@
+#include "index/flat_index.h"
+
+#include "index/topk.h"
+
+namespace dial::index {
+
+float VectorIndex::Distance(const float* a, const float* b) const {
+  switch (metric_) {
+    case Metric::kL2:
+      return la::SquaredDistance(a, b, dim_);
+    case Metric::kInnerProduct:
+      return -la::Dot(a, b, dim_);
+    case Metric::kCosine: {
+      const float na = la::Norm(a, dim_);
+      const float nb = la::Norm(b, dim_);
+      if (na == 0.0f || nb == 0.0f) return 0.0f;
+      return -la::Dot(a, b, dim_) / (na * nb);
+    }
+  }
+  return 0.0f;
+}
+
+void FlatIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (data_.empty()) {
+    data_ = vectors;
+    return;
+  }
+  la::Matrix merged(data_.rows() + vectors.rows(), dim_);
+  std::copy(data_.data(), data_.data() + data_.size(), merged.data());
+  std::copy(vectors.data(), vectors.data() + vectors.size(),
+            merged.data() + data_.size());
+  data_ = std::move(merged);
+}
+
+SearchBatch FlatIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      TopK topk(k);
+      const float* query = queries.row(q);
+      for (size_t i = 0; i < data_.rows(); ++i) {
+        topk.Push(static_cast<int>(i), Distance(query, data_.row(i)));
+      }
+      results[q] = topk.Take();
+    }
+  });
+  return results;
+}
+
+}  // namespace dial::index

@@ -1,0 +1,34 @@
+#ifndef DIAL_INDEX_FLAT_INDEX_H_
+#define DIAL_INDEX_FLAT_INDEX_H_
+
+#include "index/vector_index.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// Exact brute-force kNN (the analogue of faiss::IndexFlatL2). This is
+/// DIAL's default blocker index: at the scales in this repo exact search is
+/// both faster and simpler than quantization.
+
+namespace dial::index {
+
+class FlatIndex : public VectorIndex {
+ public:
+  /// `pool` (optional, unowned) parallelizes queries across threads.
+  FlatIndex(size_t dim, Metric metric, util::ThreadPool* pool = nullptr)
+      : VectorIndex(dim, metric), pool_(pool) {}
+
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return data_.rows(); }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  /// Direct row access (used by tests and the IBC candidate merge).
+  const la::Matrix& data() const { return data_; }
+
+ private:
+  la::Matrix data_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_FLAT_INDEX_H_

@@ -1,0 +1,204 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "index/topk.h"
+
+namespace dial::index {
+
+HnswIndex::HnswIndex(size_t dim, Metric metric, Options options)
+    : VectorIndex(dim, metric), options_(options), level_rng_(options.seed) {
+  DIAL_CHECK_GT(options_.m, 1u);
+  DIAL_CHECK_GT(options_.ef_construction, 0u);
+  DIAL_CHECK_GT(options_.ef_search, 0u);
+}
+
+int HnswIndex::RandomLevel() {
+  // Geometric level distribution with the standard normalization
+  // mL = 1 / ln(m): P(level >= l) = m^-l.
+  const double ml = 1.0 / std::log(static_cast<double>(options_.m));
+  const double u = std::max(level_rng_.Uniform(), 1e-12);
+  return static_cast<int>(-std::log(u) * ml);
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, int entry,
+                                             size_t ef, int level) const {
+  // Best-first beam search. `candidates` pops the closest unexpanded node;
+  // `result` keeps the ef closest found so far (max-heap on distance).
+  std::vector<char> visited(nodes_.size(), 0);
+  auto closer = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance > b.distance;  // min-heap on distance
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(closer)>
+      candidates(closer);
+  TopK result(ef);
+
+  const float d0 = Distance(query, data_.row(entry));
+  candidates.push({entry, d0});
+  result.Push(entry, d0);
+  visited[entry] = 1;
+
+  while (!candidates.empty()) {
+    const Neighbor current = candidates.top();
+    candidates.pop();
+    if (current.distance > result.Threshold()) break;
+    const std::vector<int>& links = nodes_[current.id].links[level];
+    for (const int nb : links) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float d = Distance(query, data_.row(nb));
+      if (d < result.Threshold() || result.size() < ef) {
+        candidates.push({nb, d});
+        result.Push(nb, d);
+      }
+    }
+  }
+  return result.Take();
+}
+
+std::vector<int> HnswIndex::SelectNeighbors(const float* query,
+                                            const std::vector<Neighbor>& candidates,
+                                            size_t max_links) const {
+  std::vector<int> kept;
+  kept.reserve(max_links);
+  for (const Neighbor& cand : candidates) {  // ascending by distance
+    if (kept.size() >= max_links) break;
+    bool dominated = false;
+    for (const int existing : kept) {
+      const float d_to_kept = Distance(data_.row(cand.id), data_.row(existing));
+      if (d_to_kept < cand.distance) {
+        dominated = true;  // closer to a kept neighbour than to the query
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(cand.id);
+  }
+  // Backfill with the closest dominated candidates if the heuristic was too
+  // aggressive (keeps the graph connected on clustered data).
+  if (kept.size() < max_links) {
+    for (const Neighbor& cand : candidates) {
+      if (kept.size() >= max_links) break;
+      if (std::find(kept.begin(), kept.end(), cand.id) == kept.end()) {
+        kept.push_back(cand.id);
+      }
+    }
+  }
+  return kept;
+}
+
+void HnswIndex::InsertOne(int id) {
+  const int level = RandomLevel();
+  Node& node = nodes_[id];
+  node.level = level;
+  node.links.assign(level + 1, {});
+
+  if (entry_point_ < 0) {
+    entry_point_ = id;
+    max_level_ = level;
+    return;
+  }
+
+  const float* query = data_.row(id);
+  int entry = entry_point_;
+  // Greedy descent through layers above the node's level.
+  for (int l = max_level_; l > level; --l) {
+    bool improved = true;
+    float best = Distance(query, data_.row(entry));
+    while (improved) {
+      improved = false;
+      for (const int nb : nodes_[entry].links[l]) {
+        const float d = Distance(query, data_.row(nb));
+        if (d < best) {
+          best = d;
+          entry = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  // Connect on every layer from min(level, max_level_) down to 0.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<Neighbor> found =
+        SearchLayer(query, entry, options_.ef_construction, l);
+    std::vector<int> neighbors = SelectNeighbors(query, found, MaxLinks(l));
+    node.links[l] = neighbors;
+    for (const int nb : neighbors) {
+      std::vector<int>& back = nodes_[nb].links[l];
+      back.push_back(id);
+      if (back.size() > MaxLinks(l)) {
+        // Re-select the neighbour's links with the same heuristic.
+        std::vector<Neighbor> pool;
+        pool.reserve(back.size());
+        for (const int x : back) {
+          pool.push_back({x, Distance(data_.row(nb), data_.row(x))});
+        }
+        std::sort(pool.begin(), pool.end());
+        back = SelectNeighbors(data_.row(nb), pool, MaxLinks(l));
+      }
+    }
+    if (!found.empty()) entry = found.front().id;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+}
+
+void HnswIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  const size_t base = data_.rows();
+  if (data_.empty()) {
+    data_ = vectors;
+  } else {
+    la::Matrix merged(base + vectors.rows(), dim_);
+    std::copy(data_.data(), data_.data() + data_.size(), merged.data());
+    std::copy(vectors.data(), vectors.data() + vectors.size(),
+              merged.data() + data_.size());
+    data_ = std::move(merged);
+  }
+  nodes_.resize(data_.rows());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    InsertOne(static_cast<int>(base + i));
+  }
+}
+
+SearchBatch HnswIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  if (data_.empty()) return results;
+  const size_t ef = std::max(options_.ef_search, k);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const float* query = queries.row(q);
+    int entry = entry_point_;
+    for (int l = max_level_; l > 0; --l) {
+      bool improved = true;
+      float best = Distance(query, data_.row(entry));
+      while (improved) {
+        improved = false;
+        for (const int nb : nodes_[entry].links[l]) {
+          const float d = Distance(query, data_.row(nb));
+          if (d < best) {
+            best = d;
+            entry = nb;
+            improved = true;
+          }
+        }
+      }
+    }
+    std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0);
+    if (found.size() > k) found.resize(k);
+    results[q] = std::move(found);
+  }
+  return results;
+}
+
+double HnswIndex::MeanDegree() const {
+  if (nodes_.empty()) return 0.0;
+  size_t total = 0;
+  for (const Node& node : nodes_) total += node.links[0].size();
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+}  // namespace dial::index

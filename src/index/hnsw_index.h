@@ -1,0 +1,75 @@
+#ifndef DIAL_INDEX_HNSW_INDEX_H_
+#define DIAL_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "util/rng.h"
+
+/// \file
+/// Hierarchical Navigable Small World graphs (Malkov & Yashunin; the
+/// faiss::IndexHNSW analogue). Graph-based ANN: each vector is a node in a
+/// layered proximity graph; queries greedily descend from the top layer and
+/// run a best-first beam (width `ef_search`) on the bottom layer. Insertion
+/// order and the level RNG are seeded, so builds are deterministic.
+
+namespace dial::index {
+
+class HnswIndex : public VectorIndex {
+ public:
+  struct Options {
+    /// Max out-degree per node per layer (layer 0 allows 2*m).
+    size_t m = 8;
+    /// Beam width while inserting.
+    size_t ef_construction = 64;
+    /// Beam width while querying (raised to k when k is larger).
+    size_t ef_search = 32;
+    uint64_t seed = 37;
+  };
+
+  HnswIndex(size_t dim, Metric metric, Options options);
+
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return data_.rows(); }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  const Options& options() const { return options_; }
+  /// Highest layer currently in the graph (-1 when empty; diagnostics).
+  int max_level() const { return max_level_; }
+  /// Mean out-degree on layer 0 (diagnostics for graph health).
+  double MeanDegree() const;
+
+ private:
+  struct Node {
+    int level = 0;
+    /// links[l] = neighbour ids on layer l, 0 <= l <= level.
+    std::vector<std::vector<int>> links;
+  };
+
+  int RandomLevel();
+  /// Greedy best-first search on one layer starting from `entry`; returns up
+  /// to `ef` closest nodes, ascending by distance.
+  std::vector<Neighbor> SearchLayer(const float* query, int entry, size_t ef,
+                                    int level) const;
+  /// Malkov's neighbour-selection heuristic: keeps candidates that are closer
+  /// to the query than to any already-kept neighbour (diversity pruning).
+  std::vector<int> SelectNeighbors(const float* query,
+                                   const std::vector<Neighbor>& candidates,
+                                   size_t max_links) const;
+  void InsertOne(int id);
+  size_t MaxLinks(int level) const {
+    return level == 0 ? 2 * options_.m : options_.m;
+  }
+
+  Options options_;
+  util::Rng level_rng_;
+  la::Matrix data_;
+  std::vector<Node> nodes_;
+  int entry_point_ = -1;
+  int max_level_ = -1;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_HNSW_INDEX_H_

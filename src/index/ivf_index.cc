@@ -1,0 +1,77 @@
+#include "index/ivf_index.h"
+
+#include <limits>
+#include <algorithm>
+
+#include "index/kmeans.h"
+#include "index/topk.h"
+
+namespace dial::index {
+
+void IvfIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return;
+  const size_t base = data_.rows();
+  // Append raw vectors.
+  if (data_.empty()) {
+    data_ = vectors;
+  } else {
+    la::Matrix merged(base + vectors.rows(), dim_);
+    std::copy(data_.data(), data_.data() + data_.size(), merged.data());
+    std::copy(vectors.data(), vectors.data() + vectors.size(),
+              merged.data() + data_.size());
+    data_ = std::move(merged);
+  }
+  if (centroids_.empty()) {
+    // Train the coarse quantizer on the first batch.
+    util::Rng rng(options_.seed);
+    const size_t nlist = std::min(options_.nlist, data_.rows());
+    KMeansResult km = KMeans(data_, nlist, options_.train_iterations, rng);
+    centroids_ = std::move(km.centroids);
+    lists_.assign(nlist, {});
+    for (size_t i = 0; i < data_.rows(); ++i) {
+      lists_[km.assignment[i]].push_back(static_cast<int>(i));
+    }
+    return;
+  }
+  // Assign new vectors to the nearest existing cell.
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const float* x = vectors.row(i);
+    size_t best = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (size_t c = 0; c < centroids_.rows(); ++c) {
+      const float d = la::SquaredDistance(x, centroids_.row(c), dim_);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    lists_[best].push_back(static_cast<int>(base + i));
+  }
+}
+
+SearchBatch IvfIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  if (data_.empty()) return results;
+  const size_t nprobe = std::min(options_.nprobe, centroids_.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const float* query = queries.row(q);
+    // Rank cells by centroid distance (always L2 — cells were trained in L2).
+    TopK cell_topk(nprobe);
+    for (size_t c = 0; c < centroids_.rows(); ++c) {
+      cell_topk.Push(static_cast<int>(c),
+                     la::SquaredDistance(query, centroids_.row(c), dim_));
+    }
+    TopK topk(k);
+    for (const Neighbor& cell : cell_topk.Take()) {
+      for (const int id : lists_[cell.id]) {
+        topk.Push(id, Distance(query, data_.row(id)));
+      }
+    }
+    results[q] = topk.Take();
+  }
+  return results;
+}
+
+}  // namespace dial::index

@@ -1,0 +1,46 @@
+#ifndef DIAL_INDEX_IVF_INDEX_H_
+#define DIAL_INDEX_IVF_INDEX_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+#include "util/rng.h"
+
+/// \file
+/// Inverted-file index (the faiss::IndexIVFFlat analogue): a k-means coarse
+/// quantizer partitions vectors into `nlist` cells; queries scan only the
+/// `nprobe` nearest cells. Approximate — recall/latency trade-off is
+/// exercised in bench_index_micro.
+
+namespace dial::index {
+
+class IvfIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t nlist = 16;
+    size_t nprobe = 4;
+    size_t train_iterations = 10;
+    uint64_t seed = 17;
+  };
+
+  IvfIndex(size_t dim, Metric metric, Options options)
+      : VectorIndex(dim, metric), options_(options) {}
+
+  /// First Add() trains the coarse quantizer on the incoming vectors; later
+  /// Adds assign to the existing cells.
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return data_.rows(); }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  la::Matrix data_;
+  la::Matrix centroids_;                   // (nlist, dim)
+  std::vector<std::vector<int>> lists_;    // cell -> vector ids
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_IVF_INDEX_H_

@@ -1,0 +1,101 @@
+#include "index/ivfpq_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/kmeans.h"
+#include "index/topk.h"
+
+namespace dial::index {
+
+IvfPqIndex::IvfPqIndex(size_t dim, Metric metric, Options options)
+    : VectorIndex(dim, metric), options_(options), pq_(dim, options.pq) {
+  DIAL_CHECK(metric == Metric::kL2)
+      << "IvfPqIndex quantizes residuals; only L2 is meaningful";
+  DIAL_CHECK_GT(options_.nlist, 0u);
+}
+
+size_t IvfPqIndex::NearestCell(const float* x) const {
+  size_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    const float d = la::SquaredDistance(x, centroids_.row(c), dim_);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void IvfPqIndex::EncodeInto(const la::Matrix& vectors, size_t base_id) {
+  std::vector<float> residual(dim_);
+  std::vector<uint8_t> code(pq_.code_size());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const float* x = vectors.row(i);
+    const size_t cell = NearestCell(x);
+    const float* centroid = centroids_.row(cell);
+    for (size_t d = 0; d < dim_; ++d) residual[d] = x[d] - centroid[d];
+    pq_.Encode(residual.data(), code.data());
+    list_ids_[cell].push_back(static_cast<int>(base_id + i));
+    list_codes_[cell].insert(list_codes_[cell].end(), code.begin(), code.end());
+  }
+  count_ += vectors.rows();
+}
+
+void IvfPqIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return;
+  if (centroids_.empty()) {
+    util::Rng rng(options_.seed);
+    const size_t nlist = std::min(options_.nlist, vectors.rows());
+    KMeansResult km = KMeans(vectors, nlist, options_.train_iterations, rng);
+    centroids_ = std::move(km.centroids);
+    list_ids_.assign(nlist, {});
+    list_codes_.assign(nlist, {});
+    // Train the PQ on residuals of the training batch.
+    la::Matrix residuals(vectors.rows(), dim_);
+    for (size_t i = 0; i < vectors.rows(); ++i) {
+      const float* x = vectors.row(i);
+      const float* centroid = centroids_.row(km.assignment[i]);
+      float* out = residuals.row(i);
+      for (size_t d = 0; d < dim_; ++d) out[d] = x[d] - centroid[d];
+    }
+    pq_.Train(residuals);
+  }
+  EncodeInto(vectors, count_);
+}
+
+SearchBatch IvfPqIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  if (count_ == 0) return results;
+  const size_t nprobe = std::min(options_.nprobe, centroids_.rows());
+  const size_t code_size = pq_.code_size();
+  std::vector<float> residual(dim_);
+  std::vector<float> table;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const float* query = queries.row(q);
+    TopK cell_topk(nprobe);
+    for (size_t c = 0; c < centroids_.rows(); ++c) {
+      cell_topk.Push(static_cast<int>(c),
+                     la::SquaredDistance(query, centroids_.row(c), dim_));
+    }
+    TopK topk(k);
+    for (const Neighbor& cell : cell_topk.Take()) {
+      // ADC table on this cell's residual of the query.
+      const float* centroid = centroids_.row(cell.id);
+      for (size_t d = 0; d < dim_; ++d) residual[d] = query[d] - centroid[d];
+      pq_.ComputeDistanceTable(residual.data(), /*inner_product=*/false, table);
+      const std::vector<int>& ids = list_ids_[cell.id];
+      const std::vector<uint8_t>& codes = list_codes_[cell.id];
+      for (size_t i = 0; i < ids.size(); ++i) {
+        topk.Push(ids[i], pq_.AdcDistance(table, codes.data() + i * code_size));
+      }
+    }
+    results[q] = topk.Take();
+  }
+  return results;
+}
+
+}  // namespace dial::index

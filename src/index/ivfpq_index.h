@@ -1,0 +1,57 @@
+#ifndef DIAL_INDEX_IVFPQ_INDEX_H_
+#define DIAL_INDEX_IVFPQ_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/pq.h"
+#include "index/vector_index.h"
+#include "util/rng.h"
+
+/// \file
+/// IVF + residual product quantization (the faiss::IndexIVFPQ analogue,
+/// and the configuration FAISS actually uses at billion scale): a k-means
+/// coarse quantizer routes each vector to a cell, and the *residual*
+/// x - centroid(cell) is product-quantized. Queries probe the `nprobe`
+/// nearest cells, building one ADC table per probed cell on the query's
+/// residual. L2 only, as in FAISS's canonical setup.
+
+namespace dial::index {
+
+class IvfPqIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t nlist = 16;
+    size_t nprobe = 4;
+    size_t train_iterations = 10;
+    ProductQuantizer::Options pq;
+    uint64_t seed = 29;
+  };
+
+  IvfPqIndex(size_t dim, Metric metric, Options options);
+
+  /// First Add() trains the coarse quantizer and the residual PQ on the
+  /// incoming batch; later batches reuse the trained structures.
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return count_; }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  const Options& options() const { return options_; }
+  const ProductQuantizer& quantizer() const { return pq_; }
+
+ private:
+  size_t NearestCell(const float* x) const;
+  void EncodeInto(const la::Matrix& vectors, size_t base_id);
+
+  Options options_;
+  ProductQuantizer pq_;
+  la::Matrix centroids_;  // (nlist, dim)
+  /// Per cell: vector ids and their residual codes (parallel arrays).
+  std::vector<std::vector<int>> list_ids_;
+  std::vector<std::vector<uint8_t>> list_codes_;
+  size_t count_ = 0;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_IVFPQ_INDEX_H_

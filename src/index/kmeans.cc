@@ -1,0 +1,112 @@
+#include "index/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dial::index {
+
+std::vector<size_t> KMeansPlusPlusSeed(const la::Matrix& data, size_t k,
+                                       util::Rng& rng) {
+  const size_t n = data.rows();
+  DIAL_CHECK_GT(n, 0u);
+  DIAL_CHECK_LE(k, n);
+  std::vector<size_t> centers;
+  centers.reserve(k);
+  centers.push_back(static_cast<size_t>(rng.UniformInt(n)));
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    const float* last = data.row(centers.back());
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = la::SquaredDistance(data.row(i), last, data.cols());
+      if (d < min_sq[i]) min_sq[i] = d;
+      total += min_sq[i];
+    }
+    size_t chosen = 0;
+    if (total <= 0.0) {
+      // All points coincide with existing centers; fall back to uniform over
+      // not-yet-chosen indices.
+      do {
+        chosen = static_cast<size_t>(rng.UniformInt(n));
+      } while (min_sq[chosen] == 0.0 &&
+               std::count(centers.begin(), centers.end(), chosen) > 0);
+    } else {
+      double target = rng.Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_sq[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centers.push_back(chosen);
+  }
+  return centers;
+}
+
+KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
+                    util::Rng& rng) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  DIAL_CHECK_GE(n, k);
+  DIAL_CHECK_GT(k, 0u);
+
+  KMeansResult result;
+  result.centroids = la::Matrix(k, d);
+  const auto seeds = KMeansPlusPlusSeed(data, k, rng);
+  for (size_t c = 0; c < k; ++c) {
+    std::copy(data.row(seeds[c]), data.row(seeds[c]) + d, result.centroids.row(c));
+  }
+  result.assignment.assign(n, 0);
+
+  std::vector<size_t> counts(k);
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const float dist = la::SquaredDistance(data.row(i), result.centroids.row(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    result.iterations_run = iter + 1;
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    result.centroids.Zero();
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      float* crow = result.centroids.row(c);
+      const float* xrow = data.row(i);
+      for (size_t j = 0; j < d; ++j) crow[j] += xrow[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed the empty cluster from a random data point.
+        const size_t pick = static_cast<size_t>(rng.UniformInt(n));
+        std::copy(data.row(pick), data.row(pick) + d, result.centroids.row(c));
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* crow = result.centroids.row(c);
+      for (size_t j = 0; j < d; ++j) crow[j] *= inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace dial::index

@@ -1,0 +1,36 @@
+#ifndef DIAL_INDEX_KMEANS_H_
+#define DIAL_INDEX_KMEANS_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+/// \file
+/// k-means++ seeding and Lloyd iterations. Used twice in this repo, matching
+/// two uses in the paper: the IVF coarse quantizer, and BADGE's k-means++
+/// batch selection (Sec. 2.3.4).
+
+namespace dial::index {
+
+/// k-means++ seeding (Arthur & Vassilvitskii 2007): returns `k` distinct row
+/// indices of `data`, chosen with probability proportional to squared
+/// distance from the already-picked set.
+std::vector<size_t> KMeansPlusPlusSeed(const la::Matrix& data, size_t k,
+                                       util::Rng& rng);
+
+struct KMeansResult {
+  la::Matrix centroids;          // (k, dim)
+  std::vector<int> assignment;   // per data row
+  double inertia = 0.0;          // sum of squared distances to centroids
+  size_t iterations_run = 0;
+};
+
+/// Lloyd's algorithm with k-means++ init. Empty clusters are re-seeded from
+/// the farthest point. `k` must be <= data.rows().
+KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
+                    util::Rng& rng);
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_KMEANS_H_

@@ -1,0 +1,75 @@
+#include "index/lsh_index.h"
+
+#include "index/topk.h"
+
+namespace dial::index {
+
+LshIndex::LshIndex(size_t dim, Metric metric, Options options)
+    : VectorIndex(dim, metric), options_(options) {
+  util::Rng rng(options_.seed);
+  planes_ = la::Matrix(options_.num_tables * options_.num_bits, dim);
+  planes_.RandNormal(rng, 1.0f);
+  tables_.resize(options_.num_tables);
+}
+
+uint64_t LshIndex::HashVector(size_t table, const float* x) const {
+  uint64_t code = 0;
+  const size_t base = table * options_.num_bits;
+  for (size_t b = 0; b < options_.num_bits; ++b) {
+    if (la::Dot(planes_.row(base + b), x, dim_) >= 0.0f) code |= (1ull << b);
+  }
+  return code;
+}
+
+void LshIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  const size_t base = data_.rows();
+  if (data_.empty()) {
+    data_ = vectors;
+  } else {
+    la::Matrix merged(base + vectors.rows(), dim_);
+    std::copy(data_.data(), data_.data() + data_.size(), merged.data());
+    std::copy(vectors.data(), vectors.data() + vectors.size(),
+              merged.data() + data_.size());
+    data_ = std::move(merged);
+  }
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    for (size_t t = 0; t < options_.num_tables; ++t) {
+      tables_[t][HashVector(t, vectors.row(i))].push_back(static_cast<int>(base + i));
+    }
+  }
+}
+
+SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  std::vector<char> seen(data_.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const float* query = queries.row(q);
+    std::fill(seen.begin(), seen.end(), 0);
+    TopK topk(k);
+    for (size_t t = 0; t < options_.num_tables; ++t) {
+      auto it = tables_[t].find(HashVector(t, query));
+      if (it == tables_[t].end()) continue;
+      for (const int id : it->second) {
+        if (seen[id]) continue;
+        seen[id] = 1;
+        topk.Push(id, Distance(query, data_.row(id)));
+      }
+    }
+    results[q] = topk.Take();
+  }
+  return results;
+}
+
+double LshIndex::MeanBucketSize() const {
+  size_t buckets = 0;
+  size_t total = 0;
+  for (const auto& table : tables_) {
+    buckets += table.size();
+    for (const auto& [code, list] : table) total += list.size();
+  }
+  return buckets == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(buckets);
+}
+
+}  // namespace dial::index

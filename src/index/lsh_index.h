@@ -1,0 +1,48 @@
+#ifndef DIAL_INDEX_LSH_INDEX_H_
+#define DIAL_INDEX_LSH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "util/rng.h"
+
+/// \file
+/// Random-hyperplane locality-sensitive hashing — the retrieval scheme used
+/// by DeepER/AutoBlock, implemented as a comparison point against FAISS-style
+/// exact k-selection (paper Sec. 5.4). `num_tables` independent hash tables,
+/// each hashing with `num_bits` hyperplanes; candidates are the union of the
+/// query's buckets, re-ranked exactly.
+
+namespace dial::index {
+
+class LshIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t num_tables = 8;
+    size_t num_bits = 12;
+    uint64_t seed = 23;
+  };
+
+  LshIndex(size_t dim, Metric metric, Options options);
+
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return data_.rows(); }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  /// Mean bucket occupancy across tables (diagnostics).
+  double MeanBucketSize() const;
+
+ private:
+  uint64_t HashVector(size_t table, const float* x) const;
+
+  Options options_;
+  la::Matrix data_;
+  /// (num_tables * num_bits, dim) hyperplane normals.
+  la::Matrix planes_;
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_LSH_INDEX_H_

@@ -1,0 +1,97 @@
+#include "index/matmul_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/topk.h"
+
+namespace dial::index {
+
+MatmulSearchIndex::MatmulSearchIndex(size_t dim, Metric metric, Options options)
+    : VectorIndex(dim, metric), options_(options) {
+  DIAL_CHECK_GT(options_.query_tile, 0u);
+  DIAL_CHECK_GT(options_.db_block, 0u);
+}
+
+void MatmulSearchIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  size_t next = 0;
+  // Top up the last partial block before opening new ones.
+  while (next < vectors.rows()) {
+    if (blocks_.empty() || blocks_.back().rows() >= options_.db_block) {
+      blocks_.emplace_back(0, dim_);
+    }
+    la::Matrix& block = blocks_.back();
+    const size_t take =
+        std::min(options_.db_block - block.rows(), vectors.rows() - next);
+    la::Matrix merged(block.rows() + take, dim_);
+    std::copy(block.data(), block.data() + block.size(), merged.data());
+    std::copy(vectors.row(next), vectors.row(next) + take * dim_,
+              merged.data() + block.size());
+    block = std::move(merged);
+    next += take;
+  }
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const float sq = la::Dot(vectors.row(i), vectors.row(i), dim_);
+    sq_norms_.push_back(sq);
+    norms_.push_back(std::sqrt(sq));
+  }
+  count_ += vectors.rows();
+}
+
+SearchBatch MatmulSearchIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  if (count_ == 0) return results;
+
+  for (size_t q0 = 0; q0 < queries.rows(); q0 += options_.query_tile) {
+    const size_t tile_rows = std::min(options_.query_tile, queries.rows() - q0);
+    la::Matrix tile(tile_rows, dim_);
+    std::copy(queries.row(q0), queries.row(q0) + tile_rows * dim_, tile.data());
+    std::vector<float> query_sq(tile_rows);
+    std::vector<float> query_norm(tile_rows);
+    for (size_t i = 0; i < tile_rows; ++i) {
+      query_sq[i] = la::Dot(tile.row(i), tile.row(i), dim_);
+      query_norm[i] = std::sqrt(query_sq[i]);
+    }
+    std::vector<TopK> heaps;
+    heaps.reserve(tile_rows);
+    for (size_t i = 0; i < tile_rows; ++i) heaps.emplace_back(k);
+
+    size_t base_id = 0;
+    for (const la::Matrix& block : blocks_) {
+      // scores(i, j) = tile_i . block_j, one GEMM per (tile, block).
+      const la::Matrix scores = la::MatMulTransposeB(tile, block);
+      for (size_t i = 0; i < tile_rows; ++i) {
+        const float* row = scores.row(i);
+        for (size_t j = 0; j < block.rows(); ++j) {
+          const size_t id = base_id + j;
+          float d = 0.0f;
+          switch (metric_) {
+            case Metric::kL2:
+              // |q - x|^2 = |q|^2 + |x|^2 - 2 q.x; clamp tiny negatives from
+              // floating-point cancellation.
+              d = std::max(0.0f, query_sq[i] + sq_norms_[id] - 2.0f * row[j]);
+              break;
+            case Metric::kInnerProduct:
+              d = -row[j];
+              break;
+            case Metric::kCosine: {
+              const float denom = query_norm[i] * norms_[id];
+              d = denom > 0.0f ? -row[j] / denom : 0.0f;
+              break;
+            }
+          }
+          heaps[i].Push(static_cast<int>(id), d);
+        }
+      }
+      base_id += block.rows();
+    }
+    for (size_t i = 0; i < tile_rows; ++i) {
+      results[q0 + i] = heaps[i].Take();
+    }
+  }
+  return results;
+}
+
+}  // namespace dial::index

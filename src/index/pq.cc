@@ -1,0 +1,154 @@
+#include "index/pq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/kmeans.h"
+
+namespace dial::index {
+
+ProductQuantizer::ProductQuantizer(size_t dim, Options options)
+    : dim_(dim), options_(options) {
+  DIAL_CHECK_GT(options_.num_subspaces, 0u);
+  DIAL_CHECK_GT(options_.bits_per_code, 0u);
+  DIAL_CHECK_LE(options_.bits_per_code, 8u);
+  DIAL_CHECK_EQ(dim % options_.num_subspaces, 0u)
+      << "PQ requires num_subspaces (" << options_.num_subspaces
+      << ") to divide dim (" << dim << ")";
+  dsub_ = dim / options_.num_subspaces;
+}
+
+void ProductQuantizer::Train(const la::Matrix& data) {
+  DIAL_CHECK_EQ(data.cols(), dim_);
+  DIAL_CHECK_GT(data.rows(), 0u);
+  const size_t m = options_.num_subspaces;
+  ksub_ = std::min<size_t>(size_t{1} << options_.bits_per_code, data.rows());
+  codebooks_.clear();
+  codebooks_.reserve(m);
+  util::Rng rng(options_.seed);
+  la::Matrix slice(data.rows(), dsub_);
+  for (size_t sub = 0; sub < m; ++sub) {
+    for (size_t r = 0; r < data.rows(); ++r) {
+      const float* src = data.row(r) + sub * dsub_;
+      std::copy(src, src + dsub_, slice.row(r));
+    }
+    KMeansResult km = KMeans(slice, ksub_, options_.train_iterations, rng);
+    codebooks_.push_back(std::move(km.centroids));
+  }
+  // Precompute centroid-to-centroid tables for symmetric distances.
+  sdc_tables_.clear();
+  sdc_tables_.reserve(m);
+  for (size_t sub = 0; sub < m; ++sub) {
+    la::Matrix table(ksub_, ksub_);
+    for (size_t a = 0; a < ksub_; ++a) {
+      for (size_t b = 0; b < ksub_; ++b) {
+        table(a, b) = la::SquaredDistance(codebooks_[sub].row(a),
+                                          codebooks_[sub].row(b), dsub_);
+      }
+    }
+    sdc_tables_.push_back(std::move(table));
+  }
+}
+
+size_t ProductQuantizer::NearestCentroid(size_t subspace, const float* sub) const {
+  const la::Matrix& book = codebooks_[subspace];
+  size_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (size_t c = 0; c < ksub_; ++c) {
+    const float d = la::SquaredDistance(sub, book.row(c), dsub_);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void ProductQuantizer::Encode(const float* x, uint8_t* code) const {
+  DIAL_CHECK(trained()) << "ProductQuantizer::Encode before Train";
+  for (size_t sub = 0; sub < options_.num_subspaces; ++sub) {
+    code[sub] = static_cast<uint8_t>(NearestCentroid(sub, x + sub * dsub_));
+  }
+}
+
+std::vector<uint8_t> ProductQuantizer::EncodeBatch(const la::Matrix& data) const {
+  DIAL_CHECK_EQ(data.cols(), dim_);
+  std::vector<uint8_t> codes(data.rows() * code_size());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    Encode(data.row(r), codes.data() + r * code_size());
+  }
+  return codes;
+}
+
+void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
+  DIAL_CHECK(trained()) << "ProductQuantizer::Decode before Train";
+  for (size_t sub = 0; sub < options_.num_subspaces; ++sub) {
+    const float* centroid = codebooks_[sub].row(code[sub]);
+    std::copy(centroid, centroid + dsub_, out + sub * dsub_);
+  }
+}
+
+la::Matrix ProductQuantizer::DecodeBatch(const std::vector<uint8_t>& codes,
+                                         size_t n) const {
+  DIAL_CHECK_EQ(codes.size(), n * code_size());
+  la::Matrix out(n, dim_);
+  for (size_t r = 0; r < n; ++r) {
+    Decode(codes.data() + r * code_size(), out.row(r));
+  }
+  return out;
+}
+
+void ProductQuantizer::ComputeDistanceTable(const float* query, bool inner_product,
+                                            std::vector<float>& table) const {
+  DIAL_CHECK(trained()) << "ProductQuantizer distance table before Train";
+  const size_t m = options_.num_subspaces;
+  table.resize(m * ksub_);
+  for (size_t sub = 0; sub < m; ++sub) {
+    const float* q = query + sub * dsub_;
+    const la::Matrix& book = codebooks_[sub];
+    float* row = table.data() + sub * ksub_;
+    for (size_t c = 0; c < ksub_; ++c) {
+      row[c] = inner_product ? -la::Dot(q, book.row(c), dsub_)
+                             : la::SquaredDistance(q, book.row(c), dsub_);
+    }
+  }
+}
+
+float ProductQuantizer::AdcDistance(const std::vector<float>& table,
+                                    const uint8_t* code) const {
+  float d = 0.0f;
+  for (size_t sub = 0; sub < options_.num_subspaces; ++sub) {
+    d += table[sub * ksub_ + code[sub]];
+  }
+  return d;
+}
+
+float ProductQuantizer::SymmetricDistance(const uint8_t* a, const uint8_t* b) const {
+  DIAL_CHECK(trained()) << "ProductQuantizer::SymmetricDistance before Train";
+  float d = 0.0f;
+  for (size_t sub = 0; sub < options_.num_subspaces; ++sub) {
+    d += sdc_tables_[sub](a[sub], b[sub]);
+  }
+  return d;
+}
+
+double ProductQuantizer::QuantizationError(const la::Matrix& data) const {
+  DIAL_CHECK_EQ(data.cols(), dim_);
+  if (data.rows() == 0) return 0.0;
+  std::vector<uint8_t> code(code_size());
+  std::vector<float> recon(dim_);
+  double total = 0.0;
+  for (size_t r = 0; r < data.rows(); ++r) {
+    Encode(data.row(r), code.data());
+    Decode(code.data(), recon.data());
+    total += la::SquaredDistance(data.row(r), recon.data(), dim_);
+  }
+  return total / static_cast<double>(data.rows());
+}
+
+const la::Matrix& ProductQuantizer::codebook(size_t subspace) const {
+  DIAL_CHECK_LT(subspace, codebooks_.size());
+  return codebooks_[subspace];
+}
+
+}  // namespace dial::index

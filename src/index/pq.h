@@ -1,0 +1,93 @@
+#ifndef DIAL_INDEX_PQ_H_
+#define DIAL_INDEX_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+/// \file
+/// Product quantization (Jégou et al.) — the compression scheme behind
+/// FAISS's large-scale indexes. The paper (Sec. 5.4) singles out FAISS's
+/// "product quantization for fast asymmetric distance computations" as the
+/// retrieval machinery DIAL builds on, so the substrate is reproduced here:
+/// a vector is split into `m` subspaces, each subspace is vector-quantized
+/// with its own k-means codebook, and a database vector is stored as `m`
+/// one-byte codes. Distances between a (full-precision) query and the codes
+/// are evaluated with per-query lookup tables — the asymmetric distance
+/// computation (ADC) — without ever reconstructing the database vectors.
+
+namespace dial::index {
+
+class ProductQuantizer {
+ public:
+  struct Options {
+    /// Number of subspaces `m`; must divide the vector dimension.
+    size_t num_subspaces = 4;
+    /// Bits per subspace code; codebook size ksub = 2^bits. Capped at 8 so a
+    /// code is one byte (the FAISS default).
+    size_t bits_per_code = 6;
+    /// Lloyd iterations per subspace codebook.
+    size_t train_iterations = 15;
+    uint64_t seed = 41;
+  };
+
+  ProductQuantizer(size_t dim, Options options);
+
+  /// Learns the per-subspace codebooks. If fewer training rows than 2^bits
+  /// are supplied, the codebook size is clipped to the number of rows.
+  void Train(const la::Matrix& data);
+  bool trained() const { return ksub_ > 0; }
+
+  size_t dim() const { return dim_; }
+  size_t num_subspaces() const { return options_.num_subspaces; }
+  size_t subspace_dim() const { return dsub_; }
+  /// Effective codebook size per subspace (after any training-set clipping).
+  size_t codebook_size() const { return ksub_; }
+  /// Bytes per encoded vector (= num_subspaces).
+  size_t code_size() const { return options_.num_subspaces; }
+
+  /// Quantizes one vector of `dim()` floats into `code_size()` bytes.
+  void Encode(const float* x, uint8_t* code) const;
+  /// Quantizes every row of `data`; returns n * code_size() bytes.
+  std::vector<uint8_t> EncodeBatch(const la::Matrix& data) const;
+  /// Reconstructs one vector from its code.
+  void Decode(const uint8_t* code, float* out) const;
+  /// Reconstructs `n` codes into an (n, dim) matrix.
+  la::Matrix DecodeBatch(const std::vector<uint8_t>& codes, size_t n) const;
+
+  /// Fills `table` (num_subspaces * codebook_size, row-major) with the
+  /// per-subspace squared L2 distances (Metric::kL2) or negated dot products
+  /// (inner-product mode) between `query` and every centroid.
+  void ComputeDistanceTable(const float* query, bool inner_product,
+                            std::vector<float>& table) const;
+
+  /// ADC lookup: distance between the query behind `table` and one code.
+  float AdcDistance(const std::vector<float>& table, const uint8_t* code) const;
+
+  /// Symmetric (code-to-code) distance via precomputed centroid-to-centroid
+  /// tables; squared-L2 only.
+  float SymmetricDistance(const uint8_t* a, const uint8_t* b) const;
+
+  /// Mean squared reconstruction error over the rows of `data` — decreases
+  /// with more subspaces or more bits (property-tested).
+  double QuantizationError(const la::Matrix& data) const;
+
+  /// Codebook of one subspace, shape (codebook_size, subspace_dim).
+  const la::Matrix& codebook(size_t subspace) const;
+
+ private:
+  size_t NearestCentroid(size_t subspace, const float* sub) const;
+
+  size_t dim_;
+  size_t dsub_;
+  Options options_;
+  size_t ksub_ = 0;  // 0 until trained
+  std::vector<la::Matrix> codebooks_;   // per subspace: (ksub, dsub)
+  std::vector<la::Matrix> sdc_tables_;  // per subspace: (ksub, ksub) sq dists
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_PQ_H_

@@ -1,0 +1,41 @@
+#include "index/pq_index.h"
+
+#include "index/topk.h"
+
+namespace dial::index {
+
+PqIndex::PqIndex(size_t dim, Metric metric, ProductQuantizer::Options options)
+    : VectorIndex(dim, metric), pq_(dim, options) {
+  DIAL_CHECK(metric == Metric::kL2 || metric == Metric::kInnerProduct)
+      << "PqIndex supports L2 and inner product; normalize + IP for cosine";
+}
+
+void PqIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return;
+  if (!pq_.trained()) pq_.Train(vectors);
+  std::vector<uint8_t> batch = pq_.EncodeBatch(vectors);
+  codes_.insert(codes_.end(), batch.begin(), batch.end());
+  count_ += vectors.rows();
+}
+
+SearchBatch PqIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  if (count_ == 0) return results;
+  const bool ip = metric_ == Metric::kInnerProduct;
+  const size_t code_size = pq_.code_size();
+  std::vector<float> table;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    pq_.ComputeDistanceTable(queries.row(q), ip, table);
+    TopK topk(k);
+    for (size_t id = 0; id < count_; ++id) {
+      topk.Push(static_cast<int>(id),
+                pq_.AdcDistance(table, codes_.data() + id * code_size));
+    }
+    results[q] = topk.Take();
+  }
+  return results;
+}
+
+}  // namespace dial::index

@@ -1,0 +1,43 @@
+#ifndef DIAL_INDEX_PQ_INDEX_H_
+#define DIAL_INDEX_PQ_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/pq.h"
+#include "index/vector_index.h"
+
+/// \file
+/// Compressed-domain exhaustive kNN (the faiss::IndexPQ analogue): database
+/// vectors are stored only as product-quantizer codes; a query is answered by
+/// building one ADC lookup table and scanning every code. Memory per vector
+/// drops from dim*4 bytes to num_subspaces bytes at the cost of quantization
+/// error — the recall impact is measured in bench_index_backends.
+
+namespace dial::index {
+
+class PqIndex : public VectorIndex {
+ public:
+  /// Supports Metric::kL2 and Metric::kInnerProduct (FAISS parity). Cosine
+  /// callers should L2-normalize and use inner product.
+  PqIndex(size_t dim, Metric metric, ProductQuantizer::Options options);
+
+  /// The first Add() trains the quantizer on the incoming batch; later
+  /// batches are encoded with the existing codebooks.
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return count_; }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  const ProductQuantizer& quantizer() const { return pq_; }
+  /// Bytes used by the stored codes (diagnostics for the compression bench).
+  size_t code_bytes() const { return codes_.size(); }
+
+ private:
+  ProductQuantizer pq_;
+  std::vector<uint8_t> codes_;
+  size_t count_ = 0;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_PQ_INDEX_H_

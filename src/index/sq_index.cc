@@ -1,0 +1,98 @@
+#include "index/sq_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "index/topk.h"
+
+namespace dial::index {
+
+SqIndex::SqIndex(size_t dim, Metric metric) : VectorIndex(dim, metric) {
+  DIAL_CHECK(metric == Metric::kL2 || metric == Metric::kInnerProduct)
+      << "SqIndex supports L2 and inner product; normalize + IP for cosine";
+}
+
+void SqIndex::EncodeRow(const float* x, uint8_t* code) const {
+  for (size_t d = 0; d < dim_; ++d) {
+    if (scale_[d] <= 0.0f) {
+      code[d] = 0;
+      continue;
+    }
+    const float t = (x[d] - min_[d]) / scale_[d];
+    code[d] = static_cast<uint8_t>(std::clamp(t, 0.0f, 255.0f));
+  }
+}
+
+void SqIndex::Add(const la::Matrix& vectors) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return;
+  if (!trained()) {
+    min_.assign(dim_, std::numeric_limits<float>::infinity());
+    std::vector<float> max(dim_, -std::numeric_limits<float>::infinity());
+    for (size_t i = 0; i < vectors.rows(); ++i) {
+      const float* row = vectors.row(i);
+      for (size_t d = 0; d < dim_; ++d) {
+        min_[d] = std::min(min_[d], row[d]);
+        max[d] = std::max(max[d], row[d]);
+      }
+    }
+    scale_.resize(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      scale_[d] = (max[d] - min_[d]) / 256.0f;
+    }
+  }
+  const size_t base = codes_.size();
+  codes_.resize(base + vectors.rows() * dim_);
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    EncodeRow(vectors.row(i), codes_.data() + base + i * dim_);
+  }
+  count_ += vectors.rows();
+}
+
+SearchBatch SqIndex::Search(const la::Matrix& queries, size_t k) const {
+  DIAL_CHECK_EQ(queries.cols(), dim_);
+  SearchBatch results(queries.rows());
+  if (count_ == 0) return results;
+  // Per-query lookup table: distance contribution of each (dim, code) pair,
+  // the scalar-quantization version of ADC.
+  std::vector<float> table(dim_ * 256);
+  const bool ip = metric_ == Metric::kInnerProduct;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const float* query = queries.row(q);
+    for (size_t d = 0; d < dim_; ++d) {
+      float* row = table.data() + d * 256;
+      for (size_t c = 0; c < 256; ++c) {
+        const float v = DequantizedValue(d, static_cast<uint8_t>(c));
+        row[c] = ip ? -query[d] * v : (query[d] - v) * (query[d] - v);
+      }
+    }
+    TopK topk(k);
+    for (size_t id = 0; id < count_; ++id) {
+      const uint8_t* code = codes_.data() + id * dim_;
+      float dist = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) dist += table[d * 256 + code[d]];
+      topk.Push(static_cast<int>(id), dist);
+    }
+    results[q] = topk.Take();
+  }
+  return results;
+}
+
+double SqIndex::QuantizationError(const la::Matrix& data) const {
+  DIAL_CHECK(trained());
+  DIAL_CHECK_EQ(data.cols(), dim_);
+  if (data.rows() == 0) return 0.0;
+  std::vector<uint8_t> code(dim_);
+  double total = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    EncodeRow(data.row(i), code.data());
+    for (size_t d = 0; d < dim_; ++d) {
+      const double diff = data(i, d) - DequantizedValue(d, code[d]);
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(data.rows());
+}
+
+}  // namespace dial::index

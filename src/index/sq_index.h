@@ -1,0 +1,50 @@
+#ifndef DIAL_INDEX_SQ_INDEX_H_
+#define DIAL_INDEX_SQ_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/vector_index.h"
+
+/// \file
+/// Scalar quantization (the faiss::IndexScalarQuantizer QT_8bit analogue):
+/// each dimension is linearly quantized to one byte against per-dimension
+/// [min, max] ranges learned from the first batch. 4x memory reduction with
+/// far milder recall loss than product quantization — the usual middle rung
+/// between flat and PQ on FAISS's memory/recall ladder.
+
+namespace dial::index {
+
+class SqIndex : public VectorIndex {
+ public:
+  /// Supports Metric::kL2 and Metric::kInnerProduct. Distances are computed
+  /// against dequantized values (asymmetric: full-precision query).
+  SqIndex(size_t dim, Metric metric);
+
+  /// First Add() trains the per-dimension ranges; later batches clamp into
+  /// the trained ranges.
+  void Add(const la::Matrix& vectors) override;
+  size_t size() const override { return count_; }
+  SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  bool trained() const { return !scale_.empty(); }
+  /// Mean squared dequantization error over `data` (diagnostics/tests).
+  double QuantizationError(const la::Matrix& data) const;
+  /// Bytes used by stored codes.
+  size_t code_bytes() const { return codes_.size(); }
+
+ private:
+  void EncodeRow(const float* x, uint8_t* code) const;
+  float DequantizedValue(size_t d, uint8_t code) const {
+    return min_[d] + scale_[d] * (static_cast<float>(code) + 0.5f);
+  }
+
+  std::vector<float> min_;    // per-dimension range start
+  std::vector<float> scale_;  // per-dimension step ((max-min)/256)
+  std::vector<uint8_t> codes_;
+  size_t count_ = 0;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_SQ_INDEX_H_

@@ -1,0 +1,59 @@
+#ifndef DIAL_INDEX_TOPK_H_
+#define DIAL_INDEX_TOPK_H_
+
+#include <limits>
+#include <algorithm>
+#include <vector>
+
+#include "index/vector_index.h"
+
+/// \file
+/// Bounded max-heap keeping the k smallest-distance neighbours seen so far
+/// (the "k-selection" primitive FAISS optimizes; exact here).
+
+namespace dial::index {
+
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Offers a candidate; keeps it only if among the k closest so far.
+  void Push(int id, float distance) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({id, distance});
+      std::push_heap(heap_.begin(), heap_.end(), ByDistance);
+      return;
+    }
+    if (distance >= heap_.front().distance) return;
+    std::pop_heap(heap_.begin(), heap_.end(), ByDistance);
+    heap_.back() = {id, distance};
+    std::push_heap(heap_.begin(), heap_.end(), ByDistance);
+  }
+
+  /// Current worst kept distance (+inf while not full).
+  float Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<float>::infinity()
+                             : heap_.front().distance;
+  }
+
+  /// Extracts results sorted by ascending distance; the heap is consumed.
+  std::vector<Neighbor> Take() {
+    std::sort(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  static bool ByDistance(const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;  // max-heap on distance
+  }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_TOPK_H_

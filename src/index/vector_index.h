@@ -1,0 +1,69 @@
+#ifndef DIAL_INDEX_VECTOR_INDEX_H_
+#define DIAL_INDEX_VECTOR_INDEX_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+/// \file
+/// k-nearest-neighbour indexes over dense float vectors — the FAISS
+/// substitute used by Index-By-Committee (DESIGN.md §2). All indexes share
+/// one convention: `Search` returns neighbours ordered by ascending
+/// `distance`, where distance is squared L2 for Metric::kL2 and *negated*
+/// (inner product / cosine) for the similarity metrics, so "smaller is
+/// closer" uniformly.
+
+namespace dial::index {
+
+enum class Metric {
+  kL2,            // squared Euclidean distance
+  kInnerProduct,  // negated dot product
+  kCosine,        // negated cosine similarity
+};
+
+struct Neighbor {
+  int id = -1;
+  float distance = 0.0f;
+
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
+  }
+};
+
+/// Per-query neighbour lists.
+using SearchBatch = std::vector<std::vector<Neighbor>>;
+
+class VectorIndex {
+ public:
+  explicit VectorIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+  virtual ~VectorIndex() = default;
+
+  VectorIndex(const VectorIndex&) = delete;
+  VectorIndex& operator=(const VectorIndex&) = delete;
+
+  size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
+
+  /// Appends `vectors` (n, dim); row i of the first Add gets id 0, etc.
+  virtual void Add(const la::Matrix& vectors) = 0;
+
+  /// Number of indexed vectors.
+  virtual size_t size() const = 0;
+
+  /// k nearest neighbours for each row of `queries` (m, dim). Returns fewer
+  /// than k entries per query only when the index holds fewer than k vectors
+  /// (or, for approximate indexes, when probing finds fewer candidates).
+  virtual SearchBatch Search(const la::Matrix& queries, size_t k) const = 0;
+
+ protected:
+  /// Pairwise distance under this index's metric.
+  float Distance(const float* a, const float* b) const;
+
+  size_t dim_;
+  Metric metric_;
+};
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_VECTOR_INDEX_H_

@@ -1,0 +1,195 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+namespace dial::la {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    DIAL_CHECK_EQ(r.size(), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+void Matrix::RandNormal(util::Rng& rng, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.Normal()) * stddev;
+}
+
+void Matrix::RandUniform(util::Rng& rng, float limit) {
+  for (auto& v : data_) v = rng.UniformFloat(-limit, limit);
+}
+
+namespace {
+
+// Core kernel: out(m,n) += a(m,k) * b(k,n), ikj loop order so the innermost
+// loop streams contiguously over b and out rows.
+void GemmAcc(const Matrix& a, const Matrix& b, Matrix& out) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix& out) {
+  DIAL_CHECK_EQ(a.cols(), b.rows());
+  out = Matrix(a.rows(), b.cols());
+  GemmAcc(a, b, out);
+}
+
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix& out) {
+  DIAL_CHECK_EQ(a.cols(), b.rows());
+  DIAL_CHECK_EQ(out.rows(), a.rows());
+  DIAL_CHECK_EQ(out.cols(), b.cols());
+  GemmAcc(a, b, out);
+}
+
+void MatMulTransposeAAcc(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out(m,n) += a(k,m)^T * b(k,n)
+  DIAL_CHECK_EQ(a.rows(), b.rows());
+  DIAL_CHECK_EQ(out.rows(), a.cols());
+  DIAL_CHECK_EQ(out.cols(), b.cols());
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeBAcc(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out(m,n) += a(m,k) * b(n,k)^T — dot products of rows; good locality as-is.
+  DIAL_CHECK_EQ(a.cols(), b.cols());
+  DIAL_CHECK_EQ(out.rows(), a.rows());
+  DIAL_CHECK_EQ(out.cols(), b.rows());
+  const size_t m = a.rows();
+  const size_t n = b.rows();
+  const size_t k = a.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      orow[j] += Dot(arow, b.row(j), k);
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMul(a, b, out);
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  MatMulTransposeBAcc(a, b, out);
+  return out;
+}
+
+void Add(const Matrix& a, const Matrix& b, Matrix& out) {
+  DIAL_CHECK_EQ(a.rows(), b.rows());
+  DIAL_CHECK_EQ(a.cols(), b.cols());
+  out = Matrix(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] + b.data()[i];
+}
+
+void AddInPlace(Matrix& a, const Matrix& b) {
+  DIAL_CHECK_EQ(a.rows(), b.rows());
+  DIAL_CHECK_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void Axpy(Matrix& a, float scale, const Matrix& b) {
+  DIAL_CHECK_EQ(a.rows(), b.rows());
+  DIAL_CHECK_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] += scale * b.data()[i];
+}
+
+void AddRowBroadcast(Matrix& a, const Matrix& bias) {
+  DIAL_CHECK_EQ(bias.rows(), 1u);
+  DIAL_CHECK_EQ(bias.cols(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* row = a.row(r);
+    const float* b = bias.row(0);
+    for (size_t c = 0; c < a.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void Hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  DIAL_CHECK_EQ(a.rows(), b.rows());
+  DIAL_CHECK_EQ(a.cols(), b.cols());
+  out = Matrix(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+}
+
+void Scale(Matrix& a, float s) {
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] *= s;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float Norm(const float* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+
+float FrobeniusNorm(const Matrix& a) {
+  return Norm(a.data(), a.size());
+}
+
+void NormalizeRowsInPlace(Matrix& a) {
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* row = a.row(r);
+    const float norm = Norm(row, a.cols());
+    if (norm == 0.0f) continue;
+    const float inv = 1.0f / norm;
+    for (size_t c = 0; c < a.cols(); ++c) row[c] *= inv;
+  }
+}
+
+bool AllFinite(const Matrix& a) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a.data()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace dial::la

@@ -1,0 +1,71 @@
+#include "nn/layers.h"
+
+namespace dial::nn {
+
+using autograd::Var;
+
+Linear::Linear(std::string name, size_t in, size_t out, util::Rng& rng)
+    : Module(std::move(name)) {
+  weight_ = AddParameter("weight", in, out);
+  bias_ = AddParameter("bias", 1, out);
+  XavierInit(weight_, rng);
+}
+
+Var Linear::Forward(ForwardContext& ctx, Var x) {
+  Var w = ctx.tape->Leaf(weight_);
+  Var b = ctx.tape->Leaf(bias_);
+  return autograd::AddRowBroadcast(autograd::MatMul(x, w), b);
+}
+
+LayerNorm::LayerNorm(std::string name, size_t dim) : Module(std::move(name)) {
+  gain_ = AddParameter("gain", 1, dim);
+  bias_ = AddParameter("bias", 1, dim);
+  gain_->value.Fill(1.0f);
+}
+
+Var LayerNorm::Forward(ForwardContext& ctx, Var x) {
+  Var normalized = autograd::LayerNormRows(x);
+  Var g = ctx.tape->Leaf(gain_);
+  Var b = ctx.tape->Leaf(bias_);
+  return autograd::AddRowBroadcast(autograd::MulRowBroadcast(normalized, g), b);
+}
+
+Embedding::Embedding(std::string name, size_t vocab, size_t dim, util::Rng& rng)
+    : Module(std::move(name)) {
+  table_ = AddParameter("table", vocab, dim);
+  NormalInit(table_, rng);
+}
+
+Var Embedding::Forward(ForwardContext& ctx, const std::vector<int>& ids) {
+  return autograd::EmbeddingGather(*ctx.tape, table_, ids);
+}
+
+PairClassifierHead::PairClassifierHead(std::string name, size_t dim, float dropout,
+                                       util::Rng& rng)
+    : Module(std::move(name)),
+      dense_(this->name() + ".dense", dim, dim, rng),
+      out_(this->name() + ".out", dim, 1, rng),
+      dropout_(dropout) {
+  AddChild(&dense_);
+  AddChild(&out_);
+}
+
+Var PairClassifierHead::Forward(ForwardContext& ctx, Var x) {
+  Var h = autograd::Dropout(x, dropout_, *ctx.rng, ctx.training);
+  h = autograd::Tanh(dense_.Forward(ctx, h));
+  h = autograd::Dropout(h, dropout_, *ctx.rng, ctx.training);
+  return out_.Forward(ctx, h);
+}
+
+SentencePairHead::SentencePairHead(std::string name, size_t dim, util::Rng& rng)
+    : Module(std::move(name)), out_(this->name() + ".out", 3 * dim, 1, rng) {
+  AddChild(&out_);
+}
+
+Var SentencePairHead::Forward(ForwardContext& ctx, Var u, Var v) {
+  Var diff = autograd::Abs(autograd::Sub(u, v));
+  Var features = autograd::ConcatCols({u, v, diff});
+  return out_.Forward(ctx, features);
+}
+
+}  // namespace dial::nn

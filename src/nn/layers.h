@@ -1,0 +1,89 @@
+#ifndef DIAL_NN_LAYERS_H_
+#define DIAL_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+/// \file
+/// Basic trainable layers: Linear, LayerNorm (affine), Embedding, and the
+/// two task heads used by DIAL (the matcher's pair classifier and the
+/// SentenceBERT-style single-mode classifier).
+
+namespace dial::nn {
+
+/// y = x W + b, W: (in, out), b: (1, out).
+class Linear : public Module {
+ public:
+  Linear(std::string name, size_t in, size_t out, util::Rng& rng);
+
+  autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
+
+  size_t in_features() const { return weight_->value.rows(); }
+  size_t out_features() const { return weight_->value.cols(); }
+
+ private:
+  autograd::Parameter* weight_;
+  autograd::Parameter* bias_;
+};
+
+/// Per-row layer normalization with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, size_t dim);
+
+  autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
+
+ private:
+  autograd::Parameter* gain_;
+  autograd::Parameter* bias_;
+};
+
+/// Token (or positional / segment) embedding table.
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, size_t vocab, size_t dim, util::Rng& rng);
+
+  autograd::Var Forward(ForwardContext& ctx, const std::vector<int>& ids);
+
+  size_t vocab_size() const { return table_->value.rows(); }
+  size_t dim() const { return table_->value.cols(); }
+  autograd::Parameter* table() { return table_; }
+
+ private:
+  autograd::Parameter* table_;
+};
+
+/// The matcher head of Eq. 5: dropout → linear(d→d) → tanh → dropout →
+/// linear(d→1); the logit feeds a sigmoid / BCE loss.
+class PairClassifierHead : public Module {
+ public:
+  PairClassifierHead(std::string name, size_t dim, float dropout, util::Rng& rng);
+
+  /// x: (m, d) CLS embeddings → (m, 1) logits.
+  autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
+
+ private:
+  Linear dense_;
+  Linear out_;
+  float dropout_;
+};
+
+/// SentenceBERT-style pair classifier over single-mode embeddings:
+/// logits = Linear([u ; v ; |u - v|]).
+class SentencePairHead : public Module {
+ public:
+  SentencePairHead(std::string name, size_t dim, util::Rng& rng);
+
+  /// u, v: (m, d) record embeddings → (m, 1) logits.
+  autograd::Var Forward(ForwardContext& ctx, autograd::Var u, autograd::Var v);
+
+ private:
+  Linear out_;
+};
+
+}  // namespace dial::nn
+
+#endif  // DIAL_NN_LAYERS_H_

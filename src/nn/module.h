@@ -1,0 +1,72 @@
+#ifndef DIAL_NN_MODULE_H_
+#define DIAL_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/tape.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+/// \file
+/// Base class for neural network modules: owns `autograd::Parameter`s,
+/// composes children, and provides name-checked weight (de)serialization.
+
+namespace dial::nn {
+
+/// Per-forward call state threaded through all modules.
+struct ForwardContext {
+  autograd::Tape* tape;
+  util::Rng* rng;       // used only by dropout
+  bool training = false;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// All parameters of this module and its children, in registration order.
+  std::vector<autograd::Parameter*> Parameters();
+
+  /// Total number of scalar weights.
+  size_t NumWeights();
+
+  /// Writes every parameter (name, shape, data) in registration order.
+  void Save(util::BinaryWriter& writer);
+
+  /// Restores parameters; fails on name/shape mismatch or truncation.
+  util::Status Load(util::BinaryReader& reader);
+
+  /// Copies all parameter values from `other` (shapes must match; used to
+  /// re-initialize the matcher from pretrained weights each AL round).
+  void CopyWeightsFrom(Module& other);
+
+ protected:
+  /// Creates and owns a parameter. `name` is qualified with the module name.
+  autograd::Parameter* AddParameter(const std::string& name, size_t rows, size_t cols);
+
+  /// Registers a child whose parameters are reported after this module's own.
+  void AddChild(Module* child);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<autograd::Parameter>> params_;
+  std::vector<Module*> children_;
+};
+
+/// Xavier/Glorot uniform initialization.
+void XavierInit(autograd::Parameter* p, util::Rng& rng);
+/// Gaussian initialization with given stddev (BERT-style 0.02).
+void NormalInit(autograd::Parameter* p, util::Rng& rng, float stddev = 0.02f);
+
+}  // namespace dial::nn
+
+#endif  // DIAL_NN_MODULE_H_

@@ -1,0 +1,114 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace dial::nn {
+
+using autograd::Var;
+
+uint64_t TransformerConfig::Fingerprint() const {
+  const std::string text = util::StrFormat(
+      "v=%zu,p=%zu,s=%zu,d=%zu,l=%zu,h=%zu,f=%zu,do=%.4f,pi=%.3f,pool=fl", vocab_size,
+      max_positions, num_segments, dim, num_layers, num_heads, ffn_dim, dropout,
+      position_init_scale);
+  return util::Fnv1a(text);
+}
+
+TransformerLayer::TransformerLayer(std::string name, const TransformerConfig& config,
+                                   util::Rng& rng)
+    : Module(name),
+      config_(config),
+      wq_(name + ".wq", config.dim, config.dim, rng),
+      wk_(name + ".wk", config.dim, config.dim, rng),
+      wv_(name + ".wv", config.dim, config.dim, rng),
+      wo_(name + ".wo", config.dim, config.dim, rng),
+      ffn_in_(name + ".ffn_in", config.dim, config.ffn_dim, rng),
+      ffn_out_(name + ".ffn_out", config.ffn_dim, config.dim, rng),
+      ln_attn_(name + ".ln_attn", config.dim),
+      ln_ffn_(name + ".ln_ffn", config.dim) {
+  DIAL_CHECK_EQ(config.dim % config.num_heads, 0u);
+  AddChild(&wq_);
+  AddChild(&wk_);
+  AddChild(&wv_);
+  AddChild(&wo_);
+  AddChild(&ffn_in_);
+  AddChild(&ffn_out_);
+  AddChild(&ln_attn_);
+  AddChild(&ln_ffn_);
+}
+
+Var TransformerLayer::SelfAttention(ForwardContext& ctx, Var x) {
+  const size_t head_dim = config_.dim / config_.num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  Var q = wq_.Forward(ctx, x);
+  Var k = wk_.Forward(ctx, x);
+  Var v = wv_.Forward(ctx, x);
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(config_.num_heads);
+  for (size_t h = 0; h < config_.num_heads; ++h) {
+    const size_t begin = h * head_dim;
+    const size_t end = begin + head_dim;
+    Var qh = autograd::SliceCols(q, begin, end);
+    Var kh = autograd::SliceCols(k, begin, end);
+    Var vh = autograd::SliceCols(v, begin, end);
+    Var scores = autograd::ScalarMul(autograd::MatMulTransposeB(qh, kh), scale);
+    Var attn = autograd::SoftmaxRows(scores);
+    attn = autograd::Dropout(attn, config_.dropout, *ctx.rng, ctx.training);
+    head_outputs.push_back(autograd::MatMul(attn, vh));
+  }
+  Var merged = autograd::ConcatCols(head_outputs);
+  return wo_.Forward(ctx, merged);
+}
+
+Var TransformerLayer::Forward(ForwardContext& ctx, Var x) {
+  Var attn = SelfAttention(ctx, x);
+  attn = autograd::Dropout(attn, config_.dropout, *ctx.rng, ctx.training);
+  x = ln_attn_.Forward(ctx, autograd::Add(x, attn));
+  Var ffn = ffn_out_.Forward(ctx, autograd::Gelu(ffn_in_.Forward(ctx, x)));
+  ffn = autograd::Dropout(ffn, config_.dropout, *ctx.rng, ctx.training);
+  return ln_ffn_.Forward(ctx, autograd::Add(x, ffn));
+}
+
+TransformerEncoder::TransformerEncoder(std::string name, TransformerConfig config,
+                                       util::Rng& rng)
+    : Module(name),
+      config_(config),
+      tokens_(name + ".tokens", config.vocab_size, config.dim, rng),
+      positions_(name + ".positions", config.max_positions, config.dim, rng),
+      segments_(name + ".segments", config.num_segments, config.dim, rng),
+      ln_embed_(name + ".ln_embed", config.dim) {
+  AddChild(&tokens_);
+  AddChild(&positions_);
+  AddChild(&segments_);
+  AddChild(&ln_embed_);
+  // Keep positional signal subordinate to lexical content (see config).
+  la::Scale(positions_.table()->value, config.position_init_scale);
+  for (size_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerLayer>(
+        name + util::StrFormat(".layer%zu", i), config_, rng));
+    AddChild(layers_.back().get());
+  }
+}
+
+Var TransformerEncoder::Forward(ForwardContext& ctx, const std::vector<int>& ids,
+                                const std::vector<int>& segment_ids,
+                                Var* embed_out) {
+  DIAL_CHECK_EQ(ids.size(), segment_ids.size());
+  DIAL_CHECK_GT(ids.size(), 0u);
+  DIAL_CHECK_LE(ids.size(), config_.max_positions);
+  std::vector<int> pos_ids(ids.size());
+  for (size_t i = 0; i < pos_ids.size(); ++i) pos_ids[i] = static_cast<int>(i);
+  Var x = autograd::Add(
+      autograd::Add(tokens_.Forward(ctx, ids), positions_.Forward(ctx, pos_ids)),
+      segments_.Forward(ctx, segment_ids));
+  x = ln_embed_.Forward(ctx, x);
+  if (embed_out != nullptr) *embed_out = x;
+  x = autograd::Dropout(x, config_.dropout, *ctx.rng, ctx.training);
+  for (auto& layer : layers_) x = layer->Forward(ctx, x);
+  return x;
+}
+
+}  // namespace dial::nn

@@ -1,0 +1,85 @@
+#ifndef DIAL_NN_TRANSFORMER_H_
+#define DIAL_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+/// \file
+/// A BERT/RoBERTa-style transformer encoder (post-LN), sized for CPU-only
+/// training. Processes one sequence per forward call; batching is done by
+/// building several sequences on one tape and averaging their losses, which
+/// avoids padding/masking logic entirely.
+
+namespace dial::nn {
+
+struct TransformerConfig {
+  size_t vocab_size = 2048;
+  size_t max_positions = 64;
+  size_t num_segments = 2;  // 0 = first record, 1 = second (paired mode)
+  size_t dim = 32;
+  size_t num_layers = 2;
+  size_t num_heads = 2;
+  size_t ffn_dim = 64;
+  float dropout = 0.1f;
+  /// Positional embeddings are initialized at this fraction of the token
+  /// embedding scale so that content dominates mean-pooled representations
+  /// (critical for single-mode blocking embeddings at small model sizes).
+  float position_init_scale = 0.25f;
+
+  /// Stable fingerprint used as a model-cache key component.
+  uint64_t Fingerprint() const;
+};
+
+/// One self-attention block: MHA + residual + LN, FFN + residual + LN.
+class TransformerLayer : public Module {
+ public:
+  TransformerLayer(std::string name, const TransformerConfig& config, util::Rng& rng);
+
+  autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
+
+ private:
+  autograd::Var SelfAttention(ForwardContext& ctx, autograd::Var x);
+
+  const TransformerConfig& config_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  Linear ffn_in_;
+  Linear ffn_out_;
+  LayerNorm ln_attn_;
+  LayerNorm ln_ffn_;
+};
+
+/// Full encoder: token + position + segment embeddings, N layers.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(std::string name, TransformerConfig config, util::Rng& rng);
+
+  /// Contextual embeddings for one sequence. `ids` and `segments` must have
+  /// equal length <= max_positions. Returns (len, dim). When `embed_out` is
+  /// non-null it receives the embedding-layer output (before any attention
+  /// block) — used by first+last-layer average pooling in single mode.
+  autograd::Var Forward(ForwardContext& ctx, const std::vector<int>& ids,
+                        const std::vector<int>& segments,
+                        autograd::Var* embed_out = nullptr);
+
+  const TransformerConfig& config() const { return config_; }
+  Embedding& token_embedding() { return tokens_; }
+
+ private:
+  TransformerConfig config_;
+  Embedding tokens_;
+  Embedding positions_;
+  Embedding segments_;
+  LayerNorm ln_embed_;
+  std::vector<std::unique_ptr<TransformerLayer>> layers_;
+};
+
+}  // namespace dial::nn
+
+#endif  // DIAL_NN_TRANSFORMER_H_

@@ -1,0 +1,39 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace dial::text {
+
+namespace {
+
+bool IsPunct(unsigned char c) {
+  return std::ispunct(c) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> BasicTokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (const char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      flush();
+    } else if (IsPunct(c)) {
+      flush();
+      tokens.push_back(std::string(1, static_cast<char>(std::tolower(c))));
+    } else {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace dial::text

@@ -1,0 +1,21 @@
+#ifndef DIAL_TEXT_TOKENIZER_H_
+#define DIAL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Pre-tokenization: lowercasing, punctuation splitting, whitespace
+/// splitting. Subword segmentation happens in SubwordVocab.
+
+namespace dial::text {
+
+/// Lowercases and splits `text` into words; punctuation characters become
+/// their own tokens (so "mp3-player" -> ["mp3", "-", "player"]). XML/HTML
+/// tags survive as "<", "tag", ">" sequences, which lets the multilingual
+/// dataset's markup act as alignment anchors just like real mBERT input.
+std::vector<std::string> BasicTokenize(const std::string& text);
+
+}  // namespace dial::text
+
+#endif  // DIAL_TEXT_TOKENIZER_H_

@@ -1,0 +1,199 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace dial::text {
+
+namespace {
+
+/// Sorted (piece, freq) descending by freq then lexicographic, for
+/// deterministic vocabularies.
+std::vector<std::pair<std::string, size_t>> SortByFreq(
+    const std::unordered_map<std::string, size_t>& freq) {
+  std::vector<std::pair<std::string, size_t>> items(freq.begin(), freq.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return items;
+}
+
+}  // namespace
+
+SubwordVocab SubwordVocab::Train(const std::vector<std::string>& corpus,
+                                 const Options& options) {
+  SubwordVocab vocab;
+  vocab.AddPiece("[PAD]");
+  vocab.AddPiece("[UNK]");
+  vocab.AddPiece("[CLS]");
+  vocab.AddPiece("[SEP]");
+  vocab.AddPiece("[MASK]");
+
+  std::unordered_map<std::string, size_t> word_freq;
+  for (const std::string& line : corpus) {
+    for (const std::string& word : BasicTokenize(line)) ++word_freq[word];
+  }
+
+  // 1. Guarantee coverage: every observed character plus the full [a-z0-9]
+  //    range (so typos introducing unseen letters never hit [UNK]), as
+  //    word-initial and continuation pieces.
+  std::unordered_map<std::string, size_t> char_seen;
+  for (char c = 'a'; c <= 'z'; ++c) char_seen[std::string(1, c)] += 1;
+  for (char c = '0'; c <= '9'; ++c) char_seen[std::string(1, c)] += 1;
+  for (const auto& [word, freq] : word_freq) {
+    for (const char c : word) char_seen[std::string(1, c)] += freq;
+  }
+  for (const auto& [piece, freq] : SortByFreq(char_seen)) {
+    vocab.AddPiece(piece);
+    vocab.AddPiece("##" + piece);
+  }
+
+  // 2. Frequent whole words.
+  const size_t budget = options.max_vocab > vocab.size() ? options.max_vocab : 0;
+  const size_t word_budget = static_cast<size_t>(
+      static_cast<double>(budget) * options.word_budget_fraction);
+  for (const auto& [word, freq] : SortByFreq(word_freq)) {
+    if (vocab.size() >= word_budget) break;
+    if (freq < options.min_word_freq || word.size() < 2) continue;
+    vocab.AddPiece(word);
+  }
+
+  // 3. Frequent character n-grams (2..max_subword_len), as both initial and
+  //    continuation pieces, to soak up typos and unseen words.
+  std::unordered_map<std::string, size_t> gram_freq;
+  for (const auto& [word, freq] : word_freq) {
+    for (size_t len = 2; len <= options.max_subword_len; ++len) {
+      if (word.size() < len) break;
+      for (size_t i = 0; i + len <= word.size(); ++i) {
+        gram_freq[word.substr(i, len)] += freq;
+      }
+    }
+  }
+  for (const auto& [gram, freq] : SortByFreq(gram_freq)) {
+    if (vocab.size() + 2 > options.max_vocab) break;
+    if (freq < options.min_word_freq) continue;
+    vocab.AddPiece(gram);
+    vocab.AddPiece("##" + gram);
+  }
+  return vocab;
+}
+
+void SubwordVocab::AddPiece(const std::string& piece) {
+  if (piece_to_id_.count(piece)) return;
+  piece_to_id_[piece] = static_cast<int>(pieces_.size());
+  pieces_.push_back(piece);
+  const size_t body_len =
+      piece.rfind("##", 0) == 0 ? piece.size() - 2 : piece.size();
+  max_piece_len_ = std::max(max_piece_len_, body_len);
+}
+
+int SubwordVocab::PieceId(const std::string& piece) const {
+  auto it = piece_to_id_.find(piece);
+  return it == piece_to_id_.end() ? -1 : it->second;
+}
+
+std::vector<int> SubwordVocab::EncodeWord(const std::string& word) const {
+  std::vector<int> out;
+  size_t start = 0;
+  while (start < word.size()) {
+    const size_t remaining = word.size() - start;
+    size_t len = std::min(max_piece_len_, remaining);
+    int match = -1;
+    for (; len >= 1; --len) {
+      std::string candidate = word.substr(start, len);
+      if (start > 0) candidate = "##" + candidate;
+      match = PieceId(candidate);
+      if (match >= 0) break;
+    }
+    if (match < 0) {
+      // Unknown character (non-ASCII byte never seen in training).
+      out.push_back(SpecialIds::kUnk);
+      ++start;
+      continue;
+    }
+    out.push_back(match);
+    start += len;
+  }
+  if (out.empty()) out.push_back(SpecialIds::kUnk);
+  return out;
+}
+
+std::vector<int> SubwordVocab::EncodeText(const std::string& text,
+                                          size_t max_pieces) const {
+  std::vector<int> out;
+  for (const std::string& word : BasicTokenize(text)) {
+    const auto pieces = EncodeWord(word);
+    out.insert(out.end(), pieces.begin(), pieces.end());
+    if (max_pieces > 0 && out.size() >= max_pieces) {
+      out.resize(max_pieces);
+      break;
+    }
+  }
+  return out;
+}
+
+EncodedSequence SubwordVocab::EncodeSingle(const std::string& text,
+                                           size_t max_len) const {
+  DIAL_CHECK_GE(max_len, 3u);
+  EncodedSequence seq;
+  seq.ids.push_back(SpecialIds::kCls);
+  const auto body = EncodeText(text, max_len - 2);
+  seq.ids.insert(seq.ids.end(), body.begin(), body.end());
+  seq.ids.push_back(SpecialIds::kSep);
+  seq.segments.assign(seq.ids.size(), 0);
+  return seq;
+}
+
+EncodedSequence SubwordVocab::BuildPairFromPieces(const std::vector<int>& a,
+                                                  const std::vector<int>& b,
+                                                  size_t max_len) {
+  DIAL_CHECK_GE(max_len, 5u);
+  const size_t body_budget = max_len - 3;
+  const size_t a_budget = body_budget / 2;
+  const size_t b_budget = body_budget - a_budget;
+  EncodedSequence seq;
+  seq.ids.push_back(SpecialIds::kCls);
+  seq.segments.push_back(0);
+  for (size_t i = 0; i < a.size() && i < a_budget; ++i) {
+    seq.ids.push_back(a[i]);
+    seq.segments.push_back(0);
+  }
+  seq.ids.push_back(SpecialIds::kSep);
+  seq.segments.push_back(0);
+  for (size_t i = 0; i < b.size() && i < b_budget; ++i) {
+    seq.ids.push_back(b[i]);
+    seq.segments.push_back(1);
+  }
+  seq.ids.push_back(SpecialIds::kSep);
+  seq.segments.push_back(1);
+  return seq;
+}
+
+EncodedSequence SubwordVocab::EncodePair(const std::string& r, const std::string& s,
+                                         size_t max_len) const {
+  DIAL_CHECK_GE(max_len, 5u);
+  const size_t body_budget = max_len - 3;
+  const size_t r_budget = body_budget / 2;
+  const size_t s_budget = body_budget - r_budget;
+  EncodedSequence seq;
+  seq.ids.push_back(SpecialIds::kCls);
+  seq.segments.push_back(0);
+  for (const int id : EncodeText(r, r_budget)) {
+    seq.ids.push_back(id);
+    seq.segments.push_back(0);
+  }
+  seq.ids.push_back(SpecialIds::kSep);
+  seq.segments.push_back(0);
+  for (const int id : EncodeText(s, s_budget)) {
+    seq.ids.push_back(id);
+    seq.segments.push_back(1);
+  }
+  seq.ids.push_back(SpecialIds::kSep);
+  seq.segments.push_back(1);
+  return seq;
+}
+
+}  // namespace dial::text

@@ -1,0 +1,93 @@
+#ifndef DIAL_TEXT_VOCAB_H_
+#define DIAL_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// WordPiece-style subword vocabulary. Trained from a raw corpus by keeping
+/// frequent whole words, frequent character n-grams, and — to guarantee
+/// every word is encodable — all single characters (as both word-initial
+/// and `##`-continuation pieces).
+///
+/// Shared subwords are what give the model robustness to typos and, on the
+/// multilingual dataset, cross-lingual alignment (the same mechanism that
+/// makes mBERT work for the paper's Sec. 4.5 experiment).
+
+namespace dial::text {
+
+/// Fixed special-token ids.
+struct SpecialIds {
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kCls = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kCount = 5;
+};
+
+/// A tokenized sequence ready for the transformer.
+struct EncodedSequence {
+  std::vector<int> ids;
+  std::vector<int> segments;
+};
+
+class SubwordVocab {
+ public:
+  struct Options {
+    size_t max_vocab = 2048;
+    size_t min_word_freq = 3;
+    size_t max_subword_len = 5;
+    /// Fraction of the non-reserved budget spent on whole words (the rest
+    /// goes to n-gram pieces).
+    double word_budget_fraction = 0.6;
+  };
+
+  /// Builds a vocabulary from raw text lines.
+  static SubwordVocab Train(const std::vector<std::string>& corpus,
+                            const Options& options);
+
+  size_t size() const { return pieces_.size(); }
+
+  /// Greedy longest-match WordPiece segmentation of one word. Never empty;
+  /// single-character coverage guarantees no UNK for ASCII words.
+  std::vector<int> EncodeWord(const std::string& word) const;
+
+  /// Basic-tokenizes `text` and concatenates word encodings, truncated to
+  /// `max_pieces` (0 = unlimited).
+  std::vector<int> EncodeText(const std::string& text, size_t max_pieces) const;
+
+  /// Single mode (Eq. 2): [CLS] x [SEP]; segments all 0. `max_len` bounds the
+  /// total sequence length including specials.
+  EncodedSequence EncodeSingle(const std::string& text, size_t max_len) const;
+
+  /// Paired mode (Eq. 1): [CLS] r [SEP] s [SEP]; segment 0 through the first
+  /// SEP, segment 1 after. Both records get an equal share of the budget.
+  EncodedSequence EncodePair(const std::string& r, const std::string& s,
+                             size_t max_len) const;
+
+  const std::string& piece(int id) const { return pieces_[id]; }
+  bool IsSpecial(int id) const { return id < SpecialIds::kCount; }
+
+  /// Lookup; -1 when absent.
+  int PieceId(const std::string& piece) const;
+
+  /// Builds a paired-mode sequence directly from two piece-id lists (used by
+  /// self-supervised pair pretraining): [CLS] a [SEP] b [SEP] with segment
+  /// ids, truncating each side to an equal share of `max_len`.
+  static EncodedSequence BuildPairFromPieces(const std::vector<int>& a,
+                                             const std::vector<int>& b,
+                                             size_t max_len);
+
+ private:
+  void AddPiece(const std::string& piece);
+
+  std::vector<std::string> pieces_;
+  std::unordered_map<std::string, int> piece_to_id_;
+  size_t max_piece_len_ = 1;
+};
+
+}  // namespace dial::text
+
+#endif  // DIAL_TEXT_VOCAB_H_

@@ -1,0 +1,136 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dial::util {
+
+int64_t* FlagSet::AddInt(const std::string& name, int64_t default_value,
+                         const std::string& help) {
+  int_storage_.push_back(std::make_unique<int64_t>(default_value));
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.default_text = std::to_string(default_value);
+  f.int_value = int_storage_.back().get();
+  flags_[name] = f;
+  return f.int_value;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  double_storage_.push_back(std::make_unique<double>(default_value));
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.default_text = StrFormat("%g", default_value);
+  f.double_value = double_storage_.back().get();
+  flags_[name] = f;
+  return f.double_value;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  bool_storage_.push_back(std::make_unique<bool>(default_value));
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.default_text = default_value ? "true" : "false";
+  f.bool_value = bool_storage_.back().get();
+  flags_[name] = f;
+  return f.bool_value;
+}
+
+std::string* FlagSet::AddString(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& help) {
+  string_storage_.push_back(std::make_unique<std::string>(default_value));
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.default_text = default_value;
+  f.string_value = string_storage_.back().get();
+  flags_[name] = f;
+  return f.string_value;
+}
+
+void FlagSet::SetFromText(const std::string& name, Flag& flag,
+                          const std::string& text) {
+  switch (flag.kind) {
+    case Kind::kInt:
+      *flag.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      break;
+    case Kind::kDouble:
+      *flag.double_value = std::strtod(text.c_str(), nullptr);
+      break;
+    case Kind::kBool:
+      if (text == "true" || text == "1") {
+        *flag.bool_value = true;
+      } else if (text == "false" || text == "0") {
+        *flag.bool_value = false;
+      } else {
+        DIAL_LOG_FATAL << "Bad boolean value for --" << name << ": " << text;
+      }
+      break;
+    case Kind::kString:
+      *flag.string_value = text;
+      break;
+  }
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", Usage(argv[0]).c_str());
+      std::exit(0);
+    }
+    if (!StartsWith(arg, "--")) {
+      DIAL_LOG_FATAL << "Unexpected positional argument: " << arg << "\n"
+                     << Usage(argv[0]);
+    }
+    arg = arg.substr(2);
+    std::string value_text;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value_text = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    bool negated = false;
+    if (!flags_.count(arg) && StartsWith(arg, "no-")) {
+      negated = true;
+      arg = arg.substr(3);
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      DIAL_LOG_FATAL << "Unknown flag --" << arg << "\n" << Usage(argv[0]);
+    }
+    Flag& flag = it->second;
+    if (flag.kind == Kind::kBool && !has_value) {
+      *flag.bool_value = !negated;
+      continue;
+    }
+    DIAL_CHECK(!negated) << "--no- prefix is only valid for boolean flags";
+    if (!has_value) {
+      DIAL_CHECK_LT(i + 1, argc) << "Flag --" << arg << " expects a value";
+      value_text = argv[++i];
+    }
+    SetFromText(arg, flag, value_text);
+  }
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(), flag.help.c_str(),
+                     flag.default_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace dial::util

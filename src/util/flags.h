@@ -1,0 +1,60 @@
+#ifndef DIAL_UTIL_FLAGS_H_
+#define DIAL_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file
+/// Tiny command-line flag parser for the bench harnesses and examples.
+/// Supports `--name=value`, `--name value`, and boolean `--name` /
+/// `--no-name`. Unknown flags are a hard error so typos in sweep scripts are
+/// caught immediately.
+
+namespace dial::util {
+
+class FlagSet {
+ public:
+  /// Registers a flag with a default; returns a stable pointer to the value.
+  int64_t* AddInt(const std::string& name, int64_t default_value,
+                  const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value, const std::string& help);
+  std::string* AddString(const std::string& name, const std::string& default_value,
+                         const std::string& help);
+
+  /// Parses argv (skipping argv[0]); aborts with usage text on errors or on
+  /// `--help`.
+  void Parse(int argc, char** argv);
+
+  /// Usage text listing every registered flag.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    int64_t* int_value = nullptr;
+    double* double_value = nullptr;
+    bool* bool_value = nullptr;
+    std::string* string_value = nullptr;
+  };
+
+  void SetFromText(const std::string& name, Flag& flag, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  // Deques of stable storage for registered values.
+  std::vector<std::unique_ptr<int64_t>> int_storage_;
+  std::vector<std::unique_ptr<double>> double_storage_;
+  std::vector<std::unique_ptr<bool>> bool_storage_;
+  std::vector<std::unique_ptr<std::string>> string_storage_;
+};
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_FLAGS_H_

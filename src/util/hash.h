@@ -1,0 +1,47 @@
+#ifndef DIAL_UTIL_HASH_H_
+#define DIAL_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// FNV-1a hashing used for config fingerprints (model cache keys) and the
+/// pair-dedup hash sets in blocking.
+
+namespace dial::util {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t Fnv1a(std::string_view data, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// Packs a pair of 32-bit ids into a single key (used for R×S pair sets).
+inline uint64_t PairKey(uint32_t r, uint32_t s) {
+  return (static_cast<uint64_t>(r) << 32) | s;
+}
+
+inline std::string HexDigest(uint64_t h) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_HASH_H_

@@ -1,0 +1,66 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dial::util {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+               msg.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+LogMessageFatal::LogMessageFatal(const char* file, int line)
+    : file_(file), line_(line) {}
+
+LogMessageFatal::~LogMessageFatal() {
+  Emit(LogLevel::kFatal, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace dial::util

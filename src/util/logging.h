@@ -1,0 +1,95 @@
+#ifndef DIAL_UTIL_LOGGING_H_
+#define DIAL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal streaming logger plus DIAL_CHECK* invariant macros.
+///
+/// Library code never throws; violated invariants abort through
+/// `LogMessageFatal` with a file:line message so death tests can assert on
+/// them. Severity filtering is process-global (`SetMinLogLevel`).
+
+namespace dial::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the process-wide minimum level actually emitted to stderr.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// One in-flight log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: always aborts in the destructor.
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line);
+  [[noreturn]] ~LogMessageFatal();
+
+  LogMessageFatal(const LogMessageFatal&) = delete;
+  LogMessageFatal& operator=(const LogMessageFatal&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dial::util
+
+#define DIAL_LOG_DEBUG \
+  ::dial::util::LogMessage(::dial::util::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define DIAL_LOG_INFO \
+  ::dial::util::LogMessage(::dial::util::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define DIAL_LOG_WARNING \
+  ::dial::util::LogMessage(::dial::util::LogLevel::kWarning, __FILE__, __LINE__).stream()
+#define DIAL_LOG_ERROR \
+  ::dial::util::LogMessage(::dial::util::LogLevel::kError, __FILE__, __LINE__).stream()
+#define DIAL_LOG_FATAL \
+  ::dial::util::LogMessageFatal(__FILE__, __LINE__).stream()
+
+/// Aborts with a message when `condition` is false. Usable in any build mode;
+/// these guard programmer errors, not user input.
+#define DIAL_CHECK(condition)                                  \
+  if (!(condition))                                            \
+  ::dial::util::LogMessageFatal(__FILE__, __LINE__).stream()   \
+      << "Check failed: " #condition " "
+
+#define DIAL_CHECK_OP(op, a, b)                              \
+  if (!((a)op(b)))                                           \
+  ::dial::util::LogMessageFatal(__FILE__, __LINE__).stream() \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) << ") "
+
+#define DIAL_CHECK_EQ(a, b) DIAL_CHECK_OP(==, a, b)
+#define DIAL_CHECK_NE(a, b) DIAL_CHECK_OP(!=, a, b)
+#define DIAL_CHECK_LT(a, b) DIAL_CHECK_OP(<, a, b)
+#define DIAL_CHECK_LE(a, b) DIAL_CHECK_OP(<=, a, b)
+#define DIAL_CHECK_GT(a, b) DIAL_CHECK_OP(>, a, b)
+#define DIAL_CHECK_GE(a, b) DIAL_CHECK_OP(>=, a, b)
+
+#endif  // DIAL_UTIL_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace dial::util {
+
+double Rng::Normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586;
+  spare_ = mag * std::sin(two_pi * u2);
+  have_spare_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DIAL_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(UniformInt(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<size_t> Rng::SampleWithReplacement(size_t n, size_t k) {
+  DIAL_CHECK_GT(n, 0u);
+  std::vector<size_t> out(k);
+  for (auto& v : out) v = static_cast<size_t>(UniformInt(n));
+  return out;
+}
+
+}  // namespace dial::util

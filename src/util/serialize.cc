@@ -1,0 +1,143 @@
+#include "util/serialize.h"
+
+namespace dial::util {
+
+namespace {
+// Guards against absurd lengths from corrupted files (1 GiB of floats).
+constexpr uint64_t kMaxVectorBytes = 1ull << 30;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic, uint32_t version)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for write: " + path);
+    return;
+  }
+  WriteU32(magic);
+  WriteU32(version);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (!status_.ok() || file_ == nullptr) return;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    status_ = Status::IoError("short write to " + path_);
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteF64(double v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(float));
+}
+
+Status BinaryWriter::Finish() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("close failed for " + path_);
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
+                           uint32_t expected_version) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::NotFound("cannot open for read: " + path);
+    return;
+  }
+  const uint32_t got_magic = ReadU32();
+  const uint32_t got_version = ReadU32();
+  if (!status_.ok()) return;
+  if (got_magic != magic) {
+    status_ = Status::Corruption("bad magic in " + path);
+  } else if (got_version != expected_version) {
+    status_ = Status::Corruption("unsupported version in " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool BinaryReader::ReadBytes(void* data, size_t n) {
+  if (!status_.ok() || file_ == nullptr) return false;
+  if (std::fread(data, 1, n, file_) != n) {
+    status_ = Status::Corruption("short read");
+    return false;
+  }
+  return true;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadF32() {
+  float v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  double v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n > kMaxVectorBytes) {
+    status_ = Status::Corruption("string length too large");
+    return {};
+  }
+  std::string s(n, '\0');
+  ReadBytes(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n * sizeof(float) > kMaxVectorBytes) {
+    status_ = Status::Corruption("vector length too large");
+    return {};
+  }
+  std::vector<float> v(n);
+  ReadBytes(v.data(), n * sizeof(float));
+  return v;
+}
+
+}  // namespace dial::util

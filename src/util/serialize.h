@@ -1,0 +1,78 @@
+#ifndef DIAL_UTIL_SERIALIZE_H_
+#define DIAL_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Little binary writer/reader with a magic header + format version, used to
+/// persist pretrained model weights (`tplm::ModelCache`). All multi-byte
+/// values are little-endian (the only platform we target); readers validate
+/// lengths so truncated/corrupted files fail with `Status` rather than UB.
+
+namespace dial::util {
+
+/// Streams POD values and vectors to a file. Any I/O failure latches into an
+/// error status returned by `Finish()`.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header.
+  BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+
+  /// Closes the file and reports the first error encountered, if any.
+  Status Finish();
+
+ private:
+  void WriteBytes(const void* data, size_t n);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+  std::string path_;
+};
+
+/// Reads a file produced by BinaryWriter, validating magic and version.
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, uint32_t magic, uint32_t expected_version);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  /// Non-OK if the file failed to open or validate; check before reading.
+  const Status& status() const { return status_; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+
+ private:
+  bool ReadBytes(void* data, size_t n);
+
+  std::FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_SERIALIZE_H_

@@ -1,0 +1,107 @@
+#ifndef DIAL_UTIL_STATUS_H_
+#define DIAL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+/// \file
+/// `Status` / `StatusOr<T>` — exception-free recoverable error propagation,
+/// used by I/O paths (serialization, model cache). Programmer errors use
+/// DIAL_CHECK instead.
+
+namespace dial::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kCorruption = 4,
+  kInternal = 5,
+};
+
+/// Value-semantic error carrier. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status. Accessing the value of a non-OK
+/// StatusOr is a checked programmer error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DIAL_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DIAL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    DIAL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    DIAL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dial::util
+
+/// Early-returns the status if it is not OK.
+#define DIAL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::dial::util::Status _dial_status = (expr); \
+    if (!_dial_status.ok()) return _dial_status; \
+  } while (false)
+
+#define DIAL_CHECK_OK(expr)                                         \
+  do {                                                              \
+    ::dial::util::Status _dial_status = (expr);                     \
+    DIAL_CHECK(_dial_status.ok()) << _dial_status.ToString();       \
+  } while (false)
+
+#endif  // DIAL_UTIL_STATUS_H_

@@ -1,0 +1,130 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dial::util {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || delims.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1);
+  std::vector<size_t> cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  const size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(Levenshtein(a, b)) / static_cast<double>(m);
+}
+
+std::unordered_set<std::string> CharQGrams(std::string_view s, size_t q) {
+  std::unordered_set<std::string> grams;
+  if (s.size() < q) {
+    if (!s.empty()) grams.emplace(s);
+    return grams;
+  }
+  for (size_t i = 0; i + q <= s.size(); ++i) grams.emplace(s.substr(i, q));
+  return grams;
+}
+
+double Jaccard(const std::unordered_set<std::string>& a,
+               const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& big = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const auto& x : small) inter += big.count(x);
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto ta = Split(a);
+  const auto tb = Split(b);
+  return Jaccard(std::unordered_set<std::string>(ta.begin(), ta.end()),
+                 std::unordered_set<std::string>(tb.begin(), tb.end()));
+}
+
+size_t TokenOverlap(std::string_view a, std::string_view b) {
+  const auto ta = Split(a);
+  const auto tb = Split(b);
+  const std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  size_t n = 0;
+  std::unordered_set<std::string> seen;
+  for (const auto& t : tb) {
+    if (sa.count(t) && seen.insert(t).second) ++n;
+  }
+  return n;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<size_t>(std::max(n, 0)), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace dial::util

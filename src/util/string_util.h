@@ -1,0 +1,54 @@
+#ifndef DIAL_UTIL_STRING_UTIL_H_
+#define DIAL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+/// \file
+/// String helpers shared by the tokenizer, the classical similarity features
+/// of the Random-Forest baseline, and the rule-based blocker.
+
+namespace dial::util {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims = " \t\n");
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Levenshtein edit distance (unit costs). O(|a|*|b|) time, O(min) memory.
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// 1 - edit_distance / max(len); 1.0 for two empty strings.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Set of character q-grams of `s` (padding-free). Empty string => empty set.
+std::unordered_set<std::string> CharQGrams(std::string_view s, size_t q);
+
+/// Jaccard similarity of two sets of strings; 1.0 when both are empty.
+double Jaccard(const std::unordered_set<std::string>& a,
+               const std::unordered_set<std::string>& b);
+
+/// Jaccard over whitespace tokens of two raw strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Overlap count of whitespace tokens.
+size_t TokenOverlap(std::string_view a, std::string_view b);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dial::util {
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DIAL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(width[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::ToMarkdown() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (const auto& cell : row) line += " " + cell + " |";
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) rule += "---|";
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace dial::util

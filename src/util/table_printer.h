@@ -1,0 +1,37 @@
+#ifndef DIAL_UTIL_TABLE_PRINTER_H_
+#define DIAL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// ASCII table renderer used by every bench harness to print paper-style
+/// result tables (and by EXPERIMENTS.md generation).
+
+namespace dial::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 1);
+
+  /// Renders with column alignment, `|` separators, and a header rule.
+  std::string ToString() const;
+
+  /// Renders as GitHub-flavoured markdown (for EXPERIMENTS.md).
+  std::string ToMarkdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_TABLE_PRINTER_H_

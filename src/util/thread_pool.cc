@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dial::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(fn));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunks = std::min(n, pool->num_threads() * 4);
+  const size_t chunk = (n + chunks - 1) / chunks;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    pool->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace dial::util

@@ -1,0 +1,56 @@
+#ifndef DIAL_UTIL_THREAD_POOL_H_
+#define DIAL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size worker pool plus a `ParallelFor` helper used for
+/// data-parallel gradient accumulation and batched index probes. On this
+/// project's reference hardware (2 cores) parallelism is a modest win; all
+/// callers also work with `num_threads == 0` (inline execution).
+
+namespace dial::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` means every Submit
+  /// runs inline on the caller thread (useful for deterministic tests).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately (or runs inline if no workers).
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+/// pool; blocks until complete. With a null pool, runs inline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+#ifndef DIAL_UTIL_TIMER_H_
+#define DIAL_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing used by the benchmark harnesses and the Table 9/10
+/// runtime-breakdown instrumentation.
+
+namespace dial::util {
+
+/// Monotonic stopwatch; starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (used for the
+/// per-operation breakdown in the Table 9 reproduction).
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_TIMER_H_

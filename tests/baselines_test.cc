@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "baselines/features.h"
+#include "baselines/jedai.h"
+#include "baselines/random_forest.h"
+#include "baselines/rf_al.h"
+#include "baselines/rules.h"
+#include "core/metrics.h"
+#include "data/registry.h"
+
+namespace dial::baselines {
+namespace {
+
+// ---------------------------------------------------------------------- rules
+
+TEST(Rules, HighRecallOnProducts) {
+  const auto bundle = data::MakeDataset("walmart_amazon", data::Scale::kSmoke, 1);
+  const auto cand = RulesCandidates(bundle);
+  EXPECT_GT(core::CandidateRecall(core::CandidatePairs(cand), bundle), 0.7);
+  // And it prunes: far fewer pairs than the Cartesian product.
+  EXPECT_LT(cand.size(), bundle.r_table.size() * bundle.s_table.size() / 4);
+}
+
+TEST(Rules, HighRecallOnCitations) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  const auto cand = RulesCandidates(bundle);
+  EXPECT_GT(core::CandidateRecall(core::CandidatePairs(cand), bundle), 0.8);
+}
+
+TEST(Rules, SortedByOverlapDescending) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  const auto cand = RulesCandidates(bundle);
+  for (size_t i = 1; i < cand.size(); ++i) {
+    EXPECT_LE(cand[i - 1].distance, cand[i].distance);
+  }
+}
+
+TEST(Rules, MinOverlapPrunes) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  RulesConfig loose;
+  loose.min_overlap = 1;
+  loose.max_token_df = 40;
+  RulesConfig strict = loose;
+  strict.min_overlap = 3;
+  EXPECT_LE(RulesCandidates(bundle, strict).size(),
+            RulesCandidates(bundle, loose).size());
+}
+
+TEST(Rules, DefaultsVaryByFamily) {
+  EXPECT_NE(DefaultRulesFor("walmart_amazon").min_overlap,
+            DefaultRulesFor("dblp_acm").min_overlap);
+}
+
+// -------------------------------------------------------------------- features
+
+TEST(Features, CountMatchesSchema) {
+  const auto bundle = data::MakeDataset("walmart_amazon", data::Scale::kSmoke, 1);
+  EXPECT_EQ(PairFeatureCount(bundle), bundle.r_table.schema().size() * 5 + 1);
+  const auto f = PairFeatures(bundle, {0, 0});
+  EXPECT_EQ(f.size(), PairFeatureCount(bundle));
+}
+
+TEST(Features, BoundedZeroOne) {
+  const auto bundle = data::MakeDataset("abt_buy", data::Scale::kSmoke, 1);
+  for (uint32_t s = 0; s < 5; ++s) {
+    for (const float v : PairFeatures(bundle, {0, s})) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(Features, DuplicatesScoreHigherThanRandom) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  double dup_total = 0.0;
+  double rnd_total = 0.0;
+  const size_t n = std::min<size_t>(bundle.dups.size(), 20);
+  for (size_t i = 0; i < n; ++i) {
+    const auto dup_f = PairFeatures(bundle, bundle.dups[i]);
+    const auto rnd_f = PairFeatures(
+        bundle, {bundle.dups[i].r,
+                 static_cast<uint32_t>((bundle.dups[i].s + 7) % bundle.s_table.size())});
+    dup_total += dup_f.back();  // whole-record token jaccard
+    rnd_total += rnd_f.back();
+  }
+  EXPECT_GT(dup_total, rnd_total);
+}
+
+// --------------------------------------------------------------- decision tree
+
+la::Matrix XorData(std::vector<int>& labels) {
+  // Non-linearly separable: y = x0 XOR x1 with thresholds at 0.5.
+  la::Matrix x(40, 2);
+  labels.resize(40);
+  util::Rng rng(3);
+  for (size_t i = 0; i < 40; ++i) {
+    const bool a = rng.Bernoulli(0.5);
+    const bool b = rng.Bernoulli(0.5);
+    x(i, 0) = a ? 0.9f : 0.1f;
+    x(i, 1) = b ? 0.9f : 0.1f;
+    labels[i] = a != b;
+  }
+  return x;
+}
+
+TEST(DecisionTree, LearnsXor) {
+  std::vector<int> labels;
+  const la::Matrix x = XorData(labels);
+  DecisionTree tree;
+  util::Rng rng(4);
+  TreeOptions options;
+  options.features_per_split = 2;  // examine both features
+  tree.Fit(x, labels, options, rng);
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    correct += tree.Predict(x.row(i)) == labels[i];
+  }
+  EXPECT_EQ(correct, x.rows());
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  std::vector<int> labels;
+  const la::Matrix x = XorData(labels);
+  DecisionTree stump;
+  util::Rng rng(5);
+  TreeOptions options;
+  options.max_depth = 0;  // root only
+  stump.Fit(x, labels, options, rng);
+  EXPECT_EQ(stump.node_count(), 1u);
+}
+
+TEST(DecisionTree, PureLeafProbabilities) {
+  la::Matrix x({{0.0f}, {1.0f}});
+  std::vector<int> y = {0, 1};
+  DecisionTree tree;
+  util::Rng rng(6);
+  TreeOptions options;
+  options.min_samples_leaf = 1;
+  tree.Fit(x, y, options, rng);
+  const float low = 0.0f;
+  EXPECT_FLOAT_EQ(tree.PredictProb(&low), 0.0f);
+  const float high = 1.0f;
+  EXPECT_FLOAT_EQ(tree.PredictProb(&high), 1.0f);
+}
+
+TEST(RandomForestTest, FitsAndVotes) {
+  std::vector<int> labels;
+  const la::Matrix x = XorData(labels);
+  RandomForest forest;
+  ForestOptions options;
+  options.num_trees = 15;
+  options.tree.features_per_split = 2;
+  forest.Fit(x, labels, options);
+  EXPECT_EQ(forest.size(), 15u);
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    correct += (forest.PredictProb(x.row(i)) > 0.5f) == (labels[i] == 1);
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.rows(), 0.9);
+  // Votes consistent with probability.
+  const size_t votes = forest.MatchVotes(x.row(0));
+  EXPECT_NEAR(static_cast<float>(votes) / 15.0f, forest.PredictProb(x.row(0)), 0.3f);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  std::vector<int> labels;
+  const la::Matrix x = XorData(labels);
+  ForestOptions options;
+  options.num_trees = 5;
+  RandomForest a, b;
+  a.Fit(x, labels, options);
+  b.Fit(x, labels, options);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_FLOAT_EQ(a.PredictProb(x.row(i)), b.PredictProb(x.row(i)));
+  }
+}
+
+// ------------------------------------------------------------------- RF AL loop
+
+TEST(RfAl, RunsEndToEndOnSmoke) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  RfAlConfig config;
+  config.rounds = 2;
+  config.budget_per_round = 8;
+  config.seed_per_class = 6;
+  const core::AlResult result = RunRandomForestAl(bundle, config);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  EXPECT_GT(result.final_allpairs.f1, 0.3);  // classical methods do well here
+  EXPECT_EQ(result.labels_used, 16u);
+  EXPECT_GT(result.rounds[0].cand_recall, 0.5);
+  EXPECT_GT(result.block_match_seconds, 0.0);
+}
+
+// ----------------------------------------------------------------------- JedAI
+
+TEST(Jedai, SchemaAgnosticFindsDuplicates) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  const JedaiResult result = RunJedaiSchemaAgnostic(bundle);
+  EXPECT_GT(result.num_blocks, 0u);
+  EXPECT_GT(result.comparisons, 0u);
+  const core::Prf prf = core::EvaluatePredictedPairs(bundle, result.predicted);
+  EXPECT_GT(prf.f1, 0.3);
+}
+
+TEST(Jedai, SchemaBasedFindsDuplicates) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  const JedaiResult result = RunJedaiSchemaBased(bundle);
+  const core::Prf prf = core::EvaluatePredictedPairs(bundle, result.predicted);
+  EXPECT_GT(prf.f1, 0.3);
+  EXPECT_GT(result.best_threshold, 0.0);
+}
+
+TEST(Jedai, PurgingReducesComparisons) {
+  const auto bundle = data::MakeDataset("dblp_scholar", data::Scale::kSmoke, 1);
+  JedaiAgnosticConfig loose;
+  loose.max_block_comparisons = 1u << 20;
+  JedaiAgnosticConfig tight;
+  tight.max_block_comparisons = 64;
+  EXPECT_LE(RunJedaiSchemaAgnostic(bundle, tight).comparisons,
+            RunJedaiSchemaAgnostic(bundle, loose).comparisons);
+}
+
+TEST(Jedai, GridSearchPicksFromGrid) {
+  const auto bundle = data::MakeDataset("dblp_acm", data::Scale::kSmoke, 1);
+  JedaiSchemaConfig config;
+  config.threshold_grid = {0.25, 0.75};
+  const JedaiResult result = RunJedaiSchemaBased(bundle, config);
+  EXPECT_TRUE(result.best_threshold == 0.25 || result.best_threshold == 0.75);
+}
+
+}  // namespace
+}  // namespace dial::baselines

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/checkpoint.h"
+#include "core/experiment.h"
+
+namespace dial::core {
+namespace {
+
+AlCheckpoint SampleCheckpoint() {
+  AlCheckpoint ckpt;
+  ckpt.dataset_name = "walmart_amazon";
+  ckpt.config_fingerprint = 0xdeadbeefcafeULL;
+  ckpt.next_round = 3;
+  ckpt.labels_used = 42;
+  util::Rng rng(17);
+  rng.Next();
+  rng.Normal();  // populate the Box-Muller spare
+  ckpt.rng_state = rng.GetState();
+  ckpt.positives = {{{1, 2}, false}, {{3, 4}, true}};
+  ckpt.negatives = {{{5, 6}, false}};
+  ckpt.calibration = {{7, 8}, {9, 10}};
+  RoundMetrics m;
+  m.round = 2;
+  m.labels_in_t = 100;
+  m.cand_size = 500;
+  m.cand_recall = 0.87;
+  m.test_prf.precision = 0.9;
+  m.test_prf.recall = 0.8;
+  m.test_prf.f1 = 0.847;
+  m.test_prf.true_positives = 40;
+  m.allpairs_prf.f1 = 0.79;
+  m.t_train_matcher = 1.25;
+  m.t_select = 0.5;
+  ckpt.rounds = {m};
+  return ckpt;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const AlCheckpoint original = SampleCheckpoint();
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveAlCheckpoint(path, original).ok());
+
+  AlCheckpoint loaded;
+  ASSERT_TRUE(LoadAlCheckpoint(path, &loaded).ok());
+  EXPECT_EQ(loaded.dataset_name, original.dataset_name);
+  EXPECT_EQ(loaded.config_fingerprint, original.config_fingerprint);
+  EXPECT_EQ(loaded.next_round, original.next_round);
+  EXPECT_EQ(loaded.labels_used, original.labels_used);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.rng_state.s[i], original.rng_state.s[i]);
+  }
+  EXPECT_EQ(loaded.rng_state.have_spare, original.rng_state.have_spare);
+  EXPECT_DOUBLE_EQ(loaded.rng_state.spare, original.rng_state.spare);
+  ASSERT_EQ(loaded.positives.size(), 2u);
+  EXPECT_EQ(loaded.positives[1].pair.r, 3u);
+  EXPECT_TRUE(loaded.positives[1].pseudo);
+  ASSERT_EQ(loaded.negatives.size(), 1u);
+  ASSERT_EQ(loaded.calibration.size(), 2u);
+  EXPECT_EQ(loaded.calibration[1].s, 10u);
+  ASSERT_EQ(loaded.rounds.size(), 1u);
+  EXPECT_EQ(loaded.rounds[0].round, 2u);
+  EXPECT_DOUBLE_EQ(loaded.rounds[0].cand_recall, 0.87);
+  EXPECT_DOUBLE_EQ(loaded.rounds[0].test_prf.f1, 0.847);
+  EXPECT_EQ(loaded.rounds[0].test_prf.true_positives, 40u);
+  EXPECT_DOUBLE_EQ(loaded.rounds[0].t_train_matcher, 1.25);
+}
+
+TEST(Checkpoint, RestoredRngStreamIsBitIdentical) {
+  util::Rng source(23);
+  for (int i = 0; i < 100; ++i) source.Next();
+  source.Normal();
+  AlCheckpoint ckpt = SampleCheckpoint();
+  ckpt.rng_state = source.GetState();
+  const std::string path = TempPath("ckpt_rng.bin");
+  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  AlCheckpoint loaded;
+  ASSERT_TRUE(LoadAlCheckpoint(path, &loaded).ok());
+  util::Rng restored(1);
+  restored.SetState(loaded.rng_state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(restored.Next(), source.Next());
+  }
+  EXPECT_DOUBLE_EQ(restored.Normal(), source.Normal());
+}
+
+TEST(Checkpoint, LoadMissingFileFails) {
+  AlCheckpoint loaded;
+  const util::Status status =
+      LoadAlCheckpoint(TempPath("does_not_exist.bin"), &loaded);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(Checkpoint, LoadTruncatedFileFails) {
+  const std::string path = TempPath("ckpt_trunc.bin");
+  ASSERT_TRUE(SaveAlCheckpoint(path, SampleCheckpoint()).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  AlCheckpoint loaded;
+  EXPECT_FALSE(LoadAlCheckpoint(path, &loaded).ok());
+}
+
+TEST(Checkpoint, LoadGarbageMagicFails) {
+  const std::string path = TempPath("ckpt_magic.bin");
+  std::ofstream out(path, std::ios::binary);
+  out << "not a checkpoint at all, definitely";
+  out.close();
+  AlCheckpoint loaded;
+  EXPECT_FALSE(LoadAlCheckpoint(path, &loaded).ok());
+}
+
+TEST(Checkpoint, FingerprintSensitivity) {
+  AlConfig config;
+  const uint64_t base = AlConfigFingerprint(config, "walmart_amazon");
+  EXPECT_EQ(base, AlConfigFingerprint(config, "walmart_amazon"));
+  EXPECT_NE(base, AlConfigFingerprint(config, "abt_buy"));
+  AlConfig other = config;
+  other.budget_per_round += 1;
+  EXPECT_NE(base, AlConfigFingerprint(other, "walmart_amazon"));
+  other = config;
+  other.selector = SelectorKind::kBadge;
+  EXPECT_NE(base, AlConfigFingerprint(other, "walmart_amazon"));
+  other = config;
+  other.seed ^= 1;
+  EXPECT_NE(base, AlConfigFingerprint(other, "walmart_amazon"));
+}
+
+// ------------------------------------------------------- loop integration
+
+Experiment& SharedExperiment() {
+  static Experiment* exp = [] {
+    ExperimentConfig config = DefaultExperimentConfig(data::Scale::kSmoke);
+    config.cache_dir = testing::TempDir() + "/dial_checkpoint_cache";
+    return new Experiment(PrepareExperiment("walmart_amazon", config));
+  }();
+  return *exp;
+}
+
+AlConfig SmokeAl(uint64_t seed) {
+  AlConfig config = DefaultAlConfig(data::Scale::kSmoke, seed);
+  config.rounds = 2;
+  return config;
+}
+
+TEST(CheckpointLoop, ResumeReproducesUninterruptedRun) {
+  Experiment& exp = SharedExperiment();
+  const AlConfig config = SmokeAl(31);
+
+  // Reference: straight 2-round run.
+  ActiveLearningLoop straight(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
+  const AlResult expected = straight.Run();
+
+  // Interrupted: simulate a crash after round 0 by running a 1-round loop
+  // with checkpointing (round 0 is independent of the total round count),
+  // then resume under the full 2-round config — the "extend the budget"
+  // path, which the fingerprint deliberately allows.
+  const std::string path = TempPath("ckpt_loop.bin");
+  AlConfig short_config = config;
+  short_config.rounds = 1;
+  ActiveLearningLoop short_loop(&exp.bundle, &exp.vocab, exp.pretrained.get(),
+                                short_config);
+  short_loop.SetCheckpointPath(path);
+  const AlResult half = short_loop.Run();
+  ASSERT_EQ(half.rounds.size(), 1u);
+
+  ActiveLearningLoop resumed(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
+  ASSERT_TRUE(resumed.RestoreCheckpoint(path).ok());
+  const AlResult result = resumed.Run();
+
+  ASSERT_EQ(result.rounds.size(), expected.rounds.size());
+  for (size_t i = 0; i < result.rounds.size(); ++i) {
+    EXPECT_EQ(result.rounds[i].labels_in_t, expected.rounds[i].labels_in_t) << i;
+    EXPECT_EQ(result.rounds[i].cand_size, expected.rounds[i].cand_size) << i;
+    EXPECT_DOUBLE_EQ(result.rounds[i].cand_recall, expected.rounds[i].cand_recall)
+        << i;
+    EXPECT_DOUBLE_EQ(result.rounds[i].test_prf.f1, expected.rounds[i].test_prf.f1)
+        << i;
+    EXPECT_DOUBLE_EQ(result.rounds[i].allpairs_prf.f1,
+                     expected.rounds[i].allpairs_prf.f1)
+        << i;
+  }
+  EXPECT_EQ(result.labels_used, expected.labels_used);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointLoop, RestoreRejectsWrongDataset) {
+  Experiment& exp = SharedExperiment();
+  const std::string path = TempPath("ckpt_wrong_ds.bin");
+  AlCheckpoint ckpt = SampleCheckpoint();
+  ckpt.dataset_name = "amazon_google";
+  ckpt.next_round = 1;
+  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), SmokeAl(32));
+  const util::Status status = loop.RestoreCheckpoint(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointLoop, RestoreRejectsWrongConfig) {
+  Experiment& exp = SharedExperiment();
+  const std::string path = TempPath("ckpt_wrong_cfg.bin");
+  const AlConfig config = SmokeAl(33);
+  AlCheckpoint ckpt = SampleCheckpoint();
+  ckpt.dataset_name = exp.bundle.name;
+  ckpt.next_round = 1;
+  ckpt.config_fingerprint = AlConfigFingerprint(config, exp.bundle.name) ^ 0x1;
+  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
+  EXPECT_FALSE(loop.RestoreCheckpoint(path).ok());
+}
+
+TEST(CheckpointLoop, RestoreRejectsFinishedRun) {
+  Experiment& exp = SharedExperiment();
+  const std::string path = TempPath("ckpt_done.bin");
+  const AlConfig config = SmokeAl(34);
+  AlCheckpoint ckpt = SampleCheckpoint();
+  ckpt.dataset_name = exp.bundle.name;
+  ckpt.next_round = static_cast<uint32_t>(config.rounds);  // nothing left
+  ckpt.config_fingerprint = AlConfigFingerprint(config, exp.bundle.name);
+  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
+  EXPECT_FALSE(loop.RestoreCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace dial::core

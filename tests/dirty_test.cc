@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "data/dirty.h"
+#include "data/registry.h"
+#include "text/tokenizer.h"
+
+namespace dial::data {
+namespace {
+
+/// Sorted token multiset of a record's full text.
+std::vector<std::string> SortedTokens(const Table& table, size_t row) {
+  std::vector<std::string> toks = text::BasicTokenize(table.TextOf(row));
+  std::sort(toks.begin(), toks.end());
+  return toks;
+}
+
+TEST(Dirty, PreservesGoldStructure) {
+  DatasetBundle bundle = MakeDataset("walmart_amazon", Scale::kSmoke, 11);
+  const size_t dups = bundle.dups.size();
+  const size_t r_size = bundle.r_table.size();
+  const size_t s_size = bundle.s_table.size();
+  DirtyConfig config;
+  config.move_prob = 0.5;
+  MakeDirty(bundle, config);  // re-validates internally
+  EXPECT_EQ(bundle.dups.size(), dups);
+  EXPECT_EQ(bundle.r_table.size(), r_size);
+  EXPECT_EQ(bundle.s_table.size(), s_size);
+}
+
+TEST(Dirty, MovesValuesButPreservesTokenMultiset) {
+  // Displacing values across columns must not change the record's full-text
+  // token content — that is the defining property of the DeepMatcher dirty
+  // variants (schema broken, text preserved).
+  DatasetBundle bundle = MakeDataset("amazon_google", Scale::kSmoke, 12);
+  const Table original = bundle.s_table;
+  DirtyConfig config;
+  config.move_prob = 1.0;
+  MakeDirty(bundle, config);
+  EXPECT_GT(DirtiedFraction(bundle.s_table, original), 0.9);
+  for (size_t row = 0; row < original.size(); ++row) {
+    EXPECT_EQ(SortedTokens(bundle.s_table, row), SortedTokens(original, row))
+        << "row " << row;
+  }
+}
+
+TEST(Dirty, RUntouchedByDefault) {
+  DatasetBundle bundle = MakeDataset("walmart_amazon", Scale::kSmoke, 13);
+  const Table original_r = bundle.r_table;
+  DirtyConfig config;
+  config.move_prob = 1.0;
+  MakeDirty(bundle, config);
+  EXPECT_DOUBLE_EQ(DirtiedFraction(bundle.r_table, original_r), 0.0);
+}
+
+TEST(Dirty, DirtyRFlagDirtiesBothSides) {
+  DatasetBundle bundle = MakeDataset("walmart_amazon", Scale::kSmoke, 14);
+  const Table original_r = bundle.r_table;
+  DirtyConfig config;
+  config.move_prob = 1.0;
+  config.dirty_r = true;
+  MakeDirty(bundle, config);
+  EXPECT_GT(DirtiedFraction(bundle.r_table, original_r), 0.9);
+}
+
+TEST(Dirty, PrimaryColumnExemptUnlessAllowed) {
+  DatasetBundle bundle = MakeDataset("dblp_acm", Scale::kSmoke, 15);
+  DirtyConfig config;
+  config.move_prob = 1.0;
+  MakeDirty(bundle, config);
+  // Column 0 never loses its value when allow_primary is false; it can only
+  // grow (receive displaced values).
+  const DatasetBundle clean = MakeDataset("dblp_acm", Scale::kSmoke, 15);
+  for (size_t row = 0; row < bundle.s_table.size(); ++row) {
+    const std::string& dirty_primary = bundle.s_table[row].values[0];
+    const std::string& clean_primary = clean.s_table[row].values[0];
+    EXPECT_EQ(dirty_primary.rfind(clean_primary, 0), 0u)
+        << "primary value was displaced in row " << row;
+  }
+}
+
+TEST(Dirty, ZeroProbabilityIsNoOp) {
+  DatasetBundle bundle = MakeDataset("walmart_amazon", Scale::kSmoke, 16);
+  const Table original = bundle.s_table;
+  DirtyConfig config;
+  config.move_prob = 0.0;
+  MakeDirty(bundle, config);
+  EXPECT_DOUBLE_EQ(DirtiedFraction(bundle.s_table, original), 0.0);
+}
+
+TEST(Dirty, DeterministicGivenSeed) {
+  DatasetBundle a = MakeDataset("walmart_amazon", Scale::kSmoke, 17);
+  DatasetBundle b = MakeDataset("walmart_amazon", Scale::kSmoke, 17);
+  DirtyConfig config;
+  config.move_prob = 0.4;
+  MakeDirty(a, config);
+  MakeDirty(b, config);
+  for (size_t row = 0; row < a.s_table.size(); ++row) {
+    EXPECT_EQ(a.s_table[row].values, b.s_table[row].values);
+  }
+}
+
+TEST(DirtyRegistry, DirtyPrefixGeneratesVariant) {
+  const DatasetBundle dirty = MakeDataset("dirty_walmart_amazon", Scale::kSmoke, 18);
+  const DatasetBundle clean = MakeDataset("walmart_amazon", Scale::kSmoke, 18);
+  EXPECT_EQ(dirty.name, "dirty_walmart_amazon");
+  EXPECT_EQ(dirty.dups.size(), clean.dups.size());
+  EXPECT_EQ(dirty.r_table.size(), clean.r_table.size());
+  EXPECT_GT(DirtiedFraction(dirty.s_table, clean.s_table), 0.1);
+  // R side is untouched by the default dirty transform.
+  EXPECT_DOUBLE_EQ(DirtiedFraction(dirty.r_table, clean.r_table), 0.0);
+}
+
+TEST(DirtyRegistry, UnknownBaseStillAborts) {
+  EXPECT_DEATH(MakeDataset("dirty_nonexistent", Scale::kSmoke, 19), "Unknown");
+}
+
+}  // namespace
+}  // namespace dial::data

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/matmul_search.h"
+
+namespace dial::index {
+namespace {
+
+la::Matrix RandomVectors(size_t n, size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix m(n, d);
+  m.RandNormal(rng, 1.0f);
+  return m;
+}
+
+double RecallVsFlat(const VectorIndex& index, const la::Matrix& data,
+                    const la::Matrix& queries, size_t k, Metric metric) {
+  FlatIndex flat(data.cols(), metric);
+  flat.Add(data);
+  const SearchBatch truth = flat.Search(queries, k);
+  const SearchBatch got = index.Search(queries, k);
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::set<int> expected;
+    for (const Neighbor& nb : truth[q]) expected.insert(nb.id);
+    for (const Neighbor& nb : got[q]) hits += expected.count(nb.id);
+    total += truth[q].size();
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TEST(HnswIndex, EmptySearch) {
+  HnswIndex index(8, Metric::kL2, {});
+  const auto results = index.Search(RandomVectors(3, 8, 1), 5);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) EXPECT_TRUE(r.empty());
+}
+
+TEST(HnswIndex, SingleVector) {
+  HnswIndex index(4, Metric::kL2, {});
+  index.Add(RandomVectors(1, 4, 2));
+  const auto results = index.Search(RandomVectors(2, 4, 3), 3);
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].id, 0);
+  }
+}
+
+TEST(HnswIndex, SelfRetrieval) {
+  const la::Matrix data = RandomVectors(100, 8, 4);
+  HnswIndex index(8, Metric::kL2, {});
+  index.Add(data);
+  const auto results = index.Search(data, 1);
+  size_t exact = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_FALSE(results[i].empty());
+    if (results[i][0].id == static_cast<int>(i)) ++exact;
+  }
+  // Graph search from a single entry point: self-retrieval should be
+  // essentially perfect on random Gaussian data.
+  EXPECT_GE(exact, 98u);
+}
+
+TEST(HnswIndex, HighRecallVsExact) {
+  const la::Matrix data = RandomVectors(500, 16, 5);
+  const la::Matrix queries = RandomVectors(50, 16, 6);
+  HnswIndex::Options options;
+  options.m = 12;
+  options.ef_construction = 100;
+  options.ef_search = 64;
+  HnswIndex index(16, Metric::kL2, options);
+  index.Add(data);
+  EXPECT_GT(RecallVsFlat(index, data, queries, 10, Metric::kL2), 0.9);
+}
+
+TEST(HnswIndex, RecallGrowsWithEfSearch) {
+  const la::Matrix data = RandomVectors(400, 16, 7);
+  const la::Matrix queries = RandomVectors(40, 16, 8);
+  auto recall_at = [&](size_t ef) {
+    HnswIndex::Options options;
+    options.ef_search = ef;
+    HnswIndex index(16, Metric::kL2, options);
+    index.Add(data);
+    return RecallVsFlat(index, data, queries, 10, Metric::kL2);
+  };
+  EXPECT_GE(recall_at(128) + 0.02, recall_at(8));
+  EXPECT_GT(recall_at(128), 0.85);
+}
+
+TEST(HnswIndex, DeterministicGivenSeed) {
+  const la::Matrix data = RandomVectors(200, 8, 9);
+  const la::Matrix queries = RandomVectors(10, 8, 10);
+  HnswIndex a(8, Metric::kL2, {});
+  HnswIndex b(8, Metric::kL2, {});
+  a.Add(data);
+  b.Add(data);
+  const auto ra = a.Search(queries, 5);
+  const auto rb = b.Search(queries, 5);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(ra[q].size(), rb[q].size());
+    for (size_t i = 0; i < ra[q].size(); ++i) {
+      EXPECT_EQ(ra[q][i].id, rb[q][i].id);
+    }
+  }
+}
+
+TEST(HnswIndex, IncrementalAdd) {
+  const la::Matrix a = RandomVectors(100, 8, 11);
+  const la::Matrix b = RandomVectors(50, 8, 12);
+  HnswIndex index(8, Metric::kL2, {});
+  index.Add(a);
+  index.Add(b);
+  EXPECT_EQ(index.size(), 150u);
+  // A second-batch vector finds itself.
+  la::Matrix query(1, 8);
+  std::copy(b.row(7), b.row(7) + 8, query.row(0));
+  const auto results = index.Search(query, 1);
+  EXPECT_EQ(results[0][0].id, 107);
+  EXPECT_NEAR(results[0][0].distance, 0.0f, 1e-5f);
+}
+
+TEST(HnswIndex, DegreeBounded) {
+  const la::Matrix data = RandomVectors(300, 8, 13);
+  HnswIndex::Options options;
+  options.m = 6;
+  HnswIndex index(8, Metric::kL2, options);
+  index.Add(data);
+  EXPECT_GT(index.MeanDegree(), 1.0);
+  EXPECT_LE(index.MeanDegree(), 12.0);  // layer-0 cap is 2*m
+  EXPECT_GE(index.max_level(), 0);
+}
+
+TEST(HnswIndex, KLargerThanSize) {
+  HnswIndex index(8, Metric::kL2, {});
+  index.Add(RandomVectors(5, 8, 14));
+  const auto results = index.Search(RandomVectors(1, 8, 15), 20);
+  EXPECT_EQ(results[0].size(), 5u);
+}
+
+TEST(HnswIndex, DuplicateVectors) {
+  // Many identical points must not break neighbour selection.
+  la::Matrix data(20, 4, 1.0f);
+  HnswIndex index(4, Metric::kL2, {});
+  index.Add(data);
+  la::Matrix query(1, 4, 1.0f);
+  const auto results = index.Search(query, 5);
+  ASSERT_EQ(results[0].size(), 5u);
+  for (const Neighbor& nb : results[0]) EXPECT_NEAR(nb.distance, 0.0f, 1e-6f);
+}
+
+class HnswMetrics : public testing::TestWithParam<Metric> {};
+
+TEST_P(HnswMetrics, ReasonableRecallUnderEveryMetric) {
+  const Metric metric = GetParam();
+  const la::Matrix data = RandomVectors(300, 16, 16);
+  const la::Matrix queries = RandomVectors(30, 16, 17);
+  HnswIndex::Options options;
+  options.ef_search = 64;
+  HnswIndex index(16, metric, options);
+  index.Add(data);
+  EXPECT_GT(RecallVsFlat(index, data, queries, 10, metric), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, HnswMetrics,
+                         testing::Values(Metric::kL2, Metric::kInnerProduct,
+                                         Metric::kCosine));
+
+// ---------------------------------------------------------------------------
+// Blocked-matmul exact search: must agree with FlatIndex bit-for-bit on ids.
+
+class MatmulMetrics : public testing::TestWithParam<Metric> {};
+
+TEST_P(MatmulMetrics, ExactlyMatchesFlat) {
+  const Metric metric = GetParam();
+  const la::Matrix data = RandomVectors(130, 8, 18);
+  const la::Matrix queries = RandomVectors(70, 8, 19);
+  FlatIndex flat(8, metric);
+  flat.Add(data);
+  MatmulSearchIndex::Options options;
+  options.query_tile = 16;  // force multiple tiles
+  options.db_block = 32;    // force multiple blocks
+  MatmulSearchIndex matmul(8, metric, options);
+  matmul.Add(data);
+  const auto a = flat.Search(queries, 7);
+  const auto b = matmul.Search(queries, 7);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size());
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << "metric "
+                                        << static_cast<int>(metric) << " q " << q;
+      EXPECT_NEAR(a[q][i].distance, b[q][i].distance, 1e-3f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, MatmulMetrics,
+                         testing::Values(Metric::kL2, Metric::kInnerProduct,
+                                         Metric::kCosine));
+
+TEST(MatmulSearchIndex, TileBoundarySizes) {
+  // Sizes around the tile/block boundaries (1, tile-1, tile, tile+1).
+  for (const size_t n : {1u, 31u, 32u, 33u, 65u}) {
+    const la::Matrix data = RandomVectors(n, 4, 20 + n);
+    MatmulSearchIndex::Options options;
+    options.query_tile = 8;
+    options.db_block = 32;
+    MatmulSearchIndex index(4, Metric::kL2, options);
+    index.Add(data);
+    FlatIndex flat(4, Metric::kL2);
+    flat.Add(data);
+    const la::Matrix queries = RandomVectors(9, 4, 40 + n);
+    const auto a = flat.Search(queries, 3);
+    const auto b = index.Search(queries, 3);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      ASSERT_EQ(a[q].size(), b[q].size()) << "n=" << n;
+      for (size_t i = 0; i < a[q].size(); ++i) {
+        EXPECT_EQ(a[q][i].id, b[q][i].id) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(MatmulSearchIndex, IncrementalAddAcrossBlockBoundary) {
+  MatmulSearchIndex::Options options;
+  options.db_block = 16;
+  MatmulSearchIndex index(4, Metric::kL2, options);
+  // 10 + 10 rows: second Add must top up the half-full block, then open a
+  // new one.
+  const la::Matrix a = RandomVectors(10, 4, 60);
+  const la::Matrix b = RandomVectors(10, 4, 61);
+  index.Add(a);
+  index.Add(b);
+  EXPECT_EQ(index.size(), 20u);
+  la::Matrix query(1, 4);
+  std::copy(b.row(4), b.row(4) + 4, query.row(0));
+  const auto results = index.Search(query, 1);
+  EXPECT_EQ(results[0][0].id, 14);
+  EXPECT_NEAR(results[0][0].distance, 0.0f, 1e-5f);
+}
+
+TEST(MatmulSearchIndex, EmptySearch) {
+  MatmulSearchIndex index(8, Metric::kL2);
+  const auto results = index.Search(RandomVectors(2, 8, 62), 4);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].empty());
+}
+
+}  // namespace
+}  // namespace dial::index

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/ibc.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/ivfpq_index.h"
+#include "index/lsh_index.h"
+#include "index/matmul_search.h"
+#include "index/pq_index.h"
+#include "index/sq_index.h"
+
+/// Cross-backend property suite: every index backend, exact or approximate,
+/// must satisfy the VectorIndex contract uniformly. One TEST_P per invariant,
+/// instantiated over all 8 backends.
+
+namespace dial::index {
+namespace {
+
+using core::IndexBackend;
+
+constexpr size_t kDim = 16;
+
+std::unique_ptr<VectorIndex> MakeBackend(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kFlat:
+      return std::make_unique<FlatIndex>(kDim, Metric::kL2);
+    case IndexBackend::kIvf: {
+      IvfIndex::Options options;
+      options.nlist = 8;
+      options.nprobe = 4;
+      return std::make_unique<IvfIndex>(kDim, Metric::kL2, options);
+    }
+    case IndexBackend::kLsh:
+      return std::make_unique<LshIndex>(kDim, Metric::kL2, LshIndex::Options{});
+    case IndexBackend::kPq: {
+      ProductQuantizer::Options options;
+      options.num_subspaces = 4;
+      return std::make_unique<PqIndex>(kDim, Metric::kL2, options);
+    }
+    case IndexBackend::kIvfPq: {
+      IvfPqIndex::Options options;
+      options.nlist = 8;
+      options.nprobe = 8;
+      options.pq.num_subspaces = 4;
+      return std::make_unique<IvfPqIndex>(kDim, Metric::kL2, options);
+    }
+    case IndexBackend::kSq:
+      return std::make_unique<SqIndex>(kDim, Metric::kL2);
+    case IndexBackend::kHnsw:
+      return std::make_unique<HnswIndex>(kDim, Metric::kL2, HnswIndex::Options{});
+    case IndexBackend::kMatmul:
+      return std::make_unique<MatmulSearchIndex>(kDim, Metric::kL2);
+  }
+  return nullptr;
+}
+
+bool IsExact(IndexBackend backend) {
+  return backend == IndexBackend::kFlat || backend == IndexBackend::kMatmul;
+}
+
+la::Matrix Clustered(size_t n, size_t clusters, uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix centers(clusters, kDim);
+  centers.RandNormal(rng, 8.0f);
+  la::Matrix m(n, kDim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformInt(clusters);
+    for (size_t j = 0; j < kDim; ++j) {
+      m(i, j) = centers(c, j) + static_cast<float>(rng.Normal()) * 0.3f;
+    }
+  }
+  return m;
+}
+
+class AllBackends : public testing::TestWithParam<IndexBackend> {};
+
+TEST_P(AllBackends, IdsValidAndUniquePerQuery) {
+  auto index = MakeBackend(GetParam());
+  const la::Matrix data = Clustered(150, 6, 1);
+  index->Add(data);
+  const la::Matrix queries = Clustered(20, 6, 2);
+  for (const auto& neighbors : index->Search(queries, 10)) {
+    std::set<int> seen;
+    for (const Neighbor& nb : neighbors) {
+      EXPECT_GE(nb.id, 0);
+      EXPECT_LT(nb.id, 150);
+      EXPECT_TRUE(seen.insert(nb.id).second) << "duplicate id " << nb.id;
+    }
+  }
+}
+
+TEST_P(AllBackends, DistancesAscendingPerQuery) {
+  auto index = MakeBackend(GetParam());
+  index->Add(Clustered(150, 6, 3));
+  for (const auto& neighbors : index->Search(Clustered(20, 6, 4), 8)) {
+    for (size_t i = 1; i < neighbors.size(); ++i) {
+      EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
+    }
+  }
+}
+
+TEST_P(AllBackends, DeterministicAcrossInstances) {
+  const la::Matrix data = Clustered(120, 5, 5);
+  const la::Matrix queries = Clustered(15, 5, 6);
+  auto a = MakeBackend(GetParam());
+  auto b = MakeBackend(GetParam());
+  a->Add(data);
+  b->Add(data);
+  const SearchBatch ra = a->Search(queries, 6);
+  const SearchBatch rb = b->Search(queries, 6);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(ra[q].size(), rb[q].size()) << "query " << q;
+    for (size_t i = 0; i < ra[q].size(); ++i) {
+      EXPECT_EQ(ra[q][i].id, rb[q][i].id);
+      EXPECT_FLOAT_EQ(ra[q][i].distance, rb[q][i].distance);
+    }
+  }
+}
+
+TEST_P(AllBackends, ExactBackendsReturnExactlyK) {
+  auto index = MakeBackend(GetParam());
+  index->Add(Clustered(100, 4, 7));
+  const auto results = index->Search(Clustered(10, 4, 8), 7);
+  for (const auto& neighbors : results) {
+    if (IsExact(GetParam())) {
+      EXPECT_EQ(neighbors.size(), 7u);
+    } else {
+      EXPECT_LE(neighbors.size(), 7u);  // probing may find fewer
+    }
+  }
+}
+
+TEST_P(AllBackends, EmptyQueryBatch) {
+  auto index = MakeBackend(GetParam());
+  index->Add(Clustered(50, 4, 9));
+  const la::Matrix no_queries(0, kDim);
+  EXPECT_TRUE(index->Search(no_queries, 3).empty());
+}
+
+TEST_P(AllBackends, AddEmptyBatchIsNoOp) {
+  auto index = MakeBackend(GetParam());
+  const la::Matrix empty(0, kDim);
+  index->Add(empty);  // before training structures exist
+  EXPECT_EQ(index->size(), 0u);
+  index->Add(Clustered(40, 4, 15));
+  index->Add(empty);  // after
+  EXPECT_EQ(index->size(), 40u);
+  const auto results = index->Search(Clustered(5, 4, 16), 3);
+  EXPECT_EQ(results.size(), 5u);
+}
+
+TEST_P(AllBackends, SizeTracksAdds) {
+  auto index = MakeBackend(GetParam());
+  EXPECT_EQ(index->size(), 0u);
+  index->Add(Clustered(60, 4, 10));
+  EXPECT_EQ(index->size(), 60u);
+  index->Add(Clustered(15, 4, 11));
+  EXPECT_EQ(index->size(), 75u);
+}
+
+TEST_P(AllBackends, RecallFloorOnClusteredData) {
+  // Every backend must beat a (generous) recall floor against exact truth on
+  // well-separated clusters; exact backends must be perfect.
+  const la::Matrix data = Clustered(200, 8, 12);
+  const la::Matrix queries = Clustered(25, 8, 13);
+  FlatIndex truth(kDim, Metric::kL2);
+  truth.Add(data);
+  const SearchBatch expected = truth.Search(queries, 5);
+  auto index = MakeBackend(GetParam());
+  index->Add(data);
+  const SearchBatch got = index->Search(queries, 5);
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::set<int> truth_ids;
+    for (const Neighbor& nb : expected[q]) truth_ids.insert(nb.id);
+    for (const Neighbor& nb : got[q]) hits += truth_ids.count(nb.id);
+    total += expected[q].size();
+  }
+  const double recall = static_cast<double>(hits) / static_cast<double>(total);
+  if (IsExact(GetParam())) {
+    EXPECT_DOUBLE_EQ(recall, 1.0);
+  } else {
+    EXPECT_GT(recall, 0.25) << "approximate backend below sanity floor";
+  }
+}
+
+TEST_P(AllBackends, QueryEqualToDatabaseVectorRanksItFirst) {
+  // Exact backends must put the identical vector at rank 0 with distance ~0;
+  // quantized ones must still place it among the closest few.
+  const la::Matrix data = Clustered(100, 4, 14);
+  auto index = MakeBackend(GetParam());
+  index->Add(data);
+  la::Matrix query(1, kDim);
+  std::copy(data.row(42), data.row(42) + kDim, query.row(0));
+  const auto results = index->Search(query, 10);
+  ASSERT_FALSE(results[0].empty());
+  if (IsExact(GetParam())) {
+    EXPECT_EQ(results[0][0].id, 42);
+    EXPECT_NEAR(results[0][0].distance, 0.0f, 1e-4f);
+  } else {
+    bool found = false;
+    for (const Neighbor& nb : results[0]) found = found || nb.id == 42;
+    EXPECT_TRUE(found) << "identical vector missing from top-10";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AllBackends,
+    testing::ValuesIn(core::AllIndexBackends()),
+    [](const testing::TestParamInfo<IndexBackend>& info) {
+      return core::IndexBackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace dial::index

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cmath>
+
+#include "index/flat_index.h"
+#include "index/ivf_index.h"
+#include "index/kmeans.h"
+#include "index/lsh_index.h"
+#include "index/topk.h"
+
+namespace dial::index {
+namespace {
+
+la::Matrix RandomVectors(size_t n, size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix m(n, d);
+  m.RandNormal(rng, 1.0f);
+  return m;
+}
+
+/// Brute-force reference kNN.
+std::vector<Neighbor> Reference(const la::Matrix& data, const float* query, size_t k,
+                                Metric metric) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    float dist = 0;
+    switch (metric) {
+      case Metric::kL2:
+        dist = la::SquaredDistance(query, data.row(i), data.cols());
+        break;
+      case Metric::kInnerProduct:
+        dist = -la::Dot(query, data.row(i), data.cols());
+        break;
+      case Metric::kCosine: {
+        const float nq = la::Norm(query, data.cols());
+        const float nd = la::Norm(data.row(i), data.cols());
+        dist = (nq == 0 || nd == 0)
+                   ? 0.0f
+                   : -la::Dot(query, data.row(i), data.cols()) / (nq * nd);
+        break;
+      }
+    }
+    all.push_back({static_cast<int>(i), dist});
+  }
+  std::sort(all.begin(), all.end());
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(TopK, KeepsSmallest) {
+  TopK topk(3);
+  for (const float d : {5.0f, 1.0f, 3.0f, 2.0f, 4.0f}) {
+    topk.Push(static_cast<int>(d), d);
+  }
+  const auto out = topk.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0].distance, 1.0f);
+  EXPECT_FLOAT_EQ(out[1].distance, 2.0f);
+  EXPECT_FLOAT_EQ(out[2].distance, 3.0f);
+}
+
+TEST(TopK, ZeroK) {
+  TopK topk(0);
+  topk.Push(1, 1.0f);
+  EXPECT_TRUE(topk.Take().empty());
+}
+
+TEST(TopK, FewerThanK) {
+  TopK topk(10);
+  topk.Push(1, 2.0f);
+  topk.Push(2, 1.0f);
+  const auto out = topk.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2);
+}
+
+TEST(TopK, ThresholdTracksWorst) {
+  TopK topk(2);
+  EXPECT_TRUE(std::isinf(topk.Threshold()));
+  topk.Push(1, 5.0f);
+  topk.Push(2, 3.0f);
+  EXPECT_FLOAT_EQ(topk.Threshold(), 5.0f);
+  topk.Push(3, 1.0f);
+  EXPECT_FLOAT_EQ(topk.Threshold(), 3.0f);
+}
+
+class FlatIndexMetrics : public testing::TestWithParam<Metric> {};
+
+TEST_P(FlatIndexMetrics, MatchesBruteForce) {
+  const Metric metric = GetParam();
+  const la::Matrix data = RandomVectors(60, 8, 1);
+  const la::Matrix queries = RandomVectors(10, 8, 2);
+  FlatIndex index(8, metric);
+  index.Add(data);
+  const SearchBatch results = index.Search(queries, 5);
+  ASSERT_EQ(results.size(), 10u);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto expected = Reference(data, queries.row(q), 5, metric);
+    ASSERT_EQ(results[q].size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(results[q][i].id, expected[i].id) << "query " << q << " rank " << i;
+      EXPECT_NEAR(results[q][i].distance, expected[i].distance, 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, FlatIndexMetrics,
+                         testing::Values(Metric::kL2, Metric::kInnerProduct,
+                                         Metric::kCosine));
+
+TEST(FlatIndex, IncrementalAdd) {
+  const la::Matrix a = RandomVectors(5, 4, 3);
+  const la::Matrix b = RandomVectors(7, 4, 4);
+  FlatIndex index(4, Metric::kL2);
+  index.Add(a);
+  index.Add(b);
+  EXPECT_EQ(index.size(), 12u);
+  // Vector 7 (second batch, row 2) must be findable by its own value.
+  la::Matrix query(1, 4);
+  std::copy(b.row(2), b.row(2) + 4, query.row(0));
+  const auto results = index.Search(query, 1);
+  EXPECT_EQ(results[0][0].id, 7);
+  EXPECT_NEAR(results[0][0].distance, 0.0f, 1e-6f);
+}
+
+TEST(FlatIndex, SelfRetrieval) {
+  const la::Matrix data = RandomVectors(30, 6, 5);
+  FlatIndex index(6, Metric::kL2);
+  index.Add(data);
+  const auto results = index.Search(data, 1);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(results[i][0].id, static_cast<int>(i));
+  }
+}
+
+TEST(FlatIndex, ParallelMatchesSerial) {
+  const la::Matrix data = RandomVectors(50, 8, 6);
+  const la::Matrix queries = RandomVectors(20, 8, 7);
+  FlatIndex serial(8, Metric::kL2);
+  serial.Add(data);
+  util::ThreadPool pool(2);
+  FlatIndex parallel(8, Metric::kL2, &pool);
+  parallel.Add(data);
+  const auto a = serial.Search(queries, 4);
+  const auto b = parallel.Search(queries, 4);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size());
+    for (size_t i = 0; i < a[q].size(); ++i) EXPECT_EQ(a[q][i].id, b[q][i].id);
+  }
+}
+
+TEST(KMeansPlusPlus, DistinctSeeds) {
+  const la::Matrix data = RandomVectors(40, 4, 8);
+  util::Rng rng(9);
+  const auto seeds = KMeansPlusPlusSeed(data, 10, rng);
+  const std::set<size_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(KMeansPlusPlus, SpreadsAcrossClusters) {
+  // Two well-separated blobs; picking 2 seeds should take one from each.
+  la::Matrix data(20, 2);
+  util::Rng rng(10);
+  for (size_t i = 0; i < 10; ++i) {
+    data(i, 0) = static_cast<float>(rng.Normal()) * 0.1f;
+    data(i, 1) = static_cast<float>(rng.Normal()) * 0.1f;
+    data(i + 10, 0) = 100.0f + static_cast<float>(rng.Normal()) * 0.1f;
+    data(i + 10, 1) = 100.0f + static_cast<float>(rng.Normal()) * 0.1f;
+  }
+  const auto seeds = KMeansPlusPlusSeed(data, 2, rng);
+  EXPECT_NE(seeds[0] < 10, seeds[1] < 10);
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  la::Matrix data(30, 2);
+  util::Rng rng(11);
+  for (size_t i = 0; i < 15; ++i) {
+    data(i, 0) = static_cast<float>(rng.Normal());
+    data(i, 1) = static_cast<float>(rng.Normal());
+    data(i + 15, 0) = 50.0f + static_cast<float>(rng.Normal());
+    data(i + 15, 1) = 50.0f + static_cast<float>(rng.Normal());
+  }
+  const KMeansResult result = KMeans(data, 2, 20, rng);
+  // All points in the same blob share an assignment.
+  for (size_t i = 1; i < 15; ++i) EXPECT_EQ(result.assignment[i], result.assignment[0]);
+  for (size_t i = 16; i < 30; ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[15]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[15]);
+}
+
+TEST(KMeans, InertiaImprovesOverSingleCluster) {
+  const la::Matrix data = RandomVectors(50, 4, 12);
+  util::Rng rng(13);
+  const KMeansResult one = KMeans(data, 1, 5, rng);
+  const KMeansResult many = KMeans(data, 8, 10, rng);
+  EXPECT_LT(many.inertia, one.inertia);
+}
+
+TEST(IvfIndex, ExactWhenProbingAllCells) {
+  const la::Matrix data = RandomVectors(80, 8, 14);
+  const la::Matrix queries = RandomVectors(10, 8, 15);
+  IvfIndex::Options options;
+  options.nlist = 8;
+  options.nprobe = 8;  // probe everything -> exact
+  IvfIndex index(8, Metric::kL2, options);
+  index.Add(data);
+  const auto results = index.Search(queries, 3);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto expected = Reference(data, queries.row(q), 3, Metric::kL2);
+    ASSERT_EQ(results[q].size(), 3u);
+    for (size_t i = 0; i < 3; ++i) EXPECT_EQ(results[q][i].id, expected[i].id);
+  }
+}
+
+TEST(IvfIndex, ApproximateRecallReasonable) {
+  const la::Matrix data = RandomVectors(200, 8, 16);
+  IvfIndex::Options options;
+  options.nlist = 16;
+  options.nprobe = 4;
+  IvfIndex index(8, Metric::kL2, options);
+  index.Add(data);
+  const la::Matrix queries = RandomVectors(50, 8, 17);
+  const auto results = index.Search(queries, 5);
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto expected = Reference(data, queries.row(q), 5, Metric::kL2);
+    std::set<int> expected_ids;
+    for (const auto& nb : expected) expected_ids.insert(nb.id);
+    for (const auto& nb : results[q]) hits += expected_ids.count(nb.id);
+    total += expected.size();
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.5);
+}
+
+TEST(IvfIndex, IncrementalAddAfterTraining) {
+  const la::Matrix a = RandomVectors(50, 4, 18);
+  const la::Matrix b = RandomVectors(10, 4, 19);
+  IvfIndex index(4, Metric::kL2, {});
+  index.Add(a);
+  index.Add(b);
+  EXPECT_EQ(index.size(), 60u);
+  la::Matrix query(1, 4);
+  std::copy(b.row(0), b.row(0) + 4, query.row(0));
+  const auto results = index.Search(query, 1);
+  EXPECT_EQ(results[0][0].id, 50);
+}
+
+TEST(LshIndex, SelfRetrieval) {
+  const la::Matrix data = RandomVectors(40, 8, 20);
+  LshIndex index(8, Metric::kL2, {});
+  index.Add(data);
+  const auto results = index.Search(data, 1);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_FALSE(results[i].empty());
+    EXPECT_EQ(results[i][0].id, static_cast<int>(i));  // own bucket
+  }
+}
+
+TEST(LshIndex, ReturnsSubsetOfDataIds) {
+  const la::Matrix data = RandomVectors(30, 8, 21);
+  LshIndex index(8, Metric::kL2, {});
+  index.Add(data);
+  const la::Matrix queries = RandomVectors(5, 8, 22);
+  for (const auto& neighbors : index.Search(queries, 10)) {
+    for (const auto& nb : neighbors) {
+      EXPECT_GE(nb.id, 0);
+      EXPECT_LT(nb.id, 30);
+    }
+  }
+}
+
+TEST(LshIndex, BucketDiagnostics) {
+  const la::Matrix data = RandomVectors(100, 8, 23);
+  LshIndex index(8, Metric::kL2, {});
+  index.Add(data);
+  EXPECT_GT(index.MeanBucketSize(), 0.0);
+}
+
+}  // namespace
+}  // namespace dial::index

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "la/matrix.h"
+
+namespace dial::la {
+namespace {
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Matrix, InitializerListConstruction) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 6.0f);
+}
+
+TEST(Matrix, FillAndZero) {
+  Matrix m(2, 2);
+  m.Fill(3.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 3.0f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(MatrixDeathTest, CheckedAccessOutOfBounds) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.at(2, 0), "Check failed");
+  EXPECT_DEATH(m.at(0, 2), "Check failed");
+}
+
+TEST(Matrix, RandNormalStatistics) {
+  util::Rng rng(1);
+  Matrix m(100, 100);
+  m.RandNormal(rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += m.data()[i] * m.data()[i];
+  }
+  EXPECT_NEAR(sum / m.size(), 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / m.size()), 2.0, 0.1);
+}
+
+class MatMulShapes : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 100 + k * 10 + n);
+  Matrix a(m, k), b(k, n);
+  a.RandNormal(rng, 1.0f);
+  b.RandNormal(rng, 1.0f);
+  ExpectMatrixNear(MatMul(a, b), NaiveMatMul(a, b));
+}
+
+TEST_P(MatMulShapes, TransposeBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 101 + k * 11 + n);
+  Matrix a(m, k), bt(n, k);
+  a.RandNormal(rng, 1.0f);
+  bt.RandNormal(rng, 1.0f);
+  ExpectMatrixNear(MatMulTransposeB(a, bt), NaiveMatMul(a, Transpose(bt)));
+}
+
+TEST_P(MatMulShapes, TransposeAAccMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 103 + k * 13 + n);
+  Matrix at(k, m), b(k, n);
+  at.RandNormal(rng, 1.0f);
+  b.RandNormal(rng, 1.0f);
+  Matrix out(m, n, 0.0f);
+  MatMulTransposeAAcc(at, b, out);
+  ExpectMatrixNear(out, NaiveMatMul(Transpose(at), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
+                         testing::Values(std::make_tuple(1, 1, 1),
+                                         std::make_tuple(2, 3, 4),
+                                         std::make_tuple(5, 1, 7),
+                                         std::make_tuple(8, 8, 8),
+                                         std::make_tuple(1, 16, 3),
+                                         std::make_tuple(13, 7, 11)));
+
+TEST(MatMul, AccumulatesIntoExisting) {
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix b({{2, 3}, {4, 5}});
+  Matrix out({{1, 1}, {1, 1}});
+  MatMulAcc(a, b, out);
+  ExpectMatrixNear(out, Matrix({{3, 4}, {5, 6}}));
+}
+
+TEST(MatMulDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 3), b(4, 2);
+  Matrix out;
+  EXPECT_DEATH(MatMul(a, b, out), "Check failed");
+}
+
+TEST(Ops, AddAndAddInPlace) {
+  Matrix a({{1, 2}});
+  Matrix b({{3, 4}});
+  Matrix out;
+  Add(a, b, out);
+  ExpectMatrixNear(out, Matrix({{4, 6}}));
+  AddInPlace(a, b);
+  ExpectMatrixNear(a, Matrix({{4, 6}}));
+}
+
+TEST(Ops, Axpy) {
+  Matrix a({{1, 1}});
+  Matrix b({{2, 4}});
+  Axpy(a, 0.5f, b);
+  ExpectMatrixNear(a, Matrix({{2, 3}}));
+}
+
+TEST(Ops, AddRowBroadcast) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix bias({{10, 20}});
+  AddRowBroadcast(a, bias);
+  ExpectMatrixNear(a, Matrix({{11, 22}, {13, 24}}));
+}
+
+TEST(Ops, Hadamard) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{2, 2}, {0.5, 1}});
+  Matrix out;
+  Hadamard(a, b, out);
+  ExpectMatrixNear(out, Matrix({{2, 4}, {1.5, 4}}));
+}
+
+TEST(Ops, ScaleInPlace) {
+  Matrix a({{2, -4}});
+  Scale(a, 0.5f);
+  ExpectMatrixNear(a, Matrix({{1, -2}}));
+}
+
+TEST(Ops, TransposeTwiceIsIdentity) {
+  util::Rng rng(2);
+  Matrix a(3, 5);
+  a.RandNormal(rng, 1.0f);
+  ExpectMatrixNear(Transpose(Transpose(a)), a);
+}
+
+TEST(Ops, Distances) {
+  const float a[] = {0, 0, 0};
+  const float b[] = {1, 2, 2};
+  EXPECT_FLOAT_EQ(SquaredDistance(a, b, 3), 9.0f);
+  EXPECT_FLOAT_EQ(Dot(b, b, 3), 9.0f);
+  EXPECT_FLOAT_EQ(Norm(b, 3), 3.0f);
+}
+
+TEST(Ops, FrobeniusNorm) {
+  Matrix a({{3, 0}, {0, 4}});
+  EXPECT_FLOAT_EQ(FrobeniusNorm(a), 5.0f);
+}
+
+TEST(Ops, AllFinite) {
+  Matrix a({{1, 2}});
+  EXPECT_TRUE(AllFinite(a));
+  a(0, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(AllFinite(a));
+  a(0, 0) = std::nanf("");
+  EXPECT_FALSE(AllFinite(a));
+}
+
+}  // namespace
+}  // namespace dial::la

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+
+/// Tests for the threshold-free ranking metrics (PR curve, average
+/// precision) added on top of the paper's three P/R/F1 measures.
+
+namespace dial::core {
+namespace {
+
+/// A bundle with 4 gold duplicates among ids (i, i).
+data::DatasetBundle TinyBundle() {
+  data::DatasetBundle bundle;
+  bundle.name = "tiny";
+  for (uint32_t i = 0; i < 4; ++i) {
+    bundle.dups.push_back({i, i});
+    bundle.dup_keys.insert(data::PairId{i, i}.Key());
+  }
+  return bundle;
+}
+
+TEST(PrCurveTest, PerfectRankingHitsFullPrecision) {
+  const data::DatasetBundle bundle = TinyBundle();
+  // 4 dups ranked above 2 non-dups.
+  std::vector<data::PairId> cand = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {0, 1}, {1, 0}};
+  std::vector<float> probs = {0.9f, 0.8f, 0.7f, 0.6f, 0.2f, 0.1f};
+  const auto curve = PrCurve(bundle, cand, probs);
+  ASSERT_EQ(curve.size(), 6u);
+  // After the 4th point: precision 1.0, recall 1.0.
+  EXPECT_DOUBLE_EQ(curve[3].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+  // Final point: 4/6 precision, recall stays 1.0.
+  EXPECT_NEAR(curve[5].precision, 4.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[5].recall, 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(bundle, cand, probs), 1.0);
+}
+
+TEST(PrCurveTest, RecallMonotoneAndThresholdsDescending) {
+  const data::DatasetBundle bundle = TinyBundle();
+  std::vector<data::PairId> cand = {{0, 0}, {0, 1}, {1, 1}, {1, 0}, {2, 2}};
+  std::vector<float> probs = {0.3f, 0.9f, 0.5f, 0.7f, 0.1f};
+  const auto curve = PrCurve(bundle, cand, probs);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+  }
+  // Curve tops out at candidate-set recall: 3 of 4 dups are candidates.
+  EXPECT_DOUBLE_EQ(curve.back().recall, 0.75);
+}
+
+TEST(PrCurveTest, TiedProbabilitiesCollapseToOnePoint) {
+  const data::DatasetBundle bundle = TinyBundle();
+  std::vector<data::PairId> cand = {{0, 0}, {1, 1}, {0, 1}};
+  std::vector<float> probs = {0.5f, 0.5f, 0.5f};
+  const auto curve = PrCurve(bundle, cand, probs);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+}
+
+TEST(AveragePrecisionTest, HandComputedMixedRanking) {
+  const data::DatasetBundle bundle = TinyBundle();
+  // Ranking: dup, non, dup, non (2 of 4 dups retrieved).
+  std::vector<data::PairId> cand = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};
+  std::vector<float> probs = {0.9f, 0.8f, 0.7f, 0.6f};
+  // AP = (1/1 + 2/3) / 4 = 5/12.
+  EXPECT_NEAR(AveragePrecision(bundle, cand, probs), 5.0 / 12.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, InvariantToMonotoneTransform) {
+  const data::DatasetBundle bundle = TinyBundle();
+  std::vector<data::PairId> cand = {{0, 0}, {0, 1}, {1, 1}, {2, 2}, {1, 0}};
+  std::vector<float> probs = {0.9f, 0.8f, 0.6f, 0.3f, 0.2f};
+  std::vector<float> squashed(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    squashed[i] = 1.0f / (1.0f + std::exp(-5.0f * probs[i]));  // monotone
+  }
+  EXPECT_DOUBLE_EQ(AveragePrecision(bundle, cand, probs),
+                   AveragePrecision(bundle, cand, squashed));
+}
+
+TEST(AveragePrecisionTest, WorstRankingScoresLow) {
+  const data::DatasetBundle bundle = TinyBundle();
+  // All non-dups ranked above all dups.
+  std::vector<data::PairId> cand = {{0, 1}, {1, 0}, {2, 3}, {0, 0}, {1, 1},
+                                    {2, 2}, {3, 3}};
+  std::vector<float> probs = {0.9f, 0.8f, 0.7f, 0.4f, 0.3f, 0.2f, 0.1f};
+  const double ap = AveragePrecision(bundle, cand, probs);
+  // AP = (1/4 + 2/5 + 3/6 + 4/7)/4 ≈ 0.43; must be well below perfect.
+  EXPECT_LT(ap, 0.5);
+  EXPECT_GT(ap, 0.0);
+}
+
+TEST(AveragePrecisionTest, EmptyCandidatesIsZero) {
+  const data::DatasetBundle bundle = TinyBundle();
+  EXPECT_DOUBLE_EQ(AveragePrecision(bundle, {}, {}), 0.0);
+  EXPECT_TRUE(PrCurve(bundle, {}, {}).empty());
+}
+
+}  // namespace
+}  // namespace dial::core

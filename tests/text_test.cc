@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "data/perturb.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "util/string_util.h"
+
+namespace dial::text {
+namespace {
+
+TEST(BasicTokenize, LowercasesAndSplits) {
+  const auto tokens = BasicTokenize("Hello World");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+}
+
+TEST(BasicTokenize, PunctuationIsolated) {
+  const auto tokens = BasicTokenize("mp3-player, new!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"mp3", "-", "player", ",", "new", "!"}));
+}
+
+TEST(BasicTokenize, XmlTagsSplit) {
+  const auto tokens = BasicTokenize("<p> hi </p>");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"<", "p", ">", "hi", "<", "/", "p", ">"}));
+}
+
+TEST(BasicTokenize, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(BasicTokenize("").empty());
+  EXPECT_TRUE(BasicTokenize("   \t\n").empty());
+}
+
+SubwordVocab TrainToyVocab() {
+  std::vector<std::string> corpus = {
+      "wireless speaker black", "wireless speaker blue",
+      "portable charger white", "compact charger black",
+      "speaker cable bundle",   "wireless charger dock",
+  };
+  SubwordVocab::Options options;
+  options.max_vocab = 300;
+  options.min_word_freq = 2;
+  return SubwordVocab::Train(corpus, options);
+}
+
+TEST(SubwordVocab, SpecialsReserved) {
+  const SubwordVocab vocab = TrainToyVocab();
+  EXPECT_EQ(vocab.piece(SpecialIds::kPad), "[PAD]");
+  EXPECT_EQ(vocab.piece(SpecialIds::kUnk), "[UNK]");
+  EXPECT_EQ(vocab.piece(SpecialIds::kCls), "[CLS]");
+  EXPECT_EQ(vocab.piece(SpecialIds::kSep), "[SEP]");
+  EXPECT_EQ(vocab.piece(SpecialIds::kMask), "[MASK]");
+  EXPECT_TRUE(vocab.IsSpecial(0));
+  EXPECT_FALSE(vocab.IsSpecial(SpecialIds::kCount));
+}
+
+TEST(SubwordVocab, FrequentWordSingleToken) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto pieces = vocab.EncodeWord("wireless");
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(vocab.piece(pieces[0]), "wireless");
+}
+
+TEST(SubwordVocab, UnseenWordUsesSubwords) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto pieces = vocab.EncodeWord("wirelesz");  // typo
+  EXPECT_GT(pieces.size(), 1u);
+  for (const int id : pieces) EXPECT_NE(id, SpecialIds::kUnk);
+}
+
+TEST(SubwordVocab, AsciiAlwaysEncodable) {
+  const SubwordVocab vocab = TrainToyVocab();
+  // Any alphanumeric word must encode without UNK — [a-z0-9] single-char
+  // pieces are always in the vocabulary.
+  for (const std::string word : {"zzz", "qqq", "abcdefgh", "w1r3l3ss"}) {
+    for (const int id : vocab.EncodeWord(word)) {
+      EXPECT_NE(id, SpecialIds::kUnk) << word;
+    }
+  }
+}
+
+TEST(SubwordVocab, TypoDecomposesIntoSubstrings) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto typo = vocab.EncodeWord("chargr");
+  EXPECT_GT(typo.size(), 1u);  // not a whole-word piece
+  // Every piece is a contiguous substring of the word (modulo "##").
+  for (const int id : typo) {
+    std::string piece = vocab.piece(id);
+    if (piece.rfind("##", 0) == 0) piece = piece.substr(2);
+    EXPECT_NE(std::string("chargr").find(piece), std::string::npos) << piece;
+  }
+}
+
+TEST(SubwordVocab, EncodeTextTruncates) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto pieces = vocab.EncodeText("wireless speaker black wireless speaker", 3);
+  EXPECT_EQ(pieces.size(), 3u);
+}
+
+TEST(SubwordVocab, EncodeSingleStructure) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto seq = vocab.EncodeSingle("wireless speaker", 16);
+  ASSERT_GE(seq.ids.size(), 3u);
+  EXPECT_EQ(seq.ids.front(), SpecialIds::kCls);
+  EXPECT_EQ(seq.ids.back(), SpecialIds::kSep);
+  for (const int s : seq.segments) EXPECT_EQ(s, 0);
+  EXPECT_EQ(seq.ids.size(), seq.segments.size());
+}
+
+TEST(SubwordVocab, EncodeSingleRespectsMaxLen) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto seq = vocab.EncodeSingle(
+      "wireless speaker black portable charger white compact dock", 8);
+  EXPECT_LE(seq.ids.size(), 8u);
+  EXPECT_EQ(seq.ids.back(), SpecialIds::kSep);
+}
+
+TEST(SubwordVocab, EncodePairStructure) {
+  const SubwordVocab vocab = TrainToyVocab();
+  const auto seq = vocab.EncodePair("wireless speaker", "portable charger", 20);
+  EXPECT_EQ(seq.ids.front(), SpecialIds::kCls);
+  EXPECT_EQ(seq.ids.back(), SpecialIds::kSep);
+  // Exactly two separators.
+  size_t seps = 0;
+  for (const int id : seq.ids) seps += (id == SpecialIds::kSep);
+  EXPECT_EQ(seps, 2u);
+  // Segments: 0 then 1, contiguous, starting at 0.
+  EXPECT_EQ(seq.segments.front(), 0);
+  EXPECT_EQ(seq.segments.back(), 1);
+  bool seen_one = false;
+  for (const int s : seq.segments) {
+    if (s == 1) seen_one = true;
+    if (seen_one) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(SubwordVocab, BuildPairFromPieces) {
+  const auto seq = SubwordVocab::BuildPairFromPieces({10, 11}, {12}, 10);
+  EXPECT_EQ(seq.ids,
+            (std::vector<int>{SpecialIds::kCls, 10, 11, SpecialIds::kSep, 12,
+                              SpecialIds::kSep}));
+  EXPECT_EQ(seq.segments, (std::vector<int>{0, 0, 0, 0, 1, 1}));
+}
+
+TEST(SubwordVocab, DeterministicTraining) {
+  const SubwordVocab a = TrainToyVocab();
+  const SubwordVocab b = TrainToyVocab();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.piece(static_cast<int>(i)), b.piece(static_cast<int>(i)));
+  }
+}
+
+TEST(SubwordVocab, RespectsMaxVocab) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 200; ++i) {
+    corpus.push_back("word" + std::to_string(i) + " common shared tokens here");
+  }
+  SubwordVocab::Options options;
+  options.max_vocab = 128;
+  const SubwordVocab vocab = SubwordVocab::Train(corpus, options);
+  // Single-char coverage can push past the nominal budget, but not by much.
+  EXPECT_LE(vocab.size(), 160u);
+}
+
+// The property powering the multilingual experiment: the morph transform
+// destroys whole-token identity while preserving most of the character
+// material (shared subword structure that MLM can exploit).
+TEST(GermanMorph, BreaksTokensButKeepsCharacterOverlap) {
+  const std::vector<std::string> english = {"printer", "window",  "machine",
+                                            "signal",  "journey", "market"};
+  for (const auto& w : english) {
+    const std::string de = data::GermanMorph(w);
+    EXPECT_NE(w, de);
+    // Most character trigrams of the English word survive inside the morph.
+    const auto en_grams = util::CharQGrams(w, 3);
+    size_t kept = 0;
+    for (const auto& g : en_grams) {
+      if (de.find(g) != std::string::npos) ++kept;
+    }
+    EXPECT_GE(static_cast<double>(kept) / en_grams.size(), 0.4) << w << " -> " << de;
+  }
+}
+
+TEST(GermanMorph, Deterministic) {
+  EXPECT_EQ(data::GermanMorph("printer"), data::GermanMorph("printer"));
+}
+
+TEST(GermanMorph, SentenceKeepsTagsAndNumbers) {
+  const std::string out = data::GermanMorphSentence("<p> window 42 </p>");
+  EXPECT_NE(out.find("<p>"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(out.find("window"), std::string::npos);  // word morphed
+}
+
+}  // namespace
+}  // namespace dial::text

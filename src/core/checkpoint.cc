@@ -178,4 +178,11 @@ util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint)
   return r.status();
 }
 
+util::StatusOr<AlCheckpoint> LoadAlCheckpoint(const std::string& path) {
+  AlCheckpoint checkpoint;
+  util::Status status = LoadAlCheckpoint(path, &checkpoint);
+  if (!status.ok()) return status;
+  return checkpoint;
+}
+
 }  // namespace dial::core

@@ -52,6 +52,9 @@ util::Status SaveAlCheckpoint(const std::string& path, const AlCheckpoint& check
 /// Reads a checkpoint; non-OK on missing/corrupted/version-mismatched files.
 util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint);
 
+/// Value-returning overload of the above.
+util::StatusOr<AlCheckpoint> LoadAlCheckpoint(const std::string& path);
+
 }  // namespace dial::core
 
 #endif  // DIAL_CORE_CHECKPOINT_H_

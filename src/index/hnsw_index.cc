@@ -58,7 +58,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, int entry,
   return result.Take();
 }
 
-std::vector<int> HnswIndex::SelectNeighbors(const float* query,
+std::vector<int> HnswIndex::SelectNeighbors(const float* /*query*/,
                                             const std::vector<Neighbor>& candidates,
                                             size_t max_links) const {
   std::vector<int> kept;

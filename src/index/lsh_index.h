@@ -22,6 +22,12 @@ class LshIndex : public VectorIndex {
     size_t num_tables = 8;
     size_t num_bits = 12;
     uint64_t seed = 23;
+    /// When a query's exact buckets hold fewer than k candidates, also probe
+    /// every bucket whose code differs from the query code by one bit.
+    bool multiprobe = true;
+    /// Fall back to an exact scan when probing yields no candidates at all,
+    /// so a non-empty index never returns an empty result list.
+    bool exact_fallback = true;
   };
 
   LshIndex(size_t dim, Metric metric, Options options);

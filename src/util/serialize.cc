@@ -23,7 +23,7 @@ BinaryWriter::~BinaryWriter() {
 }
 
 void BinaryWriter::WriteBytes(const void* data, size_t n) {
-  if (!status_.ok() || file_ == nullptr) return;
+  if (!status_.ok() || file_ == nullptr || n == 0) return;
   if (std::fwrite(data, 1, n, file_) != n) {
     status_ = Status::IoError("short write to " + path_);
   }
@@ -79,6 +79,7 @@ BinaryReader::~BinaryReader() {
 
 bool BinaryReader::ReadBytes(void* data, size_t n) {
   if (!status_.ok() || file_ == nullptr) return false;
+  if (n == 0) return true;
   if (std::fread(data, 1, n, file_) != n) {
     status_ = Status::Corruption("short read");
     return false;
@@ -131,7 +132,7 @@ std::string BinaryReader::ReadString() {
 std::vector<float> BinaryReader::ReadFloatVector() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n * sizeof(float) > kMaxVectorBytes) {
+  if (n > kMaxVectorBytes / sizeof(float)) {  // division avoids n*4 overflow
     status_ = Status::Corruption("vector length too large");
     return {};
   }

@@ -188,7 +188,7 @@ TEST(Ops, SoftmaxCrossEntropyIgnoresNegativeTargets) {
 TEST(GradCheck, AddSubMul) {
   Parameter a = MakeParam("a", 2, 3, 10);
   Parameter b = MakeParam("b", 2, 3, 11);
-  RunGradCheck({&a, &b}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &b}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Mul(Add(v[0], v[1]), Sub(v[0], v[1])));
   });
 }
@@ -197,14 +197,14 @@ TEST(GradCheck, AddN) {
   Parameter a = MakeParam("a", 2, 2, 12);
   Parameter b = MakeParam("b", 2, 2, 13);
   Parameter c = MakeParam("c", 2, 2, 14);
-  RunGradCheck({&a, &b, &c}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &b, &c}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(AddN({v[0], v[1], v[2]})));
   });
 }
 
 TEST(GradCheck, ScalarOps) {
   Parameter a = MakeParam("a", 3, 2, 15);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(AddScalar(ScalarMul(v[0], -2.5f), 1.0f));
   });
 }
@@ -212,27 +212,27 @@ TEST(GradCheck, ScalarOps) {
 TEST(GradCheck, AddBroadcastScalar) {
   Parameter a = MakeParam("a", 2, 2, 16);
   Parameter s = MakeParam("s", 1, 1, 17);
-  RunGradCheck({&a, &s}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &s}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(AddBroadcastScalar(v[0], v[1])));
   });
 }
 
 TEST(GradCheck, Activations) {
   Parameter a = MakeParam("a", 2, 4, 18);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Add(Tanh(v[0]), Sigmoid(v[0])));
   });
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Gelu(v[0]));
   });
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Exp(ScalarMul(v[0], 0.3f)));
   });
 }
 
 TEST(GradCheck, LogOfPositive) {
   Parameter a = MakeParam("a", 2, 3, 19, 0.3f);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Log(AddScalar(Square(v[0]), 1.0f)));
   });
 }
@@ -240,7 +240,7 @@ TEST(GradCheck, LogOfPositive) {
 TEST(GradCheck, MatMulChain) {
   Parameter a = MakeParam("a", 3, 4, 20, 0.5f);
   Parameter b = MakeParam("b", 4, 2, 21, 0.5f);
-  RunGradCheck({&a, &b}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &b}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(MatMul(v[0], v[1])));
   });
 }
@@ -248,14 +248,14 @@ TEST(GradCheck, MatMulChain) {
 TEST(GradCheck, MatMulTransposeB) {
   Parameter a = MakeParam("a", 3, 4, 22, 0.5f);
   Parameter b = MakeParam("b", 5, 4, 23, 0.5f);
-  RunGradCheck({&a, &b}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &b}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(MatMulTransposeB(v[0], v[1])));
   });
 }
 
 TEST(GradCheck, TransposeOp) {
   Parameter a = MakeParam("a", 2, 5, 24);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(Transpose(v[0])));
   });
 }
@@ -263,29 +263,29 @@ TEST(GradCheck, TransposeOp) {
 TEST(GradCheck, Broadcasts) {
   Parameter x = MakeParam("x", 4, 3, 25);
   Parameter b = MakeParam("b", 1, 3, 26);
-  RunGradCheck({&x, &b}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&x, &b}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(AddRowBroadcast(v[0], v[1])));
   });
-  RunGradCheck({&x, &b}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&x, &b}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(MulRowBroadcast(v[0], v[1])));
   });
 }
 
 TEST(GradCheck, TileRows) {
   Parameter a = MakeParam("a", 1, 4, 27);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(TileRows(v[0], 5)));
   });
 }
 
 TEST(GradCheck, SlicesAndConcat) {
   Parameter a = MakeParam("a", 3, 6, 28);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     Var left = SliceCols(v[0], 0, 3);
     Var right = SliceCols(v[0], 3, 6);
     return MeanAll(Square(ConcatCols({right, left})));
   });
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     Var top = SliceRows(v[0], 0, 1);
     Var bottom = SliceRows(v[0], 1, 3);
     return MeanAll(Square(ConcatRows({bottom, top})));
@@ -294,20 +294,20 @@ TEST(GradCheck, SlicesAndConcat) {
 
 TEST(GradCheck, Reductions) {
   Parameter a = MakeParam("a", 3, 4, 29);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(RowSum(v[0])));
   });
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return SumAll(Square(MeanRows(v[0])));
   });
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(LogSumExpRows(v[0]));
   });
 }
 
 TEST(GradCheck, SoftmaxRowsGradient) {
   Parameter a = MakeParam("a", 2, 5, 30);
-  RunGradCheck({&a}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(Square(SoftmaxRows(v[0])));
   });
 }
@@ -316,7 +316,7 @@ TEST(GradCheck, LayerNormGradient) {
   Parameter a = MakeParam("a", 3, 6, 31);
   RunGradCheck(
       {&a},
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return MeanAll(Square(LayerNormRows(v[0])));
       },
       5e-2f);
@@ -324,7 +324,7 @@ TEST(GradCheck, LayerNormGradient) {
 
 TEST(GradCheck, EmbeddingGather) {
   Parameter table = MakeParam("table", 6, 4, 32);
-  RunGradCheck({&table}, [&table](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&table}, [&table](Tape& t, const std::vector<Var>&) {
     Var gathered = EmbeddingGather(t, &table, {0, 2, 2, 5});
     return MeanAll(Square(gathered));
   });
@@ -333,25 +333,25 @@ TEST(GradCheck, EmbeddingGather) {
 TEST(GradCheck, Distances) {
   Parameter a = MakeParam("a", 3, 4, 33, 0.5f);
   Parameter b = MakeParam("b", 3, 4, 34, 0.5f);
-  RunGradCheck({&a, &b}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &b}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(RowwiseSquaredDistance(v[0], v[1]));
   });
   Parameter c = MakeParam("c", 5, 4, 35, 0.5f);
-  RunGradCheck({&a, &c}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&a, &c}, [](Tape&, const std::vector<Var>& v) {
     return MeanAll(PairwiseSquaredDistance(v[0], v[1]));
   });
 }
 
 TEST(GradCheck, BceWithLogits) {
   Parameter logits = MakeParam("z", 6, 1, 36);
-  RunGradCheck({&logits}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&logits}, [](Tape&, const std::vector<Var>& v) {
     return BceWithLogits(v[0], {1, 0, 1, 1, 0, 0});
   });
 }
 
 TEST(GradCheck, SoftmaxCrossEntropy) {
   Parameter logits = MakeParam("z", 4, 5, 37);
-  RunGradCheck({&logits}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&logits}, [](Tape&, const std::vector<Var>& v) {
     return SoftmaxCrossEntropy(v[0], {0, 3, -1, 4});
   });
 }
@@ -361,7 +361,7 @@ TEST(GradCheck, TwoLayerMlpComposite) {
   Parameter b1 = MakeParam("b1", 1, 4, 39, 0.1f);
   Parameter w2 = MakeParam("w2", 4, 1, 40, 0.5f);
   Parameter x = MakeParam("x", 5, 3, 41);
-  RunGradCheck({&w1, &b1, &w2, &x}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&w1, &b1, &w2, &x}, [](Tape&, const std::vector<Var>& v) {
     Var h = Gelu(AddRowBroadcast(MatMul(v[3], v[0]), v[1]));
     Var logits = MatMul(h, v[2]);
     return BceWithLogits(logits, {1, 0, 1, 0, 1});
@@ -374,7 +374,7 @@ TEST(GradCheck, ContrastiveLossComposite) {
   Parameter ps = MakeParam("ps", 3, 4, 43, 0.5f);
   Parameter nr = MakeParam("nr", 5, 4, 44, 0.5f);
   Parameter ns = MakeParam("ns", 5, 4, 45, 0.5f);
-  RunGradCheck({&pr, &ps, &nr, &ns}, [](Tape& t, const std::vector<Var>& v) {
+  RunGradCheck({&pr, &ps, &nr, &ns}, [](Tape&, const std::vector<Var>& v) {
     Var d_pos = RowwiseSquaredDistance(v[0], v[1]);
     Var d_sr = PairwiseSquaredDistance(v[1], v[2]);
     Var d_rs = PairwiseSquaredDistance(v[0], v[3]);

@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "core/experiment.h"
+#include "status_matchers.h"
 
 namespace dial::core {
 namespace {
@@ -45,10 +46,9 @@ std::string TempPath(const std::string& name) {
 TEST(Checkpoint, SaveLoadRoundTrip) {
   const AlCheckpoint original = SampleCheckpoint();
   const std::string path = TempPath("ckpt_roundtrip.bin");
-  ASSERT_TRUE(SaveAlCheckpoint(path, original).ok());
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, original));
 
-  AlCheckpoint loaded;
-  ASSERT_TRUE(LoadAlCheckpoint(path, &loaded).ok());
+  DIAL_ASSERT_OK_AND_ASSIGN(const AlCheckpoint loaded, LoadAlCheckpoint(path));
   EXPECT_EQ(loaded.dataset_name, original.dataset_name);
   EXPECT_EQ(loaded.config_fingerprint, original.config_fingerprint);
   EXPECT_EQ(loaded.next_round, original.next_round);
@@ -79,9 +79,8 @@ TEST(Checkpoint, RestoredRngStreamIsBitIdentical) {
   AlCheckpoint ckpt = SampleCheckpoint();
   ckpt.rng_state = source.GetState();
   const std::string path = TempPath("ckpt_rng.bin");
-  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
-  AlCheckpoint loaded;
-  ASSERT_TRUE(LoadAlCheckpoint(path, &loaded).ok());
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, ckpt));
+  DIAL_ASSERT_OK_AND_ASSIGN(const AlCheckpoint loaded, LoadAlCheckpoint(path));
   util::Rng restored(1);
   restored.SetState(loaded.rng_state);
   for (int i = 0; i < 50; ++i) {
@@ -99,7 +98,7 @@ TEST(Checkpoint, LoadMissingFileFails) {
 
 TEST(Checkpoint, LoadTruncatedFileFails) {
   const std::string path = TempPath("ckpt_trunc.bin");
-  ASSERT_TRUE(SaveAlCheckpoint(path, SampleCheckpoint()).ok());
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, SampleCheckpoint()));
   // Truncate to half.
   std::ifstream in(path, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)),
@@ -176,7 +175,7 @@ TEST(CheckpointLoop, ResumeReproducesUninterruptedRun) {
   ASSERT_EQ(half.rounds.size(), 1u);
 
   ActiveLearningLoop resumed(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
-  ASSERT_TRUE(resumed.RestoreCheckpoint(path).ok());
+  DIAL_ASSERT_OK(resumed.RestoreCheckpoint(path));
   const AlResult result = resumed.Run();
 
   ASSERT_EQ(result.rounds.size(), expected.rounds.size());
@@ -201,7 +200,7 @@ TEST(CheckpointLoop, RestoreRejectsWrongDataset) {
   AlCheckpoint ckpt = SampleCheckpoint();
   ckpt.dataset_name = "amazon_google";
   ckpt.next_round = 1;
-  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, ckpt));
   ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), SmokeAl(32));
   const util::Status status = loop.RestoreCheckpoint(path);
   EXPECT_FALSE(status.ok());
@@ -216,7 +215,7 @@ TEST(CheckpointLoop, RestoreRejectsWrongConfig) {
   ckpt.dataset_name = exp.bundle.name;
   ckpt.next_round = 1;
   ckpt.config_fingerprint = AlConfigFingerprint(config, exp.bundle.name) ^ 0x1;
-  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, ckpt));
   ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
   EXPECT_FALSE(loop.RestoreCheckpoint(path).ok());
 }
@@ -229,7 +228,7 @@ TEST(CheckpointLoop, RestoreRejectsFinishedRun) {
   ckpt.dataset_name = exp.bundle.name;
   ckpt.next_round = static_cast<uint32_t>(config.rounds);  // nothing left
   ckpt.config_fingerprint = AlConfigFingerprint(config, exp.bundle.name);
-  ASSERT_TRUE(SaveAlCheckpoint(path, ckpt).ok());
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, ckpt));
   ActiveLearningLoop loop(&exp.bundle, &exp.vocab, exp.pretrained.get(), config);
   EXPECT_FALSE(loop.RestoreCheckpoint(path).ok());
 }

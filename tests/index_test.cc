@@ -279,5 +279,41 @@ TEST(LshIndex, BucketDiagnostics) {
   EXPECT_GT(index.MeanBucketSize(), 0.0);
 }
 
+// Two points in 8 tables of 2^12 buckets: a random query direction almost
+// surely shares no bucket with either point (hashes depend on direction
+// only), which is exactly the empty-bucket case the fallback exists for.
+// The fallback-off twin identifies which queries have empty buckets, so the
+// fallback assertions below are known to exercise the exact-scan branch.
+TEST(LshIndex, ExactFallbackCoversEmptyBucketQueries) {
+  const la::Matrix data = RandomVectors(2, 8, 24);
+  LshIndex::Options bare;  // multiprobe on, fallback off: differs from the
+  bare.exact_fallback = false;  // full config only in the branch under test
+  LshIndex without(8, Metric::kL2, bare);
+  without.Add(data);
+  LshIndex with(8, Metric::kL2, {});  // defaults: multiprobe + fallback on
+  with.Add(data);
+  FlatIndex truth(8, Metric::kL2);
+  truth.Add(data);
+
+  const la::Matrix queries = RandomVectors(4, 8, 25);
+  const auto bare_results = without.Search(queries, 5);
+  const auto results = with.Search(queries, 5);
+  const auto expected = truth.Search(queries, 5);
+  size_t empty_bucket_queries = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_FALSE(results[q].empty()) << q;  // non-empty index, never empty
+    if (bare_results[q].empty()) {
+      // Buckets + multiprobe found nothing -> the exact-scan fallback must
+      // deliver the true neighbor list.
+      ++empty_bucket_queries;
+      ASSERT_EQ(results[q].size(), 2u) << q;
+      EXPECT_EQ(results[q][0].id, expected[q][0].id) << q;
+    }
+  }
+  // The seed is chosen so at least one query misses every bucket; without
+  // this the test would silently stop covering the fallback branch.
+  ASSERT_GT(empty_bucket_queries, 0u);
+}
+
 }  // namespace
 }  // namespace dial::index

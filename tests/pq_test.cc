@@ -114,7 +114,9 @@ TEST(ProductQuantizer, MoreBitsReduceError) {
     ProductQuantizer pq(8, options);
     pq.Train(data);
     const double err = pq.QuantizationError(data);
-    if (previous >= 0.0) EXPECT_LT(err, previous) << "bits=" << bits;
+    if (previous >= 0.0) {
+      EXPECT_LT(err, previous) << "bits=" << bits;
+    }
     previous = err;
   }
 }
@@ -130,7 +132,9 @@ TEST(ProductQuantizer, MoreSubspacesReduceError) {
     ProductQuantizer pq(8, options);
     pq.Train(data);
     const double err = pq.QuantizationError(data);
-    if (previous >= 0.0) EXPECT_LE(err, previous + 1e-5) << "m=" << m;
+    if (previous >= 0.0) {
+      EXPECT_LE(err, previous + 1e-5) << "m=" << m;
+    }
     previous = err;
   }
 }

@@ -1,0 +1,59 @@
+#ifndef DIAL_TESTS_STATUS_MATCHERS_H_
+#define DIAL_TESTS_STATUS_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "util/status.h"
+
+/// \file
+/// gtest helpers for `util::Status` / `util::StatusOr<T>` assertions, shared
+/// by every suite that exercises I/O paths. Use instead of hand-rolled
+/// `ASSERT_TRUE(expr.ok())` so failures print the status code and message.
+
+namespace dial::test_internal {
+
+inline util::Status ToStatus(util::Status status) { return status; }
+
+template <typename T>
+util::Status ToStatus(const util::StatusOr<T>& status_or) {
+  return status_or.status();
+}
+
+}  // namespace dial::test_internal
+
+/// Expects/asserts that a Status or StatusOr expression is OK, printing
+/// "CODE: message" on failure.
+#define DIAL_EXPECT_OK(expr)                                         \
+  do {                                                               \
+    const ::dial::util::Status _dial_st =                            \
+        ::dial::test_internal::ToStatus((expr));                     \
+    EXPECT_TRUE(_dial_st.ok()) << #expr << " = " << _dial_st.ToString(); \
+  } while (false)
+
+#define DIAL_ASSERT_OK(expr)                                         \
+  do {                                                               \
+    const ::dial::util::Status _dial_st =                            \
+        ::dial::test_internal::ToStatus((expr));                     \
+    ASSERT_TRUE(_dial_st.ok()) << #expr << " = " << _dial_st.ToString(); \
+  } while (false)
+
+#define DIAL_STATUS_MATCHERS_CONCAT_INNER_(a, b) a##b
+#define DIAL_STATUS_MATCHERS_CONCAT_(a, b) \
+  DIAL_STATUS_MATCHERS_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr<T> expression; on OK moves the value into `lhs`
+/// (which may declare a new variable), otherwise fails the test fatally.
+///
+///   DIAL_ASSERT_OK_AND_ASSIGN(const AlCheckpoint ckpt, LoadAlCheckpoint(path));
+#define DIAL_ASSERT_OK_AND_ASSIGN(lhs, expr)                              \
+  DIAL_ASSERT_OK_AND_ASSIGN_IMPL_(                                        \
+      DIAL_STATUS_MATCHERS_CONCAT_(_dial_status_or_, __LINE__), lhs, expr)
+
+#define DIAL_ASSERT_OK_AND_ASSIGN_IMPL_(statusor, lhs, expr)            \
+  auto statusor = (expr);                                               \
+  ASSERT_TRUE(statusor.ok()) << #expr << " = " << statusor.status().ToString(); \
+  lhs = std::move(statusor).value()
+
+#endif  // DIAL_TESTS_STATUS_MATCHERS_H_

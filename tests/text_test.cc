@@ -130,7 +130,9 @@ TEST(SubwordVocab, EncodePairStructure) {
   bool seen_one = false;
   for (const int s : seq.segments) {
     if (s == 1) seen_one = true;
-    if (seen_one) EXPECT_EQ(s, 1);
+    if (seen_one) {
+      EXPECT_EQ(s, 1);
+    }
   }
 }
 

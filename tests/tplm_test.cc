@@ -3,6 +3,7 @@
 #include <unistd.h>
 #include <filesystem>
 
+#include "status_matchers.h"
 #include "tplm/model_cache.h"
 #include "tplm/tplm.h"
 
@@ -46,6 +47,51 @@ TEST(TplmModel, DifferentSeedsDiffer) {
   TplmModel a("m", TinyConfig(), 42);
   TplmModel b("m", TinyConfig(), 43);
   EXPECT_NE(a.Parameters()[0]->value.storage(), b.Parameters()[0]->value.storage());
+}
+
+TEST(TplmModel, WeightSaveLoadRoundTrip) {
+  constexpr uint32_t kMagic = 0xd1a17e57u;
+  const std::string path = testing::TempDir() + "/dial_tplm_weights_" +
+                           std::to_string(::getpid()) + ".bin";
+  TplmModel saved("m", TinyConfig(), 5);
+  {
+    util::BinaryWriter writer(path, kMagic, 1);
+    saved.Save(writer);
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  TplmModel loaded("m", TinyConfig(), 6);
+  {
+    util::BinaryReader reader(path, kMagic, 1);
+    DIAL_ASSERT_OK(reader.status());
+    DIAL_EXPECT_OK(loaded.Load(reader));
+  }
+  const auto pa = saved.Parameters();
+  const auto pb = loaded.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->value.storage(), pb[i]->value.storage());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TplmModel, LoadRejectsMismatchedArchitecture) {
+  constexpr uint32_t kMagic = 0xd1a17e57u;
+  const std::string path = testing::TempDir() + "/dial_tplm_mismatch_" +
+                           std::to_string(::getpid()) + ".bin";
+  TplmModel saved("m", TinyConfig(), 5);
+  {
+    util::BinaryWriter writer(path, kMagic, 1);
+    saved.Save(writer);
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  TplmConfig wide = TinyConfig();
+  wide.transformer.ffn_dim = 32;
+  TplmModel other("m", wide, 5);
+  util::BinaryReader reader(path, kMagic, 1);
+  DIAL_ASSERT_OK(reader.status());
+  const util::Status load = other.Load(reader);
+  EXPECT_FALSE(load.ok()) << "shape mismatch must be rejected";
+  std::filesystem::remove(path);
 }
 
 TEST(TplmModel, EncodeShapes) {

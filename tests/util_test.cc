@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 
 #include "util/flags.h"
@@ -14,6 +16,8 @@
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+
+#include "status_matchers.h"
 
 namespace dial::util {
 namespace {
@@ -359,6 +363,71 @@ TEST(Serialize, RoundTrip) {
   EXPECT_EQ(reader.ReadString(), "hello");
   EXPECT_EQ(reader.ReadFloatVector(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
   EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(Serialize, EmptyContainersRoundTrip) {
+  const std::string path = testing::TempDir() + "/dial_serialize_empty.bin";
+  {
+    BinaryWriter writer(path, 0xabcd1234u, 1);
+    writer.WriteString("");
+    writer.WriteFloatVector({});
+    writer.WriteString("after");  // empties must not desync the stream
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  BinaryReader reader(path, 0xabcd1234u, 1);
+  DIAL_ASSERT_OK(reader.status());
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_EQ(reader.ReadString(), "after");
+  DIAL_EXPECT_OK(reader.status());
+}
+
+TEST(Serialize, NonFiniteFloatsRoundTripBitExact) {
+  const std::string path = testing::TempDir() + "/dial_serialize_nonfinite.bin";
+  const float inf = std::numeric_limits<float>::infinity();
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  {
+    BinaryWriter writer(path, 0xabcd1234u, 1);
+    writer.WriteF32(inf);
+    writer.WriteF32(-inf);
+    writer.WriteF32(qnan);
+    writer.WriteF32(-0.0f);
+    writer.WriteF64(std::numeric_limits<double>::infinity());
+    writer.WriteF64(std::numeric_limits<double>::quiet_NaN());
+    writer.WriteFloatVector({inf, qnan, -inf, 0.0f});
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  BinaryReader reader(path, 0xabcd1234u, 1);
+  DIAL_ASSERT_OK(reader.status());
+  EXPECT_EQ(reader.ReadF32(), inf);
+  EXPECT_EQ(reader.ReadF32(), -inf);
+  EXPECT_TRUE(std::isnan(reader.ReadF32()));
+  const float neg_zero = reader.ReadF32();
+  EXPECT_EQ(neg_zero, 0.0f);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(reader.ReadF64(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(reader.ReadF64()));
+  const std::vector<float> v = reader.ReadFloatVector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], inf);
+  EXPECT_TRUE(std::isnan(v[1]));
+  EXPECT_EQ(v[2], -inf);
+  EXPECT_EQ(v[3], 0.0f);
+  DIAL_EXPECT_OK(reader.status());
+}
+
+TEST(Serialize, OverflowingVectorLengthRejected) {
+  const std::string path = testing::TempDir() + "/dial_serialize_overflow.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    // Length whose byte count (n * 4) wraps uint64 to a small value.
+    writer.WriteU64((1ull << 62) + 1);
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  DIAL_ASSERT_OK(reader.status());
+  EXPECT_TRUE(reader.ReadFloatVector().empty());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
 }
 
 TEST(Serialize, BadMagicRejected) {

@@ -17,8 +17,9 @@
 /// \file
 /// Shared plumbing for the paper-table bench harnesses: common flags,
 /// experiment caching (one vocab+pretrained model per dataset per process,
-/// disk-cached across processes), and an AL runner that maps a blocking
-/// strategy name to a configured loop.
+/// disk-cached across processes), an AL runner that maps a blocking strategy
+/// name to a configured loop, and a machine-readable result sink
+/// (`--json_out`) that CI uses to build the BENCH_*.json perf trajectory.
 
 namespace dial::bench {
 
@@ -28,6 +29,7 @@ struct BenchFlags {
   std::string* datasets;  // comma-separated filter; "" = benchmark five
   int64_t* rounds;        // 0 = scale default
   int64_t* seed;
+  std::string* json_out;  // "" = human tables only
 
   explicit BenchFlags(const std::string& default_datasets = "") {
     scale = flags.AddString("scale", "smoke", "smoke|small|medium");
@@ -35,6 +37,9 @@ struct BenchFlags {
                                "comma-separated dataset filter");
     rounds = flags.AddInt("rounds", 0, "AL rounds (0 = scale default)");
     seed = flags.AddInt("seed", 7, "experiment seed");
+    json_out = flags.AddString(
+        "json_out", "",
+        "also write machine-readable records (JSON array) to this path");
   }
 
   void Parse(int argc, char** argv) { flags.Parse(argc, argv); }
@@ -45,6 +50,78 @@ struct BenchFlags {
     if (datasets->empty()) return data::BenchmarkDatasetNames();
     return util::Split(*datasets, ",");
   }
+};
+
+/// Collects one JSON record per measured configuration and writes them as a
+/// JSON array of {"bench", "config", "metrics", "wall_ms"} objects — the
+/// stable schema CI's bench-smoke job archives (BENCH_index.json), so perf
+/// moves across PRs are diffable by machine rather than read off tables.
+class BenchJsonWriter {
+ public:
+  /// Ordered key/value pairs; config values are strings, metrics numeric.
+  using Config = std::vector<std::pair<std::string, std::string>>;
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  void Add(const std::string& bench, const Config& config,
+           const Metrics& metrics, double wall_ms) {
+    std::string r = "  {\n    \"bench\": " + Quote(bench) + ",\n    \"config\": {";
+    for (size_t i = 0; i < config.size(); ++i) {
+      r += (i ? ", " : "") + Quote(config[i].first) + ": " + Quote(config[i].second);
+    }
+    r += "},\n    \"metrics\": {";
+    for (size_t i = 0; i < metrics.size(); ++i) {
+      r += (i ? ", " : "") + Quote(metrics[i].first) + ": " + Num(metrics[i].second);
+    }
+    r += "},\n    \"wall_ms\": " + Num(wall_ms) + "\n  }";
+    records_.push_back(std::move(r));
+  }
+
+  size_t size() const { return records_.size(); }
+
+  /// Writes the array to `path`; no-op on an empty path. Returns false (with
+  /// a message on stderr) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_out: cannot open '%s'\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fputs(records_[i].c_str(), f);
+      std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("wrote %zu bench records to %s\n", records_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += util::StrFormat("\\u%04x", c);
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  /// JSON has no NaN/Inf literals; clamp to null.
+  static std::string Num(double v) {
+    if (!(v == v) || v > 1e308 || v < -1e308) return "null";
+    return util::StrFormat("%.6g", v);
+  }
+
+  std::vector<std::string> records_;
 };
 
 /// Per-process experiment cache (pretraining also hits the on-disk model

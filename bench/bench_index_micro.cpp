@@ -1,78 +1,190 @@
-// Substrate microbenchmarks: kNN throughput and recall trade-offs of the
-// three index backends (flat exact, IVF, LSH) — the ablation on DIAL's
-// retrieval substrate called out in DESIGN.md.
+// Substrate microbenchmarks: build cost, batch-search throughput (inline vs
+// threaded), and recall of every index backend over clustered vectors — the
+// ablation on DIAL's retrieval substrate called out in DESIGN.md. The
+// threaded column exercises VectorIndex::SetThreadPool, whose results are
+// guaranteed bit-identical to inline execution (verified here per run).
+//
+// CI's bench-smoke job runs this at --scale smoke with --json_out to archive
+// the per-backend numbers as BENCH_index.json.
 
-#include <benchmark/benchmark.h>
+#include <set>
 
+#include "bench_common.h"
 #include "index/flat_index.h"
+#include "index/hnsw_index.h"
 #include "index/ivf_index.h"
+#include "index/ivfpq_index.h"
 #include "index/lsh_index.h"
+#include "index/matmul_search.h"
+#include "index/pq_index.h"
+#include "index/sq_index.h"
 
 namespace {
 
-dial::la::Matrix RandomVectors(size_t n, size_t d, uint64_t seed) {
+using dial::core::IndexBackend;
+using namespace dial::index;
+
+std::unique_ptr<VectorIndex> Make(IndexBackend backend, size_t dim) {
+  switch (backend) {
+    case IndexBackend::kFlat:
+      return std::make_unique<FlatIndex>(dim, Metric::kL2);
+    case IndexBackend::kIvf: {
+      IvfIndex::Options options;
+      options.nlist = 32;
+      options.nprobe = 4;
+      return std::make_unique<IvfIndex>(dim, Metric::kL2, options);
+    }
+    case IndexBackend::kLsh:
+      return std::make_unique<LshIndex>(dim, Metric::kL2, LshIndex::Options{});
+    case IndexBackend::kPq:
+      return std::make_unique<PqIndex>(dim, Metric::kL2,
+                                       ProductQuantizer::Options{});
+    case IndexBackend::kIvfPq:
+      return std::make_unique<IvfPqIndex>(dim, Metric::kL2,
+                                          IvfPqIndex::Options{});
+    case IndexBackend::kSq:
+      return std::make_unique<SqIndex>(dim, Metric::kL2);
+    case IndexBackend::kHnsw:
+      return std::make_unique<HnswIndex>(dim, Metric::kL2, HnswIndex::Options{});
+    case IndexBackend::kMatmul:
+      return std::make_unique<MatmulSearchIndex>(dim, Metric::kL2);
+  }
+  return nullptr;
+}
+
+dial::la::Matrix Clustered(size_t n, size_t d, size_t clusters, uint64_t seed) {
   dial::util::Rng rng(seed);
+  dial::la::Matrix centers(clusters, d);
+  centers.RandNormal(rng, 8.0f);
   dial::la::Matrix m(n, d);
-  m.RandNormal(rng, 1.0f);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformInt(clusters);
+    for (size_t j = 0; j < d; ++j) {
+      m(i, j) = centers(c, j) + static_cast<float>(rng.Normal()) * 0.5f;
+    }
+  }
   return m;
 }
 
-void BM_FlatSearch(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const size_t d = 32;
-  const auto data = RandomVectors(n, d, 1);
-  const auto queries = RandomVectors(64, d, 2);
-  dial::index::FlatIndex index(d, dial::index::Metric::kL2);
-  index.Add(data);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Search(queries, 3));
+/// Best-of-`reps` wall milliseconds for one batch Search.
+double SearchMs(const VectorIndex& index, const dial::la::Matrix& queries,
+                size_t k, size_t reps) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    dial::util::WallTimer timer;
+    const SearchBatch batch = index.Search(queries, k);
+    best = std::min(best, timer.Seconds() * 1000.0);
+    DIAL_CHECK_EQ(batch.size(), queries.rows());
   }
-  state.SetItemsProcessed(state.iterations() * 64);
+  return best;
 }
-BENCHMARK(BM_FlatSearch)->Arg(500)->Arg(2000)->Arg(8000);
 
-void BM_IvfSearch(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const size_t d = 32;
-  const auto data = RandomVectors(n, d, 1);
-  const auto queries = RandomVectors(64, d, 2);
-  dial::index::IvfIndex::Options options;
-  options.nlist = 32;
-  options.nprobe = 4;
-  dial::index::IvfIndex index(d, dial::index::Metric::kL2, options);
-  index.Add(data);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Search(queries, 3));
+bool SameBatch(const SearchBatch& a, const SearchBatch& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      if (a[q][i].id != b[q][i].id || a[q][i].distance != b[q][i].distance) {
+        return false;
+      }
+    }
   }
-  state.SetItemsProcessed(state.iterations() * 64);
+  return true;
 }
-BENCHMARK(BM_IvfSearch)->Arg(500)->Arg(2000)->Arg(8000);
-
-void BM_LshSearch(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const size_t d = 32;
-  const auto data = RandomVectors(n, d, 1);
-  const auto queries = RandomVectors(64, d, 2);
-  dial::index::LshIndex index(d, dial::index::Metric::kL2, {});
-  index.Add(data);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Search(queries, 3));
-  }
-  state.SetItemsProcessed(state.iterations() * 64);
-}
-BENCHMARK(BM_LshSearch)->Arg(500)->Arg(2000)->Arg(8000);
-
-void BM_IndexBuild(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const auto data = RandomVectors(n, 32, 3);
-  for (auto _ : state) {
-    dial::index::FlatIndex index(32, dial::index::Metric::kL2);
-    index.Add(data);
-    benchmark::DoNotOptimize(index.size());
-  }
-}
-BENCHMARK(BM_IndexBuild)->Arg(2000)->Arg(8000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags;
+  int64_t* threads = flags.flags.AddInt("threads", 2, "worker threads (0 = inline only)");
+  int64_t* k_flag = flags.flags.AddInt("k", 10, "neighbours per query");
+  int64_t* num_queries = flags.flags.AddInt("queries", 256, "query batch size");
+  int64_t* reps = flags.flags.AddInt("reps", 3, "search repetitions (best-of)");
+  flags.Parse(argc, argv);
+
+  const size_t dim = 32;
+  const size_t k = static_cast<size_t>(*k_flag);
+  size_t n = 2000;
+  switch (flags.ParsedScale()) {
+    case dial::data::Scale::kSmoke: n = 2000; break;
+    case dial::data::Scale::kSmall: n = 8000; break;
+    case dial::data::Scale::kMedium: n = 20000; break;
+  }
+
+  dial::bench::PrintHeader(
+      "Index micro: build/search cost per backend, inline vs threaded",
+      "Sec. 5.4 retrieval-substrate discussion — not a paper table");
+  std::printf("n=%zu dim=%zu queries=%zu k=%zu threads=%zu (search ms = best of %zu)\n\n",
+              n, dim, static_cast<size_t>(*num_queries), k,
+              static_cast<size_t>(*threads), static_cast<size_t>(*reps));
+
+  const dial::la::Matrix data = Clustered(n, dim, 32, 5);
+  const dial::la::Matrix queries =
+      Clustered(static_cast<size_t>(*num_queries), dim, 32, 6);
+
+  FlatIndex truth(dim, Metric::kL2);
+  truth.Add(data);
+  const SearchBatch expected = truth.Search(queries, k);
+
+  dial::util::ThreadPool pool(static_cast<size_t>(*threads));
+  dial::bench::BenchJsonWriter json;
+  dial::util::TablePrinter table({"backend", "build ms", "search ms",
+                                  "search ms (pool)", "speedup", "recall"});
+
+  for (const auto backend : dial::core::AllIndexBackends()) {
+    dial::util::WallTimer total;
+    auto index = Make(backend, dim);
+    dial::util::WallTimer timer;
+    index->Add(data);
+    const double build_ms = timer.Seconds() * 1000.0;
+
+    const double inline_ms = SearchMs(*index, queries, k, static_cast<size_t>(*reps));
+    index->SetThreadPool(&pool);
+    const double pool_ms = SearchMs(*index, queries, k, static_cast<size_t>(*reps));
+    const double speedup = pool_ms > 0.0 ? inline_ms / pool_ms : 0.0;
+
+    // Determinism spot check: the threaded batch must be bit-identical.
+    const SearchBatch threaded = index->Search(queries, k);
+    index->SetThreadPool(nullptr);
+    DIAL_CHECK(SameBatch(index->Search(queries, k), threaded))
+        << "threaded search diverged from inline for "
+        << dial::core::IndexBackendName(backend);
+
+    size_t hits = 0, total_expected = 0;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      std::set<int> truth_ids;
+      for (const Neighbor& nb : expected[q]) truth_ids.insert(nb.id);
+      for (const Neighbor& nb : threaded[q]) hits += truth_ids.count(nb.id);
+      total_expected += expected[q].size();
+    }
+    const double recall =
+        static_cast<double>(hits) / static_cast<double>(total_expected);
+
+    const std::string name = dial::core::IndexBackendName(backend);
+    table.AddRow({name, dial::util::TablePrinter::Num(build_ms, 1),
+                  dial::util::TablePrinter::Num(inline_ms, 2),
+                  dial::util::TablePrinter::Num(pool_ms, 2),
+                  dial::util::TablePrinter::Num(speedup, 2),
+                  dial::bench::Pct(recall)});
+    json.Add("index_micro",
+             {{"backend", name},
+              {"scale", *flags.scale},
+              {"n", std::to_string(n)},
+              {"dim", std::to_string(dim)},
+              {"queries", std::to_string(queries.rows())},
+              {"k", std::to_string(k)},
+              {"threads", std::to_string(*threads)}},
+             {{"build_ms", build_ms},
+              {"search_ms_inline", inline_ms},
+              {"search_ms_threaded", pool_ms},
+              {"speedup", speedup},
+              {"recall_at_k", recall}},
+             total.Seconds() * 1000.0);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Threaded batches are bit-identical to inline (checked above); the\n"
+      "speedup column is the data-parallel win on this machine's cores.\n");
+  if (!json.WriteTo(*flags.json_out)) return 1;
+  return 0;
+}

@@ -1,32 +1,55 @@
 // Table 9: wall seconds of each DIAL operation in the final AL round —
 // matcher training, committee training (incl. single-mode embedding),
-// indexing & retrieval, and selection.
+// indexing & retrieval, and selection. `--threads` exercises the AL loop's
+// blocking-step worker pool (AlConfig::num_threads; identical metrics, lower
+// index+retrieve wall time), and `--json_out` archives the breakdown for
+// CI's BENCH_index.json artifact.
 
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   dial::bench::BenchFlags flags;
+  int64_t* threads =
+      flags.flags.AddInt("threads", 0, "blocking-step worker threads (0 = inline)");
   flags.Parse(argc, argv);
   const auto scale = flags.ParsedScale();
 
   dial::bench::PrintHeader("Table 9: per-operation time in the last AL round",
                            "paper Table 9");
-  dial::util::TablePrinter table({"Operation", "unit"});
   std::vector<std::string> datasets = flags.DatasetList();
+  dial::bench::BenchJsonWriter json;
   dial::util::TablePrinter out({"Dataset", "Train Matcher (s)",
                                 "Train Committee (s)", "Index+Retrieve (s)",
                                 "Selection (s)"});
   for (const std::string& dataset : datasets) {
     auto& exp = dial::bench::GetExperiment(dataset, scale);
+    dial::util::WallTimer timer;
     const auto result = dial::bench::RunStrategy(
         exp, scale, dial::core::BlockingStrategy::kDial,
-        static_cast<uint64_t>(*flags.seed), *flags.rounds);
+        static_cast<uint64_t>(*flags.seed), *flags.rounds,
+        [&](dial::core::AlConfig& config) {
+          config.num_threads = static_cast<size_t>(*threads);
+        });
+    const double wall_ms = timer.Seconds() * 1000.0;
     const auto& last = result.rounds.back();
     out.AddRow({dataset, dial::util::StrFormat("%.2f", last.t_train_matcher),
                 dial::util::StrFormat("%.2f", last.t_train_committee),
                 dial::util::StrFormat("%.3f", last.t_index_retrieve),
                 dial::util::StrFormat("%.2f", last.t_select)});
+    json.Add("table9_runtime_breakdown",
+             {{"dataset", dataset},
+              {"scale", *flags.scale},
+              {"rounds", std::to_string(result.rounds.size())},
+              {"threads", std::to_string(*threads)}},
+             {{"train_matcher_s", last.t_train_matcher},
+              {"train_committee_s", last.t_train_committee},
+              {"index_retrieve_s", last.t_index_retrieve},
+              {"select_s", last.t_select},
+              {"cand_recall", last.cand_recall},
+              {"test_f1", last.test_prf.f1}},
+             wall_ms);
   }
   std::printf("%s\n", out.ToString().c_str());
+  if (!json.WriteTo(*flags.json_out)) return 1;
   return 0;
 }

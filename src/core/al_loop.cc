@@ -40,6 +40,9 @@ ActiveLearningLoop::ActiveLearningLoop(const data::DatasetBundle* bundle,
   DIAL_CHECK(bundle_ != nullptr);
   DIAL_CHECK(vocab_ != nullptr);
   DIAL_CHECK(pretrained_ != nullptr);
+  if (config_.num_threads > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
 }
 
 ActiveLearningLoop::~ActiveLearningLoop() = default;
@@ -113,7 +116,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       committee_->Train(emb_r, emb_s, dups, negs);
       metrics.t_train_committee = timer.Seconds();
       timer.Restart();
-      auto cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc);
+      auto cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc, pool_.get());
       metrics.t_index_retrieve = timer.Seconds();
       return cand;
     }
@@ -124,7 +127,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
         probe.ResetFromPretrained(*pretrained_);
         const la::Matrix emb_r = EmbedAllR(probe);
         const la::Matrix emb_s = EmbedAllS(probe);
-        fixed_candidates_ = DirectKnnCandidates(emb_r, emb_s, ibc);
+        fixed_candidates_ = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
         metrics.t_index_retrieve = timer.Seconds();
       }
       return fixed_candidates_;
@@ -133,7 +136,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       timer.Restart();
       const la::Matrix emb_r = EmbedAllR(matcher);
       const la::Matrix emb_s = EmbedAllS(matcher);
-      auto cand = DirectKnnCandidates(emb_r, emb_s, ibc);
+      auto cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
       metrics.t_index_retrieve = timer.Seconds();
       return cand;
     }
@@ -149,7 +152,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       timer.Restart();
       const la::Matrix emb_r = sbert_->EmbedR(*encodings_);
       const la::Matrix emb_s = sbert_->EmbedS(*encodings_);
-      auto cand = DirectKnnCandidates(emb_r, emb_s, ibc);
+      auto cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
       metrics.t_index_retrieve = timer.Seconds();
       return cand;
     }
@@ -368,7 +371,7 @@ AlResult ActiveLearningLoop::Run() {
       case BlockingStrategy::kDial: {
         const la::Matrix emb_r = EmbedAllR(*matcher);
         const la::Matrix emb_s = EmbedAllS(*matcher);
-        final_cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc);
+        final_cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc, pool_.get());
         break;
       }
       case BlockingStrategy::kPairedFixed:
@@ -377,13 +380,13 @@ AlResult ActiveLearningLoop::Run() {
       case BlockingStrategy::kPairedAdapt: {
         const la::Matrix emb_r = EmbedAllR(*matcher);
         const la::Matrix emb_s = EmbedAllS(*matcher);
-        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc);
+        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
         break;
       }
       case BlockingStrategy::kSentenceBert: {
         const la::Matrix emb_r = sbert_->EmbedR(*encodings_);
         const la::Matrix emb_s = sbert_->EmbedS(*encodings_);
-        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc);
+        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
         break;
       }
       case BlockingStrategy::kFixedExternal:

@@ -53,6 +53,12 @@ struct AlConfig {
   size_t calibration_pairs = 32;
   /// Compute the all-pairs metric every round (Fig. 7) vs only at the end.
   bool allpairs_each_round = true;
+  /// Worker threads for the blocking step (IBC member fan-out and batch
+  /// index search). 0 = inline execution, today's default. Retrieval results
+  /// are bit-identical for every value, so this is excluded from the
+  /// checkpoint fingerprint: a run checkpointed at one thread count resumes
+  /// exactly under another.
+  size_t num_threads = 0;
   uint64_t seed = 7;
 };
 
@@ -121,6 +127,8 @@ class ActiveLearningLoop {
   const text::SubwordVocab* vocab_;
   tplm::TplmModel* pretrained_;
   AlConfig config_;
+  /// Owned workers behind AlConfig::num_threads (null when 0).
+  std::unique_ptr<util::ThreadPool> pool_;
   std::vector<Candidate> external_candidates_;
   std::string checkpoint_path_;
   std::unique_ptr<AlCheckpoint> restore_;  // pending restored state

@@ -61,32 +61,42 @@ size_t PqSubspacesFor(size_t dim, size_t want) {
 std::unique_ptr<index::VectorIndex> MakeIndex(IndexBackend backend, size_t dim,
                                               index::Metric metric,
                                               util::ThreadPool* pool) {
+  std::unique_ptr<index::VectorIndex> idx;
   switch (backend) {
     case IndexBackend::kFlat:
-      return std::make_unique<index::FlatIndex>(dim, metric, pool);
+      idx = std::make_unique<index::FlatIndex>(dim, metric);
+      break;
     case IndexBackend::kIvf:
-      return std::make_unique<index::IvfIndex>(dim, metric, index::IvfIndex::Options{});
+      idx = std::make_unique<index::IvfIndex>(dim, metric, index::IvfIndex::Options{});
+      break;
     case IndexBackend::kLsh:
-      return std::make_unique<index::LshIndex>(dim, metric, index::LshIndex::Options{});
+      idx = std::make_unique<index::LshIndex>(dim, metric, index::LshIndex::Options{});
+      break;
     case IndexBackend::kPq: {
       index::ProductQuantizer::Options pq;
       pq.num_subspaces = PqSubspacesFor(dim, 4);
-      return std::make_unique<index::PqIndex>(dim, metric, pq);
+      idx = std::make_unique<index::PqIndex>(dim, metric, pq);
+      break;
     }
     case IndexBackend::kIvfPq: {
       index::IvfPqIndex::Options opts;
       opts.pq.num_subspaces = PqSubspacesFor(dim, 4);
-      return std::make_unique<index::IvfPqIndex>(dim, metric, opts);
+      idx = std::make_unique<index::IvfPqIndex>(dim, metric, opts);
+      break;
     }
     case IndexBackend::kSq:
-      return std::make_unique<index::SqIndex>(dim, metric);
+      idx = std::make_unique<index::SqIndex>(dim, metric);
+      break;
     case IndexBackend::kHnsw:
-      return std::make_unique<index::HnswIndex>(dim, metric,
-                                                index::HnswIndex::Options{});
+      idx = std::make_unique<index::HnswIndex>(dim, metric,
+                                               index::HnswIndex::Options{});
+      break;
     case IndexBackend::kMatmul:
-      return std::make_unique<index::MatmulSearchIndex>(dim, metric);
+      idx = std::make_unique<index::MatmulSearchIndex>(dim, metric);
+      break;
   }
-  return nullptr;
+  if (idx != nullptr) idx->SetThreadPool(pool);
+  return idx;
 }
 
 /// Merges per-member retrievals keeping the minimum distance per pair, then
@@ -134,9 +144,11 @@ std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
     for (size_t k = begin; k < end; ++k) {
       const la::Matrix enc_r = committee.Encode(k, emb_r);
       const la::Matrix enc_s = committee.Encode(k, emb_s);
-      // Per-member index searches run serially inside the member task; the
-      // pool is not forwarded to avoid nested parallelism.
-      auto idx = MakeIndex(config.backend, enc_r.cols(), config.metric, nullptr);
+      // The pool is forwarded into the per-member index: when this task is
+      // already on a pool worker, nested ParallelFor calls degrade to inline
+      // execution (no deadlock, same results); when IBC ran inline (null
+      // pool), the index still gets null and stays inline.
+      auto idx = MakeIndex(config.backend, enc_r.cols(), config.metric, pool);
       idx->Add(enc_r);
       batches[k] = idx->Search(enc_s, config.k_neighbors);
     }

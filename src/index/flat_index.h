@@ -13,9 +13,12 @@ namespace dial::index {
 
 class FlatIndex : public VectorIndex {
  public:
-  /// `pool` (optional, unowned) parallelizes queries across threads.
+  /// `pool` (optional, unowned) parallelizes queries across threads — the
+  /// constructor form of VectorIndex::SetThreadPool.
   FlatIndex(size_t dim, Metric metric, util::ThreadPool* pool = nullptr)
-      : VectorIndex(dim, metric), pool_(pool) {}
+      : VectorIndex(dim, metric) {
+    SetThreadPool(pool);
+  }
 
   void Add(const la::Matrix& vectors) override;
   size_t size() const override { return data_.rows(); }
@@ -26,7 +29,6 @@ class FlatIndex : public VectorIndex {
 
  private:
   la::Matrix data_;
-  util::ThreadPool* pool_;
 };
 
 }  // namespace dial::index

@@ -58,17 +58,31 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, int entry,
   return result.Take();
 }
 
-std::vector<int> HnswIndex::SelectNeighbors(const float* /*query*/,
+std::vector<int> HnswIndex::SelectNeighbors(const float* query,
                                             const std::vector<Neighbor>& candidates,
                                             size_t max_links) const {
   std::vector<int> kept;
   kept.reserve(max_links);
+  if (!options_.query_aware_pruning) {
+    // Plain closest-first pruning: take the max_links nearest candidates.
+    for (const Neighbor& cand : candidates) {
+      if (kept.size() >= max_links) break;
+      kept.push_back(cand.id);
+    }
+    return kept;
+  }
   for (const Neighbor& cand : candidates) {  // ascending by distance
     if (kept.size() >= max_links) break;
+    // Recomputed from `query` rather than read from cand.distance so the
+    // pruning stays query-relative even for callers whose candidate lists
+    // carry distances measured against something else. (Both current call
+    // sites cache d(query, cand), so this costs one extra O(dim) distance
+    // per candidate at build time and changes no results for them.)
+    const float d_to_query = Distance(query, data_.row(cand.id));
     bool dominated = false;
     for (const int existing : kept) {
       const float d_to_kept = Distance(data_.row(cand.id), data_.row(existing));
-      if (d_to_kept < cand.distance) {
+      if (d_to_kept < d_to_query) {
         dominated = true;  // closer to a kept neighbour than to the query
         break;
       }
@@ -169,28 +183,32 @@ SearchBatch HnswIndex::Search(const la::Matrix& queries, size_t k) const {
   SearchBatch results(queries.rows());
   if (data_.empty()) return results;
   const size_t ef = std::max(options_.ef_search, k);
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const float* query = queries.row(q);
-    int entry = entry_point_;
-    for (int l = max_level_; l > 0; --l) {
-      bool improved = true;
-      float best = Distance(query, data_.row(entry));
-      while (improved) {
-        improved = false;
-        for (const int nb : nodes_[entry].links[l]) {
-          const float d = Distance(query, data_.row(nb));
-          if (d < best) {
-            best = d;
-            entry = nb;
-            improved = true;
+  // Queries are independent: the graph is read-only during Search and every
+  // per-query structure (beam, visited set) lives in SearchLayer's frame.
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.row(q);
+      int entry = entry_point_;
+      for (int l = max_level_; l > 0; --l) {
+        bool improved = true;
+        float best = Distance(query, data_.row(entry));
+        while (improved) {
+          improved = false;
+          for (const int nb : nodes_[entry].links[l]) {
+            const float d = Distance(query, data_.row(nb));
+            if (d < best) {
+              best = d;
+              entry = nb;
+              improved = true;
+            }
           }
         }
       }
+      std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0);
+      if (found.size() > k) found.resize(k);
+      results[q] = std::move(found);
     }
-    std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0);
-    if (found.size() > k) found.resize(k);
-    results[q] = std::move(found);
-  }
+  });
   return results;
 }
 

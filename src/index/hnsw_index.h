@@ -26,6 +26,12 @@ class HnswIndex : public VectorIndex {
     /// Beam width while querying (raised to k when k is larger).
     size_t ef_search = 32;
     uint64_t seed = 37;
+    /// Use the HNSW paper's query-aware diversity pruning (Alg. 4) when
+    /// selecting a node's links: a candidate is kept only if it is closer to
+    /// the query than to every already-kept neighbour. `false` falls back to
+    /// plain closest-first pruning (the seed behaviour) — kept as an ablation
+    /// knob; the heuristic measurably helps recall on clustered data.
+    bool query_aware_pruning = true;
   };
 
   HnswIndex(size_t dim, Metric metric, Options options);
@@ -52,8 +58,11 @@ class HnswIndex : public VectorIndex {
   /// to `ef` closest nodes, ascending by distance.
   std::vector<Neighbor> SearchLayer(const float* query, int entry, size_t ef,
                                     int level) const;
-  /// Malkov's neighbour-selection heuristic: keeps candidates that are closer
-  /// to the query than to any already-kept neighbour (diversity pruning).
+  /// Malkov's neighbour-selection heuristic (Alg. 4): keeps candidates that
+  /// are closer to `query` than to any already-kept neighbour (diversity
+  /// pruning). Distances to the query are recomputed from `query` itself, so
+  /// the selection is correct regardless of what the candidates' cached
+  /// `distance` fields were measured against.
   std::vector<int> SelectNeighbors(const float* query,
                                    const std::vector<Neighbor>& candidates,
                                    size_t max_links) const;

@@ -26,7 +26,7 @@ void IvfIndex::Add(const la::Matrix& vectors) {
     // Train the coarse quantizer on the first batch.
     util::Rng rng(options_.seed);
     const size_t nlist = std::min(options_.nlist, data_.rows());
-    KMeansResult km = KMeans(data_, nlist, options_.train_iterations, rng);
+    KMeansResult km = KMeans(data_, nlist, options_.train_iterations, rng, pool_);
     centroids_ = std::move(km.centroids);
     lists_.assign(nlist, {});
     for (size_t i = 0; i < data_.rows(); ++i) {
@@ -34,19 +34,27 @@ void IvfIndex::Add(const la::Matrix& vectors) {
     }
     return;
   }
-  // Assign new vectors to the nearest existing cell.
-  for (size_t i = 0; i < vectors.rows(); ++i) {
-    const float* x = vectors.row(i);
-    size_t best = 0;
-    float best_d = std::numeric_limits<float>::infinity();
-    for (size_t c = 0; c < centroids_.rows(); ++c) {
-      const float d = la::SquaredDistance(x, centroids_.row(c), dim_);
-      if (d < best_d) {
-        best_d = d;
-        best = c;
+  // Assign new vectors to the nearest existing cell: nearest-centroid lookups
+  // fan out over the pool (rows are independent); the list appends run
+  // serially in row order so cell contents are identical to inline execution.
+  std::vector<size_t> cell(vectors.rows());
+  util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* x = vectors.row(i);
+      size_t best = 0;
+      float best_d = std::numeric_limits<float>::infinity();
+      for (size_t c = 0; c < centroids_.rows(); ++c) {
+        const float d = la::SquaredDistance(x, centroids_.row(c), dim_);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
       }
+      cell[i] = best;
     }
-    lists_[best].push_back(static_cast<int>(base + i));
+  });
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    lists_[cell[i]].push_back(static_cast<int>(base + i));
   }
 }
 
@@ -55,22 +63,24 @@ SearchBatch IvfIndex::Search(const la::Matrix& queries, size_t k) const {
   SearchBatch results(queries.rows());
   if (data_.empty()) return results;
   const size_t nprobe = std::min(options_.nprobe, centroids_.rows());
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const float* query = queries.row(q);
-    // Rank cells by centroid distance (always L2 — cells were trained in L2).
-    TopK cell_topk(nprobe);
-    for (size_t c = 0; c < centroids_.rows(); ++c) {
-      cell_topk.Push(static_cast<int>(c),
-                     la::SquaredDistance(query, centroids_.row(c), dim_));
-    }
-    TopK topk(k);
-    for (const Neighbor& cell : cell_topk.Take()) {
-      for (const int id : lists_[cell.id]) {
-        topk.Push(id, Distance(query, data_.row(id)));
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.row(q);
+      // Rank cells by centroid distance (always L2 — cells were trained in L2).
+      TopK cell_topk(nprobe);
+      for (size_t c = 0; c < centroids_.rows(); ++c) {
+        cell_topk.Push(static_cast<int>(c),
+                       la::SquaredDistance(query, centroids_.row(c), dim_));
       }
+      TopK topk(k);
+      for (const Neighbor& cell : cell_topk.Take()) {
+        for (const int id : lists_[cell.id]) {
+          topk.Push(id, Distance(query, data_.row(id)));
+        }
+      }
+      results[q] = topk.Take();
     }
-    results[q] = topk.Take();
-  }
+  });
   return results;
 }
 

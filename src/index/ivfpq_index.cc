@@ -29,16 +29,28 @@ size_t IvfPqIndex::NearestCell(const float* x) const {
 }
 
 void IvfPqIndex::EncodeInto(const la::Matrix& vectors, size_t base_id) {
-  std::vector<float> residual(dim_);
-  std::vector<uint8_t> code(pq_.code_size());
+  // Cell routing + residual PQ encoding are row-independent; fan them out
+  // over the pool into per-row slots, then append to the inverted lists
+  // serially in row order (identical list layout to inline execution).
+  const size_t code_size = pq_.code_size();
+  std::vector<size_t> cells(vectors.rows());
+  std::vector<uint8_t> codes(vectors.rows() * code_size);
+  util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    std::vector<float> residual(dim_);
+    for (size_t i = begin; i < end; ++i) {
+      const float* x = vectors.row(i);
+      const size_t cell = NearestCell(x);
+      const float* centroid = centroids_.row(cell);
+      for (size_t d = 0; d < dim_; ++d) residual[d] = x[d] - centroid[d];
+      pq_.Encode(residual.data(), codes.data() + i * code_size);
+      cells[i] = cell;
+    }
+  });
   for (size_t i = 0; i < vectors.rows(); ++i) {
-    const float* x = vectors.row(i);
-    const size_t cell = NearestCell(x);
-    const float* centroid = centroids_.row(cell);
-    for (size_t d = 0; d < dim_; ++d) residual[d] = x[d] - centroid[d];
-    pq_.Encode(residual.data(), code.data());
-    list_ids_[cell].push_back(static_cast<int>(base_id + i));
-    list_codes_[cell].insert(list_codes_[cell].end(), code.begin(), code.end());
+    const uint8_t* code = codes.data() + i * code_size;
+    list_ids_[cells[i]].push_back(static_cast<int>(base_id + i));
+    list_codes_[cells[i]].insert(list_codes_[cells[i]].end(), code,
+                                 code + code_size);
   }
   count_ += vectors.rows();
 }
@@ -46,21 +58,24 @@ void IvfPqIndex::EncodeInto(const la::Matrix& vectors, size_t base_id) {
 void IvfPqIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return;
+  pq_.SetThreadPool(pool_);
   if (centroids_.empty()) {
     util::Rng rng(options_.seed);
     const size_t nlist = std::min(options_.nlist, vectors.rows());
-    KMeansResult km = KMeans(vectors, nlist, options_.train_iterations, rng);
+    KMeansResult km = KMeans(vectors, nlist, options_.train_iterations, rng, pool_);
     centroids_ = std::move(km.centroids);
     list_ids_.assign(nlist, {});
     list_codes_.assign(nlist, {});
     // Train the PQ on residuals of the training batch.
     la::Matrix residuals(vectors.rows(), dim_);
-    for (size_t i = 0; i < vectors.rows(); ++i) {
-      const float* x = vectors.row(i);
-      const float* centroid = centroids_.row(km.assignment[i]);
-      float* out = residuals.row(i);
-      for (size_t d = 0; d < dim_; ++d) out[d] = x[d] - centroid[d];
-    }
+    util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const float* x = vectors.row(i);
+        const float* centroid = centroids_.row(km.assignment[i]);
+        float* out = residuals.row(i);
+        for (size_t d = 0; d < dim_; ++d) out[d] = x[d] - centroid[d];
+      }
+    });
     pq_.Train(residuals);
   }
   EncodeInto(vectors, count_);
@@ -72,29 +87,33 @@ SearchBatch IvfPqIndex::Search(const la::Matrix& queries, size_t k) const {
   if (count_ == 0) return results;
   const size_t nprobe = std::min(options_.nprobe, centroids_.rows());
   const size_t code_size = pq_.code_size();
-  std::vector<float> residual(dim_);
-  std::vector<float> table;
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const float* query = queries.row(q);
-    TopK cell_topk(nprobe);
-    for (size_t c = 0; c < centroids_.rows(); ++c) {
-      cell_topk.Push(static_cast<int>(c),
-                     la::SquaredDistance(query, centroids_.row(c), dim_));
-    }
-    TopK topk(k);
-    for (const Neighbor& cell : cell_topk.Take()) {
-      // ADC table on this cell's residual of the query.
-      const float* centroid = centroids_.row(cell.id);
-      for (size_t d = 0; d < dim_; ++d) residual[d] = query[d] - centroid[d];
-      pq_.ComputeDistanceTable(residual.data(), /*inner_product=*/false, table);
-      const std::vector<int>& ids = list_ids_[cell.id];
-      const std::vector<uint8_t>& codes = list_codes_[cell.id];
-      for (size_t i = 0; i < ids.size(); ++i) {
-        topk.Push(ids[i], pq_.AdcDistance(table, codes.data() + i * code_size));
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    // Scratch is per chunk: queries share nothing once the residual/table
+    // buffers are thread-local.
+    std::vector<float> residual(dim_);
+    std::vector<float> table;
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.row(q);
+      TopK cell_topk(nprobe);
+      for (size_t c = 0; c < centroids_.rows(); ++c) {
+        cell_topk.Push(static_cast<int>(c),
+                       la::SquaredDistance(query, centroids_.row(c), dim_));
       }
+      TopK topk(k);
+      for (const Neighbor& cell : cell_topk.Take()) {
+        // ADC table on this cell's residual of the query.
+        const float* centroid = centroids_.row(cell.id);
+        for (size_t d = 0; d < dim_; ++d) residual[d] = query[d] - centroid[d];
+        pq_.ComputeDistanceTable(residual.data(), /*inner_product=*/false, table);
+        const std::vector<int>& ids = list_ids_[cell.id];
+        const std::vector<uint8_t>& codes = list_codes_[cell.id];
+        for (size_t i = 0; i < ids.size(); ++i) {
+          topk.Push(ids[i], pq_.AdcDistance(table, codes.data() + i * code_size));
+        }
+      }
+      results[q] = topk.Take();
     }
-    results[q] = topk.Take();
-  }
+  });
   return results;
 }
 

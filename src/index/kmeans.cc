@@ -46,7 +46,7 @@ std::vector<size_t> KMeansPlusPlusSeed(const la::Matrix& data, size_t k,
 }
 
 KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
-                    util::Rng& rng) {
+                    util::Rng& rng, util::ThreadPool* pool) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   DIAL_CHECK_GE(n, k);
@@ -61,27 +61,38 @@ KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
   result.assignment.assign(n, 0);
 
   std::vector<size_t> counts(k);
+  std::vector<float> best_dist(n);
+  std::vector<char> row_changed(n);
   for (size_t iter = 0; iter < max_iterations; ++iter) {
-    // Assignment step.
-    bool changed = false;
-    result.inertia = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      float best = std::numeric_limits<float>::infinity();
-      int best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const float dist = la::SquaredDistance(data.row(i), result.centroids.row(c), d);
-        if (dist < best) {
-          best = dist;
-          best_c = static_cast<int>(c);
+    // Assignment step: rows are independent, so this — the O(n*k*d) bulk of
+    // each iteration — fans out over the pool. Each row writes only its own
+    // assignment/best_dist/row_changed slots; the inertia reduction below
+    // runs serially in row order so the total matches inline execution
+    // exactly.
+    util::ParallelFor(pool, n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        float best = std::numeric_limits<float>::infinity();
+        int best_c = 0;
+        for (size_t c = 0; c < k; ++c) {
+          const float dist =
+              la::SquaredDistance(data.row(i), result.centroids.row(c), d);
+          if (dist < best) {
+            best = dist;
+            best_c = static_cast<int>(c);
+          }
         }
-      }
-      if (result.assignment[i] != best_c) {
+        row_changed[i] = result.assignment[i] != best_c;
         result.assignment[i] = best_c;
-        changed = true;
+        best_dist[i] = best;
       }
-      result.inertia += best;
-    }
+    });
     result.iterations_run = iter + 1;
+    result.inertia = 0.0;
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      result.inertia += best_dist[i];
+      changed = changed || row_changed[i] != 0;
+    }
     if (!changed && iter > 0) break;
 
     // Update step.

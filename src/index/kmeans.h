@@ -5,6 +5,7 @@
 
 #include "la/matrix.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 /// \file
 /// k-means++ seeding and Lloyd iterations. Used twice in this repo, matching
@@ -27,9 +28,12 @@ struct KMeansResult {
 };
 
 /// Lloyd's algorithm with k-means++ init. Empty clusters are re-seeded from
-/// the farthest point. `k` must be <= data.rows().
+/// the farthest point. `k` must be <= data.rows(). `pool` (optional,
+/// unowned) parallelizes the assignment step — the O(n*k*dim) hot loop —
+/// over data rows; seeding, the update step, and the inertia reduction stay
+/// serial so results are bit-identical with and without a pool.
 KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
-                    util::Rng& rng);
+                    util::Rng& rng, util::ThreadPool* pool = nullptr);
 
 }  // namespace dial::index
 

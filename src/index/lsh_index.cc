@@ -43,41 +43,45 @@ void LshIndex::Add(const la::Matrix& vectors) {
 SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());
-  std::vector<char> seen(data_.rows());
-  std::vector<uint64_t> codes(options_.num_tables);
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const float* query = queries.row(q);
-    std::fill(seen.begin(), seen.end(), 0);
-    size_t candidates = 0;
-    TopK topk(k);
-    const auto scan_bucket = [&](size_t table, uint64_t code) {
-      auto it = tables_[table].find(code);
-      if (it == tables_[table].end()) return;
-      for (const int id : it->second) {
-        if (seen[id]) continue;
-        seen[id] = 1;
-        ++candidates;
-        topk.Push(id, Distance(query, data_.row(id)));
-      }
-    };
-    for (size_t t = 0; t < options_.num_tables; ++t) {
-      codes[t] = HashVector(t, query);
-      scan_bucket(t, codes[t]);
-    }
-    if (candidates < k && options_.multiprobe) {
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    // The dedup bitmap and per-table codes are per-chunk scratch; the hash
+    // tables themselves are read-only during Search.
+    std::vector<char> seen(data_.rows());
+    std::vector<uint64_t> codes(options_.num_tables);
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.row(q);
+      std::fill(seen.begin(), seen.end(), 0);
+      size_t candidates = 0;
+      TopK topk(k);
+      const auto scan_bucket = [&](size_t table, uint64_t code) {
+        auto it = tables_[table].find(code);
+        if (it == tables_[table].end()) return;
+        for (const int id : it->second) {
+          if (seen[id]) continue;
+          seen[id] = 1;
+          ++candidates;
+          topk.Push(id, Distance(query, data_.row(id)));
+        }
+      };
       for (size_t t = 0; t < options_.num_tables; ++t) {
-        for (size_t b = 0; b < options_.num_bits; ++b) {
-          scan_bucket(t, codes[t] ^ (1ull << b));
+        codes[t] = HashVector(t, query);
+        scan_bucket(t, codes[t]);
+      }
+      if (candidates < k && options_.multiprobe) {
+        for (size_t t = 0; t < options_.num_tables; ++t) {
+          for (size_t b = 0; b < options_.num_bits; ++b) {
+            scan_bucket(t, codes[t] ^ (1ull << b));
+          }
         }
       }
-    }
-    if (candidates == 0 && options_.exact_fallback) {
-      for (size_t id = 0; id < data_.rows(); ++id) {
-        topk.Push(static_cast<int>(id), Distance(query, data_.row(id)));
+      if (candidates == 0 && options_.exact_fallback) {
+        for (size_t id = 0; id < data_.rows(); ++id) {
+          topk.Push(static_cast<int>(id), Distance(query, data_.row(id)));
+        }
       }
+      results[q] = topk.Take();
     }
-    results[q] = topk.Take();
-  }
+  });
   return results;
 }
 

@@ -44,7 +44,13 @@ SearchBatch MatmulSearchIndex::Search(const la::Matrix& queries, size_t k) const
   SearchBatch results(queries.rows());
   if (count_ == 0) return results;
 
-  for (size_t q0 = 0; q0 < queries.rows(); q0 += options_.query_tile) {
+  // Query tiles are independent units of work (each owns its GEMM scratch
+  // and heaps), so the tile loop fans out over the pool.
+  const size_t num_tiles =
+      (queries.rows() + options_.query_tile - 1) / options_.query_tile;
+  util::ParallelFor(pool_, num_tiles, [&](size_t t_begin, size_t t_end) {
+  for (size_t tile_i = t_begin; tile_i < t_end; ++tile_i) {
+    const size_t q0 = tile_i * options_.query_tile;
     const size_t tile_rows = std::min(options_.query_tile, queries.rows() - q0);
     la::Matrix tile(tile_rows, dim_);
     std::copy(queries.row(q0), queries.row(q0) + tile_rows * dim_, tile.data());
@@ -91,6 +97,7 @@ SearchBatch MatmulSearchIndex::Search(const la::Matrix& queries, size_t k) const
       results[q0 + i] = heaps[i].Take();
     }
   }
+  });
   return results;
 }
 

@@ -27,12 +27,17 @@ void ProductQuantizer::Train(const la::Matrix& data) {
   codebooks_.reserve(m);
   util::Rng rng(options_.seed);
   la::Matrix slice(data.rows(), dsub_);
+  // Subspaces stay sequential — they consume one shared RNG stream for
+  // seeding — but each subspace's k-means fans its assignment step out over
+  // the pool (bit-identical either way; see KMeans).
   for (size_t sub = 0; sub < m; ++sub) {
-    for (size_t r = 0; r < data.rows(); ++r) {
-      const float* src = data.row(r) + sub * dsub_;
-      std::copy(src, src + dsub_, slice.row(r));
-    }
-    KMeansResult km = KMeans(slice, ksub_, options_.train_iterations, rng);
+    util::ParallelFor(pool_, data.rows(), [&](size_t begin, size_t end) {
+      for (size_t r = begin; r < end; ++r) {
+        const float* src = data.row(r) + sub * dsub_;
+        std::copy(src, src + dsub_, slice.row(r));
+      }
+    });
+    KMeansResult km = KMeans(slice, ksub_, options_.train_iterations, rng, pool_);
     codebooks_.push_back(std::move(km.centroids));
   }
   // Precompute centroid-to-centroid tables for symmetric distances.
@@ -74,9 +79,11 @@ void ProductQuantizer::Encode(const float* x, uint8_t* code) const {
 std::vector<uint8_t> ProductQuantizer::EncodeBatch(const la::Matrix& data) const {
   DIAL_CHECK_EQ(data.cols(), dim_);
   std::vector<uint8_t> codes(data.rows() * code_size());
-  for (size_t r = 0; r < data.rows(); ++r) {
-    Encode(data.row(r), codes.data() + r * code_size());
-  }
+  util::ParallelFor(pool_, data.rows(), [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      Encode(data.row(r), codes.data() + r * code_size());
+    }
+  });
   return codes;
 }
 

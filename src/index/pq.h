@@ -6,6 +6,7 @@
 
 #include "la/matrix.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 /// \file
 /// Product quantization (Jégou et al.) — the compression scheme behind
@@ -39,6 +40,12 @@ class ProductQuantizer {
   /// are supplied, the codebook size is clipped to the number of rows.
   void Train(const la::Matrix& data);
   bool trained() const { return ksub_ > 0; }
+
+  /// Attaches an unowned worker pool used by Train (k-means assignment) and
+  /// EncodeBatch. Codebooks and codes are bit-identical with or without a
+  /// pool: subspaces train sequentially (they share the seeding RNG stream)
+  /// and only row-independent loops fan out.
+  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
 
   size_t dim() const { return dim_; }
   size_t num_subspaces() const { return options_.num_subspaces; }
@@ -84,6 +91,7 @@ class ProductQuantizer {
   size_t dsub_;
   Options options_;
   size_t ksub_ = 0;  // 0 until trained
+  util::ThreadPool* pool_ = nullptr;    // unowned; null = inline execution
   std::vector<la::Matrix> codebooks_;   // per subspace: (ksub, dsub)
   std::vector<la::Matrix> sdc_tables_;  // per subspace: (ksub, ksub) sq dists
 };

@@ -13,6 +13,7 @@ PqIndex::PqIndex(size_t dim, Metric metric, ProductQuantizer::Options options)
 void PqIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return;
+  pq_.SetThreadPool(pool_);
   if (!pq_.trained()) pq_.Train(vectors);
   std::vector<uint8_t> batch = pq_.EncodeBatch(vectors);
   codes_.insert(codes_.end(), batch.begin(), batch.end());
@@ -25,16 +26,18 @@ SearchBatch PqIndex::Search(const la::Matrix& queries, size_t k) const {
   if (count_ == 0) return results;
   const bool ip = metric_ == Metric::kInnerProduct;
   const size_t code_size = pq_.code_size();
-  std::vector<float> table;
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    pq_.ComputeDistanceTable(queries.row(q), ip, table);
-    TopK topk(k);
-    for (size_t id = 0; id < count_; ++id) {
-      topk.Push(static_cast<int>(id),
-                pq_.AdcDistance(table, codes_.data() + id * code_size));
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    std::vector<float> table;  // per-chunk ADC scratch
+    for (size_t q = begin; q < end; ++q) {
+      pq_.ComputeDistanceTable(queries.row(q), ip, table);
+      TopK topk(k);
+      for (size_t id = 0; id < count_; ++id) {
+        topk.Push(static_cast<int>(id),
+                  pq_.AdcDistance(table, codes_.data() + id * code_size));
+      }
+      results[q] = topk.Take();
     }
-    results[q] = topk.Take();
-  }
+  });
   return results;
 }
 

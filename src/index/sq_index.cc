@@ -44,9 +44,12 @@ void SqIndex::Add(const la::Matrix& vectors) {
   }
   const size_t base = codes_.size();
   codes_.resize(base + vectors.rows() * dim_);
-  for (size_t i = 0; i < vectors.rows(); ++i) {
-    EncodeRow(vectors.row(i), codes_.data() + base + i * dim_);
-  }
+  // Rows quantize independently into disjoint code slots.
+  util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      EncodeRow(vectors.row(i), codes_.data() + base + i * dim_);
+    }
+  });
   count_ += vectors.rows();
 }
 
@@ -54,28 +57,30 @@ SearchBatch SqIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());
   if (count_ == 0) return results;
-  // Per-query lookup table: distance contribution of each (dim, code) pair,
-  // the scalar-quantization version of ADC.
-  std::vector<float> table(dim_ * 256);
   const bool ip = metric_ == Metric::kInnerProduct;
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const float* query = queries.row(q);
-    for (size_t d = 0; d < dim_; ++d) {
-      float* row = table.data() + d * 256;
-      for (size_t c = 0; c < 256; ++c) {
-        const float v = DequantizedValue(d, static_cast<uint8_t>(c));
-        row[c] = ip ? -query[d] * v : (query[d] - v) * (query[d] - v);
+  util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    // Per-query lookup table: distance contribution of each (dim, code)
+    // pair, the scalar-quantization version of ADC. Per-chunk scratch.
+    std::vector<float> table(dim_ * 256);
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.row(q);
+      for (size_t d = 0; d < dim_; ++d) {
+        float* row = table.data() + d * 256;
+        for (size_t c = 0; c < 256; ++c) {
+          const float v = DequantizedValue(d, static_cast<uint8_t>(c));
+          row[c] = ip ? -query[d] * v : (query[d] - v) * (query[d] - v);
+        }
       }
+      TopK topk(k);
+      for (size_t id = 0; id < count_; ++id) {
+        const uint8_t* code = codes_.data() + id * dim_;
+        float dist = 0.0f;
+        for (size_t d = 0; d < dim_; ++d) dist += table[d * 256 + code[d]];
+        topk.Push(static_cast<int>(id), dist);
+      }
+      results[q] = topk.Take();
     }
-    TopK topk(k);
-    for (size_t id = 0; id < count_; ++id) {
-      const uint8_t* code = codes_.data() + id * dim_;
-      float dist = 0.0f;
-      for (size_t d = 0; d < dim_; ++d) dist += table[d * 256 + code[d]];
-      topk.Push(static_cast<int>(id), dist);
-    }
-    results[q] = topk.Take();
-  }
+  });
   return results;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "la/matrix.h"
+#include "util/thread_pool.h"
 
 /// \file
 /// k-nearest-neighbour indexes over dense float vectors — the FAISS
@@ -12,6 +13,12 @@
 /// `distance`, where distance is squared L2 for Metric::kL2 and *negated*
 /// (inner product / cosine) for the similarity metrics, so "smaller is
 /// closer" uniformly.
+///
+/// Every backend optionally runs batch `Search` (and the cheap, deterministic
+/// parts of index construction) data-parallel over an unowned
+/// `util::ThreadPool` — see `VectorIndex::SetThreadPool`. Threaded execution
+/// is bit-identical to inline execution: per-query work touches no shared
+/// mutable state and results are merged in query order.
 
 namespace dial::index {
 
@@ -56,12 +63,21 @@ class VectorIndex {
   /// (or, for approximate indexes, when probing finds fewer candidates).
   virtual SearchBatch Search(const la::Matrix& queries, size_t k) const = 0;
 
+  /// Attaches an unowned worker pool (nullptr detaches — the default).
+  /// Batch Search fans query rows out over the pool; Add parallelizes the
+  /// deterministic build steps (k-means assignment, PQ/SQ encoding). The
+  /// caller keeps `pool` alive for as long as it is attached. Results are
+  /// guaranteed bit-identical whether a pool is attached or not.
+  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
  protected:
   /// Pairwise distance under this index's metric.
   float Distance(const float* a, const float* b) const;
 
   size_t dim_;
   Metric metric_;
+  util::ThreadPool* pool_ = nullptr;  // unowned; null = inline execution
 };
 
 }  // namespace dial::index

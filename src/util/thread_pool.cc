@@ -6,8 +6,10 @@ namespace dial::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   workers_.reserve(num_threads);
+  worker_ids_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
 }
 
@@ -57,10 +59,18 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool ThreadPool::InWorkerThread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread::id& id : worker_ids_) {
+    if (id == self) return true;
+  }
+  return false;
+}
+
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  if (pool == nullptr || pool->num_threads() <= 1 || pool->InWorkerThread()) {
     fn(0, n);
     return;
   }

@@ -34,10 +34,17 @@ class ThreadPool {
   /// Blocks until all submitted tasks have completed.
   void Wait();
 
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// `ParallelFor` to degrade to inline execution on nested calls — a worker
+  /// that Submit()s subtasks and then Wait()s would deadlock once every
+  /// worker is parked in Wait().
+  bool InWorkerThread() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::vector<std::thread::id> worker_ids_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable task_ready_;
@@ -47,7 +54,12 @@ class ThreadPool {
 };
 
 /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
-/// pool; blocks until complete. With a null pool, runs inline.
+/// pool; blocks until complete. Runs inline with a null pool, with fewer
+/// than two workers, or when called from one of the pool's own workers
+/// (nested data-parallelism degrades gracefully instead of deadlocking).
+/// Chunk boundaries never change results for callers whose iterations are
+/// independent, which is what the index layer's determinism guarantee
+/// (threaded Search bit-identical to inline) rests on.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn);
 

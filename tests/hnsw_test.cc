@@ -91,6 +91,66 @@ TEST(HnswIndex, RecallGrowsWithEfSearch) {
   EXPECT_GT(recall_at(128), 0.85);
 }
 
+la::Matrix Clustered(size_t n, size_t d, size_t clusters, uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix centers(clusters, d);
+  centers.RandNormal(rng, 8.0f);
+  la::Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformInt(clusters);
+    for (size_t j = 0; j < d; ++j) {
+      m(i, j) = centers(c, j) + static_cast<float>(rng.Normal()) * 0.4f;
+    }
+  }
+  return m;
+}
+
+TEST(HnswIndex, QueryAwarePruningHelpsOnClusteredData) {
+  // The ROADMAP-noted fix: SelectNeighbors now prunes with the HNSW paper's
+  // query-aware diversity heuristic (Alg. 4) instead of ignoring `query`.
+  // Clustered data is where diversity pruning earns its keep — plain
+  // closest-first links trap the beam inside one cluster. The heuristic must
+  // not regress recall, and must clear a healthy floor.
+  const la::Matrix data = Clustered(600, 16, 12, 21);
+  const la::Matrix queries = Clustered(60, 16, 12, 22);
+  HnswIndex::Options aware;
+  aware.query_aware_pruning = true;  // the default
+  HnswIndex::Options closest_first = aware;
+  closest_first.query_aware_pruning = false;
+
+  HnswIndex with_heuristic(16, Metric::kL2, aware);
+  with_heuristic.Add(data);
+  HnswIndex without_heuristic(16, Metric::kL2, closest_first);
+  without_heuristic.Add(data);
+
+  const double recall_aware =
+      RecallVsFlat(with_heuristic, data, queries, 10, Metric::kL2);
+  const double recall_naive =
+      RecallVsFlat(without_heuristic, data, queries, 10, Metric::kL2);
+  EXPECT_GE(recall_aware + 0.02, recall_naive)
+      << "query-aware pruning regressed recall";
+  EXPECT_GT(recall_aware, 0.8);
+}
+
+TEST(HnswIndex, ThreadedSearchMatchesInline) {
+  const la::Matrix data = Clustered(400, 16, 8, 23);
+  const la::Matrix queries = Clustered(50, 16, 8, 24);
+  HnswIndex index(16, Metric::kL2, {});
+  index.Add(data);
+  const SearchBatch expected = index.Search(queries, 10);
+  util::ThreadPool pool(4);
+  index.SetThreadPool(&pool);
+  const SearchBatch got = index.Search(queries, 10);
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t q = 0; q < expected.size(); ++q) {
+    ASSERT_EQ(expected[q].size(), got[q].size());
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(expected[q][i].id, got[q][i].id);
+      EXPECT_EQ(expected[q][i].distance, got[q][i].distance);
+    }
+  }
+}
+
 TEST(HnswIndex, DeterministicGivenSeed) {
   const la::Matrix data = RandomVectors(200, 8, 9);
   const la::Matrix queries = RandomVectors(10, 8, 10);

@@ -189,6 +189,61 @@ TEST_P(AllBackends, RecallFloorOnClusteredData) {
   }
 }
 
+// Every value of num_threads must produce the same bytes: the threading
+// contract (VectorIndex::SetThreadPool) promises bit-identical results, which
+// is what lets AlConfig::num_threads stay outside the checkpoint fingerprint.
+void ExpectIdenticalBatches(const SearchBatch& expected, const SearchBatch& got) {
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t q = 0; q < expected.size(); ++q) {
+    ASSERT_EQ(expected[q].size(), got[q].size()) << "query " << q;
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(expected[q][i].id, got[q][i].id) << "query " << q << " rank " << i;
+      // Bit-identical, not just close: same code path, same summation order.
+      EXPECT_EQ(expected[q][i].distance, got[q][i].distance)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST_P(AllBackends, ThreadedSearchIsBitIdenticalToInline) {
+  const la::Matrix data = Clustered(300, 6, 21);
+  const la::Matrix queries = Clustered(64, 6, 22);
+  auto index = MakeBackend(GetParam());
+  index->Add(data);
+  const SearchBatch expected = index->Search(queries, 9);
+
+  util::ThreadPool pool(4);
+  index->SetThreadPool(&pool);
+  ExpectIdenticalBatches(expected, index->Search(queries, 9));
+
+  // Detaching restores inline execution.
+  index->SetThreadPool(nullptr);
+  ExpectIdenticalBatches(expected, index->Search(queries, 9));
+}
+
+TEST_P(AllBackends, ThreadedBuildIsBitIdenticalToInline) {
+  // The parallel build steps (k-means assignment, PQ/SQ encoding, cell
+  // routing) must leave the index in exactly the state an inline build
+  // produces — across both the training Add and a follow-up Add.
+  const la::Matrix first = Clustered(200, 6, 23);
+  const la::Matrix second = Clustered(60, 6, 24);
+  const la::Matrix queries = Clustered(32, 6, 25);
+
+  auto inline_index = MakeBackend(GetParam());
+  inline_index->Add(first);
+  inline_index->Add(second);
+
+  util::ThreadPool pool(4);
+  auto threaded = MakeBackend(GetParam());
+  threaded->SetThreadPool(&pool);
+  threaded->Add(first);
+  threaded->Add(second);
+  ASSERT_EQ(threaded->size(), inline_index->size());
+
+  ExpectIdenticalBatches(inline_index->Search(queries, 8),
+                         threaded->Search(queries, 8));
+}
+
 TEST_P(AllBackends, QueryEqualToDatabaseVectorRanksItFirst) {
   // Exact backends must put the identical vector at rank 0 with distance ~0;
   // quantized ones must still place it among the closest few.

@@ -75,6 +75,8 @@ int CmdRun(int argc, char** argv) {
   int64_t* committee = flags.AddInt("committee", 0, "committee size N (0 = default)");
   int64_t* k = flags.AddInt("k", 0, "neighbours per probe (0 = default)");
   double* cand_mult = flags.AddDouble("cand-mult", 0.0, "|cand| = mult*|S| (0 = default)");
+  int64_t* threads =
+      flags.AddInt("threads", 0, "blocking-step worker threads (0 = inline)");
   int64_t* seed = flags.AddInt("seed", 7, "experiment seed");
   std::string* checkpoint =
       flags.AddString("checkpoint", "", "write a checkpoint here after each round");
@@ -101,6 +103,7 @@ int CmdRun(int argc, char** argv) {
   if (*committee > 0) al.blocker.committee_size = static_cast<size_t>(*committee);
   if (*k > 0) al.k_neighbors = static_cast<size_t>(*k);
   if (*cand_mult > 0) al.cand_multiplier = *cand_mult;
+  if (*threads > 0) al.num_threads = static_cast<size_t>(*threads);
 
   dial::core::ActiveLearningLoop loop(&exp.bundle, &exp.vocab,
                                       exp.pretrained.get(), al);

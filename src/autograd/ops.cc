@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.h"
+#include "util/thread_pool.h"
+
 namespace dial::autograd {
 
 namespace {
@@ -232,19 +235,20 @@ Var Square(Var x) {
 
 Var MatMul(Var a, Var b) {
   la::Matrix v;
-  la::MatMul(a.value(), b.value(), v);
+  la::MatMul(a.value(), b.value(), v, TapeOf(a).pool());
   const bool rg = a.requires_grad() || b.requires_grad();
   Node* na = a.node();
   Node* nb = b.node();
   return MakeOp(TapeOf(a), std::move(v), rg, [na, nb](Node* out) {
     return [na, nb, out]() {
+      util::ThreadPool* pool = out->tape->pool();
       if (na->requires_grad) {
         // dA += dOut * B^T
-        la::MatMulTransposeBAcc(out->grad, nb->value(), na->EnsureGrad());
+        la::MatMulTransposeBAcc(out->grad, nb->value(), na->EnsureGrad(), pool);
       }
       if (nb->requires_grad) {
         // dB += A^T * dOut
-        la::MatMulTransposeAAcc(na->value(), out->grad, nb->EnsureGrad());
+        la::MatMulTransposeAAcc(na->value(), out->grad, nb->EnsureGrad(), pool);
       }
     };
   });
@@ -253,19 +257,20 @@ Var MatMul(Var a, Var b) {
 Var MatMulTransposeB(Var a, Var b) {
   DIAL_CHECK_EQ(a.cols(), b.cols());
   la::Matrix v(a.rows(), b.rows());
-  la::MatMulTransposeBAcc(a.value(), b.value(), v);
+  la::MatMulTransposeBAcc(a.value(), b.value(), v, TapeOf(a).pool());
   const bool rg = a.requires_grad() || b.requires_grad();
   Node* na = a.node();
   Node* nb = b.node();
   return MakeOp(TapeOf(a), std::move(v), rg, [na, nb](Node* out) {
     return [na, nb, out]() {
+      util::ThreadPool* pool = out->tape->pool();
       if (na->requires_grad) {
         // dA += dOut * B
-        la::MatMulAcc(out->grad, nb->value(), na->EnsureGrad());
+        la::MatMulAcc(out->grad, nb->value(), na->EnsureGrad(), pool);
       }
       if (nb->requires_grad) {
         // dB += dOut^T * A
-        la::MatMulTransposeAAcc(out->grad, na->value(), nb->EnsureGrad());
+        la::MatMulTransposeAAcc(out->grad, na->value(), nb->EnsureGrad(), pool);
       }
     };
   });
@@ -782,13 +787,17 @@ Var PairwiseSquaredDistance(Var a, Var b) {
   DIAL_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows();
   const size_t n = b.rows();
+  const size_t d = a.cols();
   la::Matrix v(m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const float* ar = a.value().row(i);
-    for (size_t j = 0; j < n; ++j) {
-      v(i, j) = la::SquaredDistance(ar, b.value().row(j), a.cols());
+  // One batched scan of b per row of a (bit-identical to the scalar kernel);
+  // rows are independent, so they fan out over the tape's pool.
+  const la::Matrix& av = a.value();
+  const la::Matrix& bv = b.value();
+  util::ParallelFor(TapeOf(a).pool(), m, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      la::kernels::SquaredDistanceBatch(av.row(i), bv.data(), n, d, v.row(i));
     }
-  }
+  });
   const bool rg = a.requires_grad() || b.requires_grad();
   Node* na = a.node();
   Node* nb = b.node();

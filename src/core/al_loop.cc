@@ -109,6 +109,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       BlockerConfig blocker = config_.blocker;
       blocker.seed = config_.blocker.seed ^ (0x1000 + round);
       committee_ = std::make_unique<BlockerCommittee>(emb_r.cols(), blocker);
+      committee_->SetThreadPool(pool_.get());
       std::vector<data::PairId> dups;
       for (const auto& e : labeled_.positives()) dups.push_back(e.pair);
       std::vector<data::PairId> negs;
@@ -124,6 +125,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       if (fixed_candidates_.empty()) {
         timer.Restart();
         Matcher probe(pretrained_->config(), config_.matcher, config_.seed ^ 0xfef1);
+        probe.SetThreadPool(pool_.get());
         probe.ResetFromPretrained(*pretrained_);
         const la::Matrix emb_r = EmbedAllR(probe);
         const la::Matrix emb_s = EmbedAllS(probe);
@@ -146,6 +148,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       // independent (checkpoint resume relies on this).
       sbert_ = std::make_unique<SentenceBertBlocker>(
           pretrained_->config(), config_.sbert, config_.seed ^ (0x5be7 + round));
+      sbert_->SetThreadPool(pool_.get());
       sbert_->ResetFromPretrained(*pretrained_, 0xbeef + round);
       sbert_->Train(*encodings_, labeled_.AllPairs());
       metrics.t_train_committee = timer.Seconds();
@@ -217,6 +220,7 @@ AlResult ActiveLearningLoop::Run() {
         config_.seed ^ 0xa1b2c3 ^ (round * 0x9e3779b97f4a7c15ULL);
     matcher = std::make_unique<Matcher>(pretrained_->config(), matcher_config,
                                         config_.seed ^ 0x1111 ^ round);
+    matcher->SetThreadPool(pool_.get());
     matcher->ResetFromPretrained(*pretrained_);
     matcher->Train(*pair_cache_, labeled_.AllPairs(), calibration_);
     metrics.t_train_matcher = timer.Seconds();
@@ -266,6 +270,7 @@ AlResult ActiveLearningLoop::Run() {
         MatcherConfig boot_config = matcher_config;
         boot_config.seed = matcher_config.seed ^ (0xb00 + m);
         Matcher boot(pretrained_->config(), boot_config, config_.seed ^ (0xc00 + m));
+        boot.SetThreadPool(pool_.get());
         boot.ResetFromPretrained(*pretrained_);
         std::vector<data::LabeledPair> sample;
         sample.reserve(all_pairs.size());

@@ -76,6 +76,7 @@ Var CommitteeMember::Forward(nn::ForwardContext& ctx, Var embeddings) {
 
 la::Matrix CommitteeMember::Transform(const la::Matrix& embeddings) {
   autograd::Tape tape;
+  tape.SetThreadPool(pool_);
   nn::ForwardContext ctx{&tape, &scratch_rng_, /*training=*/false};
   Var out = Forward(ctx, tape.Constant(embeddings));
   return out.value();
@@ -177,6 +178,7 @@ double BlockerCommittee::TrainMember(size_t k, const la::Matrix& emb_r,
       }
 
       autograd::Tape tape;
+      tape.SetThreadPool(member.thread_pool());
       nn::ForwardContext ctx{&tape, &rng, /*training=*/true};
       Var p_r = member.Forward(ctx, tape.Constant(GatherRows(emb_r, pos_r)));
       Var p_s = member.Forward(ctx, tape.Constant(GatherRows(emb_s, pos_s)));

@@ -72,11 +72,16 @@ class CommitteeMember : public nn::Module {
 
   const la::Matrix& mask() const { return mask_; }
 
+  /// Unowned pool threaded through this member's tapes (see Matcher).
+  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
  private:
   la::Matrix mask_;  // (1, d) of {0,1}
   nn::Linear linear_;
   bool normalize_output_;
   util::Rng scratch_rng_;  // dropout-free forward still needs a context rng
+  util::ThreadPool* pool_ = nullptr;  // unowned; null = inline GEMMs
 };
 
 /// The full blocker: N members + their training loop.
@@ -98,6 +103,14 @@ class BlockerCommittee {
   /// Member k's embeddings of a record-embedding matrix.
   la::Matrix Encode(size_t k, const la::Matrix& embeddings) {
     return members_[k]->Transform(embeddings);
+  }
+
+  /// Attaches an unowned pool to every member (training + Encode GEMMs).
+  /// Nested use (e.g. IndexByCommittee already fanning members over the same
+  /// pool) degrades to inline execution inside the workers, so this is
+  /// always safe to set.
+  void SetThreadPool(util::ThreadPool* pool) {
+    for (auto& member : members_) member->SetThreadPool(pool);
   }
 
  private:

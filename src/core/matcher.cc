@@ -104,6 +104,7 @@ double Matcher::Train(PairEncodingCache& pairs,
     for (size_t begin = 0; begin < order.size(); begin += config_.batch_size) {
       const size_t end = std::min(order.size(), begin + config_.batch_size);
       autograd::Tape tape;
+      tape.SetThreadPool(pool_);
       nn::ForwardContext ctx{&tape, &rng_, /*training=*/true};
       std::vector<Var> logits;
       std::vector<float> targets;
@@ -164,6 +165,7 @@ text::EncodedSequence Matcher::AugmentPair(const text::EncodedSequence& seq) {
 
 float Matcher::ForwardProb(const text::EncodedSequence& seq, la::Matrix* penultimate) {
   autograd::Tape tape;
+  tape.SetThreadPool(pool_);
   nn::ForwardContext ctx{&tape, &rng_, /*training=*/false};
   Var cls = model_->EncodePairFeatures(ctx, seq);
   Var h = autograd::Tanh(head_dense_->Forward(ctx, cls));
@@ -216,6 +218,7 @@ la::Matrix Matcher::EmbedSingleMode(
   la::Matrix out(seqs.size(), d);
   for (size_t i = 0; i < seqs.size(); ++i) {
     autograd::Tape tape;
+    tape.SetThreadPool(pool_);
     nn::ForwardContext ctx{&tape, &rng_, /*training=*/false};
     Var emb = model_->EncodeSingle(ctx, *seqs[i]);
     std::copy(emb.value().row(0), emb.value().row(0) + d, out.row(i));

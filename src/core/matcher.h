@@ -94,6 +94,11 @@ class Matcher {
   tplm::TplmModel& model() { return *model_; }
   const MatcherConfig& config() const { return config_; }
 
+  /// Attaches an unowned worker pool: every tape this matcher records
+  /// (training steps, inference forwards) threads its GEMMs through it.
+  /// Bit-identical to inline execution; nullptr (default) detaches.
+  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   /// Probability and optional penultimate activation for one pair.
   float ForwardProb(const text::EncodedSequence& seq, la::Matrix* penultimate);
@@ -106,6 +111,7 @@ class Matcher {
   std::unique_ptr<nn::Linear> head_dense_;
   std::unique_ptr<nn::Linear> head_out_;
   util::Rng rng_;
+  util::ThreadPool* pool_ = nullptr;  // unowned; null = inline GEMMs
 };
 
 }  // namespace dial::core

@@ -49,6 +49,7 @@ double SentenceBertBlocker::Train(const RecordEncodings& encodings,
     for (size_t begin = 0; begin < order.size(); begin += config_.batch_size) {
       const size_t end = std::min(order.size(), begin + config_.batch_size);
       autograd::Tape tape;
+      tape.SetThreadPool(pool_);
       nn::ForwardContext ctx{&tape, &rng_, /*training=*/true};
       std::vector<Var> logits;
       std::vector<float> targets;
@@ -77,6 +78,7 @@ la::Matrix SentenceBertBlocker::Embed(
   la::Matrix out(seqs.size(), d);
   for (size_t i = 0; i < seqs.size(); ++i) {
     autograd::Tape tape;
+    tape.SetThreadPool(pool_);
     nn::ForwardContext ctx{&tape, &rng_, /*training=*/false};
     Var emb = model_->EncodeSingle(ctx, *seqs[i]);
     std::copy(emb.value().row(0), emb.value().row(0) + d, out.row(i));

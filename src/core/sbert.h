@@ -44,6 +44,9 @@ class SentenceBertBlocker {
 
   tplm::TplmModel& model() { return *model_; }
 
+  /// Unowned pool threaded through this blocker's tapes (see Matcher).
+  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   la::Matrix Embed(const std::vector<const text::EncodedSequence*>& seqs);
 
@@ -51,6 +54,7 @@ class SentenceBertBlocker {
   std::unique_ptr<tplm::TplmModel> model_;
   std::unique_ptr<nn::SentencePairHead> head_;
   util::Rng rng_;
+  util::ThreadPool* pool_ = nullptr;  // unowned; null = inline GEMMs
 };
 
 }  // namespace dial::core

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "index/kmeans.h"
+#include "la/kernels.h"
 
 namespace dial::core {
 
@@ -105,24 +106,23 @@ std::vector<size_t> KCenterGreedy(const la::Matrix& embeddings,
   }
   for (size_t d = 0; d < dim; ++d) centroid[d] /= static_cast<float>(n);
 
-  size_t first = 0;
-  float best = -1.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float d = la::SquaredDistance(embeddings.row(i), centroid.data(), dim);
-    if (d > best) {
-      best = d;
-      first = i;
-    }
-  }
+  // All pool-vs-point scans below run through the batched distance kernel;
+  // the argmax reductions stay serial in row order, so results match the
+  // scalar loop exactly.
+  std::vector<float> dist(n);
+  la::kernels::SquaredDistanceBatch(centroid.data(), embeddings.data(), n, dim,
+                                    dist.data());
+  const size_t first = la::kernels::ArgMax(dist.data(), n);
   std::vector<size_t> picked_rows = {first};
   std::vector<float> min_dist(n, std::numeric_limits<float>::infinity());
   while (picked_rows.size() < budget) {
     const float* last = embeddings.row(picked_rows.back());
+    la::kernels::SquaredDistanceBatch(last, embeddings.data(), n, dim,
+                                      dist.data());
     size_t farthest = 0;
     float far_d = -1.0f;
     for (size_t i = 0; i < n; ++i) {
-      const float d = la::SquaredDistance(embeddings.row(i), last, dim);
-      if (d < min_dist[i]) min_dist[i] = d;
+      if (dist[i] < min_dist[i]) min_dist[i] = dist[i];
       if (min_dist[i] > far_d) {
         far_d = min_dist[i];
         farthest = i;

@@ -1,6 +1,10 @@
 #include "index/flat_index.h"
 
+#include <cmath>
+#include <vector>
+
 #include "index/topk.h"
+#include "la/kernels.h"
 
 namespace dial::index {
 
@@ -20,28 +24,64 @@ float VectorIndex::Distance(const float* a, const float* b) const {
   return 0.0f;
 }
 
+void VectorIndex::DistanceBatch(const float* query, const la::Matrix& base,
+                                float* out,
+                                const float* base_norms_sq) const {
+  const size_t n = base.rows();
+  switch (metric_) {
+    case Metric::kL2:
+      la::kernels::SquaredDistanceBatch(query, base.data(), n, dim_, out);
+      return;
+    case Metric::kInnerProduct:
+      la::kernels::DotBatch(query, base.data(), n, dim_, out);
+      for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+      return;
+    case Metric::kCosine: {
+      // Mirror the scalar path exactly: -dot / (|q| * |x|), 0 on zero norms.
+      const float nq = la::Norm(query, dim_);
+      la::kernels::DotBatch(query, base.data(), n, dim_, out);
+      std::vector<float> scratch;
+      if (base_norms_sq == nullptr) {
+        scratch.resize(n);
+        la::kernels::NormsSquared(base.data(), n, dim_, scratch.data());
+        base_norms_sq = scratch.data();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const float nb = std::sqrt(base_norms_sq[i]);
+        out[i] = (nq == 0.0f || nb == 0.0f) ? 0.0f : -out[i] / (nq * nb);
+      }
+      return;
+    }
+  }
+}
+
 void FlatIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
+  const size_t base = data_.rows();
   if (data_.empty()) {
     data_ = vectors;
-    return;
+  } else {
+    la::Matrix merged(base + vectors.rows(), dim_);
+    std::copy(data_.data(), data_.data() + data_.size(), merged.data());
+    std::copy(vectors.data(), vectors.data() + vectors.size(),
+              merged.data() + data_.size());
+    data_ = std::move(merged);
   }
-  la::Matrix merged(data_.rows() + vectors.rows(), dim_);
-  std::copy(data_.data(), data_.data() + data_.size(), merged.data());
-  std::copy(vectors.data(), vectors.data() + vectors.size(),
-            merged.data() + data_.size());
-  data_ = std::move(merged);
+  norms_sq_.resize(base + vectors.rows());
+  la::kernels::NormsSquared(vectors.data(), vectors.rows(), dim_,
+                            norms_sq_.data() + base);
 }
 
 SearchBatch FlatIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());
   util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    std::vector<float> dist(data_.rows());
     for (size_t q = begin; q < end; ++q) {
+      DistanceBatch(queries.row(q), data_, dist.data(), norms_sq_.data());
       TopK topk(k);
-      const float* query = queries.row(q);
       for (size_t i = 0; i < data_.rows(); ++i) {
-        topk.Push(static_cast<int>(i), Distance(query, data_.row(i)));
+        topk.Push(static_cast<int>(i), dist[i]);
       }
       results[q] = topk.Take();
     }

@@ -29,6 +29,9 @@ class FlatIndex : public VectorIndex {
 
  private:
   la::Matrix data_;
+  /// Per-row |x|² maintained by Add — lets cosine Search reuse the norms
+  /// instead of recomputing them per query (L2/IP scans don't need them).
+  std::vector<float> norms_sq_;
 };
 
 }  // namespace dial::index

@@ -5,6 +5,7 @@
 
 #include "index/kmeans.h"
 #include "index/topk.h"
+#include "la/kernels.h"
 
 namespace dial::index {
 
@@ -39,18 +40,11 @@ void IvfIndex::Add(const la::Matrix& vectors) {
   // serially in row order so cell contents are identical to inline execution.
   std::vector<size_t> cell(vectors.rows());
   util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    std::vector<float> dist(centroids_.rows());
     for (size_t i = begin; i < end; ++i) {
-      const float* x = vectors.row(i);
-      size_t best = 0;
-      float best_d = std::numeric_limits<float>::infinity();
-      for (size_t c = 0; c < centroids_.rows(); ++c) {
-        const float d = la::SquaredDistance(x, centroids_.row(c), dim_);
-        if (d < best_d) {
-          best_d = d;
-          best = c;
-        }
-      }
-      cell[i] = best;
+      la::kernels::SquaredDistanceBatch(vectors.row(i), centroids_.data(),
+                                        centroids_.rows(), dim_, dist.data());
+      cell[i] = la::kernels::ArgMin(dist.data(), centroids_.rows());
     }
   });
   for (size_t i = 0; i < vectors.rows(); ++i) {
@@ -64,13 +58,16 @@ SearchBatch IvfIndex::Search(const la::Matrix& queries, size_t k) const {
   if (data_.empty()) return results;
   const size_t nprobe = std::min(options_.nprobe, centroids_.rows());
   util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
+    std::vector<float> cell_dist(centroids_.rows());
     for (size_t q = begin; q < end; ++q) {
       const float* query = queries.row(q);
       // Rank cells by centroid distance (always L2 — cells were trained in L2).
+      la::kernels::SquaredDistanceBatch(query, centroids_.data(),
+                                        centroids_.rows(), dim_,
+                                        cell_dist.data());
       TopK cell_topk(nprobe);
       for (size_t c = 0; c < centroids_.rows(); ++c) {
-        cell_topk.Push(static_cast<int>(c),
-                       la::SquaredDistance(query, centroids_.row(c), dim_));
+        cell_topk.Push(static_cast<int>(c), cell_dist[c]);
       }
       TopK topk(k);
       for (const Neighbor& cell : cell_topk.Take()) {

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <limits>
 
+#include "la/kernels.h"
+
 namespace dial::index {
+
+// Accumulation contract (la/kernels.h): every point-to-centroid distance is
+// a float32 batch-kernel result — the same values the index backends compute
+// during Search — while reductions ACROSS points (the k-means++ sampling
+// total, the inertia) accumulate in double. Mixing the two the other way
+// round (double per-distance, float totals) is what this file used to do
+// inconsistently with flat/ivf scans.
 
 std::vector<size_t> KMeansPlusPlusSeed(const la::Matrix& data, size_t k,
                                        util::Rng& rng) {
@@ -13,13 +22,14 @@ std::vector<size_t> KMeansPlusPlusSeed(const la::Matrix& data, size_t k,
   std::vector<size_t> centers;
   centers.reserve(k);
   centers.push_back(static_cast<size_t>(rng.UniformInt(n)));
-  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  std::vector<float> min_sq(n, std::numeric_limits<float>::infinity());
+  std::vector<float> dist(n);
   while (centers.size() < k) {
-    const float* last = data.row(centers.back());
+    la::kernels::SquaredDistanceBatch(data.row(centers.back()), data.data(), n,
+                                      data.cols(), dist.data());
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const double d = la::SquaredDistance(data.row(i), last, data.cols());
-      if (d < min_sq[i]) min_sq[i] = d;
+      if (dist[i] < min_sq[i]) min_sq[i] = dist[i];
       total += min_sq[i];
     }
     size_t chosen = 0;
@@ -28,7 +38,7 @@ std::vector<size_t> KMeansPlusPlusSeed(const la::Matrix& data, size_t k,
       // not-yet-chosen indices.
       do {
         chosen = static_cast<size_t>(rng.UniformInt(n));
-      } while (min_sq[chosen] == 0.0 &&
+      } while (min_sq[chosen] == 0.0f &&
                std::count(centers.begin(), centers.end(), chosen) > 0);
     } else {
       double target = rng.Uniform() * total;
@@ -65,25 +75,20 @@ KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
   std::vector<char> row_changed(n);
   for (size_t iter = 0; iter < max_iterations; ++iter) {
     // Assignment step: rows are independent, so this — the O(n*k*d) bulk of
-    // each iteration — fans out over the pool. Each row writes only its own
+    // each iteration — fans out over the pool. Each row scans all centroids
+    // with one batch-kernel call, then writes only its own
     // assignment/best_dist/row_changed slots; the inertia reduction below
-    // runs serially in row order so the total matches inline execution
-    // exactly.
+    // runs serially in row order (double accumulation) so the total matches
+    // inline execution exactly.
     util::ParallelFor(pool, n, [&](size_t begin, size_t end) {
+      std::vector<float> dist(k);
       for (size_t i = begin; i < end; ++i) {
-        float best = std::numeric_limits<float>::infinity();
-        int best_c = 0;
-        for (size_t c = 0; c < k; ++c) {
-          const float dist =
-              la::SquaredDistance(data.row(i), result.centroids.row(c), d);
-          if (dist < best) {
-            best = dist;
-            best_c = static_cast<int>(c);
-          }
-        }
+        la::kernels::SquaredDistanceBatch(data.row(i), result.centroids.data(),
+                                          k, d, dist.data());
+        const int best_c = static_cast<int>(la::kernels::ArgMin(dist.data(), k));
         row_changed[i] = result.assignment[i] != best_c;
         result.assignment[i] = best_c;
-        best_dist[i] = best;
+        best_dist[i] = dist[best_c];
       }
     });
     result.iterations_run = iter + 1;

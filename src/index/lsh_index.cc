@@ -48,6 +48,7 @@ SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
     // tables themselves are read-only during Search.
     std::vector<char> seen(data_.rows());
     std::vector<uint64_t> codes(options_.num_tables);
+    std::vector<float> fallback_dist;
     for (size_t q = begin; q < end; ++q) {
       const float* query = queries.row(q);
       std::fill(seen.begin(), seen.end(), 0);
@@ -75,8 +76,12 @@ SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
         }
       }
       if (candidates == 0 && options_.exact_fallback) {
+        // Full scan through the batch kernels (bit-identical to the scalar
+        // Distance loop, but vectorized).
+        fallback_dist.resize(data_.rows());
+        DistanceBatch(query, data_, fallback_dist.data());
         for (size_t id = 0; id < data_.rows(); ++id) {
-          topk.Push(static_cast<int>(id), Distance(query, data_.row(id)));
+          topk.Push(static_cast<int>(id), fallback_dist[id]);
         }
       }
       results[q] = topk.Take();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "index/topk.h"
+#include "la/kernels.h"
 
 namespace dial::index {
 
@@ -31,10 +32,11 @@ void MatmulSearchIndex::Add(const la::Matrix& vectors) {
     block = std::move(merged);
     next += take;
   }
+  std::vector<float> sq(vectors.rows());
+  la::kernels::NormsSquared(vectors.data(), vectors.rows(), dim_, sq.data());
   for (size_t i = 0; i < vectors.rows(); ++i) {
-    const float sq = la::Dot(vectors.row(i), vectors.row(i), dim_);
-    sq_norms_.push_back(sq);
-    norms_.push_back(std::sqrt(sq));
+    sq_norms_.push_back(sq[i]);
+    norms_.push_back(std::sqrt(sq[i]));
   }
   count_ += vectors.rows();
 }
@@ -56,42 +58,45 @@ SearchBatch MatmulSearchIndex::Search(const la::Matrix& queries, size_t k) const
     std::copy(queries.row(q0), queries.row(q0) + tile_rows * dim_, tile.data());
     std::vector<float> query_sq(tile_rows);
     std::vector<float> query_norm(tile_rows);
+    la::kernels::NormsSquared(tile.data(), tile_rows, dim_, query_sq.data());
     for (size_t i = 0; i < tile_rows; ++i) {
-      query_sq[i] = la::Dot(tile.row(i), tile.row(i), dim_);
       query_norm[i] = std::sqrt(query_sq[i]);
     }
     std::vector<TopK> heaps;
     heaps.reserve(tile_rows);
     for (size_t i = 0; i < tile_rows; ++i) heaps.emplace_back(k);
 
+    std::vector<float> dist(options_.db_block);
     size_t base_id = 0;
     for (const la::Matrix& block : blocks_) {
-      // scores(i, j) = tile_i . block_j, one GEMM per (tile, block).
+      // scores(i, j) = tile_i . block_j, one GEMM per (tile, block); the
+      // scores rows then turn into metric distances branch-free per row.
       const la::Matrix scores = la::MatMulTransposeB(tile, block);
+      const size_t rows = block.rows();
       for (size_t i = 0; i < tile_rows; ++i) {
         const float* row = scores.row(i);
-        for (size_t j = 0; j < block.rows(); ++j) {
-          const size_t id = base_id + j;
-          float d = 0.0f;
-          switch (metric_) {
-            case Metric::kL2:
-              // |q - x|^2 = |q|^2 + |x|^2 - 2 q.x; clamp tiny negatives from
-              // floating-point cancellation.
-              d = std::max(0.0f, query_sq[i] + sq_norms_[id] - 2.0f * row[j]);
-              break;
-            case Metric::kInnerProduct:
-              d = -row[j];
-              break;
-            case Metric::kCosine: {
-              const float denom = query_norm[i] * norms_[id];
-              d = denom > 0.0f ? -row[j] / denom : 0.0f;
-              break;
+        switch (metric_) {
+          case Metric::kL2:
+            // |q - x|^2 = |q|^2 + |x|^2 - 2 q.x over the GEMM dots; the
+            // kernel clamps tiny negatives from floating-point cancellation.
+            la::kernels::SquaredDistanceFromDots(
+                query_sq[i], row, sq_norms_.data() + base_id, rows, dist.data());
+            break;
+          case Metric::kInnerProduct:
+            for (size_t j = 0; j < rows; ++j) dist[j] = -row[j];
+            break;
+          case Metric::kCosine:
+            for (size_t j = 0; j < rows; ++j) {
+              const float denom = query_norm[i] * norms_[base_id + j];
+              dist[j] = denom > 0.0f ? -row[j] / denom : 0.0f;
             }
-          }
-          heaps[i].Push(static_cast<int>(id), d);
+            break;
+        }
+        for (size_t j = 0; j < rows; ++j) {
+          heaps[i].Push(static_cast<int>(base_id + j), dist[j]);
         }
       }
-      base_id += block.rows();
+      base_id += rows;
     }
     for (size_t i = 0; i < tile_rows; ++i) {
       results[q0 + i] = heaps[i].Take();

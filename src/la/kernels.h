@@ -1,0 +1,89 @@
+#ifndef DIAL_LA_KERNELS_H_
+#define DIAL_LA_KERNELS_H_
+
+#include <cstddef>
+
+/// \file
+/// Raw-pointer compute kernels behind la::Matrix: cache-blocked GEMM in the
+/// three transpose layouts autograd needs, a blocked transpose, and batched
+/// row-distance kernels for the index/selector scan loops. Everything here is
+/// branch-free in the inner loops, `restrict`-qualified, and unrolled so the
+/// compiler can keep multiple FMA streams in flight.
+///
+/// Accumulation contract (all callers rely on this):
+///  - Everything accumulates in float32. Row reductions (Dot,
+///    SquaredDistance, NormsSquared) use four independent partial sums over
+///    interleaved lanes, combined as (s0+s1)+(s2+s3), with a scalar tail for
+///    n % 4 — the SAME routine backs the scalar and batch entry points, so a
+///    batched scan is bit-identical to calling the scalar kernel per row.
+///  - GEMM accumulates each output element over k in a fixed order: k-blocks
+///    ascending, 4 rows of b combined per step. The order never depends on
+///    the thread count (threads split output rows, never the k reduction),
+///    so pooled GEMM is bit-identical to inline GEMM.
+///  - Reductions ACROSS many rows (k-means inertia, k-means++ totals) are
+///    the caller's job and should accumulate in double; per-row / per-pair
+///    quantities stay float32.
+///
+/// Threading: the Gemm* entry points take an optional util::ThreadPool and
+/// fan out over contiguous output-row blocks (deterministic partials as
+/// above). Null pool, a single worker, or nested calls from a pool worker
+/// all degrade to inline execution via util::ParallelFor.
+
+namespace dial::util {
+class ThreadPool;
+}
+
+namespace dial::la::kernels {
+
+/// out(m,n) += a(m,k) * b(k,n). Row-major, densely packed.
+void GemmNN(size_t m, size_t n, size_t k, const float* a, const float* b,
+            float* out, util::ThreadPool* pool = nullptr);
+
+/// out(m,n) += a(k,m)^T * b(k,n). `a` is stored (k,m) row-major.
+void GemmTN(size_t m, size_t n, size_t k, const float* a, const float* b,
+            float* out, util::ThreadPool* pool = nullptr);
+
+/// out(m,n) += a(m,k) * b(n,k)^T. `b` is stored (n,k) row-major.
+void GemmNT(size_t m, size_t n, size_t k, const float* a, const float* b,
+            float* out, util::ThreadPool* pool = nullptr);
+
+/// out(cols,rows) = in(rows,cols)^T, tiled so both sides stay cache-resident.
+void TransposeBlocked(size_t rows, size_t cols, const float* in, float* out);
+
+/// Dot product of two length-n rows (4 partial sums, see contract above).
+float Dot(const float* a, const float* b, size_t n);
+
+/// Squared L2 distance between two length-n rows.
+float SquaredDistance(const float* a, const float* b, size_t n);
+
+/// out[i] = Dot(q, base + i*d) for i in [0, n). Bit-identical to the scalar
+/// kernel per row.
+void DotBatch(const float* q, const float* base, size_t n, size_t d,
+              float* out);
+
+/// out[i] = SquaredDistance(q, base + i*d) for i in [0, n).
+void SquaredDistanceBatch(const float* q, const float* base, size_t n,
+                          size_t d, float* out);
+
+/// out[i] = Dot(row_i, row_i) for each of the n rows of `a` (n x d).
+void NormsSquared(const float* a, size_t n, size_t d, float* out);
+
+/// Index of the smallest (resp. largest) value in v[0..n); first index wins
+/// ties. The standard follow-up to a batch distance scan (nearest centroid,
+/// farthest point); n must be > 0.
+size_t ArgMin(const float* v, size_t n);
+size_t ArgMax(const float* v, size_t n);
+
+/// Precomputed-norms expansion |q - x|² = |q|² - 2 q·x + |x|², evaluated as
+/// out[i] = max(0, (q_sq + base_sq[i]) - 2*dots[i]). `dots` holds q·x_i —
+/// typically one scores row of a GEMM over the database block, which is how
+/// matmul_search turns its tile GEMM into L2 distances. The clamp absorbs
+/// the tiny negatives floating-point cancellation can produce. NOT
+/// bit-identical to SquaredDistanceBatch — use it where GEMM throughput
+/// beats exactness.
+void SquaredDistanceFromDots(float q_sq, const float* dots,
+                             const float* base_sq, size_t n, float* out);
+
+}  // namespace dial::la::kernels
+
+#endif  // DIAL_LA_KERNELS_H_

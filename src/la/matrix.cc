@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "la/kernels.h"
+
 namespace dial::la {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
@@ -12,6 +14,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
     DIAL_CHECK_EQ(r.size(), cols_);
     data_.insert(data_.end(), r.begin(), r.end());
   }
+  DebugCheckAlignment();
 }
 
 void Matrix::RandNormal(util::Rng& rng, float stddev) {
@@ -22,76 +25,41 @@ void Matrix::RandUniform(util::Rng& rng, float limit) {
   for (auto& v : data_) v = rng.UniformFloat(-limit, limit);
 }
 
-namespace {
-
-// Core kernel: out(m,n) += a(m,k) * b(k,n), ikj loop order so the innermost
-// loop streams contiguously over b and out rows.
-void GemmAcc(const Matrix& a, const Matrix& b, Matrix& out) {
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
-void MatMul(const Matrix& a, const Matrix& b, Matrix& out) {
+void MatMul(const Matrix& a, const Matrix& b, Matrix& out,
+            util::ThreadPool* pool) {
   DIAL_CHECK_EQ(a.cols(), b.rows());
   out = Matrix(a.rows(), b.cols());
-  GemmAcc(a, b, out);
+  kernels::GemmNN(a.rows(), b.cols(), a.cols(), a.data(), b.data(), out.data(),
+                  pool);
 }
 
-void MatMulAcc(const Matrix& a, const Matrix& b, Matrix& out) {
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix& out,
+               util::ThreadPool* pool) {
   DIAL_CHECK_EQ(a.cols(), b.rows());
   DIAL_CHECK_EQ(out.rows(), a.rows());
   DIAL_CHECK_EQ(out.cols(), b.cols());
-  GemmAcc(a, b, out);
+  kernels::GemmNN(a.rows(), b.cols(), a.cols(), a.data(), b.data(), out.data(),
+                  pool);
 }
 
-void MatMulTransposeAAcc(const Matrix& a, const Matrix& b, Matrix& out) {
+void MatMulTransposeAAcc(const Matrix& a, const Matrix& b, Matrix& out,
+                         util::ThreadPool* pool) {
   // out(m,n) += a(k,m)^T * b(k,n)
   DIAL_CHECK_EQ(a.rows(), b.rows());
   DIAL_CHECK_EQ(out.rows(), a.cols());
   DIAL_CHECK_EQ(out.cols(), b.cols());
-  const size_t k = a.rows();
-  const size_t m = a.cols();
-  const size_t n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.row(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmTN(a.cols(), b.cols(), a.rows(), a.data(), b.data(), out.data(),
+                  pool);
 }
 
-void MatMulTransposeBAcc(const Matrix& a, const Matrix& b, Matrix& out) {
-  // out(m,n) += a(m,k) * b(n,k)^T — dot products of rows; good locality as-is.
+void MatMulTransposeBAcc(const Matrix& a, const Matrix& b, Matrix& out,
+                         util::ThreadPool* pool) {
+  // out(m,n) += a(m,k) * b(n,k)^T
   DIAL_CHECK_EQ(a.cols(), b.cols());
   DIAL_CHECK_EQ(out.rows(), a.rows());
   DIAL_CHECK_EQ(out.cols(), b.rows());
-  const size_t m = a.rows();
-  const size_t n = b.rows();
-  const size_t k = a.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (size_t j = 0; j < n; ++j) {
-      orow[j] += Dot(arow, b.row(j), k);
-    }
-  }
+  kernels::GemmNT(a.rows(), b.rows(), a.cols(), a.data(), b.data(), out.data(),
+                  pool);
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -148,25 +116,16 @@ void Scale(Matrix& a, float s) {
 
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
-  }
+  kernels::TransposeBlocked(a.rows(), a.cols(), a.data(), out.data());
   return out;
 }
 
 float SquaredDistance(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::SquaredDistance(a, b, n);
 }
 
 float Dot(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::Dot(a, b, n);
 }
 
 float Norm(const float* a, size_t n) { return std::sqrt(Dot(a, a, n)); }

@@ -1,5 +1,6 @@
 #include "nn/module.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dial::nn {
@@ -27,7 +28,7 @@ void Module::Save(util::BinaryWriter& writer) {
     writer.WriteString(p->name);
     writer.WriteU64(p->value.rows());
     writer.WriteU64(p->value.cols());
-    writer.WriteFloatVector(p->value.storage());
+    writer.WriteFloats(p->value.data(), p->value.size());
   }
 }
 
@@ -53,7 +54,7 @@ util::Status Module::Load(util::BinaryReader& reader) {
         data.size() != p->value.size()) {
       return util::Status::Corruption("parameter shape mismatch for " + name);
     }
-    p->value.storage() = std::move(data);
+    std::copy(data.begin(), data.end(), p->value.data());
   }
   return util::Status::OK();
 }

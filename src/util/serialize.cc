@@ -42,8 +42,12 @@ void BinaryWriter::WriteString(const std::string& s) {
 }
 
 void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
-  WriteU64(v.size());
-  WriteBytes(v.data(), v.size() * sizeof(float));
+  WriteFloats(v.data(), v.size());
+}
+
+void BinaryWriter::WriteFloats(const float* data, size_t n) {
+  WriteU64(n);
+  WriteBytes(data, n * sizeof(float));
 }
 
 Status BinaryWriter::Finish() {

@@ -34,6 +34,10 @@ class BinaryWriter {
   void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteFloatVector(const std::vector<float>& v);
+  /// Same wire format as WriteFloatVector (u64 length + raw floats), for
+  /// storage that is not a plain std::vector<float> (e.g. la::Matrix's
+  /// aligned backing store).
+  void WriteFloats(const float* data, size_t n);
 
   /// Closes the file and reports the first error encountered, if any.
   Status Finish();

@@ -1,0 +1,322 @@
+#include "la/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dial::la {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Naive references: the pre-refactor scalar semantics the blocked kernels
+// must reproduce (within reassociation tolerance).
+// ---------------------------------------------------------------------------
+
+Matrix NaiveGemmNN(const Matrix& a, const Matrix& b, Matrix out) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t p = 0; p < a.cols(); ++p) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += a(i, p) * b(p, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix NaiveGemmTN(const Matrix& a, const Matrix& b, Matrix out) {
+  // out(m,n) += a(k,m)^T b(k,n)
+  for (size_t p = 0; p < a.rows(); ++p) {
+    for (size_t i = 0; i < a.cols(); ++i) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += a(p, i) * b(p, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix NaiveGemmNT(const Matrix& a, const Matrix& b, Matrix out) {
+  // out(m,n) += a(m,k) b(n,k)^T
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      for (size_t p = 0; p < a.cols(); ++p) {
+        out(i, j) += a(i, p) * b(j, p);
+      }
+    }
+  }
+  return out;
+}
+
+float NaiveDot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float NaiveSquaredDistance(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, float tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+void ExpectBitIdentical(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.data()[i], want.data()[i]) << "at flat index " << i;
+  }
+}
+
+Matrix Random(size_t rows, size_t cols, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  m.RandNormal(rng, 1.0f);
+  return m;
+}
+
+// Shapes stress the unrolled tails (dims % 4 != 0), the kBlockK=64 /
+// kBlockJ=64 panel boundaries (dims crossing 64), single rows/cols, and
+// empty inputs.
+class KernelShapes : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KernelShapes,
+                         testing::Values(std::make_tuple(1, 1, 1),
+                                         std::make_tuple(2, 3, 4),
+                                         std::make_tuple(5, 1, 7),
+                                         std::make_tuple(13, 7, 11),
+                                         std::make_tuple(17, 33, 5),
+                                         std::make_tuple(64, 64, 64),
+                                         std::make_tuple(33, 70, 65),
+                                         std::make_tuple(70, 129, 66),
+                                         std::make_tuple(0, 3, 4),
+                                         std::make_tuple(3, 0, 4),
+                                         std::make_tuple(3, 4, 0)));
+
+TEST_P(KernelShapes, GemmNNMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = Random(m, k, 11 + m);
+  const Matrix b = Random(k, n, 13 + n);
+  Matrix init = Random(m, n, 17 + k);  // accumulate into non-zero out
+  Matrix out = init;
+  kernels::GemmNN(m, n, k, a.data(), b.data(), out.data());
+  ExpectNear(out, NaiveGemmNN(a, b, init), 1e-4f * std::max<size_t>(1, k));
+}
+
+TEST_P(KernelShapes, GemmTNMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = Random(k, m, 19 + m);
+  const Matrix b = Random(k, n, 23 + n);
+  Matrix init = Random(m, n, 29 + k);
+  Matrix out = init;
+  kernels::GemmTN(m, n, k, a.data(), b.data(), out.data());
+  ExpectNear(out, NaiveGemmTN(a, b, init), 1e-4f * std::max<size_t>(1, k));
+}
+
+TEST_P(KernelShapes, GemmNTMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = Random(m, k, 31 + m);
+  const Matrix b = Random(n, k, 37 + n);
+  Matrix init = Random(m, n, 41 + k);
+  Matrix out = init;
+  kernels::GemmNT(m, n, k, a.data(), b.data(), out.data());
+  ExpectNear(out, NaiveGemmNT(a, b, init), 1e-4f * std::max<size_t>(1, k));
+}
+
+TEST_P(KernelShapes, PooledGemmIsBitIdenticalAcrossThreadCounts) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = Random(m, k, 43 + m);
+  const Matrix b = Random(k, n, 47 + n);
+  const Matrix bt = Random(n, k, 53 + n);
+  const Matrix at = Random(k, m, 59 + m);
+
+  Matrix inline_nn(m, n, 0.0f), inline_tn(m, n, 0.0f), inline_nt(m, n, 0.0f);
+  kernels::GemmNN(m, n, k, a.data(), b.data(), inline_nn.data());
+  kernels::GemmTN(m, n, k, at.data(), b.data(), inline_tn.data());
+  kernels::GemmNT(m, n, k, a.data(), bt.data(), inline_nt.data());
+
+  for (const size_t workers : {1u, 2u, 8u}) {
+    util::ThreadPool pool(workers);
+    Matrix nn(m, n, 0.0f), tn(m, n, 0.0f), nt(m, n, 0.0f);
+    kernels::GemmNN(m, n, k, a.data(), b.data(), nn.data(), &pool);
+    kernels::GemmTN(m, n, k, at.data(), b.data(), tn.data(), &pool);
+    kernels::GemmNT(m, n, k, a.data(), bt.data(), nt.data(), &pool);
+    ExpectBitIdentical(nn, inline_nn);
+    ExpectBitIdentical(tn, inline_tn);
+    ExpectBitIdentical(nt, inline_nt);
+  }
+}
+
+TEST_P(KernelShapes, TransposeBlockedMatchesElementwise) {
+  const auto [m, k, n] = GetParam();
+  (void)k;
+  const Matrix a = Random(m, n, 61 + m);
+  const Matrix t = Transpose(a);
+  ASSERT_EQ(t.rows(), a.cols());
+  ASSERT_EQ(t.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(t(c, r), a(r, c));
+    }
+  }
+}
+
+// Row-reduction kernels: correct vs naive and, critically, batch entry
+// points bit-identical to the scalar kernel per row (the index backends'
+// exact scans and tests rely on this).
+TEST(RowKernels, DotAndSquaredDistanceMatchNaive) {
+  for (const size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 129u}) {
+    const Matrix a = Random(1, n, 71 + n);
+    const Matrix b = Random(1, n, 73 + n);
+    EXPECT_NEAR(kernels::Dot(a.data(), b.data(), n),
+                NaiveDot(a.data(), b.data(), n), 1e-4f * std::max<size_t>(1, n));
+    EXPECT_NEAR(kernels::SquaredDistance(a.data(), b.data(), n),
+                NaiveSquaredDistance(a.data(), b.data(), n),
+                1e-4f * std::max<size_t>(1, n));
+  }
+}
+
+TEST(RowKernels, BatchEntryPointsAreBitIdenticalToScalar) {
+  const size_t n = 37, d = 19;  // both with unroll tails
+  const Matrix base = Random(n, d, 79);
+  const Matrix q = Random(1, d, 83);
+  std::vector<float> dots(n), dists(n), norms(n);
+  kernels::DotBatch(q.data(), base.data(), n, d, dots.data());
+  kernels::SquaredDistanceBatch(q.data(), base.data(), n, d, dists.data());
+  kernels::NormsSquared(base.data(), n, d, norms.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(dots[i], kernels::Dot(q.data(), base.row(i), d));
+    EXPECT_EQ(dists[i], kernels::SquaredDistance(q.data(), base.row(i), d));
+    EXPECT_EQ(norms[i], kernels::Dot(base.row(i), base.row(i), d));
+  }
+}
+
+TEST(RowKernels, ExpandedSquaredDistanceMatchesDirectAndClamps) {
+  const size_t n = 23, d = 17;
+  const Matrix base = Random(n, d, 89);
+  const Matrix q = Random(1, d, 97);
+  std::vector<float> base_sq(n), dots(n), direct(n), expanded(n);
+  kernels::NormsSquared(base.data(), n, d, base_sq.data());
+  kernels::DotBatch(q.data(), base.data(), n, d, dots.data());
+  const float q_sq = kernels::Dot(q.data(), q.data(), d);
+  kernels::SquaredDistanceBatch(q.data(), base.data(), n, d, direct.data());
+  kernels::SquaredDistanceFromDots(q_sq, dots.data(), base_sq.data(), n,
+                                   expanded.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(expanded[i], 0.0f);
+    EXPECT_NEAR(expanded[i], direct[i], 1e-3f * std::max(1.0f, direct[i]));
+  }
+  // Identical points: cancellation must clamp to exactly zero, never NaN or
+  // a negative distance.
+  std::vector<float> self_dots(n), self(n);
+  kernels::DotBatch(base.row(0), base.data(), n, d, self_dots.data());
+  kernels::SquaredDistanceFromDots(base_sq[0], self_dots.data(),
+                                   base_sq.data(), n, self.data());
+  EXPECT_EQ(self[0], 0.0f);
+}
+
+TEST(RowKernels, ArgMinArgMaxFirstIndexWinsTies) {
+  const float v[] = {3.0f, 1.0f, 1.0f, 5.0f, 5.0f};
+  EXPECT_EQ(kernels::ArgMin(v, 5), 1u);
+  EXPECT_EQ(kernels::ArgMax(v, 5), 3u);
+  EXPECT_EQ(kernels::ArgMin(v, 1), 0u);
+  EXPECT_EQ(kernels::ArgMax(v, 1), 0u);
+}
+
+TEST(MatrixStorage, IsCacheLineAligned) {
+  for (const size_t rows : {1u, 3u, 17u}) {
+    for (const size_t cols : {1u, 5u, 64u}) {
+      Matrix m(rows, cols);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kMatrixAlignment,
+                0u)
+          << rows << "x" << cols;
+    }
+  }
+  Matrix lit({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(lit.data()) % kMatrixAlignment, 0u);
+}
+
+// Matrix-level pooled entry points: same results with and without a pool.
+TEST(MatrixPooled, MatMulVariantsBitIdenticalWithPool) {
+  const Matrix a = Random(33, 65, 101);
+  const Matrix b = Random(65, 17, 103);
+  const Matrix bt = Random(17, 65, 107);
+  Matrix want_nn, got_nn;
+  MatMul(a, b, want_nn);
+  util::ThreadPool pool(4);
+  MatMul(a, b, got_nn, &pool);
+  ExpectBitIdentical(got_nn, want_nn);
+
+  Matrix want_nt(33, 17, 0.0f), got_nt(33, 17, 0.0f);
+  MatMulTransposeBAcc(a, bt, want_nt);
+  MatMulTransposeBAcc(a, bt, got_nt, &pool);
+  ExpectBitIdentical(got_nt, want_nt);
+
+  const Matrix at = Random(65, 33, 109);  // (k, m)
+  Matrix want_tn(33, 17, 0.0f), got_tn(33, 17, 0.0f);
+  MatMulTransposeAAcc(at, b, want_tn);
+  MatMulTransposeAAcc(at, b, got_tn, &pool);
+  ExpectBitIdentical(got_tn, want_tn);
+}
+
+// Gradients still check out through the blocked (and pooled) GEMMs, and the
+// backward pass is bit-identical threaded vs inline.
+TEST(KernelGradients, GradcheckThroughPooledMatMul) {
+  util::Rng rng(5);
+  autograd::Parameter w1("w1", 7, 9);
+  autograd::Parameter w2("w2", 9, 3);
+  w1.value.RandNormal(rng, 0.5f);
+  w2.value.RandNormal(rng, 0.5f);
+  const Matrix x = Random(5, 7, 109);
+
+  util::ThreadPool pool(2);
+  const auto loss_fn = [&]() {
+    autograd::Tape tape;
+    tape.SetThreadPool(&pool);
+    autograd::Var h = autograd::MatMul(tape.Constant(x), tape.Leaf(&w1));
+    autograd::Var out =
+        autograd::MatMul(autograd::Tanh(h), tape.Leaf(&w2));
+    autograd::Var loss = autograd::MeanAll(autograd::Square(out));
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    tape.Backward(loss);
+    return loss.scalar();
+  };
+  const auto result = autograd::CheckGradients({&w1, &w2}, loss_fn);
+  EXPECT_TRUE(result.ok) << "max_abs=" << result.max_abs_error
+                         << " max_rel=" << result.max_rel_error;
+
+  // Same loss and gradients without any pool.
+  loss_fn();
+  Matrix g1_pooled = w1.grad;
+  autograd::Tape tape;
+  autograd::Var h = autograd::MatMul(tape.Constant(x), tape.Leaf(&w1));
+  autograd::Var out = autograd::MatMul(autograd::Tanh(h), tape.Leaf(&w2));
+  autograd::Var loss = autograd::MeanAll(autograd::Square(out));
+  w1.ZeroGrad();
+  w2.ZeroGrad();
+  tape.Backward(loss);
+  ExpectBitIdentical(g1_pooled, w1.grad);
+}
+
+}  // namespace
+}  // namespace dial::la

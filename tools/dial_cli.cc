@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "baselines/jedai.h"
 #include "baselines/rules.h"
@@ -25,6 +26,7 @@
 #include "core/experiment.h"
 #include "util/flags.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -85,7 +87,18 @@ int CmdRun(int argc, char** argv) {
 
   dial::core::ExperimentConfig exp_config;
   exp_config.scale = dial::data::ParseScale(*scale_text);
+  // --threads also accelerates pretraining (cache misses only): the tape
+  // GEMMs thread through this pool with bit-identical results, so the
+  // on-disk model cache key is unaffected.
+  std::unique_ptr<dial::util::ThreadPool> pretrain_pool;
+  if (*threads > 0) {
+    pretrain_pool =
+        std::make_unique<dial::util::ThreadPool>(static_cast<size_t>(*threads));
+    exp_config.pretrain.pool = pretrain_pool.get();
+  }
   dial::core::Experiment exp = dial::core::PrepareExperiment(*dataset, exp_config);
+  exp_config.pretrain.pool = nullptr;  // pool dies here; don't leave a trap
+  pretrain_pool.reset();
 
   dial::core::AlConfig al =
       dial::core::DefaultAlConfig(exp_config.scale, static_cast<uint64_t>(*seed));

@@ -57,7 +57,8 @@ void ActiveLearningLoop::SetCheckpointPath(std::string path) {
 
 util::Status ActiveLearningLoop::RestoreCheckpoint(const std::string& path) {
   auto checkpoint = std::make_unique<AlCheckpoint>();
-  DIAL_RETURN_IF_ERROR(LoadAlCheckpoint(path, checkpoint.get()));
+  IbcIndexCache restored_cache;
+  DIAL_RETURN_IF_ERROR(LoadAlCheckpoint(path, checkpoint.get(), &restored_cache));
   if (checkpoint->dataset_name != bundle_->name) {
     return util::Status::InvalidArgument(
         "checkpoint is for dataset '" + checkpoint->dataset_name +
@@ -72,6 +73,9 @@ util::Status ActiveLearningLoop::RestoreCheckpoint(const std::string& path) {
     return util::Status::InvalidArgument("checkpoint has no rounds left to run");
   }
   restore_ = std::move(checkpoint);
+  // The saved warm structure makes the resumed round's Refresh start from
+  // exactly what the uninterrupted run had. (Empty for refresh=off runs.)
+  index_cache_ = std::move(restored_cache);
   return util::Status::OK();
 }
 
@@ -99,6 +103,11 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
                       : static_cast<size_t>(config_.cand_multiplier *
                                             static_cast<double>(bundle_->s_table.size()));
   ibc.backend = config_.index_backend;
+  ibc.refresh = config_.refresh;
+  // Rounds >= 2 warm-refresh the previous round's indexes through the cache;
+  // refresh=off reverts to the paper's reconstruct-every-round protocol.
+  IbcIndexCache* cache = config_.index_refresh ? &index_cache_ : nullptr;
+  IbcStats ibc_stats;
 
   util::WallTimer timer;
   switch (config_.blocking) {
@@ -117,8 +126,11 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       committee_->Train(emb_r, emb_s, dups, negs);
       metrics.t_train_committee = timer.Seconds();
       timer.Restart();
-      auto cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc, pool_.get());
+      auto cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc, pool_.get(),
+                                   cache, &ibc_stats);
       metrics.t_index_retrieve = timer.Seconds();
+      metrics.t_index_build = ibc_stats.index_build_seconds;
+      metrics.index_warm_members = ibc_stats.warm_members;
       return cand;
     }
     case BlockingStrategy::kPairedFixed: {
@@ -138,8 +150,11 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       timer.Restart();
       const la::Matrix emb_r = EmbedAllR(matcher);
       const la::Matrix emb_s = EmbedAllS(matcher);
-      auto cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
+      auto cand =
+          DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get(), cache, &ibc_stats);
       metrics.t_index_retrieve = timer.Seconds();
+      metrics.t_index_build = ibc_stats.index_build_seconds;
+      metrics.index_warm_members = ibc_stats.warm_members;
       return cand;
     }
     case BlockingStrategy::kSentenceBert: {
@@ -155,8 +170,11 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       timer.Restart();
       const la::Matrix emb_r = sbert_->EmbedR(*encodings_);
       const la::Matrix emb_s = sbert_->EmbedS(*encodings_);
-      auto cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
+      auto cand =
+          DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get(), cache, &ibc_stats);
       metrics.t_index_retrieve = timer.Seconds();
+      metrics.t_index_build = ibc_stats.index_build_seconds;
+      metrics.index_warm_members = ibc_stats.warm_members;
       return cand;
     }
     case BlockingStrategy::kFixedExternal: {
@@ -195,6 +213,8 @@ AlResult ActiveLearningLoop::Run() {
   } else {
     labeled_ = data::SampleSeedSet(*bundle_, config_.seed_per_class, rng);
     calibration_.clear();
+    index_cache_.Reset();  // a fresh run must not refresh a previous Run()'s
+                           // indexes (RestoreCheckpoint repopulates instead)
   }
   DIAL_CHECK_LT(start_round, config_.rounds);
 
@@ -349,7 +369,9 @@ AlResult ActiveLearningLoop::Run() {
       checkpoint.negatives = labeled_.negatives();
       checkpoint.calibration = calibration_;
       checkpoint.rounds = result.rounds;
-      DIAL_CHECK_OK(SaveAlCheckpoint(checkpoint_path_, checkpoint));
+      DIAL_CHECK_OK(SaveAlCheckpoint(checkpoint_path_, checkpoint,
+                                     config_.index_refresh ? &index_cache_
+                                                           : nullptr));
     }
   }
 
@@ -371,12 +393,17 @@ AlResult ActiveLearningLoop::Run() {
                         : static_cast<size_t>(config_.cand_multiplier *
                                               static_cast<double>(bundle_->s_table.size()));
     ibc.backend = config_.index_backend;
+    ibc.refresh = config_.refresh;
+    // Deployment-shaped: the final blocking pass refreshes the live indexes
+    // too (a no-op for the cold path when refresh is off).
+    IbcIndexCache* cache = config_.index_refresh ? &index_cache_ : nullptr;
     std::vector<Candidate> final_cand;
     switch (config_.blocking) {
       case BlockingStrategy::kDial: {
         const la::Matrix emb_r = EmbedAllR(*matcher);
         const la::Matrix emb_s = EmbedAllS(*matcher);
-        final_cand = IndexByCommittee(*committee_, emb_r, emb_s, ibc, pool_.get());
+        final_cand =
+            IndexByCommittee(*committee_, emb_r, emb_s, ibc, pool_.get(), cache);
         break;
       }
       case BlockingStrategy::kPairedFixed:
@@ -385,13 +412,13 @@ AlResult ActiveLearningLoop::Run() {
       case BlockingStrategy::kPairedAdapt: {
         const la::Matrix emb_r = EmbedAllR(*matcher);
         const la::Matrix emb_s = EmbedAllS(*matcher);
-        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
+        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get(), cache);
         break;
       }
       case BlockingStrategy::kSentenceBert: {
         const la::Matrix emb_r = sbert_->EmbedR(*encodings_);
         const la::Matrix emb_s = sbert_->EmbedS(*encodings_);
-        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get());
+        final_cand = DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get(), cache);
         break;
       }
       case BlockingStrategy::kFixedExternal:

@@ -59,6 +59,14 @@ struct AlConfig {
   /// checkpoint fingerprint: a run checkpointed at one thread count resumes
   /// exactly under another.
   size_t num_threads = 0;
+  /// Warm-start the blocker indexes across rounds: rounds >= 2 Refresh the
+  /// previous round's indexes (reusing trained centroids/codebooks/planes)
+  /// instead of reconstructing them. `false` is the ablation/fallback path
+  /// (reconstruct every round, the paper's protocol). Changes retrieval on
+  /// the approximate backends, so — unlike num_threads — it IS part of the
+  /// checkpoint fingerprint, as are the refresh knobs below.
+  bool index_refresh = true;
+  index::RefreshOptions refresh;
   uint64_t seed = 7;
 };
 
@@ -77,6 +85,12 @@ struct RoundMetrics {
   double t_train_committee = 0.0;  // includes single-mode embedding
   double t_index_retrieve = 0.0;
   double t_select = 0.0;
+  /// Within t_index_retrieve: per-member index build/refresh cost, summed
+  /// across members (the build-vs-refresh axis of BENCH_refresh.json).
+  double t_index_build = 0.0;
+  /// Members that took the warm Refresh path this round (0 on round 1, on
+  /// refresh=off runs, and for the strategies that keep no index).
+  size_t index_warm_members = 0;
 };
 
 struct AlResult {
@@ -138,6 +152,9 @@ class ActiveLearningLoop {
   std::unique_ptr<PairEncodingCache> pair_cache_;
   std::unique_ptr<SentenceBertBlocker> sbert_;
   std::unique_ptr<BlockerCommittee> committee_;  // kept for RT measurement
+  /// Cross-round blocker indexes (the warm-start refresh path); persisted in
+  /// checkpoints so a resumed run refreshes from the identical structure.
+  IbcIndexCache index_cache_;
   std::vector<Candidate> fixed_candidates_;      // PairedFixed cache
   std::vector<data::PairId> calibration_;        // presumed negatives
   data::LabeledSet labeled_;

@@ -10,7 +10,9 @@ namespace dial::core {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x4441'4c43;  // "DALC"
-constexpr uint32_t kCheckpointVersion = 1;
+// v2: RoundMetrics gained t_index_build/index_warm_members and the file
+// gained the IbcIndexCache warm-state section (index-refresh lifecycle).
+constexpr uint32_t kCheckpointVersion = 2;
 
 void WritePair(util::BinaryWriter& w, const data::PairId& pair) {
   w.WriteU32(pair.r);
@@ -82,6 +84,8 @@ void WriteRound(util::BinaryWriter& w, const RoundMetrics& m) {
   w.WriteF64(m.t_train_committee);
   w.WriteF64(m.t_index_retrieve);
   w.WriteF64(m.t_select);
+  w.WriteF64(m.t_index_build);
+  w.WriteU64(m.index_warm_members);
 }
 
 RoundMetrics ReadRound(util::BinaryReader& r) {
@@ -98,6 +102,8 @@ RoundMetrics ReadRound(util::BinaryReader& r) {
   m.t_train_committee = r.ReadF64();
   m.t_index_retrieve = r.ReadF64();
   m.t_select = r.ReadF64();
+  m.t_index_build = r.ReadF64();
+  m.index_warm_members = r.ReadU64();
   return m;
 }
 
@@ -119,6 +125,20 @@ uint64_t AlConfigFingerprint(const AlConfig& config, const std::string& dataset)
   h = util::HashCombine(h, static_cast<uint64_t>(config.blocking));
   h = util::HashCombine(h, config.qbc_committee_size);
   h = util::HashCombine(h, config.calibration_pairs);
+  // Warm-start refresh changes retrieval on the approximate backends, so a
+  // run checkpointed with one lifecycle setting must not resume under
+  // another (num_threads, by contrast, stays excluded: bit-identical).
+  h = util::HashCombine(h, config.index_refresh ? 1u : 0u);
+  h = util::HashCombine(h, config.refresh.warm_start ? 1u : 0u);
+  h = util::HashCombine(h, config.refresh.warm_iterations);
+  // Negative knob values all mean "disabled"; clamp before the float->int
+  // cast (negative-to-unsigned float conversion is UB, and every disabled
+  // value should fingerprint identically anyway).
+  const auto knob = [](double v) {
+    return v > 0.0 ? static_cast<uint64_t>(v * 1e6) : uint64_t{0};
+  };
+  h = util::HashCombine(h, knob(config.refresh.drift_threshold));
+  h = util::HashCombine(h, knob(config.refresh.max_stale_bits));
   h = util::HashCombine(h, config.seed);
   h = util::HashCombine(h, config.matcher.seed);
   h = util::HashCombine(h, config.blocker.seed);
@@ -126,7 +146,8 @@ uint64_t AlConfigFingerprint(const AlConfig& config, const std::string& dataset)
 }
 
 util::Status SaveAlCheckpoint(const std::string& path,
-                              const AlCheckpoint& checkpoint) {
+                              const AlCheckpoint& checkpoint,
+                              const IbcIndexCache* index_cache) {
   const std::string tmp = path + ".tmp";
   {
     util::BinaryWriter w(tmp, kCheckpointMagic, kCheckpointVersion);
@@ -143,6 +164,11 @@ util::Status SaveAlCheckpoint(const std::string& path,
     for (const auto& pair : checkpoint.calibration) WritePair(w, pair);
     w.WriteU64(checkpoint.rounds.size());
     for (const auto& round : checkpoint.rounds) WriteRound(w, round);
+    if (index_cache != nullptr) {
+      index_cache->SaveWarmState(w);
+    } else {
+      w.WriteU64(0);  // empty cache section
+    }
     DIAL_RETURN_IF_ERROR(w.Finish());
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -152,7 +178,8 @@ util::Status SaveAlCheckpoint(const std::string& path,
   return util::Status::OK();
 }
 
-util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint) {
+util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint,
+                              IbcIndexCache* index_cache) {
   DIAL_CHECK(checkpoint != nullptr);
   util::BinaryReader r(path, kCheckpointMagic, kCheckpointVersion);
   DIAL_RETURN_IF_ERROR(r.status());
@@ -175,6 +202,12 @@ util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint)
   if (n_rounds > (1u << 20)) return util::Status::Corruption("round count too large");
   checkpoint->rounds.clear();
   for (uint64_t i = 0; i < n_rounds; ++i) checkpoint->rounds.push_back(ReadRound(r));
+  DIAL_RETURN_IF_ERROR(r.status());
+  // The cache section is always present (possibly empty); parse it even when
+  // the caller does not want it so trailing corruption is still detected.
+  IbcIndexCache scratch;
+  IbcIndexCache* cache = index_cache != nullptr ? index_cache : &scratch;
+  DIAL_RETURN_IF_ERROR(cache->LoadWarmState(r));
   return r.status();
 }
 

@@ -18,6 +18,13 @@
 /// from the pretrained weights every round (Sec. 4.2, "we do not warm start
 /// the model parameters between active learning rounds"), so a resumed run
 /// reproduces the uninterrupted run bit-for-bit from this state alone.
+///
+/// One exception joins the model-free rule in format v2: when
+/// AlConfig::index_refresh is on, the blocker indexes DO carry trained
+/// structure (centroids/codebooks/levels) across rounds, so the checkpoint
+/// stores the IbcIndexCache warm state (VectorIndex::SaveWarmState — the
+/// structure only, never the per-round vectors) and a resumed Refresh starts
+/// from exactly what the uninterrupted run would have used.
 
 namespace dial::core {
 
@@ -47,10 +54,16 @@ struct AlCheckpoint {
 uint64_t AlConfigFingerprint(const AlConfig& config, const std::string& dataset);
 
 /// Writes `checkpoint` to `path` (atomically: temp file + rename).
-util::Status SaveAlCheckpoint(const std::string& path, const AlCheckpoint& checkpoint);
+/// `index_cache` (optional) appends the blocker indexes' warm state.
+util::Status SaveAlCheckpoint(const std::string& path,
+                              const AlCheckpoint& checkpoint,
+                              const IbcIndexCache* index_cache = nullptr);
 
 /// Reads a checkpoint; non-OK on missing/corrupted/version-mismatched files.
-util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint);
+/// `index_cache` (optional) receives the stored warm state (left empty when
+/// the run checkpointed without one).
+util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint,
+                              IbcIndexCache* index_cache = nullptr);
 
 /// Value-returning overload of the above.
 util::StatusOr<AlCheckpoint> LoadAlCheckpoint(const std::string& path);

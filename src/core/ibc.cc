@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "util/timer.h"
+
 #include "index/flat_index.h"
 #include "index/hnsw_index.h"
 #include "index/ivf_index.h"
@@ -127,20 +129,111 @@ void AccumulateRetrieval(const index::SearchBatch& batch,
   }
 }
 
+/// Builds-or-refreshes one cache slot (`slot` must already exist when the
+/// cache is compatible — see PrepareCache) and returns the per-slot stats.
+/// With a null cache the index is built fresh and discarded by the caller.
+index::RefreshStats PopulateIndex(index::VectorIndex& idx,
+                                  const la::Matrix& vectors, bool use_refresh,
+                                  const index::RefreshOptions& refresh) {
+  if (use_refresh) return idx.Refresh(vectors, refresh);
+  idx.Add(vectors);
+  return {};
+}
+
+/// Ensures `cache` has one compatible index per slot; returns true when the
+/// existing indexes should be Refresh()ed (false = slots were (re)created
+/// and must be cold-Added). Never called with a null cache.
+bool PrepareCache(IbcIndexCache& cache, IndexBackend backend,
+                  index::Metric metric, size_t dim, size_t slots,
+                  util::ThreadPool* pool) {
+  const bool reuse = cache.Compatible(backend, metric, dim, slots);
+  if (!reuse) {
+    cache.Reset();
+    cache.backend = backend;
+    cache.metric = metric;
+    cache.dim = dim;
+    cache.members.reserve(slots);
+    for (size_t k = 0; k < slots; ++k) {
+      cache.members.push_back(MakeIndex(backend, dim, metric, pool));
+    }
+  } else {
+    for (auto& member : cache.members) member->SetThreadPool(pool);
+  }
+  return reuse;
+}
+
 }  // namespace
+
+void IbcIndexCache::Reset() {
+  members.clear();
+  dim = 0;
+}
+
+bool IbcIndexCache::Compatible(IndexBackend backend_in, index::Metric metric_in,
+                               size_t dim_in, size_t member_count) const {
+  return !members.empty() && backend == backend_in && metric == metric_in &&
+         dim == dim_in && members.size() == member_count;
+}
+
+void IbcIndexCache::SaveWarmState(util::BinaryWriter& writer) const {
+  writer.WriteU64(members.size());
+  if (members.empty()) return;
+  writer.WriteU32(static_cast<uint32_t>(backend));
+  writer.WriteU32(static_cast<uint32_t>(metric));
+  writer.WriteU64(dim);
+  for (const auto& member : members) member->SaveWarmState(writer);
+}
+
+util::Status IbcIndexCache::LoadWarmState(util::BinaryReader& reader) {
+  Reset();
+  const uint64_t count = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (count == 0) return util::Status::OK();
+  if (count > 4096) return util::Status::Corruption("index cache member count");
+  const uint32_t backend_raw = reader.ReadU32();
+  const uint32_t metric_raw = reader.ReadU32();
+  const uint64_t dim_in = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (backend_raw > static_cast<uint32_t>(IndexBackend::kMatmul) ||
+      metric_raw > static_cast<uint32_t>(index::Metric::kCosine)) {
+    return util::Status::Corruption("index cache backend/metric tag");
+  }
+  if (dim_in == 0 || dim_in > (1u << 24)) {
+    return util::Status::Corruption("index cache dim");
+  }
+  backend = static_cast<IndexBackend>(backend_raw);
+  metric = static_cast<index::Metric>(metric_raw);
+  dim = dim_in;
+  members.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    auto idx = MakeIndex(backend, dim, metric, nullptr);
+    DIAL_RETURN_IF_ERROR(idx->LoadWarmState(reader));
+    members.push_back(std::move(idx));
+  }
+  return util::Status::OK();
+}
 
 std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
                                         const la::Matrix& emb_r,
                                         const la::Matrix& emb_s,
                                         const IbcConfig& config,
-                                        util::ThreadPool* pool) {
+                                        util::ThreadPool* pool,
+                                        IbcIndexCache* cache, IbcStats* stats) {
   DIAL_CHECK_GT(committee.size(), 0u);
+  const size_t n_members = committee.size();
+  bool use_refresh = false;
+  if (cache != nullptr) {
+    use_refresh = PrepareCache(*cache, config.backend, config.metric,
+                               emb_r.cols(), n_members, pool);
+  }
   // Members are independent until the merge, so encode/index/probe runs one
   // member per pool task (this is what keeps IBC's cost nearly flat in N,
   // the paper's Table 10 claim). The merge applies per-member batches in
   // member order, so results are identical with or without a pool.
-  std::vector<index::SearchBatch> batches(committee.size());
-  util::ParallelFor(pool, committee.size(), [&](size_t begin, size_t end) {
+  std::vector<index::SearchBatch> batches(n_members);
+  std::vector<index::RefreshStats> refresh_stats(n_members);
+  std::vector<double> build_seconds(n_members, 0.0);
+  util::ParallelFor(pool, n_members, [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
       const la::Matrix enc_r = committee.Encode(k, emb_r);
       const la::Matrix enc_s = committee.Encode(k, emb_s);
@@ -148,11 +241,29 @@ std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
       // already on a pool worker, nested ParallelFor calls degrade to inline
       // execution (no deadlock, same results); when IBC ran inline (null
       // pool), the index still gets null and stays inline.
-      auto idx = MakeIndex(config.backend, enc_r.cols(), config.metric, pool);
-      idx->Add(enc_r);
+      std::unique_ptr<index::VectorIndex> owned;
+      index::VectorIndex* idx;
+      if (cache != nullptr) {
+        idx = cache->members[k].get();
+      } else {
+        owned = MakeIndex(config.backend, enc_r.cols(), config.metric, pool);
+        idx = owned.get();
+      }
+      util::WallTimer timer;
+      refresh_stats[k] =
+          PopulateIndex(*idx, enc_r, use_refresh, config.refresh);
+      build_seconds[k] = timer.Seconds();
       batches[k] = idx->Search(enc_s, config.k_neighbors);
     }
   });
+  if (stats != nullptr) {
+    *stats = IbcStats{};
+    for (size_t k = 0; k < n_members; ++k) {
+      stats->index_build_seconds += build_seconds[k];
+      stats->warm_members += refresh_stats[k].warm ? 1 : 0;
+      stats->retrained_members += refresh_stats[k].retrained ? 1 : 0;
+    }
+  }
   std::unordered_map<uint64_t, Candidate> best;
   for (const index::SearchBatch& batch : batches) {
     AccumulateRetrieval(batch, best);
@@ -163,10 +274,29 @@ std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
 std::vector<Candidate> DirectKnnCandidates(const la::Matrix& emb_r,
                                            const la::Matrix& emb_s,
                                            const IbcConfig& config,
-                                           util::ThreadPool* pool) {
+                                           util::ThreadPool* pool,
+                                           IbcIndexCache* cache, IbcStats* stats) {
+  bool use_refresh = false;
+  std::unique_ptr<index::VectorIndex> owned;
+  index::VectorIndex* idx;
+  if (cache != nullptr) {
+    use_refresh = PrepareCache(*cache, config.backend, config.metric,
+                               emb_r.cols(), 1, pool);
+    idx = cache->members[0].get();
+  } else {
+    owned = MakeIndex(config.backend, emb_r.cols(), config.metric, pool);
+    idx = owned.get();
+  }
+  util::WallTimer timer;
+  const index::RefreshStats refreshed =
+      PopulateIndex(*idx, emb_r, use_refresh, config.refresh);
+  if (stats != nullptr) {
+    *stats = IbcStats{};
+    stats->index_build_seconds = timer.Seconds();
+    stats->warm_members = refreshed.warm ? 1 : 0;
+    stats->retrained_members = refreshed.retrained ? 1 : 0;
+  }
   std::unordered_map<uint64_t, Candidate> best;
-  auto idx = MakeIndex(config.backend, emb_r.cols(), config.metric, pool);
-  idx->Add(emb_r);
   AccumulateRetrieval(idx->Search(emb_s, config.k_neighbors), best);
   return MergeAndTruncate(best, config.cand_size);
 }

@@ -72,6 +72,17 @@ void FlatIndex::Add(const la::Matrix& vectors) {
                             norms_sq_.data() + base);
 }
 
+RefreshStats FlatIndex::Refresh(const la::Matrix& vectors,
+                                const RefreshOptions& options) {
+  (void)options;
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  data_ = vectors;
+  norms_sq_.resize(vectors.rows());
+  la::kernels::NormsSquared(data_.data(), data_.rows(), dim_, norms_sq_.data());
+  return {};
+}
+
 SearchBatch FlatIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());

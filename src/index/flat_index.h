@@ -24,6 +24,12 @@ class FlatIndex : public VectorIndex {
   size_t size() const override { return data_.rows(); }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: no trained structure — refresh swaps the stored matrix and
+  /// recomputes the cached norms. Identical to a fresh build either way.
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+
   /// Direct row access (used by tests and the IBC candidate merge).
   const la::Matrix& data() const { return data_; }
 

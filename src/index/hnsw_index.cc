@@ -15,11 +15,11 @@ HnswIndex::HnswIndex(size_t dim, Metric metric, Options options)
   DIAL_CHECK_GT(options_.ef_search, 0u);
 }
 
-int HnswIndex::RandomLevel() {
+int HnswIndex::DrawLevel(util::Rng& rng) const {
   // Geometric level distribution with the standard normalization
   // mL = 1 / ln(m): P(level >= l) = m^-l.
   const double ml = 1.0 / std::log(static_cast<double>(options_.m));
-  const double u = std::max(level_rng_.Uniform(), 1e-12);
+  const double u = std::max(rng.Uniform(), 1e-12);
   return static_cast<int>(-std::log(u) * ml);
 }
 
@@ -102,8 +102,7 @@ std::vector<int> HnswIndex::SelectNeighbors(const float* query,
   return kept;
 }
 
-void HnswIndex::InsertOne(int id) {
-  const int level = RandomLevel();
+void HnswIndex::InsertOne(int id, int level) {
   Node& node = nodes_[id];
   node.level = level;
   node.links.assign(level + 1, {});
@@ -174,8 +173,87 @@ void HnswIndex::Add(const la::Matrix& vectors) {
   }
   nodes_.resize(data_.rows());
   for (size_t i = 0; i < vectors.rows(); ++i) {
-    InsertOne(static_cast<int>(base + i));
+    InsertOne(static_cast<int>(base + i), RandomLevel());
   }
+  // Checkpoint-restored levels describe a snapshot this Add just diverged
+  // from; the live nodes_ are now the source of truth for the next refresh.
+  warm_levels_.clear();
+}
+
+RefreshStats HnswIndex::Refresh(const la::Matrix& vectors,
+                                const RefreshOptions& options) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  std::vector<int> prev_levels = std::move(warm_levels_);
+  warm_levels_.clear();
+  if (prev_levels.empty()) {
+    prev_levels.reserve(nodes_.size());
+    for (const Node& node : nodes_) prev_levels.push_back(node.level);
+  }
+  const bool warm = options.warm_start && !prev_levels.empty();
+
+  const size_t n = vectors.rows();
+  data_ = vectors;
+  nodes_.assign(n, {});
+  entry_point_ = -1;
+  max_level_ = -1;
+
+  if (!warm) {
+    // Bit-identical to a freshly constructed index + Add.
+    level_rng_ = util::Rng(options_.seed);
+    for (size_t i = 0; i < n; ++i) {
+      InsertOne(static_cast<int>(i), RandomLevel());
+    }
+    return {};
+  }
+
+  // Reuse the prior level per surviving id; ids past the previous size draw
+  // from a side stream seeded only by (seed, n) so a checkpoint-resumed
+  // refresh reproduces a live one without persisting any RNG state.
+  std::vector<int> levels(n);
+  util::Rng grow_rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * (n + 1)));
+  for (size_t i = 0; i < n; ++i) {
+    levels[i] = i < prev_levels.size() ? prev_levels[i] : DrawLevel(grow_rng);
+  }
+  // Prior entry-point ordering: the old entry point (max level) goes first,
+  // ties broken by id, so greedy descents land in familiar territory from
+  // the first insertion on.
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (levels[a] != levels[b]) return levels[a] > levels[b];
+    return a < b;
+  });
+  for (const int id : order) InsertOne(id, levels[id]);
+  RefreshStats stats;
+  stats.warm = true;
+  return stats;
+}
+
+void HnswIndex::SaveWarmState(util::BinaryWriter& writer) const {
+  const size_t n = nodes_.empty() ? warm_levels_.size() : nodes_.size();
+  writer.WriteU64(n);
+  if (!nodes_.empty()) {
+    for (const Node& node : nodes_) writer.WriteU32(static_cast<uint32_t>(node.level));
+  } else {
+    for (const int level : warm_levels_) writer.WriteU32(static_cast<uint32_t>(level));
+  }
+}
+
+util::Status HnswIndex::LoadWarmState(util::BinaryReader& reader) {
+  const uint64_t n = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (n > (1u << 24)) return util::Status::Corruption("hnsw warm state too large");
+  std::vector<int> levels;
+  levels.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t level = reader.ReadU32();
+    if (!reader.status().ok()) return reader.status();
+    if (level > 64) return util::Status::Corruption("hnsw warm level out of range");
+    levels.push_back(static_cast<int>(level));
+  }
+  warm_levels_ = std::move(levels);
+  return util::Status::OK();
 }
 
 SearchBatch HnswIndex::Search(const la::Matrix& queries, size_t k) const {

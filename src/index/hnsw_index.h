@@ -40,6 +40,19 @@ class HnswIndex : public VectorIndex {
   size_t size() const override { return data_.rows(); }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: the graph is rebuilt (links depend on the vectors), but a
+  /// warm refresh reuses each node's level assignment and inserts in prior
+  /// entry-point order — highest level first, stable by id — so the layered
+  /// topology carries over; ids beyond the previous size draw fresh levels
+  /// from a deterministic side stream. Cold refresh replays a fresh build
+  /// bit-identically (level RNG reset to the seed).
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+  /// Warm state: the per-node level assignments.
+  void SaveWarmState(util::BinaryWriter& writer) const override;
+  util::Status LoadWarmState(util::BinaryReader& reader) override;
+
   const Options& options() const { return options_; }
   /// Highest layer currently in the graph (-1 when empty; diagnostics).
   int max_level() const { return max_level_; }
@@ -53,7 +66,8 @@ class HnswIndex : public VectorIndex {
     std::vector<std::vector<int>> links;
   };
 
-  int RandomLevel();
+  int DrawLevel(util::Rng& rng) const;
+  int RandomLevel() { return DrawLevel(level_rng_); }
   /// Greedy best-first search on one layer starting from `entry`; returns up
   /// to `ef` closest nodes, ascending by distance.
   std::vector<Neighbor> SearchLayer(const float* query, int entry, size_t ef,
@@ -66,7 +80,7 @@ class HnswIndex : public VectorIndex {
   std::vector<int> SelectNeighbors(const float* query,
                                    const std::vector<Neighbor>& candidates,
                                    size_t max_links) const;
-  void InsertOne(int id);
+  void InsertOne(int id, int level);
   size_t MaxLinks(int level) const {
     return level == 0 ? 2 * options_.m : options_.m;
   }
@@ -77,6 +91,9 @@ class HnswIndex : public VectorIndex {
   std::vector<Node> nodes_;
   int entry_point_ = -1;
   int max_level_ = -1;
+  /// Level assignments restored from a checkpoint, consumed by the next warm
+  /// Refresh (empty otherwise — live refreshes read levels from nodes_).
+  std::vector<int> warm_levels_;
 };
 
 }  // namespace dial::index

@@ -52,6 +52,51 @@ void IvfIndex::Add(const la::Matrix& vectors) {
   }
 }
 
+RefreshStats IvfIndex::Refresh(const la::Matrix& vectors,
+                               const RefreshOptions& options) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  if (!options.warm_start || centroids_.empty()) {
+    // Cold path: drop everything and take the first-Add training route —
+    // bit-identical to a freshly constructed index.
+    data_ = la::Matrix();
+    centroids_ = la::Matrix();
+    lists_.clear();
+    Add(vectors);
+    return {};
+  }
+  RefreshStats stats;
+  stats.warm = true;
+  data_ = vectors;
+  KMeansResult km = KMeansWarm(data_, centroids_, options.warm_iterations, pool_);
+  centroids_ = std::move(km.centroids);
+  lists_.assign(centroids_.rows(), {});
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    lists_[km.assignment[i]].push_back(static_cast<int>(i));
+  }
+  return stats;
+}
+
+void IvfIndex::SaveWarmState(util::BinaryWriter& writer) const {
+  writer.WriteU64(centroids_.rows());
+  writer.WriteFloats(centroids_.data(), centroids_.size());
+}
+
+util::Status IvfIndex::LoadWarmState(util::BinaryReader& reader) {
+  const uint64_t rows = reader.ReadU64();
+  const std::vector<float> values = reader.ReadFloatVector();
+  if (!reader.status().ok()) return reader.status();
+  if (rows > (1u << 24) || values.size() != rows * dim_) {
+    return util::Status::Corruption("ivf warm state shape mismatch");
+  }
+  if (rows == 0) return util::Status::OK();
+  centroids_ = la::Matrix(rows, dim_);
+  std::copy(values.begin(), values.end(), centroids_.data());
+  data_ = la::Matrix();
+  lists_.assign(rows, {});
+  return util::Status::OK();
+}
+
 SearchBatch IvfIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());

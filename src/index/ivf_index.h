@@ -32,7 +32,18 @@ class IvfIndex : public VectorIndex {
   size_t size() const override { return data_.rows(); }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: warm refresh keeps the trained centroids and re-converges
+  /// them with `warm_iterations` Lloyd steps on the new vectors (no k-means++
+  /// re-seeding), then rebuilds the inverted lists from the final assignment.
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+  /// Warm state: the coarse-quantizer centroids.
+  void SaveWarmState(util::BinaryWriter& writer) const override;
+  util::Status LoadWarmState(util::BinaryReader& reader) override;
+
   const Options& options() const { return options_; }
+  const la::Matrix& centroids() const { return centroids_; }
 
  private:
   Options options_;

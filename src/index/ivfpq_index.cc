@@ -29,21 +29,31 @@ size_t IvfPqIndex::NearestCell(const float* x) const {
 }
 
 void IvfPqIndex::EncodeInto(const la::Matrix& vectors, size_t base_id) {
-  // Cell routing + residual PQ encoding are row-independent; fan them out
-  // over the pool into per-row slots, then append to the inverted lists
-  // serially in row order (identical list layout to inline execution).
+  // Cell routing is row-independent; fan it out, then share the encode path
+  // with Refresh (which gets its cells from the warm Lloyd assignment).
+  std::vector<int> cells(vectors.rows());
+  util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      cells[i] = static_cast<int>(NearestCell(vectors.row(i)));
+    }
+  });
+  EncodeWithCells(vectors, base_id, cells);
+}
+
+void IvfPqIndex::EncodeWithCells(const la::Matrix& vectors, size_t base_id,
+                                 const std::vector<int>& cells) {
+  // Residual PQ encoding is row-independent; fan it out over the pool into
+  // per-row slots, then append to the inverted lists serially in row order
+  // (identical list layout to inline execution).
   const size_t code_size = pq_.code_size();
-  std::vector<size_t> cells(vectors.rows());
   std::vector<uint8_t> codes(vectors.rows() * code_size);
   util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
     std::vector<float> residual(dim_);
     for (size_t i = begin; i < end; ++i) {
       const float* x = vectors.row(i);
-      const size_t cell = NearestCell(x);
-      const float* centroid = centroids_.row(cell);
+      const float* centroid = centroids_.row(cells[i]);
       for (size_t d = 0; d < dim_; ++d) residual[d] = x[d] - centroid[d];
       pq_.Encode(residual.data(), codes.data() + i * code_size);
-      cells[i] = cell;
     }
   });
   for (size_t i = 0; i < vectors.rows(); ++i) {
@@ -77,8 +87,87 @@ void IvfPqIndex::Add(const la::Matrix& vectors) {
       }
     });
     pq_.Train(residuals);
+    trained_err_ = pq_.QuantizationError(residuals, kDriftSampleRows);
   }
   EncodeInto(vectors, count_);
+}
+
+void IvfPqIndex::ResetAll() {
+  centroids_ = la::Matrix();
+  pq_.Reset();
+  trained_err_ = 0.0;
+  list_ids_.clear();
+  list_codes_.clear();
+  count_ = 0;
+}
+
+RefreshStats IvfPqIndex::Refresh(const la::Matrix& vectors,
+                                 const RefreshOptions& options) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  if (!options.warm_start || centroids_.empty() || !pq_.trained()) {
+    ResetAll();
+    Add(vectors);
+    return {};
+  }
+  RefreshStats stats;
+  stats.warm = true;
+  pq_.SetThreadPool(pool_);
+  KMeansResult km =
+      KMeansWarm(vectors, centroids_, options.warm_iterations, pool_);
+  if (options.drift_threshold > 0.0 && trained_err_ > 0.0) {
+    // Drift is measured where this index quantizes: on residuals against the
+    // re-converged centroids, over the bounded head sample.
+    const size_t sample = std::min(vectors.rows(), kDriftSampleRows);
+    la::Matrix residuals(sample, dim_);
+    for (size_t i = 0; i < sample; ++i) {
+      const float* x = vectors.row(i);
+      const float* centroid = km.centroids.row(km.assignment[i]);
+      float* out = residuals.row(i);
+      for (size_t d = 0; d < dim_; ++d) out[d] = x[d] - centroid[d];
+    }
+    const double err = pq_.QuantizationError(residuals);
+    stats.drift = err / trained_err_;
+    if (stats.drift > options.drift_threshold) {
+      stats.warm = false;
+      stats.retrained = true;
+      ResetAll();
+      Add(vectors);
+      return stats;
+    }
+  }
+  centroids_ = std::move(km.centroids);
+  list_ids_.assign(centroids_.rows(), {});
+  list_codes_.assign(centroids_.rows(), {});
+  count_ = 0;
+  EncodeWithCells(vectors, 0, km.assignment);
+  return stats;
+}
+
+void IvfPqIndex::SaveWarmState(util::BinaryWriter& writer) const {
+  writer.WriteU64(centroids_.rows());
+  writer.WriteFloats(centroids_.data(), centroids_.size());
+  pq_.SaveState(writer);
+  writer.WriteF64(trained_err_);
+}
+
+util::Status IvfPqIndex::LoadWarmState(util::BinaryReader& reader) {
+  const uint64_t rows = reader.ReadU64();
+  const std::vector<float> values = reader.ReadFloatVector();
+  if (!reader.status().ok()) return reader.status();
+  if (rows > (1u << 24) || (rows > 0 && values.size() != rows * dim_)) {
+    return util::Status::Corruption("ivfpq warm state shape mismatch");
+  }
+  DIAL_RETURN_IF_ERROR(pq_.LoadState(reader));
+  trained_err_ = reader.ReadF64();
+  if (!reader.status().ok()) return reader.status();
+  if (rows == 0) return util::Status::OK();
+  centroids_ = la::Matrix(rows, dim_);
+  std::copy(values.begin(), values.end(), centroids_.data());
+  list_ids_.assign(rows, {});
+  list_codes_.assign(rows, {});
+  count_ = 0;
+  return util::Status::OK();
 }
 
 SearchBatch IvfPqIndex::Search(const la::Matrix& queries, size_t k) const {

@@ -36,12 +36,31 @@ class IvfPqIndex : public VectorIndex {
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: warm refresh re-converges the coarse centroids with
+  /// `warm_iterations` Lloyd steps, keeps the residual-PQ codebooks, and
+  /// re-encodes. The drift check watches the residual quantization error
+  /// (residuals against the re-converged centroids) and falls back to a full
+  /// retrain of both structures past options.drift_threshold.
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+  /// Warm state: centroids + PQ codebooks + the training error baseline.
+  void SaveWarmState(util::BinaryWriter& writer) const override;
+  util::Status LoadWarmState(util::BinaryReader& reader) override;
+
   const Options& options() const { return options_; }
   const ProductQuantizer& quantizer() const { return pq_; }
+  /// Sampled residual quantization error at PQ training time.
+  double trained_error() const { return trained_err_; }
 
  private:
   size_t NearestCell(const float* x) const;
   void EncodeInto(const la::Matrix& vectors, size_t base_id);
+  /// Residual-encodes rows whose cells are already known (the Refresh path
+  /// reuses the warm Lloyd assignment; bit-identical to recomputing).
+  void EncodeWithCells(const la::Matrix& vectors, size_t base_id,
+                       const std::vector<int>& cells);
+  void ResetAll();
 
   Options options_;
   ProductQuantizer pq_;
@@ -50,6 +69,7 @@ class IvfPqIndex : public VectorIndex {
   std::vector<std::vector<int>> list_ids_;
   std::vector<std::vector<uint8_t>> list_codes_;
   size_t count_ = 0;
+  double trained_err_ = 0.0;
 };
 
 }  // namespace dial::index

@@ -125,4 +125,71 @@ KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
   return result;
 }
 
+KMeansResult KMeansWarm(const la::Matrix& data, const la::Matrix& init,
+                        size_t max_iterations, util::ThreadPool* pool) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = init.rows();
+  DIAL_CHECK_GT(k, 0u);
+  DIAL_CHECK_EQ(init.cols(), d);
+
+  KMeansResult result;
+  result.centroids = init;
+  if (n == 0) return result;
+  result.assignment.assign(n, 0);
+
+  std::vector<size_t> counts(k);
+  std::vector<float> best_dist(n);
+  std::vector<char> row_changed(n);
+  la::Matrix prev = init;
+  // Same iteration structure (and the same batch-kernel accumulation
+  // contract) as KMeans above; only seeding and empty-cluster handling
+  // differ. One extra trailing assignment pass keeps `assignment`/`inertia`
+  // consistent with the returned centroids even at max_iterations == 0.
+  for (size_t iter = 0; iter <= max_iterations; ++iter) {
+    util::ParallelFor(pool, n, [&](size_t begin, size_t end) {
+      std::vector<float> dist(k);
+      for (size_t i = begin; i < end; ++i) {
+        la::kernels::SquaredDistanceBatch(data.row(i), result.centroids.data(),
+                                          k, d, dist.data());
+        const int best_c = static_cast<int>(la::kernels::ArgMin(dist.data(), k));
+        row_changed[i] = result.assignment[i] != best_c;
+        result.assignment[i] = best_c;
+        best_dist[i] = dist[best_c];
+      }
+    });
+    result.inertia = 0.0;
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      result.inertia += best_dist[i];
+      changed = changed || row_changed[i] != 0;
+    }
+    if (iter == max_iterations) break;
+    result.iterations_run = iter + 1;
+    if (!changed && iter > 0) break;
+
+    prev = result.centroids;
+    result.centroids.Zero();
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      float* crow = result.centroids.row(c);
+      const float* xrow = data.row(i);
+      for (size_t j = 0; j < d; ++j) crow[j] += xrow[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      float* crow = result.centroids.row(c);
+      if (counts[c] == 0) {
+        // Empty cluster: keep the previous centroid in place.
+        std::copy(prev.row(c), prev.row(c) + d, crow);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t j = 0; j < d; ++j) crow[j] *= inv;
+    }
+  }
+  return result;
+}
+
 }  // namespace dial::index

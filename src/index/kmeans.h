@@ -35,6 +35,17 @@ struct KMeansResult {
 KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
                     util::Rng& rng, util::ThreadPool* pool = nullptr);
 
+/// Lloyd iterations warm-started from caller-supplied centroids — the index
+/// Refresh path (IVF/IVFPQ coarse quantizers re-converge against drifted
+/// embeddings instead of re-seeding). No k-means++, no RNG: a cluster that
+/// ends an update empty keeps its previous centroid, so the result is a
+/// deterministic function of (data, init, max_iterations) alone — which is
+/// what lets AL checkpoints persist just the centroids. `init` is (k, dim);
+/// k may exceed data.rows(). With 0 iterations or 0 data rows the centroids
+/// pass through unchanged (assignment is still computed for n > 0).
+KMeansResult KMeansWarm(const la::Matrix& data, const la::Matrix& init,
+                        size_t max_iterations, util::ThreadPool* pool = nullptr);
+
 }  // namespace dial::index
 
 #endif  // DIAL_INDEX_KMEANS_H_

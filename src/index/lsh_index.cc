@@ -1,6 +1,9 @@
 #include "index/lsh_index.h"
 
+#include <algorithm>
+
 #include "index/topk.h"
+#include "la/kernels.h"
 
 namespace dial::index {
 
@@ -12,17 +15,57 @@ LshIndex::LshIndex(size_t dim, Metric metric, Options options)
   tables_.resize(options_.num_tables);
 }
 
-uint64_t LshIndex::HashVector(size_t table, const float* x) const {
-  uint64_t code = 0;
-  const size_t base = table * options_.num_bits;
-  for (size_t b = 0; b < options_.num_bits; ++b) {
-    if (la::Dot(planes_.row(base + b), x, dim_) >= 0.0f) code |= (1ull << b);
+void LshIndex::HashAll(const float* x, float* dot_scratch,
+                       uint64_t* codes) const {
+  la::kernels::DotBatch(x, planes_.data(), planes_.rows(), dim_, dot_scratch);
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    uint64_t code = 0;
+    const float* dots = dot_scratch + t * options_.num_bits;
+    for (size_t b = 0; b < options_.num_bits; ++b) {
+      if (dots[b] >= 0.0f) code |= (1ull << b);
+    }
+    codes[t] = code;
   }
-  return code;
+}
+
+std::vector<uint64_t> LshIndex::BulkCodes(const la::Matrix& vectors) const {
+  // One register-blocked GEMM computes every (vector, hyperplane) dot; the
+  // sign-packing then fans out over the pool. GEMM results are bit-identical
+  // across thread counts (la/kernels.h), so the codes are too.
+  const size_t nt = options_.num_tables;
+  la::Matrix dots(vectors.rows(), planes_.rows());
+  la::MatMulTransposeBAcc(vectors, planes_, dots, pool_);
+  std::vector<uint64_t> codes(vectors.rows() * nt);
+  util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* row = dots.row(i);
+      for (size_t t = 0; t < nt; ++t) {
+        uint64_t code = 0;
+        for (size_t b = 0; b < options_.num_bits; ++b) {
+          if (row[t * options_.num_bits + b] >= 0.0f) code |= (1ull << b);
+        }
+        codes[i * nt + t] = code;
+      }
+    }
+  });
+  return codes;
+}
+
+void LshIndex::InsertCodes(const std::vector<uint64_t>& codes, size_t rows,
+                           size_t base) {
+  // Bucket appends run serially in row order: contents are identical to
+  // inline execution regardless of how the hashing was chunked.
+  const size_t nt = options_.num_tables;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t t = 0; t < nt; ++t) {
+      tables_[t][codes[i * nt + t]].push_back(static_cast<int>(base + i));
+    }
+  }
 }
 
 void LshIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return;
   const size_t base = data_.rows();
   if (data_.empty()) {
     data_ = vectors;
@@ -33,11 +76,96 @@ void LshIndex::Add(const la::Matrix& vectors) {
               merged.data() + data_.size());
     data_ = std::move(merged);
   }
-  for (size_t i = 0; i < vectors.rows(); ++i) {
-    for (size_t t = 0; t < options_.num_tables; ++t) {
-      tables_[t][HashVector(t, vectors.row(i))].push_back(static_cast<int>(base + i));
+  const std::vector<uint64_t> codes = BulkCodes(vectors);
+  InsertCodes(codes, vectors.rows(), base);
+  codes_.insert(codes_.end(), codes.begin(), codes.end());
+}
+
+double LshIndex::SampledBitFlipFraction(const la::Matrix& vectors) const {
+  const size_t nt = options_.num_tables;
+  const size_t sample = std::min(vectors.rows(), kDriftSampleRows);
+  if (sample == 0) return 0.0;
+  std::vector<float> dots(planes_.rows());
+  std::vector<uint64_t> fresh(nt);
+  size_t flipped = 0;
+  for (size_t i = 0; i < sample; ++i) {
+    HashAll(vectors.row(i), dots.data(), fresh.data());
+    for (size_t t = 0; t < nt; ++t) {
+      uint64_t diff = fresh[t] ^ codes_[i * nt + t];
+      for (; diff != 0; diff &= diff - 1) ++flipped;
     }
   }
+  return static_cast<double>(flipped) /
+         static_cast<double>(sample * nt * options_.num_bits);
+}
+
+RefreshStats LshIndex::Refresh(const la::Matrix& vectors,
+                               const RefreshOptions& options) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  if (!options.warm_start) {
+    // Cold path mirrors a fresh construction exactly (the planes come out
+    // identical — they are a pure function of the seed).
+    util::Rng rng(options_.seed);
+    planes_.RandNormal(rng, 1.0f);
+    tables_.assign(options_.num_tables, {});
+    codes_.clear();
+    data_ = la::Matrix();
+    Add(vectors);
+    return {};
+  }
+  RefreshStats stats;
+  stats.warm = true;
+  const size_t nt = options_.num_tables;
+  const size_t n = vectors.rows();
+  if (options.max_stale_bits > 0.0 && codes_.size() == n * nt) {
+    stats.drift = SampledBitFlipFraction(vectors);
+    if (stats.drift <= options.max_stale_bits) {
+      // Drift regime: the codes barely moved, so the tables stay; queries
+      // re-rank against the fresh vectors below. A checkpoint-restored
+      // index reaches this point with codes but empty tables — rebuild them
+      // (same id-order content a live index has).
+      bool have_tables = false;
+      for (const auto& table : tables_) have_tables = have_tables || !table.empty();
+      if (!have_tables) InsertCodes(codes_, n, 0);
+      data_ = vectors;
+      return stats;
+    }
+  }
+  // Real movement: full re-hash against the kept planes (one blocked GEMM),
+  // tables rebuilt in id order (clear() keeps bucket arrays allocated).
+  std::vector<uint64_t> fresh = BulkCodes(vectors);
+  for (auto& table : tables_) table.clear();
+  InsertCodes(fresh, n, 0);
+  codes_ = std::move(fresh);
+  data_ = vectors;
+  return stats;
+}
+
+void LshIndex::SaveWarmState(util::BinaryWriter& writer) const {
+  writer.WriteU64(codes_.size());
+  for (const uint64_t code : codes_) writer.WriteU64(code);
+}
+
+util::Status LshIndex::LoadWarmState(util::BinaryReader& reader) {
+  const uint64_t count = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (count > (1u << 24)) return util::Status::Corruption("lsh warm state too large");
+  if (count % options_.num_tables != 0) {
+    return util::Status::Corruption("lsh warm state shape mismatch");
+  }
+  std::vector<uint64_t> codes;
+  codes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    codes.push_back(reader.ReadU64());
+    // Bail on the first short read instead of spinning through the rest of
+    // a truncated payload.
+    if (!reader.status().ok()) return reader.status();
+  }
+  codes_ = std::move(codes);
+  for (auto& table : tables_) table.clear();
+  data_ = la::Matrix();
+  return util::Status::OK();
 }
 
 SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
@@ -48,6 +176,7 @@ SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
     // tables themselves are read-only during Search.
     std::vector<char> seen(data_.rows());
     std::vector<uint64_t> codes(options_.num_tables);
+    std::vector<float> hash_dots(planes_.rows());
     std::vector<float> fallback_dist;
     for (size_t q = begin; q < end; ++q) {
       const float* query = queries.row(q);
@@ -64,8 +193,8 @@ SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
           topk.Push(id, Distance(query, data_.row(id)));
         }
       };
+      HashAll(query, hash_dots.data(), codes.data());
       for (size_t t = 0; t < options_.num_tables; ++t) {
-        codes[t] = HashVector(t, query);
         scan_bucket(t, codes[t]);
       }
       if (candidates < k && options_.multiprobe) {

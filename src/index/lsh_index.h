@@ -36,17 +36,51 @@ class LshIndex : public VectorIndex {
   size_t size() const override { return data_.rows(); }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: warm refresh keeps the hyperplanes (seed-derived and
+  /// data-independent) and first probes a head sample of the new vectors for
+  /// flipped sign bits. Under round-to-round embedding drift almost no bits
+  /// flip, so within RefreshOptions::max_stale_bits the existing tables and
+  /// codes are kept as-is and only the stored vectors swap (queries re-rank
+  /// against the fresh vectors, so staleness touches candidate generation
+  /// only — RefreshStats::drift reports the flip fraction). Past the
+  /// threshold everything re-hashes via one blocked GEMM against the plane
+  /// matrix. Warm state: the per-vector codes (what the kept tables encode).
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+  void SaveWarmState(util::BinaryWriter& writer) const override;
+  util::Status LoadWarmState(util::BinaryReader& reader) override;
+
   /// Mean bucket occupancy across tables (diagnostics).
   double MeanBucketSize() const;
 
  private:
-  uint64_t HashVector(size_t table, const float* x) const;
+  /// All num_tables codes of one vector, via one batched dot against every
+  /// hyperplane (bit-identical to per-bit la::Dot; see la/kernels.h). The
+  /// per-query hashing path in Search. `dot_scratch` must hold
+  /// planes_.rows() floats.
+  void HashAll(const float* x, float* dot_scratch, uint64_t* codes) const;
+  /// Codes for every row of `vectors` at once: one (n, num_tables*num_bits)
+  /// GEMM against the plane matrix, sign-packed pool-parallel. The bulk
+  /// hashing path behind Add and Refresh.
+  std::vector<uint64_t> BulkCodes(const la::Matrix& vectors) const;
+  /// Appends ids base+i to the buckets named by `codes`, serially in row
+  /// order — the ONLY table writer, so bucket ordering is always id order
+  /// (which is what makes a checkpoint-restored index bit-identical to the
+  /// live one).
+  void InsertCodes(const std::vector<uint64_t>& codes, size_t rows, size_t base);
+  /// Fraction of sampled (head) code bits that differ between codes_ and a
+  /// fresh hash of `vectors` — the LSH drift signal.
+  double SampledBitFlipFraction(const la::Matrix& vectors) const;
 
   Options options_;
   la::Matrix data_;
   /// (num_tables * num_bits, dim) hyperplane normals.
   la::Matrix planes_;
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
+  /// Current code of every stored vector, (rows x num_tables) — what lets
+  /// Refresh diff old vs new codes and move only the changed entries.
+  std::vector<uint64_t> codes_;
 };
 
 }  // namespace dial::index

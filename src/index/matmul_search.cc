@@ -41,6 +41,19 @@ void MatmulSearchIndex::Add(const la::Matrix& vectors) {
   count_ += vectors.rows();
 }
 
+RefreshStats MatmulSearchIndex::Refresh(const la::Matrix& vectors,
+                                        const RefreshOptions& options) {
+  (void)options;
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  blocks_.clear();
+  sq_norms_.clear();
+  norms_.clear();
+  count_ = 0;
+  Add(vectors);
+  return {};
+}
+
 SearchBatch MatmulSearchIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());

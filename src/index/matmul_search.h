@@ -34,6 +34,12 @@ class MatmulSearchIndex : public VectorIndex {
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: no trained structure — refresh re-partitions the new vectors
+  /// into GEMM blocks and recomputes the cached norms.
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+
   const Options& options() const { return options_; }
 
  private:

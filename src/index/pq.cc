@@ -139,18 +139,74 @@ float ProductQuantizer::SymmetricDistance(const uint8_t* a, const uint8_t* b) co
   return d;
 }
 
-double ProductQuantizer::QuantizationError(const la::Matrix& data) const {
+double ProductQuantizer::QuantizationError(const la::Matrix& data,
+                                           size_t max_rows) const {
   DIAL_CHECK_EQ(data.cols(), dim_);
-  if (data.rows() == 0) return 0.0;
+  const size_t n = std::min(data.rows(), max_rows);
+  if (n == 0) return 0.0;
   std::vector<uint8_t> code(code_size());
   std::vector<float> recon(dim_);
   double total = 0.0;
-  for (size_t r = 0; r < data.rows(); ++r) {
+  for (size_t r = 0; r < n; ++r) {
     Encode(data.row(r), code.data());
     Decode(code.data(), recon.data());
     total += la::SquaredDistance(data.row(r), recon.data(), dim_);
   }
-  return total / static_cast<double>(data.rows());
+  return total / static_cast<double>(n);
+}
+
+void ProductQuantizer::Reset() {
+  ksub_ = 0;
+  codebooks_.clear();
+  sdc_tables_.clear();
+}
+
+void ProductQuantizer::SaveState(util::BinaryWriter& writer) const {
+  writer.WriteU64(ksub_);
+  if (!trained()) return;
+  for (const la::Matrix& book : codebooks_) {
+    writer.WriteFloats(book.data(), book.size());
+  }
+}
+
+util::Status ProductQuantizer::LoadState(util::BinaryReader& reader) {
+  const uint64_t ksub = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  if (ksub == 0) {
+    Reset();
+    return util::Status::OK();
+  }
+  if (ksub > (size_t{1} << options_.bits_per_code)) {
+    return util::Status::Corruption("pq state: codebook size exceeds bits");
+  }
+  std::vector<la::Matrix> books;
+  books.reserve(options_.num_subspaces);
+  for (size_t sub = 0; sub < options_.num_subspaces; ++sub) {
+    const std::vector<float> values = reader.ReadFloatVector();
+    if (!reader.status().ok()) return reader.status();
+    if (values.size() != ksub * dsub_) {
+      return util::Status::Corruption("pq state: codebook shape mismatch");
+    }
+    la::Matrix book(ksub, dsub_);
+    std::copy(values.begin(), values.end(), book.data());
+    books.push_back(std::move(book));
+  }
+  ksub_ = ksub;
+  codebooks_ = std::move(books);
+  // Rebuild the derived centroid-to-centroid tables.
+  sdc_tables_.clear();
+  sdc_tables_.reserve(options_.num_subspaces);
+  for (size_t sub = 0; sub < options_.num_subspaces; ++sub) {
+    la::Matrix table(ksub_, ksub_);
+    for (size_t a = 0; a < ksub_; ++a) {
+      for (size_t b = 0; b < ksub_; ++b) {
+        table(a, b) = la::SquaredDistance(codebooks_[sub].row(a),
+                                          codebooks_[sub].row(b), dsub_);
+      }
+    }
+    sdc_tables_.push_back(std::move(table));
+  }
+  return util::Status::OK();
 }
 
 const la::Matrix& ProductQuantizer::codebook(size_t subspace) const {

@@ -6,6 +6,8 @@
 
 #include "la/matrix.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 /// \file
@@ -40,6 +42,16 @@ class ProductQuantizer {
   /// are supplied, the codebook size is clipped to the number of rows.
   void Train(const la::Matrix& data);
   bool trained() const { return ksub_ > 0; }
+  /// Drops the trained codebooks (back to the untrained state) so the next
+  /// Train starts from scratch — the index Refresh drift-fallback path.
+  void Reset();
+
+  /// Serializes the trained codebooks (the warm-startable structure; see
+  /// VectorIndex::SaveWarmState). LoadState restores them into a quantizer
+  /// constructed with the same (dim, Options) and rebuilds the derived
+  /// symmetric-distance tables.
+  void SaveState(util::BinaryWriter& writer) const;
+  util::Status LoadState(util::BinaryReader& reader);
 
   /// Attaches an unowned worker pool used by Train (k-means assignment) and
   /// EncodeBatch. Codebooks and codes are bit-identical with or without a
@@ -79,7 +91,12 @@ class ProductQuantizer {
 
   /// Mean squared reconstruction error over the rows of `data` — decreases
   /// with more subspaces or more bits (property-tested).
-  double QuantizationError(const la::Matrix& data) const;
+  double QuantizationError(const la::Matrix& data) const {
+    return QuantizationError(data, data.rows());
+  }
+  /// Same, over only the first min(max_rows, rows) rows — the bounded-cost
+  /// sample the index Refresh drift check uses.
+  double QuantizationError(const la::Matrix& data, size_t max_rows) const;
 
   /// Codebook of one subspace, shape (codebook_size, subspace_dim).
   const la::Matrix& codebook(size_t subspace) const;

@@ -14,10 +14,63 @@ void PqIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return;
   pq_.SetThreadPool(pool_);
-  if (!pq_.trained()) pq_.Train(vectors);
+  if (!pq_.trained()) {
+    pq_.Train(vectors);
+    trained_err_ = pq_.QuantizationError(vectors, kDriftSampleRows);
+  }
   std::vector<uint8_t> batch = pq_.EncodeBatch(vectors);
   codes_.insert(codes_.end(), batch.begin(), batch.end());
   count_ += vectors.rows();
+}
+
+RefreshStats PqIndex::Refresh(const la::Matrix& vectors,
+                              const RefreshOptions& options) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  if (!options.warm_start || !pq_.trained()) {
+    pq_.Reset();
+    trained_err_ = 0.0;
+    codes_.clear();
+    count_ = 0;
+    Add(vectors);
+    return {};
+  }
+  RefreshStats stats;
+  stats.warm = true;
+  // trained_err_ == 0 means the training batch reconstructed perfectly
+  // (e.g. fewer rows than codes); any drift ratio would be infinite, so the
+  // check is skipped and the codebooks are simply reused.
+  if (options.drift_threshold > 0.0 && trained_err_ > 0.0) {
+    const double err = pq_.QuantizationError(vectors, kDriftSampleRows);
+    stats.drift = err / trained_err_;
+    if (stats.drift > options.drift_threshold) {
+      stats.warm = false;
+      stats.retrained = true;
+      pq_.Reset();
+      trained_err_ = 0.0;
+      codes_.clear();
+      count_ = 0;
+      Add(vectors);
+      return stats;
+    }
+  }
+  pq_.SetThreadPool(pool_);
+  codes_ = pq_.EncodeBatch(vectors);
+  count_ = vectors.rows();
+  return stats;
+}
+
+void PqIndex::SaveWarmState(util::BinaryWriter& writer) const {
+  pq_.SaveState(writer);
+  writer.WriteF64(trained_err_);
+}
+
+util::Status PqIndex::LoadWarmState(util::BinaryReader& reader) {
+  DIAL_RETURN_IF_ERROR(pq_.LoadState(reader));
+  trained_err_ = reader.ReadF64();
+  codes_.clear();
+  count_ = 0;
+  return reader.status();
 }
 
 SearchBatch PqIndex::Search(const la::Matrix& queries, size_t k) const {

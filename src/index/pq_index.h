@@ -28,14 +28,29 @@ class PqIndex : public VectorIndex {
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: warm refresh keeps the trained codebooks and only re-encodes
+  /// the new vectors. The drift check compares the (sampled) quantization
+  /// error on the new vectors against the error recorded when the codebooks
+  /// were trained; past options.drift_threshold it retrains from scratch.
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+  /// Warm state: codebooks + the training-time error baseline.
+  void SaveWarmState(util::BinaryWriter& writer) const override;
+  util::Status LoadWarmState(util::BinaryReader& reader) override;
+
   const ProductQuantizer& quantizer() const { return pq_; }
   /// Bytes used by the stored codes (diagnostics for the compression bench).
   size_t code_bytes() const { return codes_.size(); }
+  /// Sampled quantization error recorded when the codebooks were trained
+  /// (the drift-check denominator; 0 until trained).
+  double trained_error() const { return trained_err_; }
 
  private:
   ProductQuantizer pq_;
   std::vector<uint8_t> codes_;
   size_t count_ = 0;
+  double trained_err_ = 0.0;
 };
 
 }  // namespace dial::index

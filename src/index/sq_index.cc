@@ -14,13 +14,47 @@ SqIndex::SqIndex(size_t dim, Metric metric) : VectorIndex(dim, metric) {
 }
 
 void SqIndex::EncodeRow(const float* x, uint8_t* code) const {
+  // inv_scale_ is 0 for degenerate (constant) dimensions, which maps every
+  // value to code 0 — same behaviour the old `scale <= 0` branch had, minus
+  // the branch and the divide.
   for (size_t d = 0; d < dim_; ++d) {
-    if (scale_[d] <= 0.0f) {
-      code[d] = 0;
-      continue;
-    }
-    const float t = (x[d] - min_[d]) / scale_[d];
+    const float t = (x[d] - min_[d]) * inv_scale_[d];
     code[d] = static_cast<uint8_t>(std::clamp(t, 0.0f, 255.0f));
+  }
+}
+
+void SqIndex::EncodeRows(const la::Matrix& vectors, size_t begin, size_t end,
+                         uint8_t* out) const {
+  const float* __restrict mn = min_.data();
+  const float* __restrict inv = inv_scale_.data();
+  const size_t dim = dim_;
+  for (size_t i = begin; i < end; ++i) {
+    const float* __restrict x = vectors.row(i);
+    uint8_t* __restrict code = out + i * dim;
+    for (size_t d = 0; d < dim; ++d) {
+      float t = (x[d] - mn[d]) * inv[d];
+      t = t < 0.0f ? 0.0f : t;
+      t = t > 255.0f ? 255.0f : t;
+      code[d] = static_cast<uint8_t>(t);
+    }
+  }
+}
+
+void SqIndex::TrainRanges(const la::Matrix& vectors) {
+  min_.assign(dim_, std::numeric_limits<float>::infinity());
+  std::vector<float> max(dim_, -std::numeric_limits<float>::infinity());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const float* row = vectors.row(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      min_[d] = std::min(min_[d], row[d]);
+      max[d] = std::max(max[d], row[d]);
+    }
+  }
+  scale_.resize(dim_);
+  inv_scale_.resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    scale_[d] = (max[d] - min_[d]) / 256.0f;
+    inv_scale_[d] = scale_[d] > 0.0f ? 1.0f / scale_[d] : 0.0f;
   }
 }
 
@@ -28,27 +62,14 @@ void SqIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return;
   if (!trained()) {
-    min_.assign(dim_, std::numeric_limits<float>::infinity());
-    std::vector<float> max(dim_, -std::numeric_limits<float>::infinity());
-    for (size_t i = 0; i < vectors.rows(); ++i) {
-      const float* row = vectors.row(i);
-      for (size_t d = 0; d < dim_; ++d) {
-        min_[d] = std::min(min_[d], row[d]);
-        max[d] = std::max(max[d], row[d]);
-      }
-    }
-    scale_.resize(dim_);
-    for (size_t d = 0; d < dim_; ++d) {
-      scale_[d] = (max[d] - min_[d]) / 256.0f;
-    }
+    TrainRanges(vectors);
+    trained_err_ = QuantizationError(vectors, kDriftSampleRows);
   }
   const size_t base = codes_.size();
   codes_.resize(base + vectors.rows() * dim_);
   // Rows quantize independently into disjoint code slots.
   util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      EncodeRow(vectors.row(i), codes_.data() + base + i * dim_);
-    }
+    EncodeRows(vectors, begin, end, codes_.data() + base);
   });
   count_ += vectors.rows();
 }
@@ -84,20 +105,108 @@ SearchBatch SqIndex::Search(const la::Matrix& queries, size_t k) const {
   return results;
 }
 
-double SqIndex::QuantizationError(const la::Matrix& data) const {
+RefreshStats SqIndex::Refresh(const la::Matrix& vectors,
+                              const RefreshOptions& options) {
+  DIAL_CHECK_EQ(vectors.cols(), dim_);
+  if (vectors.rows() == 0) return {};
+  if (!options.warm_start || !trained()) {
+    min_.clear();
+    scale_.clear();
+    inv_scale_.clear();
+    trained_err_ = 0.0;
+    codes_.clear();
+    count_ = 0;
+    Add(vectors);
+    return {};
+  }
+  RefreshStats stats;
+  stats.warm = true;
+  if (options.drift_threshold > 0.0 && trained_err_ > 0.0) {
+    // Drift = how much error the stale ranges ADD (clamp excess) relative to
+    // the trained baseline; 1.0 means "as good as training day".
+    const double excess = ClampExcess(vectors, kDriftSampleRows);
+    stats.drift = (trained_err_ + excess) / trained_err_;
+    if (stats.drift > options.drift_threshold) {
+      stats.warm = false;
+      stats.retrained = true;
+      TrainRanges(vectors);
+      trained_err_ = QuantizationError(vectors, kDriftSampleRows);
+    }
+  }
+  codes_.resize(vectors.rows() * dim_);
+  util::ParallelFor(pool_, vectors.rows(), [&](size_t begin, size_t end) {
+    EncodeRows(vectors, begin, end, codes_.data());
+  });
+  count_ = vectors.rows();
+  return stats;
+}
+
+double SqIndex::ClampExcess(const la::Matrix& data, size_t max_rows) const {
   DIAL_CHECK(trained());
   DIAL_CHECK_EQ(data.cols(), dim_);
-  if (data.rows() == 0) return 0.0;
+  const size_t n = std::min(data.rows(), max_rows);
+  if (n == 0) return 0.0;
+  const float* __restrict mn = min_.data();
+  const float* __restrict sc = scale_.data();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* __restrict x = data.row(i);
+    float row_excess = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) {
+      const float below = mn[d] - x[d];
+      const float above = x[d] - (mn[d] + sc[d] * 256.0f);
+      float e = below > above ? below : above;
+      e = e > 0.0f ? e : 0.0f;
+      row_excess += e * e;
+    }
+    total += row_excess;
+  }
+  return total / static_cast<double>(n);
+}
+
+void SqIndex::SaveWarmState(util::BinaryWriter& writer) const {
+  writer.WriteU32(trained() ? 1 : 0);
+  if (!trained()) return;
+  writer.WriteFloatVector(min_);
+  writer.WriteFloatVector(scale_);
+  writer.WriteF64(trained_err_);
+}
+
+util::Status SqIndex::LoadWarmState(util::BinaryReader& reader) {
+  const bool has_ranges = reader.ReadU32() != 0;
+  if (!reader.status().ok()) return reader.status();
+  if (!has_ranges) return util::Status::OK();
+  min_ = reader.ReadFloatVector();
+  scale_ = reader.ReadFloatVector();
+  trained_err_ = reader.ReadF64();
+  if (!reader.status().ok()) return reader.status();
+  if (min_.size() != dim_ || scale_.size() != dim_) {
+    return util::Status::Corruption("sq warm state dimension mismatch");
+  }
+  inv_scale_.resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    inv_scale_[d] = scale_[d] > 0.0f ? 1.0f / scale_[d] : 0.0f;
+  }
+  codes_.clear();
+  count_ = 0;
+  return util::Status::OK();
+}
+
+double SqIndex::QuantizationError(const la::Matrix& data, size_t max_rows) const {
+  DIAL_CHECK(trained());
+  DIAL_CHECK_EQ(data.cols(), dim_);
+  const size_t n = std::min(data.rows(), max_rows);
+  if (n == 0) return 0.0;
   std::vector<uint8_t> code(dim_);
   double total = 0.0;
-  for (size_t i = 0; i < data.rows(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     EncodeRow(data.row(i), code.data());
     for (size_t d = 0; d < dim_; ++d) {
       const double diff = data(i, d) - DequantizedValue(d, code[d]);
       total += diff * diff;
     }
   }
-  return total / static_cast<double>(data.rows());
+  return total / static_cast<double>(n);
 }
 
 }  // namespace dial::index

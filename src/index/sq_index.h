@@ -27,22 +27,53 @@ class SqIndex : public VectorIndex {
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Lifecycle: warm refresh keeps the trained [min, max] ranges and only
+  /// re-encodes (out-of-range values clamp, which is exactly what the drift
+  /// check watches: past options.drift_threshold the ranges retrain).
+  using VectorIndex::Refresh;  // keep the default-options overload visible
+  RefreshStats Refresh(const la::Matrix& vectors,
+                       const RefreshOptions& options) override;
+  /// Warm state: per-dimension ranges + the training-time error baseline.
+  void SaveWarmState(util::BinaryWriter& writer) const override;
+  util::Status LoadWarmState(util::BinaryReader& reader) override;
+
   bool trained() const { return !scale_.empty(); }
   /// Mean squared dequantization error over `data` (diagnostics/tests).
-  double QuantizationError(const la::Matrix& data) const;
+  double QuantizationError(const la::Matrix& data) const {
+    return QuantizationError(data, data.rows());
+  }
+  /// Same, over the first min(max_rows, rows) rows (the drift-check sample).
+  double QuantizationError(const la::Matrix& data, size_t max_rows) const;
+  /// Mean squared out-of-range mass per sampled row: the error the trained
+  /// [min, max] ranges ADD on `data` beyond training-time quantization
+  /// (values outside the range clamp, so their excess distance is exactly
+  /// what a stale range costs). Branch-free over the head sample — the
+  /// Refresh drift signal, far cheaper than a full QuantizationError pass.
+  double ClampExcess(const la::Matrix& data, size_t max_rows) const;
   /// Bytes used by stored codes.
   size_t code_bytes() const { return codes_.size(); }
+  /// Sampled dequantization error recorded when the ranges were trained.
+  double trained_error() const { return trained_err_; }
 
  private:
+  void TrainRanges(const la::Matrix& vectors);
   void EncodeRow(const float* x, uint8_t* code) const;
+  /// Encodes rows [begin, end) of `vectors` into `out` (row i at
+  /// out + i*dim). Restrict-qualified flat loops so the sub/mul/clamp/
+  /// narrow chain vectorizes — the shared hot path of Add and Refresh.
+  void EncodeRows(const la::Matrix& vectors, size_t begin, size_t end,
+                  uint8_t* out) const;
   float DequantizedValue(size_t d, uint8_t code) const {
     return min_[d] + scale_[d] * (static_cast<float>(code) + 0.5f);
   }
 
-  std::vector<float> min_;    // per-dimension range start
-  std::vector<float> scale_;  // per-dimension step ((max-min)/256)
+  std::vector<float> min_;        // per-dimension range start
+  std::vector<float> scale_;      // per-dimension step ((max-min)/256)
+  std::vector<float> inv_scale_;  // 1/scale_ (0 for degenerate dims) — turns
+                                  // the encode divide into a multiply
   std::vector<uint8_t> codes_;
   size_t count_ = 0;
+  double trained_err_ = 0.0;
 };
 
 }  // namespace dial::index

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "la/matrix.h"
+#include "util/serialize.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 /// \file
@@ -19,6 +21,17 @@
 /// `util::ThreadPool` — see `VectorIndex::SetThreadPool`. Threaded execution
 /// is bit-identical to inline execution: per-query work touches no shared
 /// mutable state and results are merged in query order.
+///
+/// Index lifecycle: DIAL's AL loop re-embeds every record each round, so the
+/// per-round cost used to be a full index reconstruction per committee
+/// member. `Refresh` replaces the stored vectors while *reusing* the trained
+/// structure (k-means centroids, PQ codebooks, SQ ranges, LSH hyperplanes,
+/// HNSW level assignments) — embeddings drift slowly between rounds, so the
+/// round-1 structure remains a good quantizer for round-2 vectors. Quantizing
+/// backends guard the reuse with a drift check that falls back to a full
+/// retrain when the quantization error on the new vectors degrades past a
+/// threshold. Refresh obeys the same determinism contract as Search/Add:
+/// results are bit-identical with and without an attached pool.
 
 namespace dial::index {
 
@@ -41,6 +54,50 @@ struct Neighbor {
 /// Per-query neighbour lists.
 using SearchBatch = std::vector<std::vector<Neighbor>>;
 
+/// Knobs for VectorIndex::Refresh.
+struct RefreshOptions {
+  /// Reuse trained structure. `false` drops everything and rebuilds from
+  /// scratch — the ablation/fallback path, bit-identical to constructing a
+  /// fresh index and Add()ing the same vectors.
+  bool warm_start = true;
+  /// Lloyd-iteration cap for the warm-started coarse quantizer (IVF/IVFPQ).
+  /// The full Options::train_iterations + k-means++ seeding run only on
+  /// cold builds. Warm Lloyd stops as soon as assignments converge, so under
+  /// mild drift this cap is rarely reached — but when the embedding space
+  /// genuinely moved (e.g. DIAL's per-round re-seeded committees) the extra
+  /// iterations buy back most of the recall a staler warm start would cost.
+  size_t warm_iterations = 5;
+  /// Quantizing backends (PQ/IVFPQ/SQ) retrain from scratch when the
+  /// quantization error on the (sampled) new vectors exceeds
+  /// `drift_threshold` times the error recorded when the structure was
+  /// trained. <= 0 disables the check (never retrain).
+  double drift_threshold = 2.0;
+  /// LSH only: keep the existing hash tables when at most this fraction of
+  /// sampled code bits flipped under the new vectors. Buckets are candidate
+  /// generators — re-ranking always uses the fresh vectors — so mildly stale
+  /// codes cost a sliver of recall while skipping the re-hash entirely.
+  /// 0 disables the fast path (always re-hash).
+  double max_stale_bits = 0.02;
+};
+
+/// Rows sampled (from the head — embeddings carry no meaningful row order)
+/// when a quantizing backend measures its training/refresh quantization
+/// error. Small on purpose: the drift ratio is a coarse go/no-go signal, and
+/// the check must stay well under the re-encode cost it guards (SQ's whole
+/// refresh is one pass; a large sample would cancel the warm-start win).
+constexpr size_t kDriftSampleRows = 64;
+
+/// What Refresh did (diagnostics for benches/tests and the AL round metrics).
+struct RefreshStats {
+  /// Trained structure was reused. False when the index was untrained/empty,
+  /// warm_start was off, or a drift fallback retrained.
+  bool warm = false;
+  /// The drift check tripped and forced a full retrain.
+  bool retrained = false;
+  /// err_new / err_trained when a drift check ran (0 when it did not).
+  double drift = 0.0;
+};
+
 class VectorIndex {
  public:
   explicit VectorIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
@@ -62,6 +119,33 @@ class VectorIndex {
   /// than k entries per query only when the index holds fewer than k vectors
   /// (or, for approximate indexes, when probing finds fewer candidates).
   virtual SearchBatch Search(const la::Matrix& queries, size_t k) const = 0;
+
+  /// Replaces the index contents with `vectors` (n, dim), reusing trained
+  /// structure where the backend supports it (see the per-backend headers for
+  /// what each one keeps). Row i gets id i. Equivalent to a fresh build when
+  /// the index holds no trained structure or options.warm_start is false.
+  /// Refreshing with a 0-row matrix is a no-op: the index (contents and
+  /// structure) is left unchanged.
+  virtual RefreshStats Refresh(const la::Matrix& vectors,
+                               const RefreshOptions& options) = 0;
+  RefreshStats Refresh(const la::Matrix& vectors) {
+    return Refresh(vectors, RefreshOptions{});
+  }
+
+  /// Serializes the warm-startable trained structure — NOT the stored
+  /// vectors/codes, which the next Refresh replaces anyway. This is what an
+  /// AL checkpoint persists so that a resumed run's Refresh starts from
+  /// exactly the structure the uninterrupted run would have had. Default:
+  /// no state (flat/matmul).
+  virtual void SaveWarmState(util::BinaryWriter& writer) const {
+    (void)writer;
+  }
+  /// Restores state written by SaveWarmState into a compatibly-configured
+  /// index. Non-OK on malformed/mismatched payloads.
+  virtual util::Status LoadWarmState(util::BinaryReader& reader) {
+    (void)reader;
+    return util::Status::OK();
+  }
 
   /// Attaches an unowned worker pool (nullptr detaches — the default).
   /// Batch Search fans query rows out over the pool; Add parallelizes the

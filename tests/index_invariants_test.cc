@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "core/ibc.h"
 #include "index/flat_index.h"
@@ -242,6 +244,182 @@ TEST_P(AllBackends, ThreadedBuildIsBitIdenticalToInline) {
 
   ExpectIdenticalBatches(inline_index->Search(queries, 8),
                          threaded->Search(queries, 8));
+}
+
+// ------------------------------------------------------------ lifecycle
+
+/// Round-to-round embedding drift: the same vectors nudged by small noise,
+/// the regime Refresh is designed for.
+la::Matrix Drifted(const la::Matrix& data, uint64_t seed, float stddev = 0.1f) {
+  util::Rng rng(seed);
+  la::Matrix out = data;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] += static_cast<float>(rng.Normal()) * stddev;
+  }
+  return out;
+}
+
+double RecallVsFlat(VectorIndex& index, const la::Matrix& data,
+                    const la::Matrix& queries, size_t k) {
+  FlatIndex truth(kDim, Metric::kL2);
+  truth.Add(data);
+  const SearchBatch expected = truth.Search(queries, k);
+  const SearchBatch got = index.Search(queries, k);
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::set<int> truth_ids;
+    for (const Neighbor& nb : expected[q]) truth_ids.insert(nb.id);
+    for (const Neighbor& nb : got[q]) hits += truth_ids.count(nb.id);
+    total += expected[q].size();
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TEST_P(AllBackends, RefreshEmptyBatchIsNoOp) {
+  // Satellite regression: a 0-row Refresh (like a 0-row Add) must leave the
+  // index untouched on every backend — before and after training.
+  auto index = MakeBackend(GetParam());
+  const la::Matrix empty(0, kDim);
+  EXPECT_FALSE(index->Refresh(empty).warm);  // untrained: well-defined no-op
+  EXPECT_EQ(index->size(), 0u);
+  const la::Matrix data = Clustered(80, 4, 31);
+  const la::Matrix queries = Clustered(10, 4, 32);
+  index->Add(data);
+  const SearchBatch before = index->Search(queries, 5);
+  index->Refresh(empty);
+  EXPECT_EQ(index->size(), 80u);
+  ExpectIdenticalBatches(before, index->Search(queries, 5));
+}
+
+TEST_P(AllBackends, ColdRefreshIsBitIdenticalToFreshBuild) {
+  // warm_start=false is the ablation/fallback path: it must reproduce a
+  // freshly constructed index exactly, including re-seeded RNG streams.
+  const la::Matrix first = Clustered(150, 6, 33);
+  const la::Matrix second = Clustered(150, 6, 34);
+  const la::Matrix queries = Clustered(20, 6, 35);
+  auto refreshed = MakeBackend(GetParam());
+  refreshed->Add(first);
+  RefreshOptions cold;
+  cold.warm_start = false;
+  EXPECT_FALSE(refreshed->Refresh(second, cold).warm);
+  auto fresh = MakeBackend(GetParam());
+  fresh->Add(second);
+  ASSERT_EQ(refreshed->size(), fresh->size());
+  ExpectIdenticalBatches(fresh->Search(queries, 8), refreshed->Search(queries, 8));
+}
+
+TEST_P(AllBackends, WarmRefreshObeysContractAndKeepsRecall) {
+  // refresh(E) must behave like fresh-build(E): same-or-similar recall vs
+  // exact truth on the drifted vectors (identical for the exact backends,
+  // whose refresh has no structure to go stale).
+  const la::Matrix data = Clustered(200, 8, 36);
+  const la::Matrix drifted = Drifted(data, 37);
+  const la::Matrix queries = Drifted(Clustered(25, 8, 38), 39);
+  auto refreshed = MakeBackend(GetParam());
+  refreshed->Add(data);
+  const RefreshStats stats = refreshed->Refresh(drifted);
+  EXPECT_EQ(refreshed->size(), 200u);
+  auto fresh = MakeBackend(GetParam());
+  fresh->Add(drifted);
+  const double r_refresh = RecallVsFlat(*refreshed, drifted, queries, 5);
+  const double r_fresh = RecallVsFlat(*fresh, drifted, queries, 5);
+  if (IsExact(GetParam())) {
+    EXPECT_DOUBLE_EQ(r_refresh, 1.0);
+  } else {
+    EXPECT_GT(r_refresh, 0.25) << "refreshed index below sanity floor";
+    EXPECT_GE(r_refresh, r_fresh - 0.15)
+        << "warm structure much worse than a fresh build";
+  }
+  (void)stats;
+}
+
+TEST_P(AllBackends, WarmRefreshIsBitIdenticalAcrossThreadCounts) {
+  // The acceptance bar: Refresh at 0/2/8 threads produces the same bytes —
+  // warm Lloyd, re-encoding, re-hashing and graph rebuild all preserve the
+  // SetThreadPool determinism contract.
+  const la::Matrix data = Clustered(250, 6, 40);
+  const la::Matrix drifted = Drifted(data, 41);
+  const la::Matrix queries = Clustered(24, 6, 42);
+
+  auto inline_index = MakeBackend(GetParam());
+  inline_index->Add(data);
+  inline_index->Refresh(drifted);
+  const SearchBatch expected = inline_index->Search(queries, 7);
+
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    util::ThreadPool pool(threads);
+    auto threaded = MakeBackend(GetParam());
+    threaded->SetThreadPool(&pool);
+    threaded->Add(data);
+    threaded->Refresh(drifted);
+    // Compare through an inline search so only the refresh path varies.
+    threaded->SetThreadPool(nullptr);
+    ExpectIdenticalBatches(expected, threaded->Search(queries, 7));
+  }
+}
+
+TEST_P(AllBackends, WarmStateRoundTripMatchesLiveRefresh) {
+  // Save/LoadWarmState is what AL checkpoints persist: an index rebuilt from
+  // the serialized structure must refresh to exactly the same state as the
+  // live index that kept its structure in memory.
+  const la::Matrix data = Clustered(180, 6, 43);
+  const la::Matrix drifted = Drifted(data, 44);
+  const la::Matrix queries = Clustered(20, 6, 45);
+  auto live = MakeBackend(GetParam());
+  live->Add(data);
+
+  const std::string path = testing::TempDir() + "/warm_state_" +
+                           core::IndexBackendName(GetParam()) + ".bin";
+  constexpr uint32_t kMagic = 0x57524d53;  // "WRMS"
+  {
+    util::BinaryWriter writer(path, kMagic, 1);
+    live->SaveWarmState(writer);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto restored = MakeBackend(GetParam());
+  {
+    util::BinaryReader reader(path, kMagic, 1);
+    ASSERT_TRUE(reader.status().ok());
+    ASSERT_TRUE(restored->LoadWarmState(reader).ok());
+  }
+
+  live->Refresh(drifted);
+  restored->Refresh(drifted);
+  ASSERT_EQ(restored->size(), live->size());
+  ExpectIdenticalBatches(live->Search(queries, 8), restored->Search(queries, 8));
+  std::remove(path.c_str());
+}
+
+TEST(RefreshDriftFallback, QuantizersRetrainPastThreshold) {
+  // Scale+shift the data so the trained codebooks/ranges are badly wrong;
+  // the drift check must trip and hand back fresh-build quality.
+  const la::Matrix data = Clustered(200, 8, 46);
+  la::Matrix shifted = data;
+  for (size_t i = 0; i < shifted.size(); ++i) {
+    shifted.data()[i] = shifted.data()[i] * 3.0f + 25.0f;
+  }
+  for (const auto backend :
+       {core::IndexBackend::kPq, core::IndexBackend::kSq,
+        core::IndexBackend::kIvfPq}) {
+    auto index = MakeBackend(backend);
+    index->Add(data);
+    RefreshOptions options;
+    options.drift_threshold = 1.5;
+    const RefreshStats stats = index->Refresh(shifted, options);
+    EXPECT_TRUE(stats.retrained) << core::IndexBackendName(backend);
+    EXPECT_FALSE(stats.warm) << core::IndexBackendName(backend);
+    EXPECT_GT(stats.drift, 1.5) << core::IndexBackendName(backend);
+
+    // Disabled check (<= 0): the same drift is silently absorbed.
+    auto tolerant = MakeBackend(backend);
+    tolerant->Add(data);
+    RefreshOptions off;
+    off.drift_threshold = 0.0;
+    const RefreshStats kept = tolerant->Refresh(shifted, off);
+    EXPECT_FALSE(kept.retrained) << core::IndexBackendName(backend);
+    EXPECT_TRUE(kept.warm) << core::IndexBackendName(backend);
+  }
 }
 
 TEST_P(AllBackends, QueryEqualToDatabaseVectorRanksItFirst) {

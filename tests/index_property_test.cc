@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/ibc.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/ivfpq_index.h"
+#include "index/lsh_index.h"
+#include "index/matmul_search.h"
+#include "index/pq_index.h"
+#include "index/sq_index.h"
+
+/// Seeded randomized property/fuzz harness over the whole backend matrix:
+/// (backend x metric x dim in {1, 7, 64} x n in {0, 1, 500} x
+///  k in {0, 1, n, n+5} x threads in {0, 2, 8}). Every sampled trial asserts
+/// the shared VectorIndex contract — ascending distances, k clamped to n, no
+/// duplicate ids, valid id range, pool/inline bit-identity for build, search
+/// AND refresh, and refresh(E) matching a fresh build's recall against exact
+/// (flat) truth on the drifted vectors. The trial stream is a pure function
+/// of the seeds below, so failures replay exactly; bumping kTrialsPerBackend
+/// deepens the sweep without touching the assertions.
+
+namespace dial::index {
+namespace {
+
+using core::IndexBackend;
+
+constexpr size_t kTrialsPerBackend = 10;
+constexpr uint64_t kSuiteSeed = 0xd1a1f022;
+
+struct Trial {
+  IndexBackend backend;
+  Metric metric;
+  size_t dim;
+  size_t n;
+  size_t k;
+  size_t threads;
+  uint64_t seed;
+
+  std::string Describe() const {
+    return core::IndexBackendName(backend) + " metric=" +
+           std::to_string(static_cast<int>(metric)) +
+           " dim=" + std::to_string(dim) + " n=" + std::to_string(n) +
+           " k=" + std::to_string(k) + " threads=" + std::to_string(threads) +
+           " seed=" + std::to_string(seed);
+  }
+};
+
+bool SupportsMetric(IndexBackend backend, Metric metric) {
+  switch (backend) {
+    case IndexBackend::kPq:
+    case IndexBackend::kSq:
+      return metric != Metric::kCosine;  // normalize + IP per their contract
+    case IndexBackend::kIvfPq:
+      return metric == Metric::kL2;  // residual quantization is L2-only
+    default:
+      return true;
+  }
+}
+
+/// Largest divisor of dim <= want (PQ needs num_subspaces | dim).
+size_t PqSubspacesFor(size_t dim, size_t want) {
+  for (size_t m = std::min(want, dim); m >= 1; --m) {
+    if (dim % m == 0) return m;
+  }
+  return 1;
+}
+
+std::unique_ptr<VectorIndex> MakeBackend(const Trial& t) {
+  switch (t.backend) {
+    case IndexBackend::kFlat:
+      return std::make_unique<FlatIndex>(t.dim, t.metric);
+    case IndexBackend::kIvf: {
+      IvfIndex::Options options;
+      options.nlist = 8;
+      options.nprobe = 4;
+      return std::make_unique<IvfIndex>(t.dim, t.metric, options);
+    }
+    case IndexBackend::kLsh:
+      return std::make_unique<LshIndex>(t.dim, t.metric, LshIndex::Options{});
+    case IndexBackend::kPq: {
+      ProductQuantizer::Options options;
+      options.num_subspaces = PqSubspacesFor(t.dim, 4);
+      return std::make_unique<PqIndex>(t.dim, t.metric, options);
+    }
+    case IndexBackend::kIvfPq: {
+      IvfPqIndex::Options options;
+      options.nlist = 8;
+      options.nprobe = 8;
+      options.pq.num_subspaces = PqSubspacesFor(t.dim, 4);
+      return std::make_unique<IvfPqIndex>(t.dim, t.metric, options);
+    }
+    case IndexBackend::kSq:
+      return std::make_unique<SqIndex>(t.dim, t.metric);
+    case IndexBackend::kHnsw:
+      return std::make_unique<HnswIndex>(t.dim, t.metric, HnswIndex::Options{});
+    case IndexBackend::kMatmul:
+      return std::make_unique<MatmulSearchIndex>(t.dim, t.metric);
+  }
+  return nullptr;
+}
+
+bool IsExact(IndexBackend backend) {
+  return backend == IndexBackend::kFlat || backend == IndexBackend::kMatmul;
+}
+
+la::Matrix Clustered(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  const size_t clusters = std::max<size_t>(1, std::min<size_t>(6, n));
+  la::Matrix centers(clusters, dim);
+  centers.RandNormal(rng, 8.0f);
+  la::Matrix m(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformInt(clusters);
+    for (size_t j = 0; j < dim; ++j) {
+      m(i, j) = centers(c, j) + static_cast<float>(rng.Normal()) * 0.3f;
+    }
+  }
+  return m;
+}
+
+la::Matrix Drifted(const la::Matrix& data, uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix out = data;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] += static_cast<float>(rng.Normal()) * 0.1f;
+  }
+  return out;
+}
+
+Trial SampleTrial(IndexBackend backend, util::Rng& rng) {
+  Trial t;
+  t.backend = backend;
+  do {
+    t.metric = static_cast<Metric>(rng.UniformInt(3));
+  } while (!SupportsMetric(backend, t.metric));
+  const size_t dims[] = {1, 7, 64};
+  t.dim = dims[rng.UniformInt(3)];
+  const size_t ns[] = {0, 1, 500};
+  t.n = ns[rng.UniformInt(3)];
+  const size_t ks[] = {0, 1, t.n, t.n + 5};
+  t.k = ks[rng.UniformInt(4)];
+  const size_t threads[] = {0, 2, 8};
+  t.threads = threads[rng.UniformInt(3)];
+  t.seed = rng.Next();
+  return t;
+}
+
+void CheckContract(const Trial& t, const SearchBatch& results,
+                   size_t expect_queries) {
+  ASSERT_EQ(results.size(), expect_queries) << t.Describe();
+  for (size_t q = 0; q < results.size(); ++q) {
+    const auto& neighbors = results[q];
+    // k clamped to n — never more results than asked for or than exist.
+    EXPECT_LE(neighbors.size(), std::min(t.k, t.n)) << t.Describe();
+    if (IsExact(t.backend)) {
+      EXPECT_EQ(neighbors.size(), std::min(t.k, t.n)) << t.Describe();
+    }
+    std::set<int> seen;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      EXPECT_GE(neighbors[i].id, 0) << t.Describe();
+      EXPECT_LT(neighbors[i].id, static_cast<int>(t.n)) << t.Describe();
+      EXPECT_TRUE(seen.insert(neighbors[i].id).second)
+          << t.Describe() << " duplicate id " << neighbors[i].id;
+      if (i > 0) {
+        EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance)
+            << t.Describe() << " rank " << i;
+      }
+    }
+  }
+}
+
+void ExpectBitIdentical(const Trial& t, const SearchBatch& a,
+                        const SearchBatch& b) {
+  ASSERT_EQ(a.size(), b.size()) << t.Describe();
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size()) << t.Describe() << " query " << q;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      EXPECT_EQ(a[q][i].id, b[q][i].id) << t.Describe() << " query " << q;
+      EXPECT_EQ(a[q][i].distance, b[q][i].distance)
+          << t.Describe() << " query " << q;
+    }
+  }
+}
+
+double Recall(const SearchBatch& truth, const SearchBatch& got) {
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    std::set<int> ids;
+    for (const Neighbor& nb : truth[q]) ids.insert(nb.id);
+    for (const Neighbor& nb : got[q]) hits += ids.count(nb.id);
+    total += truth[q].size();
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+void RunTrial(const Trial& t) {
+  SCOPED_TRACE(t.Describe());
+  const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+  const la::Matrix queries = Clustered(6, t.dim, t.seed ^ 0x9e37);
+
+  // Reference: inline build + inline search.
+  auto reference = MakeBackend(t);
+  reference->Add(data);
+  ASSERT_EQ(reference->size(), t.n);
+  const SearchBatch inline_results = reference->Search(queries, t.k);
+  CheckContract(t, inline_results, queries.rows());
+
+  // Pool/inline bit-identity for build + search at the trial's thread count.
+  if (t.threads > 0) {
+    util::ThreadPool pool(t.threads);
+    auto threaded = MakeBackend(t);
+    threaded->SetThreadPool(&pool);
+    threaded->Add(data);
+    ExpectBitIdentical(t, inline_results, threaded->Search(queries, t.k));
+  }
+
+  // Refresh on drifted vectors: contract + recall parity with a fresh build,
+  // and pool/inline bit-identity of the refresh path itself.
+  const la::Matrix drifted = Drifted(data, t.seed ^ 0xd41f7);
+  reference->Refresh(drifted);
+  EXPECT_EQ(reference->size(), t.n);
+  const SearchBatch refreshed = reference->Search(queries, t.k);
+  CheckContract(t, refreshed, queries.rows());
+
+  if (t.threads > 0) {
+    util::ThreadPool pool(t.threads);
+    auto threaded = MakeBackend(t);
+    threaded->SetThreadPool(&pool);
+    threaded->Add(data);
+    threaded->Refresh(drifted);
+    threaded->SetThreadPool(nullptr);
+    ExpectBitIdentical(t, refreshed, threaded->Search(queries, t.k));
+  }
+
+  if (t.n > 1 && t.k > 0) {
+    auto fresh = MakeBackend(t);
+    fresh->Add(drifted);
+    FlatIndex truth(t.dim, t.metric);
+    truth.Add(drifted);
+    const SearchBatch exact = truth.Search(queries, t.k);
+    const double r_refresh = Recall(exact, refreshed);
+    const double r_fresh = Recall(exact, fresh->Search(queries, t.k));
+    if (IsExact(t.backend)) {
+      EXPECT_DOUBLE_EQ(r_refresh, 1.0);
+    } else {
+      // refresh(E) ≡ fresh-build(E): the warm structure must not fall
+      // meaningfully below what a cold build on E achieves.
+      EXPECT_GE(r_refresh, r_fresh - 0.25);
+    }
+  }
+}
+
+class BackendFuzz : public testing::TestWithParam<IndexBackend> {};
+
+TEST_P(BackendFuzz, SampledGridHoldsSharedInvariants) {
+  util::Rng rng(kSuiteSeed ^
+                (0x1000ull * (static_cast<uint64_t>(GetParam()) + 1)));
+  for (size_t trial = 0; trial < kTrialsPerBackend; ++trial) {
+    RunTrial(SampleTrial(GetParam(), rng));
+  }
+}
+
+TEST_P(BackendFuzz, EdgeShapesNeverCrash) {
+  // The deterministic corners of the grid, independent of the sampler: every
+  // (dim, n, k) extreme with the backend's default metric.
+  for (const size_t dim : {size_t{1}, size_t{7}}) {
+    for (const size_t n : {size_t{0}, size_t{1}}) {
+      for (const size_t k : {size_t{0}, size_t{1}, n, n + 5}) {
+        Trial t;
+        t.backend = GetParam();
+        t.metric = Metric::kL2;
+        t.dim = dim;
+        t.n = n;
+        t.k = k;
+        t.threads = 2;
+        t.seed = kSuiteSeed ^ (dim * 131 + n * 17 + k);
+        RunTrial(t);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendFuzz, testing::ValuesIn(core::AllIndexBackends()),
+    [](const testing::TestParamInfo<IndexBackend>& info) {
+      return core::IndexBackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace dial::index

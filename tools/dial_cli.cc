@@ -79,6 +79,17 @@ int CmdRun(int argc, char** argv) {
   double* cand_mult = flags.AddDouble("cand-mult", 0.0, "|cand| = mult*|S| (0 = default)");
   int64_t* threads =
       flags.AddInt("threads", 0, "blocking-step worker threads (0 = inline)");
+  bool* refresh = flags.AddBool(
+      "refresh", true,
+      "warm-start blocker indexes across rounds (off = rebuild every round)");
+  int64_t* refresh_iters = flags.AddInt(
+      "refresh-iters", 5,
+      "Lloyd iteration cap on warm-started IVF/IVFPQ centroids (early-stops "
+      "on convergence)");
+  double* drift = flags.AddDouble(
+      "drift-threshold", 2.0,
+      "retrain quantizers when refresh quantization error exceeds this x "
+      "the trained error (<=0 disables the check)");
   int64_t* seed = flags.AddInt("seed", 7, "experiment seed");
   std::string* checkpoint =
       flags.AddString("checkpoint", "", "write a checkpoint here after each round");
@@ -117,6 +128,9 @@ int CmdRun(int argc, char** argv) {
   if (*k > 0) al.k_neighbors = static_cast<size_t>(*k);
   if (*cand_mult > 0) al.cand_multiplier = *cand_mult;
   if (*threads > 0) al.num_threads = static_cast<size_t>(*threads);
+  al.index_refresh = *refresh;
+  if (*refresh_iters > 0) al.refresh.warm_iterations = static_cast<size_t>(*refresh_iters);
+  al.refresh.drift_threshold = *drift;
 
   dial::core::ActiveLearningLoop loop(&exp.bundle, &exp.vocab,
                                       exp.pretrained.get(), al);
@@ -136,13 +150,16 @@ int CmdRun(int argc, char** argv) {
 
   const dial::core::AlResult result = loop.Run();
   dial::util::TablePrinter table({"round", "|T|", "cand", "cand recall",
-                                  "test F1", "all-pairs F1"});
+                                  "test F1", "all-pairs F1", "idx build ms",
+                                  "warm"});
   for (const auto& r : result.rounds) {
     table.AddRow({std::to_string(r.round), std::to_string(r.labels_in_t),
                   std::to_string(r.cand_size),
                   dial::util::TablePrinter::Num(100 * r.cand_recall, 1),
                   dial::util::TablePrinter::Num(100 * r.test_prf.f1, 1),
-                  dial::util::TablePrinter::Num(100 * r.allpairs_prf.f1, 1)});
+                  dial::util::TablePrinter::Num(100 * r.allpairs_prf.f1, 1),
+                  dial::util::TablePrinter::Num(1000 * r.t_index_build, 2),
+                  std::to_string(r.index_warm_members)});
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(

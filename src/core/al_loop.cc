@@ -115,10 +115,12 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       timer.Restart();
       const la::Matrix emb_r = EmbedAllR(matcher);
       const la::Matrix emb_s = EmbedAllS(matcher);
+      metrics.t_embed = timer.Seconds();
       BlockerConfig blocker = config_.blocker;
       blocker.seed = config_.blocker.seed ^ (0x1000 + round);
       committee_ = std::make_unique<BlockerCommittee>(emb_r.cols(), blocker);
       committee_->SetThreadPool(pool_.get());
+      committee_->SetInferenceEngine(config_.inference_engine);
       std::vector<data::PairId> dups;
       for (const auto& e : labeled_.positives()) dups.push_back(e.pair);
       std::vector<data::PairId> negs;
@@ -138,6 +140,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
         timer.Restart();
         Matcher probe(pretrained_->config(), config_.matcher, config_.seed ^ 0xfef1);
         probe.SetThreadPool(pool_.get());
+        probe.SetInferenceEngine(config_.inference_engine);
         probe.ResetFromPretrained(*pretrained_);
         const la::Matrix emb_r = EmbedAllR(probe);
         const la::Matrix emb_s = EmbedAllS(probe);
@@ -150,6 +153,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       timer.Restart();
       const la::Matrix emb_r = EmbedAllR(matcher);
       const la::Matrix emb_s = EmbedAllS(matcher);
+      metrics.t_embed = timer.Seconds();
       auto cand =
           DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get(), cache, &ibc_stats);
       metrics.t_index_retrieve = timer.Seconds();
@@ -164,12 +168,14 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       sbert_ = std::make_unique<SentenceBertBlocker>(
           pretrained_->config(), config_.sbert, config_.seed ^ (0x5be7 + round));
       sbert_->SetThreadPool(pool_.get());
+      sbert_->SetInferenceEngine(config_.inference_engine);
       sbert_->ResetFromPretrained(*pretrained_, 0xbeef + round);
       sbert_->Train(*encodings_, labeled_.AllPairs());
       metrics.t_train_committee = timer.Seconds();
       timer.Restart();
       const la::Matrix emb_r = sbert_->EmbedR(*encodings_);
       const la::Matrix emb_s = sbert_->EmbedS(*encodings_);
+      metrics.t_embed = timer.Seconds();
       auto cand =
           DirectKnnCandidates(emb_r, emb_s, ibc, pool_.get(), cache, &ibc_stats);
       metrics.t_index_retrieve = timer.Seconds();
@@ -241,6 +247,7 @@ AlResult ActiveLearningLoop::Run() {
     matcher = std::make_unique<Matcher>(pretrained_->config(), matcher_config,
                                         config_.seed ^ 0x1111 ^ round);
     matcher->SetThreadPool(pool_.get());
+    matcher->SetInferenceEngine(config_.inference_engine);
     matcher->ResetFromPretrained(*pretrained_);
     matcher->Train(*pair_cache_, labeled_.AllPairs(), calibration_);
     metrics.t_train_matcher = timer.Seconds();
@@ -260,6 +267,7 @@ AlResult ActiveLearningLoop::Run() {
     timer.Restart();
     cand_probs = matcher->PredictProbs(*pair_cache_, CandidatePairs(cand));
     double t_probs = timer.Seconds();
+    metrics.t_predict = t_probs;
 
     // Evaluation (not part of the algorithm; untimed).
     std::vector<data::PairId> test_query;
@@ -291,6 +299,7 @@ AlResult ActiveLearningLoop::Run() {
         boot_config.seed = matcher_config.seed ^ (0xb00 + m);
         Matcher boot(pretrained_->config(), boot_config, config_.seed ^ (0xc00 + m));
         boot.SetThreadPool(pool_.get());
+        boot.SetInferenceEngine(config_.inference_engine);
         boot.ResetFromPretrained(*pretrained_);
         std::vector<data::LabeledPair> sample;
         sample.reserve(all_pairs.size());

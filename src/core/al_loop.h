@@ -59,6 +59,12 @@ struct AlConfig {
   /// checkpoint fingerprint: a run checkpointed at one thread count resumes
   /// exactly under another.
   size_t num_threads = 0;
+  /// Route all model inference (pool scoring, embedding, committee encode)
+  /// through the tape-free batched inference engine instead of per-sequence
+  /// Tapes. Outputs are bit-identical either way (inference_test pins this),
+  /// so — like num_threads — it is excluded from the checkpoint fingerprint;
+  /// `false` is the tape-path baseline the bench axis measures against.
+  bool inference_engine = true;
   /// Warm-start the blocker indexes across rounds: rounds >= 2 Refresh the
   /// previous round's indexes (reusing trained centroids/codebooks/planes)
   /// instead of reconstructing them. `false` is the ablation/fallback path
@@ -84,7 +90,13 @@ struct RoundMetrics {
   double t_train_matcher = 0.0;
   double t_train_committee = 0.0;  // includes single-mode embedding
   double t_index_retrieve = 0.0;
-  double t_select = 0.0;
+  double t_select = 0.0;  // includes t_predict
+  /// Within t_select: matcher PredictProbs over the candidate set — the
+  /// model-forward share of selection (the tape-vs-engine bench axis).
+  double t_predict = 0.0;
+  /// Within t_train_committee (kDial) / t_index_retrieve (kPairedAdapt):
+  /// single-mode embedding of all of R and S.
+  double t_embed = 0.0;
   /// Within t_index_retrieve: per-member index build/refresh cost, summed
   /// across members (the build-vs-refresh axis of BENCH_refresh.json).
   double t_index_build = 0.0;

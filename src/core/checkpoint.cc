@@ -12,7 +12,8 @@ namespace {
 constexpr uint32_t kCheckpointMagic = 0x4441'4c43;  // "DALC"
 // v2: RoundMetrics gained t_index_build/index_warm_members and the file
 // gained the IbcIndexCache warm-state section (index-refresh lifecycle).
-constexpr uint32_t kCheckpointVersion = 2;
+// v3: RoundMetrics gained t_predict/t_embed (inference-engine breakdown).
+constexpr uint32_t kCheckpointVersion = 3;
 
 void WritePair(util::BinaryWriter& w, const data::PairId& pair) {
   w.WriteU32(pair.r);
@@ -84,6 +85,8 @@ void WriteRound(util::BinaryWriter& w, const RoundMetrics& m) {
   w.WriteF64(m.t_train_committee);
   w.WriteF64(m.t_index_retrieve);
   w.WriteF64(m.t_select);
+  w.WriteF64(m.t_predict);
+  w.WriteF64(m.t_embed);
   w.WriteF64(m.t_index_build);
   w.WriteU64(m.index_warm_members);
 }
@@ -102,6 +105,8 @@ RoundMetrics ReadRound(util::BinaryReader& r) {
   m.t_train_committee = r.ReadF64();
   m.t_index_retrieve = r.ReadF64();
   m.t_select = r.ReadF64();
+  m.t_predict = r.ReadF64();
+  m.t_embed = r.ReadF64();
   m.t_index_build = r.ReadF64();
   m.index_warm_members = r.ReadU64();
   return m;

@@ -75,6 +75,22 @@ Var CommitteeMember::Forward(nn::ForwardContext& ctx, Var embeddings) {
 }
 
 la::Matrix CommitteeMember::Transform(const la::Matrix& embeddings) {
+  if (use_inference_) {
+    namespace infer = autograd::infer;
+    // Mirrors Forward's graph: mask broadcast, linear, tanh, optional row
+    // normalization — tape-free through the member's arena.
+    autograd::Scratch masked(infer_ctx_, embeddings.rows(), embeddings.cols());
+    const float* mask = mask_.row(0);
+    for (size_t r = 0; r < embeddings.rows(); ++r) {
+      const float* src = embeddings.row(r);
+      float* dst = masked->row(r);
+      for (size_t c = 0; c < embeddings.cols(); ++c) dst[c] = src[c] * mask[c];
+    }
+    autograd::Scratch out = linear_.InferForward(infer_ctx_, *masked);
+    infer::TanhInPlace(*out);
+    if (normalize_output_) infer::NormalizeRowsInPlace(*out);
+    return *out;
+  }
   autograd::Tape tape;
   tape.SetThreadPool(pool_);
   nn::ForwardContext ctx{&tape, &scratch_rng_, /*training=*/false};

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/inference.h"
 #include "data/dataset.h"
 #include "nn/layers.h"
 
@@ -67,14 +68,22 @@ class CommitteeMember : public nn::Module {
   /// Differentiable transform of a batch of frozen embeddings (m, d) -> (m, d).
   autograd::Var Forward(nn::ForwardContext& ctx, autograd::Var embeddings);
 
-  /// Inference-only batch transform.
+  /// Inference-only batch transform (tape-free engine by default; see
+  /// SetInferenceEngine).
   la::Matrix Transform(const la::Matrix& embeddings);
 
   const la::Matrix& mask() const { return mask_; }
 
   /// Unowned pool threaded through this member's tapes (see Matcher).
-  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+  void SetThreadPool(util::ThreadPool* pool) {
+    pool_ = pool;
+    infer_ctx_.SetThreadPool(pool);
+  }
   util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Tape-free Transform (default on); `false` reverts to the Tape forward.
+  /// Bit-identical either way; training always uses the Tape.
+  void SetInferenceEngine(bool on) { use_inference_ = on; }
 
  private:
   la::Matrix mask_;  // (1, d) of {0,1}
@@ -82,6 +91,8 @@ class CommitteeMember : public nn::Module {
   bool normalize_output_;
   util::Rng scratch_rng_;  // dropout-free forward still needs a context rng
   util::ThreadPool* pool_ = nullptr;  // unowned; null = inline GEMMs
+  autograd::InferenceContext infer_ctx_;  // tape-free activation arena
+  bool use_inference_ = true;
 };
 
 /// The full blocker: N members + their training loop.
@@ -111,6 +122,11 @@ class BlockerCommittee {
   /// always safe to set.
   void SetThreadPool(util::ThreadPool* pool) {
     for (auto& member : members_) member->SetThreadPool(pool);
+  }
+
+  /// Toggles every member's tape-free Transform path (see CommitteeMember).
+  void SetInferenceEngine(bool on) {
+    for (auto& member : members_) member->SetInferenceEngine(on);
   }
 
  private:

@@ -174,9 +174,39 @@ float Matcher::ForwardProb(const text::EncodedSequence& seq, la::Matrix* penulti
   return 1.0f / (1.0f + std::exp(-logit.value()(0, 0)));
 }
 
+std::vector<const text::EncodedSequence*> Matcher::GatherPairSeqs(
+    PairEncodingCache& pairs, const std::vector<data::PairId>& query) {
+  std::vector<const text::EncodedSequence*> seqs;
+  seqs.reserve(query.size());
+  // Serial gather: the cache lazily encodes on miss. References stay valid
+  // (node-based map) while the engine runs over them.
+  for (const data::PairId& pair : query) seqs.push_back(&pairs.Get(pair));
+  return seqs;
+}
+
+void Matcher::InferHeadBatch(const std::vector<const text::EncodedSequence*>& seqs,
+                             la::Matrix* h_out, std::vector<float>* probs) {
+  const la::Matrix features = model_->EncodePairFeaturesBatch(infer_ctx_, seqs);
+  autograd::Scratch h = head_dense_->InferForward(infer_ctx_, features);
+  autograd::infer::TanhInPlace(*h);
+  if (probs != nullptr) {
+    autograd::Scratch logits = head_out_->InferForward(infer_ctx_, *h);
+    probs->resize(seqs.size());
+    for (size_t i = 0; i < seqs.size(); ++i) {
+      (*probs)[i] = 1.0f / (1.0f + std::exp(-(*logits)(i, 0)));
+    }
+  }
+  if (h_out != nullptr) *h_out = *h;
+}
+
 std::vector<float> Matcher::PredictProbs(PairEncodingCache& pairs,
                                          const std::vector<data::PairId>& query) {
   std::vector<float> probs(query.size());
+  if (query.empty()) return probs;
+  if (use_inference_) {
+    InferHeadBatch(GatherPairSeqs(pairs, query), nullptr, &probs);
+    return probs;
+  }
   for (size_t i = 0; i < query.size(); ++i) {
     probs[i] = ForwardProb(pairs.Get(query[i]), nullptr);
   }
@@ -187,6 +217,20 @@ la::Matrix Matcher::BadgeEmbeddings(PairEncodingCache& pairs,
                                     const std::vector<data::PairId>& query) {
   const size_t d = model_->config().transformer.dim;
   la::Matrix out(query.size(), d + 1);
+  if (use_inference_) {
+    la::Matrix h;
+    std::vector<float> probs;
+    InferHeadBatch(GatherPairSeqs(pairs, query), &h, &probs);
+    for (size_t i = 0; i < query.size(); ++i) {
+      const float p = probs[i];
+      const float y_hat = p > 0.5f ? 1.0f : 0.0f;
+      const float g = p - y_hat;
+      float* row = out.row(i);
+      for (size_t c = 0; c < d; ++c) row[c] = g * h(i, c);
+      row[d] = g;  // bias column
+    }
+    return out;
+  }
   for (size_t i = 0; i < query.size(); ++i) {
     la::Matrix h;
     const float p = ForwardProb(pairs.Get(query[i]), &h);
@@ -203,6 +247,11 @@ la::Matrix Matcher::BadgeEmbeddings(PairEncodingCache& pairs,
 la::Matrix Matcher::PairRepresentations(PairEncodingCache& pairs,
                                         const std::vector<data::PairId>& query) {
   const size_t d = model_->config().transformer.dim;
+  if (use_inference_) {
+    la::Matrix h;
+    InferHeadBatch(GatherPairSeqs(pairs, query), &h, nullptr);
+    return h;
+  }
   la::Matrix out(query.size(), d);
   for (size_t i = 0; i < query.size(); ++i) {
     la::Matrix h;
@@ -215,6 +264,11 @@ la::Matrix Matcher::PairRepresentations(PairEncodingCache& pairs,
 la::Matrix Matcher::EmbedSingleMode(
     const std::vector<const text::EncodedSequence*>& seqs) {
   const size_t d = model_->config().transformer.dim;
+  if (use_inference_) {
+    la::Matrix out = model_->EncodeSingleBatch(infer_ctx_, seqs);
+    la::NormalizeRowsInPlace(out);
+    return out;
+  }
   la::Matrix out(seqs.size(), d);
   for (size_t i = 0; i < seqs.size(); ++i) {
     autograd::Tape tape;

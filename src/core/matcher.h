@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "autograd/inference.h"
 #include "core/encodings.h"
 #include "nn/layers.h"
 #include "tplm/tplm.h"
@@ -95,13 +96,37 @@ class Matcher {
   const MatcherConfig& config() const { return config_; }
 
   /// Attaches an unowned worker pool: every tape this matcher records
-  /// (training steps, inference forwards) threads its GEMMs through it.
-  /// Bit-identical to inline execution; nullptr (default) detaches.
-  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+  /// (training steps) and the inference engine thread their GEMMs/fan-outs
+  /// through it. Bit-identical to inline execution; nullptr (default)
+  /// detaches.
+  void SetThreadPool(util::ThreadPool* pool) {
+    pool_ = pool;
+    infer_ctx_.SetThreadPool(pool);
+  }
+
+  /// Toggles the tape-free batched inference engine behind PredictProbs /
+  /// BadgeEmbeddings / PairRepresentations / EmbedSingleMode (default on).
+  /// `false` reverts to the one-sequence-per-Tape path — outputs are
+  /// bit-identical either way (asserted in inference_test); the switch
+  /// exists for parity tests and the tape-vs-engine bench axis. Training
+  /// always uses the Tape.
+  void SetInferenceEngine(bool on) { use_inference_ = on; }
+  bool inference_engine() const { return use_inference_; }
 
  private:
-  /// Probability and optional penultimate activation for one pair.
+  /// Probability and optional penultimate activation for one pair (the Tape
+  /// fallback path).
   float ForwardProb(const text::EncodedSequence& seq, la::Matrix* penultimate);
+
+  /// Gathers the cached pair encodings for `query` (in order).
+  std::vector<const text::EncodedSequence*> GatherPairSeqs(
+      PairEncodingCache& pairs, const std::vector<data::PairId>& query);
+
+  /// Engine path shared by the prob/badge/representation entry points:
+  /// batched pair features -> penultimate activations `h` (m, d) and, when
+  /// `probs` is non-null, sigmoid probabilities.
+  void InferHeadBatch(const std::vector<const text::EncodedSequence*>& seqs,
+                      la::Matrix* h_out, std::vector<float>* probs);
 
   /// Piece-level perturbation of a pair encoding (train-time augmentation).
   text::EncodedSequence AugmentPair(const text::EncodedSequence& seq);
@@ -112,6 +137,8 @@ class Matcher {
   std::unique_ptr<nn::Linear> head_out_;
   util::Rng rng_;
   util::ThreadPool* pool_ = nullptr;  // unowned; null = inline GEMMs
+  autograd::InferenceContext infer_ctx_;  // tape-free activation arena
+  bool use_inference_ = true;
 };
 
 }  // namespace dial::core

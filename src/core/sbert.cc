@@ -74,6 +74,11 @@ double SentenceBertBlocker::Train(const RecordEncodings& encodings,
 
 la::Matrix SentenceBertBlocker::Embed(
     const std::vector<const text::EncodedSequence*>& seqs) {
+  if (use_inference_) {
+    la::Matrix out = model_->EncodeSingleBatch(infer_ctx_, seqs);
+    la::NormalizeRowsInPlace(out);
+    return out;
+  }
   const size_t d = model_->config().transformer.dim;
   la::Matrix out(seqs.size(), d);
   for (size_t i = 0; i < seqs.size(); ++i) {

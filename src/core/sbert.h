@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "autograd/inference.h"
 #include "core/encodings.h"
 #include "nn/layers.h"
 #include "tplm/tplm.h"
@@ -45,7 +46,15 @@ class SentenceBertBlocker {
   tplm::TplmModel& model() { return *model_; }
 
   /// Unowned pool threaded through this blocker's tapes (see Matcher).
-  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+  void SetThreadPool(util::ThreadPool* pool) {
+    pool_ = pool;
+    infer_ctx_.SetThreadPool(pool);
+  }
+
+  /// Tape-free batched embedding (default on); `false` reverts to the
+  /// one-sequence-per-Tape path. Bit-identical either way; training always
+  /// uses the Tape.
+  void SetInferenceEngine(bool on) { use_inference_ = on; }
 
  private:
   la::Matrix Embed(const std::vector<const text::EncodedSequence*>& seqs);
@@ -55,6 +64,8 @@ class SentenceBertBlocker {
   std::unique_ptr<nn::SentencePairHead> head_;
   util::Rng rng_;
   util::ThreadPool* pool_ = nullptr;  // unowned; null = inline GEMMs
+  autograd::InferenceContext infer_ctx_;  // tape-free activation arena
+  bool use_inference_ = true;
 };
 
 }  // namespace dial::core

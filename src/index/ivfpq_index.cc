@@ -5,6 +5,7 @@
 
 #include "index/kmeans.h"
 #include "index/topk.h"
+#include "la/kernels.h"
 
 namespace dial::index {
 
@@ -175,32 +176,41 @@ SearchBatch IvfPqIndex::Search(const la::Matrix& queries, size_t k) const {
   SearchBatch results(queries.rows());
   if (count_ == 0) return results;
   const size_t nprobe = std::min(options_.nprobe, centroids_.rows());
-  const size_t code_size = pq_.code_size();
   util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
-    // Scratch is per chunk: queries share nothing once the residual/table
-    // buffers are thread-local.
+    // Scratch is per chunk, mirroring the pq_index contract: residual/table
+    // buffers, the batched centroid/ADC distance buffers, and both top-k
+    // heaps are hoisted and reused across queries, so the steady-state scan
+    // performs no allocation beyond the result lists.
     std::vector<float> residual(dim_);
     std::vector<float> table;
+    std::vector<float> cell_dist(centroids_.rows());
+    std::vector<float> adc;  // grown to the largest probed list, then reused
+    TopK cell_topk(nprobe);
+    TopK topk(k);
     for (size_t q = begin; q < end; ++q) {
       const float* query = queries.row(q);
-      TopK cell_topk(nprobe);
+      // Batched centroid scan (bit-identical to the scalar distance per row).
+      la::kernels::SquaredDistanceBatch(query, centroids_.data(),
+                                        centroids_.rows(), dim_,
+                                        cell_dist.data());
+      cell_topk.Reset(nprobe);
       for (size_t c = 0; c < centroids_.rows(); ++c) {
-        cell_topk.Push(static_cast<int>(c),
-                       la::SquaredDistance(query, centroids_.row(c), dim_));
+        cell_topk.Push(static_cast<int>(c), cell_dist[c]);
       }
-      TopK topk(k);
-      for (const Neighbor& cell : cell_topk.Take()) {
+      topk.Reset(k);
+      for (const Neighbor& cell : cell_topk.Sorted()) {
         // ADC table on this cell's residual of the query.
         const float* centroid = centroids_.row(cell.id);
         for (size_t d = 0; d < dim_; ++d) residual[d] = query[d] - centroid[d];
         pq_.ComputeDistanceTable(residual.data(), /*inner_product=*/false, table);
         const std::vector<int>& ids = list_ids_[cell.id];
         const std::vector<uint8_t>& codes = list_codes_[cell.id];
-        for (size_t i = 0; i < ids.size(); ++i) {
-          topk.Push(ids[i], pq_.AdcDistance(table, codes.data() + i * code_size));
-        }
+        if (adc.size() < ids.size()) adc.resize(ids.size());
+        pq_.AdcDistanceBatch(table, codes.data(), ids.size(), adc.data());
+        for (size_t i = 0; i < ids.size(); ++i) topk.Push(ids[i], adc[i]);
       }
-      results[q] = topk.Take();
+      const std::vector<Neighbor>& sorted = topk.Sorted();
+      results[q].assign(sorted.begin(), sorted.end());
     }
   });
   return results;

@@ -83,7 +83,17 @@ class ProductQuantizer {
                             std::vector<float>& table) const;
 
   /// ADC lookup: distance between the query behind `table` and one code.
+  /// Block-unrolled over subspaces (4 independent partial sums, combined as
+  /// (s0+s1)+(s2+s3) with a scalar tail — the la/kernels accumulation
+  /// contract), so the compiler keeps several table loads in flight.
   float AdcDistance(const std::vector<float>& table, const uint8_t* code) const;
+
+  /// Batched ADC scan: out[i] = AdcDistance(table, codes + i*code_size())
+  /// for i in [0, n). The same per-code routine backs both entry points, so
+  /// a batched scan is bit-identical to calling AdcDistance per code — the
+  /// pq_index / ivfpq_index scan-loop workhorse.
+  void AdcDistanceBatch(const std::vector<float>& table, const uint8_t* codes,
+                        size_t n, float* out) const;
 
   /// Symmetric (code-to-code) distance via precomputed centroid-to-centroid
   /// tables; squared-L2 only.

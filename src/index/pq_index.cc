@@ -78,17 +78,22 @@ SearchBatch PqIndex::Search(const la::Matrix& queries, size_t k) const {
   SearchBatch results(queries.rows());
   if (count_ == 0) return results;
   const bool ip = metric_ == Metric::kInnerProduct;
-  const size_t code_size = pq_.code_size();
   util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
-    std::vector<float> table;  // per-chunk ADC scratch
+    // All scratch is hoisted per chunk and reused across queries: the ADC
+    // table, the batched distance buffer, and the top-k heap. The only
+    // per-query allocation left is the result list itself.
+    std::vector<float> table;
+    std::vector<float> dist(count_);
+    TopK topk(k);
     for (size_t q = begin; q < end; ++q) {
       pq_.ComputeDistanceTable(queries.row(q), ip, table);
-      TopK topk(k);
+      pq_.AdcDistanceBatch(table, codes_.data(), count_, dist.data());
+      topk.Reset(k);
       for (size_t id = 0; id < count_; ++id) {
-        topk.Push(static_cast<int>(id),
-                  pq_.AdcDistance(table, codes_.data() + id * code_size));
+        topk.Push(static_cast<int>(id), dist[id]);
       }
-      results[q] = topk.Take();
+      const std::vector<Neighbor>& sorted = topk.Sorted();
+      results[q].assign(sorted.begin(), sorted.end());
     }
   });
   return results;

@@ -37,10 +37,26 @@ class TopK {
                              : heap_.front().distance;
   }
 
-  /// Extracts results sorted by ascending distance; the heap is consumed.
+  /// Extracts results sorted by ascending distance; the heap is consumed
+  /// (its capacity leaves with the return value — prefer Reset()+Sorted()
+  /// in reused scan loops).
   std::vector<Neighbor> Take() {
     std::sort(heap_.begin(), heap_.end());
     return std::move(heap_);
+  }
+
+  /// Re-arms the heap for a new query, keeping the allocated capacity — the
+  /// per-query scratch-reuse contract of the pq/ivfpq scan loops.
+  void Reset(size_t k) {
+    k_ = k;
+    heap_.clear();
+  }
+
+  /// Sorts the kept neighbours ascending in place and returns a view; the
+  /// heap invariant is gone afterwards, so Reset() before the next Push.
+  const std::vector<Neighbor>& Sorted() {
+    std::sort(heap_.begin(), heap_.end());
+    return heap_;
   }
 
   size_t size() const { return heap_.size(); }

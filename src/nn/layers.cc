@@ -1,5 +1,7 @@
 #include "nn/layers.h"
 
+#include <algorithm>
+
 namespace dial::nn {
 
 using autograd::Var;
@@ -17,6 +19,14 @@ Var Linear::Forward(ForwardContext& ctx, Var x) {
   return autograd::AddRowBroadcast(autograd::MatMul(x, w), b);
 }
 
+autograd::Scratch Linear::InferForward(autograd::InferenceContext& ctx,
+                                       const la::Matrix& x) const {
+  autograd::Scratch out(ctx, x.rows(), out_features());
+  autograd::infer::MatMul(x, weight_->value, *out, ctx.pool());
+  la::AddRowBroadcast(*out, bias_->value);
+  return out;
+}
+
 LayerNorm::LayerNorm(std::string name, size_t dim) : Module(std::move(name)) {
   gain_ = AddParameter("gain", 1, dim);
   bias_ = AddParameter("bias", 1, dim);
@@ -30,6 +40,20 @@ Var LayerNorm::Forward(ForwardContext& ctx, Var x) {
   return autograd::AddRowBroadcast(autograd::MulRowBroadcast(normalized, g), b);
 }
 
+void LayerNorm::InferForward(const la::Matrix& x, la::Matrix& out) const {
+  autograd::infer::LayerNormRows(x, out);
+  const float* gain = gain_->value.row(0);
+  const float* bias = bias_->value.row(0);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= gain[c];
+  }
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+  }
+}
+
 Embedding::Embedding(std::string name, size_t vocab, size_t dim, util::Rng& rng)
     : Module(std::move(name)) {
   table_ = AddParameter("table", vocab, dim);
@@ -38,6 +62,19 @@ Embedding::Embedding(std::string name, size_t vocab, size_t dim, util::Rng& rng)
 
 Var Embedding::Forward(ForwardContext& ctx, const std::vector<int>& ids) {
   return autograd::EmbeddingGather(*ctx.tape, table_, ids);
+}
+
+autograd::Scratch Embedding::InferGather(autograd::InferenceContext& ctx,
+                                         const std::vector<int>& ids) const {
+  const size_t d = table_->value.cols();
+  autograd::Scratch out(ctx, ids.size(), d);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    DIAL_CHECK_GE(ids[i], 0);
+    DIAL_CHECK_LT(static_cast<size_t>(ids[i]), table_->value.rows());
+    const float* src = table_->value.row(ids[i]);
+    std::copy(src, src + d, out->row(i));
+  }
+  return out;
 }
 
 PairClassifierHead::PairClassifierHead(std::string name, size_t dim, float dropout,

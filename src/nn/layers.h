@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/inference.h"
 #include "autograd/ops.h"
 #include "nn/module.h"
 
@@ -11,6 +12,11 @@
 /// Basic trainable layers: Linear, LayerNorm (affine), Embedding, and the
 /// two task heads used by DIAL (the matcher's pair classifier and the
 /// SentenceBERT-style single-mode classifier).
+///
+/// Each layer exposes two forwards: `Forward` records autograd nodes on the
+/// context's Tape (training), and `InferForward` runs tape-free through an
+/// `autograd::InferenceContext` arena (inference) — same arithmetic, zero
+/// graph bookkeeping, bit-identical outputs with dropout off.
 
 namespace dial::nn {
 
@@ -21,8 +27,17 @@ class Linear : public Module {
 
   autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
 
+  /// Tape-free y = x W + b into a borrowed arena matrix (x: (m, in)).
+  autograd::Scratch InferForward(autograd::InferenceContext& ctx,
+                                 const la::Matrix& x) const;
+
   size_t in_features() const { return weight_->value.rows(); }
   size_t out_features() const { return weight_->value.cols(); }
+
+  /// Raw parameter access for inference paths that run sliced/fused GEMMs
+  /// over the weights directly (per-head attention projections).
+  const la::Matrix& weight_values() const { return weight_->value; }
+  const la::Matrix& bias_values() const { return bias_->value; }
 
  private:
   autograd::Parameter* weight_;
@@ -36,6 +51,10 @@ class LayerNorm : public Module {
 
   autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
 
+  /// Tape-free per-row layer norm + affine, written into `out` (pre-shaped
+  /// like x; may alias x).
+  void InferForward(const la::Matrix& x, la::Matrix& out) const;
+
  private:
   autograd::Parameter* gain_;
   autograd::Parameter* bias_;
@@ -48,9 +67,14 @@ class Embedding : public Module {
 
   autograd::Var Forward(ForwardContext& ctx, const std::vector<int>& ids);
 
+  /// Tape-free gather of rows `ids` into a borrowed (ids.size(), dim) matrix.
+  autograd::Scratch InferGather(autograd::InferenceContext& ctx,
+                                const std::vector<int>& ids) const;
+
   size_t vocab_size() const { return table_->value.rows(); }
   size_t dim() const { return table_->value.cols(); }
   autograd::Parameter* table() { return table_; }
+  const autograd::Parameter* table() const { return table_; }
 
  private:
   autograd::Parameter* table_;

@@ -10,9 +10,17 @@
 
 /// \file
 /// A BERT/RoBERTa-style transformer encoder (post-LN), sized for CPU-only
-/// training. Processes one sequence per forward call; batching is done by
-/// building several sequences on one tape and averaging their losses, which
-/// avoids padding/masking logic entirely.
+/// training. The Tape path processes one sequence per forward call; batching
+/// is done by building several sequences on one tape and averaging their
+/// losses, which avoids padding/masking logic entirely.
+///
+/// The inference engine adds a second, tape-free path (`InferForward`):
+/// same-length sequences are packed into one (batch·len, dim) activation so
+/// every linear layer runs as a single matrix-matrix GEMM, while attention
+/// stays per sequence (fanned out over the context's pool). Outputs are
+/// bit-identical to the per-sequence Tape forward with dropout off, and
+/// bit-identical across thread counts — no padding or masking ever enters
+/// the arithmetic.
 
 namespace dial::nn {
 
@@ -41,6 +49,20 @@ class TransformerLayer : public Module {
 
   autograd::Var Forward(ForwardContext& ctx, autograd::Var x);
 
+  /// Tape-free forward over `batch` packed same-length sequences: x is
+  /// (batch*len, dim) and is updated in place. Linear sublayers run as one
+  /// packed GEMM; attention runs per sequence over ctx's pool.
+  void InferForward(autograd::InferenceContext& ctx, size_t batch, size_t len,
+                    la::Matrix& x) const;
+
+  /// Final-layer shortcut: computes ONLY each sequence's first row (the CLS
+  /// state) of this layer's output into `cls` (batch, dim). Bit-identical to
+  /// row b*len of InferForward — attention still attends over every token of
+  /// `x`, but the query/FFN/LN work for the discarded rows is skipped. Valid
+  /// only when no later layer consumes the other rows.
+  void InferForwardCls(autograd::InferenceContext& ctx, size_t batch, size_t len,
+                       const la::Matrix& x, la::Matrix& cls) const;
+
  private:
   autograd::Var SelfAttention(ForwardContext& ctx, autograd::Var x);
 
@@ -68,8 +90,39 @@ class TransformerEncoder : public Module {
                         const std::vector<int>& segments,
                         autograd::Var* embed_out = nullptr);
 
+  /// Output-pruning knobs for the batched inference forward. The engine may
+  /// skip work whose results the caller never reads; every value it does
+  /// produce stays bit-identical to the full Tape forward.
+  struct InferOptions {
+    /// Stop after the embedding layer: `hidden` receives the embedding-layer
+    /// output (== `embed_out`) and no attention layer runs. What single-mode
+    /// pooling consumes when `single_mode_last_weight <= 0`.
+    bool embed_only = false;
+    /// In the final layer, compute only each sequence's CLS row: row b*len
+    /// of `hidden` is exact, every other row is unspecified. What paired-
+    /// mode feature extraction consumes.
+    bool cls_only_last = false;
+  };
+
+  /// Tape-free batched forward: `ids`/`segments` hold `batch` sequences of
+  /// equal length `len` packed back to back (size batch*len). Fills `hidden`
+  /// (batch*len, dim); `embed_out` (optional, same shape) receives the
+  /// embedding-layer output. Bit-identical to Forward per sequence with
+  /// dropout off (modulo rows `options` declares unread).
+  void InferForward(autograd::InferenceContext& ctx, const std::vector<int>& ids,
+                    const std::vector<int>& segments, size_t batch, size_t len,
+                    la::Matrix& hidden, la::Matrix* embed_out,
+                    const InferOptions& options) const;
+  void InferForward(autograd::InferenceContext& ctx, const std::vector<int>& ids,
+                    const std::vector<int>& segments, size_t batch, size_t len,
+                    la::Matrix& hidden, la::Matrix* embed_out = nullptr) const {
+    InferForward(ctx, ids, segments, batch, len, hidden, embed_out,
+                 InferOptions());
+  }
+
   const TransformerConfig& config() const { return config_; }
   Embedding& token_embedding() { return tokens_; }
+  const Embedding& token_embedding() const { return tokens_; }
 
  private:
   TransformerConfig config_;

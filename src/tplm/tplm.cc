@@ -1,9 +1,15 @@
 #include "tplm/tplm.h"
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "autograd/inference.h"
 #include "autograd/optim.h"
 #include "autograd/ops.h"
 #include "util/hash.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dial::tplm {
 
@@ -53,12 +59,12 @@ Var TplmModel::EncodePair(nn::ForwardContext& ctx, const text::EncodedSequence& 
   return autograd::SliceRows(hidden, 0, 1);
 }
 
-Var TplmModel::EncodePairFeatures(nn::ForwardContext& ctx,
-                                  const text::EncodedSequence& seq) {
-  Var first;
-  Var hidden = encoder_.Forward(ctx, seq.ids, seq.segments, &first);
-  // Segments are contiguous: [0, split) is record r (incl. CLS and the first
-  // SEP), [split, n) is record s.
+namespace {
+
+/// Contiguous-segment split point of a paired encoding: index of the first
+/// segment-1 token. [0, split) is record r (incl. CLS and the first SEP),
+/// [split, n) is record s. Shared by the tape and inference feature paths.
+size_t PairSplit(const text::EncodedSequence& seq) {
   size_t split = seq.segments.size();
   for (size_t i = 0; i < seq.segments.size(); ++i) {
     if (seq.segments[i] == 1) {
@@ -68,6 +74,16 @@ Var TplmModel::EncodePairFeatures(nn::ForwardContext& ctx,
   }
   DIAL_CHECK_GT(split, 0u);
   DIAL_CHECK_LT(split, seq.segments.size());
+  return split;
+}
+
+}  // namespace
+
+Var TplmModel::EncodePairFeatures(nn::ForwardContext& ctx,
+                                  const text::EncodedSequence& seq) {
+  Var first;
+  Var hidden = encoder_.Forward(ctx, seq.ids, seq.segments, &first);
+  const size_t split = PairSplit(seq);
   const size_t n = seq.segments.size();
   Var cls = autograd::SliceRows(hidden, 0, 1);
   // Segment means over the lexical (embedding-layer) representation — the
@@ -110,6 +126,266 @@ Var TplmModel::EncodePairFeatures(nn::ForwardContext& ctx,
                           -1.0f),  // min alignment r->s
   });
   return autograd::ConcatCols({cls, mean0, mean1, diff, align});
+}
+
+namespace {
+
+/// Sequences per packed inference forward. Small on purpose: the per-head
+/// activation buffers of a pack must stay L2-resident (a 64-seq pack of
+/// len-60 pairs measurably loses to packs of one on a 1 MB-L2 container),
+/// while 8 still amortizes GEMM setup and feeds the pack-level ParallelFor
+/// plenty of independent work.
+constexpr size_t kMaxInferPack = 8;
+
+/// One same-length pack of sequence indices (in input order).
+struct InferPack {
+  size_t len = 0;
+  std::vector<size_t> idx;
+};
+
+/// Length-buckets `seqs` into packs of at most kMaxInferPack sequences.
+/// Buckets are emitted in ascending length order; results never depend on
+/// pack composition (per-sequence outputs are row-independent).
+std::vector<InferPack> LengthPacks(
+    const std::vector<const text::EncodedSequence*>& seqs) {
+  std::map<size_t, std::vector<size_t>> by_len;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    DIAL_CHECK_EQ(seqs[i]->ids.size(), seqs[i]->segments.size());
+    DIAL_CHECK_GT(seqs[i]->ids.size(), 0u);
+    by_len[seqs[i]->ids.size()].push_back(i);
+  }
+  std::vector<InferPack> packs;
+  for (const auto& [len, members] : by_len) {
+    for (size_t begin = 0; begin < members.size(); begin += kMaxInferPack) {
+      const size_t end = std::min(members.size(), begin + kMaxInferPack);
+      InferPack pack;
+      pack.len = len;
+      pack.idx.assign(members.begin() + begin, members.begin() + end);
+      packs.push_back(std::move(pack));
+    }
+  }
+  return packs;
+}
+
+/// Packs a bucket's ids/segments back to back for the batched encoder.
+void PackSequences(const std::vector<const text::EncodedSequence*>& seqs,
+                   const InferPack& pack, std::vector<int>& ids,
+                   std::vector<int>& segments) {
+  const size_t len = pack.len;
+  ids.resize(pack.idx.size() * len);
+  segments.resize(ids.size());
+  for (size_t b = 0; b < pack.idx.size(); ++b) {
+    const text::EncodedSequence& seq = *seqs[pack.idx[b]];
+    std::copy(seq.ids.begin(), seq.ids.end(), ids.begin() + b * len);
+    std::copy(seq.segments.begin(), seq.segments.end(),
+              segments.begin() + b * len);
+  }
+}
+
+}  // namespace
+
+la::Matrix TplmModel::EncodeSingleBatch(
+    autograd::InferenceContext& ctx,
+    const std::vector<const text::EncodedSequence*>& seqs) const {
+  namespace infer = autograd::infer;
+  const size_t d = config_.transformer.dim;
+  la::Matrix out(seqs.size(), d);
+  if (seqs.empty()) return out;
+  const float w = config_.single_mode_last_weight;
+  // Single-mode pooling reads only the embedding layer when the last-layer
+  // weight is zero (the default), so the engine prunes the whole attention
+  // stack — the Tape path computes and discards it.
+  nn::TransformerEncoder::InferOptions options;
+  options.embed_only = w <= 0.0f;
+  const std::vector<InferPack> packs = LengthPacks(seqs);
+  // Packs are independent; fan them out over the pool (nested parallelism
+  // inside the encoder degrades to inline execution on pool workers).
+  util::ParallelFor(ctx.pool(), packs.size(), [&](size_t begin, size_t end) {
+    std::vector<int> ids;
+    std::vector<int> segments;
+    for (size_t p = begin; p < end; ++p) {
+      const InferPack& pack = packs[p];
+      const size_t batch = pack.idx.size();
+      const size_t len = pack.len;
+      PackSequences(seqs, pack, ids, segments);
+      autograd::Scratch hidden(ctx, batch * len, d);
+      autograd::Scratch first(ctx, batch * len, d);
+      encoder_.InferForward(ctx, ids, segments, batch, len, *hidden, &*first,
+                            options);
+      if (w <= 0.0f) {
+        for (size_t b = 0; b < batch; ++b) {
+          infer::MeanRowsInto(*first, b * len, len, out.row(pack.idx[b]));
+        }
+      } else {
+        // Mirrors MeanRows(Add(ScalarMul(first, 1-w), ScalarMul(last, w)))
+        // as three separate elementwise passes — keeping the multiply and
+        // add in distinct loops exactly like the tape ops, so no mul-add
+        // contraction can diverge from the tape path.
+        autograd::Scratch mix_a(ctx, len, d);
+        autograd::Scratch mix_b(ctx, len, d);
+        for (size_t b = 0; b < batch; ++b) {
+          const float* fr = first->row(b * len);
+          const float* lr = hidden->row(b * len);
+          float* ma = mix_a->data();
+          float* mb = mix_b->data();
+          for (size_t i = 0; i < len * d; ++i) ma[i] = fr[i] * (1.0f - w);
+          for (size_t i = 0; i < len * d; ++i) mb[i] = lr[i] * w;
+          for (size_t i = 0; i < len * d; ++i) ma[i] = ma[i] + mb[i];
+          infer::MeanRowsInto(*mix_a, 0, len, out.row(pack.idx[b]));
+        }
+      }
+    }
+  });
+  return out;
+}
+
+void TplmModel::InferAlignFeatures(autograd::InferenceContext& ctx,
+                                   const text::EncodedSequence& seq, size_t split,
+                                   float* out4) const {
+  namespace infer = autograd::infer;
+  const size_t n = seq.segments.size();
+  const size_t body0_begin = 1;                            // skip CLS
+  const size_t body0_end = split > 2 ? split - 1 : split;  // skip first SEP
+  const size_t body1_begin = split;
+  const size_t body1_end = n > split + 1 ? n - 1 : n;  // skip final SEP
+  const size_t n0 = std::max(body0_end, body0_begin + 1) - body0_begin;
+  const size_t n1 = std::max(body1_end, body1_begin + 1) - body1_begin;
+  const la::Matrix& table = encoder_.token_embedding().table()->value;
+  const size_t d = table.cols();
+  autograd::Scratch f0(ctx, n0, d);
+  autograd::Scratch f1(ctx, n1, d);
+  for (size_t i = 0; i < n0; ++i) {
+    const float* src = table.row(seq.ids[body0_begin + i]);
+    std::copy(src, src + d, f0->row(i));
+  }
+  for (size_t i = 0; i < n1; ++i) {
+    const float* src = table.row(seq.ids[body1_begin + i]);
+    std::copy(src, src + d, f1->row(i));
+  }
+  infer::NormalizeRowsInPlace(*f0);
+  infer::NormalizeRowsInPlace(*f1);
+  autograd::Scratch sim(ctx, n1, n0);  // (n1, n0) cosine matrix
+  infer::MatMulTransposeB(*f1, *f0, *sim, ctx.pool());
+
+  // mean / min of the per-row best matches, mirroring the Tape graph's
+  // RowMax (strict >, first index wins) + MeanRows and the negate-max-negate
+  // minimum. best_1to0 scans rows of sim; best_0to1 scans its columns
+  // (= rows of the transpose).
+  float acc_1to0 = 0.0f;
+  float neg_max_1to0 = 0.0f;
+  for (size_t r = 0; r < n1; ++r) {
+    const float* row = sim->row(r);
+    float best = row[0];
+    for (size_t c = 1; c < n0; ++c) {
+      if (row[c] > best) best = row[c];
+    }
+    acc_1to0 += best;
+    if (r == 0 || -best > neg_max_1to0) neg_max_1to0 = -best;
+  }
+  float acc_0to1 = 0.0f;
+  float neg_max_0to1 = 0.0f;
+  for (size_t c = 0; c < n0; ++c) {
+    float best = (*sim)(0, c);
+    for (size_t r = 1; r < n1; ++r) {
+      if ((*sim)(r, c) > best) best = (*sim)(r, c);
+    }
+    acc_0to1 += best;
+    if (c == 0 || -best > neg_max_0to1) neg_max_0to1 = -best;
+  }
+  out4[0] = acc_1to0 * (1.0f / static_cast<float>(n1));
+  out4[1] = -neg_max_1to0;  // min alignment s->r
+  out4[2] = acc_0to1 * (1.0f / static_cast<float>(n0));
+  out4[3] = -neg_max_0to1;  // min alignment r->s
+}
+
+la::Matrix TplmModel::EncodePairFeaturesBatch(
+    autograd::InferenceContext& ctx,
+    const std::vector<const text::EncodedSequence*>& seqs) const {
+  namespace infer = autograd::infer;
+  const size_t d = config_.transformer.dim;
+  la::Matrix out(seqs.size(), pair_feature_dim());
+  if (seqs.empty()) return out;
+  // Downstream reads only each sequence's CLS row of the last layer (plus
+  // the embedding layer), so the final layer runs in CLS-only mode.
+  nn::TransformerEncoder::InferOptions options;
+  options.cls_only_last = true;
+  const std::vector<InferPack> packs = LengthPacks(seqs);
+  util::ParallelFor(ctx.pool(), packs.size(), [&](size_t begin, size_t end) {
+    std::vector<int> ids;
+    std::vector<int> segments;
+    for (size_t p = begin; p < end; ++p) {
+      const InferPack& pack = packs[p];
+      const size_t batch = pack.idx.size();
+      const size_t len = pack.len;
+      PackSequences(seqs, pack, ids, segments);
+      autograd::Scratch hidden(ctx, batch * len, d);
+      autograd::Scratch first(ctx, batch * len, d);
+      encoder_.InferForward(ctx, ids, segments, batch, len, *hidden, &*first,
+                            options);
+      for (size_t b = 0; b < batch; ++b) {
+        const text::EncodedSequence& seq = *seqs[pack.idx[b]];
+        const size_t split = PairSplit(seq);
+        float* orow = out.row(pack.idx[b]);
+        // [CLS ; mean(seg0) ; mean(seg1) ; |mean0 - mean1| ; align(4)]
+        std::copy(hidden->row(b * len), hidden->row(b * len) + d, orow);
+        infer::MeanRowsInto(*first, b * len, split, orow + d);
+        infer::MeanRowsInto(*first, b * len + split, len - split, orow + 2 * d);
+        for (size_t c = 0; c < d; ++c) {
+          orow[3 * d + c] = std::fabs(orow[d + c] - orow[2 * d + c]);
+        }
+        InferAlignFeatures(ctx, seq, split, orow + 4 * d);
+      }
+    }
+  });
+  return out;
+}
+
+double TplmModel::EvalMlmLoss(autograd::InferenceContext& ctx,
+                              const text::EncodedSequence& seq, util::Rng& rng,
+                              float mask_prob) const {
+  namespace infer = autograd::infer;
+  // Identical corruption sampling to MlmLoss: the two paths consume the rng
+  // stream in lockstep, so eval losses are comparable step for step.
+  const size_t vocab = config_.transformer.vocab_size;
+  std::vector<int> corrupted = seq.ids;
+  std::vector<int> targets(seq.ids.size(), -1);
+  size_t masked = 0;
+  for (size_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted[i] < text::SpecialIds::kCount) continue;  // skip specials
+    if (!rng.Bernoulli(mask_prob)) continue;
+    targets[i] = seq.ids[i];
+    ++masked;
+    const double roll = rng.Uniform();
+    if (roll < 0.8) {
+      corrupted[i] = text::SpecialIds::kMask;
+    } else if (roll < 0.9) {
+      corrupted[i] = static_cast<int>(
+          text::SpecialIds::kCount +
+          rng.UniformInt(vocab - text::SpecialIds::kCount));
+    }  // else keep
+  }
+  if (masked == 0) return -1.0;
+  const size_t len = corrupted.size();
+  const size_t d = config_.transformer.dim;
+  autograd::Scratch hidden(ctx, len, d);
+  encoder_.InferForward(ctx, corrupted, seq.segments, 1, len, *hidden);
+  // Tied-weight output projection + the SoftmaxCrossEntropy forward.
+  const la::Matrix& table = encoder_.token_embedding().table()->value;
+  autograd::Scratch logits(ctx, len, vocab);
+  infer::MatMulTransposeB(*hidden, table, *logits, ctx.pool());
+  size_t valid = 0;
+  double loss = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    if (targets[i] < 0) continue;
+    ++valid;
+    const float* row = logits->row(i);
+    float mx = row[0];
+    for (size_t c = 1; c < vocab; ++c) mx = std::max(mx, row[c]);
+    float acc = 0.0f;
+    for (size_t c = 0; c < vocab; ++c) acc += std::exp(row[c] - mx);
+    loss += (mx + std::log(acc)) - row[targets[i]];
+  }
+  return static_cast<float>(loss / static_cast<double>(valid));
 }
 
 Var TplmModel::MlmLoss(nn::ForwardContext& ctx, const text::EncodedSequence& seq,

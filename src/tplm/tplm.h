@@ -70,7 +70,38 @@ class TplmModel : public nn::Module {
   autograd::Var MlmLoss(nn::ForwardContext& ctx, const text::EncodedSequence& seq,
                         util::Rng& rng, float mask_prob = 0.15f);
 
+  // ---- Inference engine (tape-free, cross-sequence batched) ----
+  // The batched entry points length-bucket their inputs, pack each bucket
+  // into one (B·len, dim) activation, and run the no-grad encoder forward
+  // through an InferenceContext arena. Outputs are bit-identical to running
+  // the corresponding Tape forward per sequence (dropout off), and
+  // bit-identical across thread counts.
+
+  /// Single-mode embeddings E(x) (Eq. 3): one row per sequence.
+  la::Matrix EncodeSingleBatch(
+      autograd::InferenceContext& ctx,
+      const std::vector<const text::EncodedSequence*>& seqs) const;
+
+  /// Matcher input features (see EncodePairFeatures): one row per sequence,
+  /// pair_feature_dim() columns.
+  la::Matrix EncodePairFeaturesBatch(
+      autograd::InferenceContext& ctx,
+      const std::vector<const text::EncodedSequence*>& seqs) const;
+
+  /// Forward-only MLM loss under the same dynamic masking as MlmLoss (the
+  /// rng streams stay in lockstep), without recording a tape — the held-out
+  /// eval path. Returns -1 when no position was masked.
+  double EvalMlmLoss(autograd::InferenceContext& ctx,
+                     const text::EncodedSequence& seq, util::Rng& rng,
+                     float mask_prob = 0.15f) const;
+
  private:
+  /// The four soft token-alignment features of EncodePairFeatures, computed
+  /// tape-free for one sequence into out4[0..4).
+  void InferAlignFeatures(autograd::InferenceContext& ctx,
+                          const text::EncodedSequence& seq, size_t split,
+                          float* out4) const;
+
   TplmConfig config_;
   util::Rng init_rng_;  // must precede encoder_: consumed during construction
   nn::TransformerEncoder encoder_;

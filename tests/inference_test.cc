@@ -1,0 +1,546 @@
+// Parity and determinism contract of the tape-free batched inference engine
+// (autograd::InferenceContext + the InferForward paths):
+//  - per-layer and end-to-end bit-identity with the Tape forward (dropout
+//    off): Linear, LayerNorm, Embedding, TransformerLayer, encoder, matcher
+//    probabilities, SBERT embeddings, committee transforms and vote entropy,
+//    TPLM eval loss;
+//  - batched == one-at-a-time across ragged length buckets (packing never
+//    changes a sequence's result);
+//  - bit-identity across 0/2/8 worker threads;
+//  - arena reuse: repeat calls allocate nothing new.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "autograd/inference.h"
+#include "core/committee.h"
+#include "core/encodings.h"
+#include "core/matcher.h"
+#include "core/sbert.h"
+#include "core/selectors.h"
+#include "data/dataset.h"
+#include "nn/layers.h"
+#include "nn/transformer.h"
+#include "tplm/tplm.h"
+#include "util/thread_pool.h"
+
+namespace dial {
+namespace {
+
+void ExpectBitEqual(const la::Matrix& a, const la::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+tplm::TplmConfig SmallConfig(size_t vocab = 96) {
+  tplm::TplmConfig config;
+  config.transformer.vocab_size = vocab;
+  config.transformer.dim = 16;
+  config.transformer.num_layers = 2;
+  config.transformer.num_heads = 2;
+  config.transformer.ffn_dim = 32;
+  return config;
+}
+
+/// [CLS, body..., SEP], all segment 0.
+text::EncodedSequence SingleSeq(size_t body, uint64_t seed, size_t vocab) {
+  util::Rng rng(seed);
+  text::EncodedSequence seq;
+  seq.ids.push_back(text::SpecialIds::kCls);
+  for (size_t i = 0; i < body; ++i) {
+    seq.ids.push_back(static_cast<int>(
+        text::SpecialIds::kCount +
+        rng.UniformInt(vocab - text::SpecialIds::kCount)));
+  }
+  seq.ids.push_back(text::SpecialIds::kSep);
+  seq.segments.assign(seq.ids.size(), 0);
+  return seq;
+}
+
+/// [CLS, a..., SEP | b..., SEP] with segments 0...0 1...1.
+text::EncodedSequence PairSeq(size_t body0, size_t body1, uint64_t seed,
+                              size_t vocab) {
+  util::Rng rng(seed);
+  auto piece = [&] {
+    return static_cast<int>(text::SpecialIds::kCount +
+                            rng.UniformInt(vocab - text::SpecialIds::kCount));
+  };
+  text::EncodedSequence seq;
+  seq.ids.push_back(text::SpecialIds::kCls);
+  for (size_t i = 0; i < body0; ++i) seq.ids.push_back(piece());
+  seq.ids.push_back(text::SpecialIds::kSep);
+  const size_t split = seq.ids.size();
+  for (size_t i = 0; i < body1; ++i) seq.ids.push_back(piece());
+  seq.ids.push_back(text::SpecialIds::kSep);
+  seq.segments.assign(split, 0);
+  seq.segments.resize(seq.ids.size(), 1);
+  return seq;
+}
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix m(rows, cols);
+  m.RandNormal(rng, 1.0f);
+  return m;
+}
+
+// ---------------------------------------------------------------- per layer
+
+TEST(InferenceLayers, LinearMatchesTape) {
+  util::Rng rng(7);
+  nn::Linear linear("lin", 12, 8, rng);
+  const la::Matrix x = RandomMatrix(5, 12, 21);
+
+  autograd::Tape tape;
+  util::Rng tape_rng(1);
+  nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+  const la::Matrix expected = linear.Forward(tctx, tape.Constant(x)).value();
+
+  autograd::InferenceContext ctx;
+  autograd::Scratch got = linear.InferForward(ctx, x);
+  ExpectBitEqual(expected, *got);
+}
+
+TEST(InferenceLayers, LayerNormMatchesTape) {
+  util::Rng rng(7);
+  nn::LayerNorm ln("ln", 10);
+  // Non-trivial affine parameters.
+  auto params = ln.Parameters();
+  params[0]->value.RandNormal(rng, 0.5f);
+  params[1]->value.RandNormal(rng, 0.5f);
+  const la::Matrix x = RandomMatrix(6, 10, 22);
+
+  autograd::Tape tape;
+  util::Rng tape_rng(1);
+  nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+  const la::Matrix expected = ln.Forward(tctx, tape.Constant(x)).value();
+
+  la::Matrix got(6, 10);
+  ln.InferForward(x, got);
+  ExpectBitEqual(expected, got);
+}
+
+TEST(InferenceLayers, EmbeddingGatherMatchesTape) {
+  util::Rng rng(7);
+  nn::Embedding emb("emb", 20, 8, rng);
+  const std::vector<int> ids = {3, 0, 19, 3, 7};
+
+  autograd::Tape tape;
+  util::Rng tape_rng(1);
+  nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+  const la::Matrix expected = emb.Forward(tctx, ids).value();
+
+  autograd::InferenceContext ctx;
+  autograd::Scratch got = emb.InferGather(ctx, ids);
+  ExpectBitEqual(expected, *got);
+}
+
+TEST(InferenceLayers, TransformerLayerMatchesTapePerSequence) {
+  // dim 16 / heads 2 exercises the head-split wo fast path (head_dim 8, a
+  // multiple of the GEMM 4-step k-grouping); dim 12 / heads 2 (head_dim 6)
+  // exercises the materialized-merge fallback.
+  const size_t dims[][2] = {{16, 2}, {12, 2}};
+  for (const auto& shape : dims) {
+    nn::TransformerConfig config;
+    config.dim = shape[0];
+    config.num_heads = shape[1];
+    config.ffn_dim = 2 * config.dim;
+    util::Rng rng(11);
+    nn::TransformerLayer layer("layer", config, rng);
+
+    // Three same-length sequences packed into one batched call vs three
+    // independent tape forwards.
+    const size_t len = 7;
+    const size_t batch = 3;
+    la::Matrix packed(batch * len, config.dim);
+    std::vector<la::Matrix> expected;
+    for (size_t b = 0; b < batch; ++b) {
+      const la::Matrix x = RandomMatrix(len, config.dim, 100 + b);
+      std::copy(x.data(), x.data() + x.size(), packed.row(b * len));
+      autograd::Tape tape;
+      util::Rng tape_rng(1);
+      nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+      expected.push_back(layer.Forward(tctx, tape.Constant(x)).value());
+    }
+    autograd::InferenceContext ctx;
+    layer.InferForward(ctx, batch, len, packed);
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t t = 0; t < len; ++t) {
+        for (size_t c = 0; c < config.dim; ++c) {
+          ASSERT_EQ(expected[b](t, c), packed(b * len + t, c))
+              << "dim " << config.dim << " seq " << b << " token " << t
+              << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(InferenceLayers, TransformerLayerClsOnlyMatchesFullForward) {
+  nn::TransformerConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.ffn_dim = 32;
+  util::Rng rng(13);
+  nn::TransformerLayer layer("layer", config, rng);
+  const size_t len = 9;
+  const size_t batch = 4;
+  la::Matrix packed = RandomMatrix(batch * len, config.dim, 321);
+  la::Matrix full = packed;
+  autograd::InferenceContext ctx;
+  layer.InferForward(ctx, batch, len, full);
+  la::Matrix cls(batch, config.dim);
+  layer.InferForwardCls(ctx, batch, len, packed, cls);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < config.dim; ++c) {
+      ASSERT_EQ(full(b * len, c), cls(b, c)) << "seq " << b << " col " << c;
+    }
+  }
+}
+
+TEST(InferenceLayers, EncoderMatchesTapeWithEmbedOut) {
+  const size_t vocab = 64;
+  tplm::TplmConfig config = SmallConfig(vocab);
+  tplm::TplmModel model("m", config, 5);
+  const text::EncodedSequence seq = SingleSeq(9, 77, vocab);
+  const size_t len = seq.ids.size();
+  const size_t d = config.transformer.dim;
+
+  autograd::Tape tape;
+  util::Rng tape_rng(1);
+  nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+  autograd::Var embed_var;
+  const la::Matrix expected_hidden =
+      model.encoder().Forward(tctx, seq.ids, seq.segments, &embed_var).value();
+  const la::Matrix expected_embed = embed_var.value();
+
+  autograd::InferenceContext ctx;
+  la::Matrix hidden(len, d);
+  la::Matrix embed(len, d);
+  model.encoder().InferForward(ctx, seq.ids, seq.segments, 1, len, hidden,
+                               &embed);
+  ExpectBitEqual(expected_hidden, hidden);
+  ExpectBitEqual(expected_embed, embed);
+}
+
+// --------------------------------------------------- batched TPLM entry points
+
+std::vector<text::EncodedSequence> RaggedSingles(size_t vocab) {
+  std::vector<text::EncodedSequence> seqs;
+  const size_t bodies[] = {4, 9, 4, 12, 9, 4, 7};
+  for (size_t i = 0; i < sizeof(bodies) / sizeof(bodies[0]); ++i) {
+    seqs.push_back(SingleSeq(bodies[i], 300 + i, vocab));
+  }
+  return seqs;
+}
+
+std::vector<text::EncodedSequence> RaggedPairs(size_t vocab) {
+  std::vector<text::EncodedSequence> seqs;
+  const size_t bodies[][2] = {{3, 5}, {6, 2}, {3, 5}, {8, 8}, {1, 1}, {6, 2}};
+  for (size_t i = 0; i < sizeof(bodies) / sizeof(bodies[0]); ++i) {
+    seqs.push_back(PairSeq(bodies[i][0], bodies[i][1], 500 + i, vocab));
+  }
+  return seqs;
+}
+
+std::vector<const text::EncodedSequence*> Pointers(
+    const std::vector<text::EncodedSequence>& seqs) {
+  std::vector<const text::EncodedSequence*> out;
+  for (const auto& s : seqs) out.push_back(&s);
+  return out;
+}
+
+TEST(InferenceEngine, EncodeSingleBatchMatchesTapeAcrossRaggedBuckets) {
+  const size_t vocab = 64;
+  tplm::TplmModel model("m", SmallConfig(vocab), 5);
+  const auto seqs = RaggedSingles(vocab);
+
+  autograd::InferenceContext ctx;
+  const la::Matrix batched = model.EncodeSingleBatch(ctx, Pointers(seqs));
+  ASSERT_EQ(batched.rows(), seqs.size());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    autograd::Tape tape;
+    util::Rng tape_rng(1);
+    nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+    const la::Matrix expected = model.EncodeSingle(tctx, seqs[i]).value();
+    for (size_t c = 0; c < batched.cols(); ++c) {
+      ASSERT_EQ(expected(0, c), batched(i, c)) << "seq " << i << " dim " << c;
+    }
+  }
+}
+
+TEST(InferenceEngine, EncodeSingleBatchFirstLastMixMatchesTape) {
+  const size_t vocab = 64;
+  tplm::TplmConfig config = SmallConfig(vocab);
+  config.single_mode_last_weight = 0.4f;
+  tplm::TplmModel model("m", config, 5);
+  const auto seqs = RaggedSingles(vocab);
+
+  autograd::InferenceContext ctx;
+  const la::Matrix batched = model.EncodeSingleBatch(ctx, Pointers(seqs));
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    autograd::Tape tape;
+    util::Rng tape_rng(1);
+    nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+    const la::Matrix expected = model.EncodeSingle(tctx, seqs[i]).value();
+    for (size_t c = 0; c < batched.cols(); ++c) {
+      ASSERT_EQ(expected(0, c), batched(i, c)) << "seq " << i << " dim " << c;
+    }
+  }
+}
+
+TEST(InferenceEngine, PairFeaturesBatchMatchesTapeAcrossRaggedBuckets) {
+  const size_t vocab = 64;
+  tplm::TplmModel model("m", SmallConfig(vocab), 5);
+  const auto seqs = RaggedPairs(vocab);
+
+  autograd::InferenceContext ctx;
+  const la::Matrix batched = model.EncodePairFeaturesBatch(ctx, Pointers(seqs));
+  ASSERT_EQ(batched.cols(), model.pair_feature_dim());
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    autograd::Tape tape;
+    util::Rng tape_rng(1);
+    nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+    const la::Matrix expected = model.EncodePairFeatures(tctx, seqs[i]).value();
+    for (size_t c = 0; c < batched.cols(); ++c) {
+      ASSERT_EQ(expected(0, c), batched(i, c)) << "seq " << i << " col " << c;
+    }
+  }
+}
+
+TEST(InferenceEngine, BatchedEqualsOneAtATime) {
+  const size_t vocab = 64;
+  tplm::TplmModel model("m", SmallConfig(vocab), 5);
+  const auto singles = RaggedSingles(vocab);
+  const auto pairs = RaggedPairs(vocab);
+
+  autograd::InferenceContext ctx;
+  const la::Matrix batched_s = model.EncodeSingleBatch(ctx, Pointers(singles));
+  const la::Matrix batched_p = model.EncodePairFeaturesBatch(ctx, Pointers(pairs));
+  for (size_t i = 0; i < singles.size(); ++i) {
+    const la::Matrix one = model.EncodeSingleBatch(ctx, {&singles[i]});
+    for (size_t c = 0; c < batched_s.cols(); ++c) {
+      ASSERT_EQ(one(0, c), batched_s(i, c));
+    }
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const la::Matrix one = model.EncodePairFeaturesBatch(ctx, {&pairs[i]});
+    for (size_t c = 0; c < batched_p.cols(); ++c) {
+      ASSERT_EQ(one(0, c), batched_p(i, c));
+    }
+  }
+}
+
+TEST(InferenceEngine, BitIdenticalAcrossThreadCounts) {
+  const size_t vocab = 64;
+  tplm::TplmModel model("m", SmallConfig(vocab), 5);
+  const auto singles = RaggedSingles(vocab);
+  const auto pairs = RaggedPairs(vocab);
+
+  autograd::InferenceContext inline_ctx;
+  const la::Matrix base_s = model.EncodeSingleBatch(inline_ctx, Pointers(singles));
+  const la::Matrix base_p =
+      model.EncodePairFeaturesBatch(inline_ctx, Pointers(pairs));
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    util::ThreadPool pool(threads);
+    autograd::InferenceContext ctx(&pool);
+    ExpectBitEqual(base_s, model.EncodeSingleBatch(ctx, Pointers(singles)));
+    ExpectBitEqual(base_p, model.EncodePairFeaturesBatch(ctx, Pointers(pairs)));
+  }
+}
+
+TEST(InferenceEngine, ArenaStopsAllocatingAfterWarmup) {
+  const size_t vocab = 64;
+  tplm::TplmModel model("m", SmallConfig(vocab), 5);
+  const auto seqs = RaggedSingles(vocab);
+
+  autograd::InferenceContext ctx;
+  model.EncodeSingleBatch(ctx, Pointers(seqs));
+  EXPECT_EQ(ctx.borrowed(), 0u);
+  const size_t warm = ctx.allocated();
+  EXPECT_GT(warm, 0u);
+  for (int i = 0; i < 3; ++i) model.EncodeSingleBatch(ctx, Pointers(seqs));
+  EXPECT_EQ(ctx.allocated(), warm) << "steady-state forwards must not allocate";
+  EXPECT_EQ(ctx.borrowed(), 0u);
+}
+
+TEST(InferenceEngine, EvalMlmLossMatchesTapeForward) {
+  const size_t vocab = 64;
+  tplm::TplmModel model("m", SmallConfig(vocab), 5);
+  const text::EncodedSequence seq = SingleSeq(14, 909, vocab);
+
+  util::Rng mask_rng_tape(42);
+  autograd::Tape tape;
+  util::Rng tape_rng(1);
+  nn::ForwardContext tctx{&tape, &tape_rng, /*training=*/false};
+  autograd::Var loss =
+      model.MlmLoss(tctx, seq, mask_rng_tape, /*mask_prob=*/0.4f);
+  ASSERT_TRUE(loss.valid()) << "seed must mask at least one piece";
+
+  util::Rng mask_rng_infer(42);
+  autograd::InferenceContext ctx;
+  const double eval =
+      model.EvalMlmLoss(ctx, seq, mask_rng_infer, /*mask_prob=*/0.4f);
+  EXPECT_EQ(loss.scalar(), static_cast<float>(eval));
+}
+
+// -------------------------------------------------------- end-to-end consumers
+
+data::DatasetBundle TinyBundle() {
+  data::DatasetBundle bundle;
+  bundle.name = "tiny";
+  bundle.r_table = data::Table({"t"});
+  bundle.s_table = data::Table({"t"});
+  const char* r_texts[] = {"alpha beta gamma", "delta four five",
+                           "omega prime seven", "kappa lambda mu"};
+  const char* s_texts[] = {"alpha beta gamma", "delta four six",
+                           "omega prime seven", "nu xi omicron"};
+  for (int i = 0; i < 4; ++i) {
+    data::Record r;
+    r.entity_id = i;
+    r.values = {r_texts[i]};
+    bundle.r_table.Add(r);
+    data::Record s;
+    s.entity_id = i;
+    s.values = {s_texts[i]};
+    bundle.s_table.Add(s);
+  }
+  bundle.dups = {{0, 0}, {2, 2}};
+  for (const auto& p : bundle.dups) bundle.dup_keys.insert(p.Key());
+  return bundle;
+}
+
+class EndToEndFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    bundle_ = TinyBundle();
+    text::SubwordVocab::Options vo;
+    vo.max_vocab = 256;
+    vo.min_word_freq = 1;
+    vocab_ = std::make_unique<text::SubwordVocab>(
+        text::SubwordVocab::Train(bundle_.CorpusLines(), vo));
+    config_ = SmallConfig(vocab_->size());
+    pretrained_ = std::make_unique<tplm::TplmModel>("p", config_, 3);
+  }
+
+  std::vector<data::PairId> AllPairs() const {
+    std::vector<data::PairId> out;
+    for (uint32_t r = 0; r < 4; ++r) {
+      for (uint32_t s = 0; s < 4; ++s) out.push_back({r, s});
+    }
+    return out;
+  }
+
+  data::DatasetBundle bundle_;
+  std::unique_ptr<text::SubwordVocab> vocab_;
+  tplm::TplmConfig config_;
+  std::unique_ptr<tplm::TplmModel> pretrained_;
+};
+
+TEST_F(EndToEndFixture, MatcherOutputsMatchTapePath) {
+  core::PairEncodingCache cache(&bundle_, vocab_.get(), config_.max_pair_len);
+  core::MatcherConfig mc;
+  core::Matcher matcher(config_, mc, 5);
+  matcher.ResetFromPretrained(*pretrained_);
+  const auto query = AllPairs();
+
+  ASSERT_TRUE(matcher.inference_engine());
+  const auto probs_engine = matcher.PredictProbs(cache, query);
+  const la::Matrix badge_engine = matcher.BadgeEmbeddings(cache, query);
+  const la::Matrix reps_engine = matcher.PairRepresentations(cache, query);
+
+  matcher.SetInferenceEngine(false);
+  const auto probs_tape = matcher.PredictProbs(cache, query);
+  const la::Matrix badge_tape = matcher.BadgeEmbeddings(cache, query);
+  const la::Matrix reps_tape = matcher.PairRepresentations(cache, query);
+
+  ASSERT_EQ(probs_engine.size(), probs_tape.size());
+  for (size_t i = 0; i < probs_engine.size(); ++i) {
+    ASSERT_EQ(probs_engine[i], probs_tape[i]) << "pair " << i;
+  }
+  ExpectBitEqual(badge_tape, badge_engine);
+  ExpectBitEqual(reps_tape, reps_engine);
+}
+
+TEST_F(EndToEndFixture, MatcherSingleModeEmbeddingsMatchTapePath) {
+  core::RecordEncodings encodings(bundle_, *vocab_, config_.max_single_len);
+  std::vector<const text::EncodedSequence*> seqs;
+  for (size_t i = 0; i < encodings.r_size(); ++i) seqs.push_back(&encodings.R(i));
+  for (size_t i = 0; i < encodings.s_size(); ++i) seqs.push_back(&encodings.S(i));
+
+  core::MatcherConfig mc;
+  core::Matcher matcher(config_, mc, 5);
+  matcher.ResetFromPretrained(*pretrained_);
+  const la::Matrix engine = matcher.EmbedSingleMode(seqs);
+  matcher.SetInferenceEngine(false);
+  const la::Matrix tape = matcher.EmbedSingleMode(seqs);
+  ExpectBitEqual(tape, engine);
+}
+
+TEST_F(EndToEndFixture, SbertEmbeddingsMatchTapePath) {
+  core::RecordEncodings encodings(bundle_, *vocab_, config_.max_single_len);
+  core::SbertConfig sc;
+  core::SentenceBertBlocker blocker(config_, sc, 9);
+  blocker.ResetFromPretrained(*pretrained_, 0x1234);
+  const la::Matrix engine_r = blocker.EmbedR(encodings);
+  const la::Matrix engine_s = blocker.EmbedS(encodings);
+  blocker.SetInferenceEngine(false);
+  const la::Matrix tape_r = blocker.EmbedR(encodings);
+  const la::Matrix tape_s = blocker.EmbedS(encodings);
+  ExpectBitEqual(tape_r, engine_r);
+  ExpectBitEqual(tape_s, engine_s);
+}
+
+TEST(InferenceEngine, CommitteeTransformMatchesTapePath) {
+  for (const bool normalize : {true, false}) {
+    core::BlockerConfig config;
+    config.committee_size = 3;
+    config.normalize_output = normalize;
+    core::BlockerCommittee committee(16, config);
+    const la::Matrix embeddings = RandomMatrix(10, 16, 31);
+    for (size_t k = 0; k < committee.size(); ++k) {
+      const la::Matrix engine = committee.Encode(k, embeddings);
+      committee.member(k).SetInferenceEngine(false);
+      const la::Matrix tape = committee.Encode(k, embeddings);
+      ExpectBitEqual(tape, engine);
+    }
+  }
+}
+
+TEST_F(EndToEndFixture, CommitteeVoteEntropyMatchesTapePath) {
+  // QBC-style vote entropy over a 3-matcher committee: the selector-visible
+  // quantity must be identical on both inference paths.
+  core::PairEncodingCache cache(&bundle_, vocab_.get(), config_.max_pair_len);
+  const auto query = AllPairs();
+  std::vector<std::vector<float>> engine_probs;
+  std::vector<std::vector<float>> tape_probs;
+  for (uint64_t m = 0; m < 3; ++m) {
+    core::MatcherConfig mc;
+    mc.seed = 1000 + m;
+    core::Matcher matcher(config_, mc, 50 + m);
+    matcher.ResetFromPretrained(*pretrained_);
+    engine_probs.push_back(matcher.PredictProbs(cache, query));
+    matcher.SetInferenceEngine(false);
+    tape_probs.push_back(matcher.PredictProbs(cache, query));
+  }
+  for (size_t i = 0; i < query.size(); ++i) {
+    double mean_engine = 0.0;
+    double mean_tape = 0.0;
+    for (size_t m = 0; m < 3; ++m) {
+      mean_engine += engine_probs[m][i];
+      mean_tape += tape_probs[m][i];
+    }
+    ASSERT_EQ(core::BinaryEntropy(mean_engine / 3.0),
+              core::BinaryEntropy(mean_tape / 3.0))
+        << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dial

@@ -176,6 +176,65 @@ TEST(ProductQuantizer, InnerProductTableMatchesReconstruction) {
   }
 }
 
+TEST(ProductQuantizer, AdcDistanceMatchesNaiveReference) {
+  // The block-unrolled ADC (4 subspace accumulators) against a plain
+  // sequential table sum, over subspace counts that hit the unrolled body,
+  // the tail, and tail-only shapes.
+  for (const size_t m : {size_t{1}, size_t{2}, size_t{4}, size_t{6}, size_t{8}}) {
+    const size_t dim = m * 2;
+    ProductQuantizer::Options options;
+    options.num_subspaces = m;
+    const la::Matrix data = RandomVectors(60, dim, 11 + m);
+    const la::Matrix queries = RandomVectors(4, dim, 23 + m);
+    ProductQuantizer pq(dim, options);
+    pq.Train(data);
+    const std::vector<uint8_t> codes = pq.EncodeBatch(data);
+    std::vector<float> table;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      pq.ComputeDistanceTable(queries.row(q), /*inner_product=*/false, table);
+      for (size_t i = 0; i < data.rows(); ++i) {
+        const uint8_t* code = codes.data() + i * pq.code_size();
+        float naive = 0.0f;
+        for (size_t sub = 0; sub < m; ++sub) {
+          naive += table[sub * pq.codebook_size() + code[sub]];
+        }
+        // Reassociated accumulation: near, not bitwise, vs the serial sum.
+        EXPECT_NEAR(pq.AdcDistance(table, code), naive,
+                    1e-4f * std::max(1.0f, std::fabs(naive)))
+            << "m=" << m << " q=" << q << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ProductQuantizer, AdcDistanceBatchBitIdenticalToScalar) {
+  // The batch scan shares the scalar entry point's accumulator routine, so
+  // batch == per-code calls bit for bit (the la/kernels batch contract).
+  for (const size_t m : {size_t{3}, size_t{4}, size_t{8}}) {
+    const size_t dim = m * 3;
+    ProductQuantizer::Options options;
+    options.num_subspaces = m;
+    const la::Matrix data = RandomVectors(50, dim, 31 + m);
+    const la::Matrix queries = RandomVectors(3, dim, 47 + m);
+    ProductQuantizer pq(dim, options);
+    pq.Train(data);
+    const std::vector<uint8_t> codes = pq.EncodeBatch(data);
+    std::vector<float> table;
+    std::vector<float> batch(data.rows());
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      pq.ComputeDistanceTable(queries.row(q), /*inner_product=*/false, table);
+      pq.AdcDistanceBatch(table, codes.data(), data.rows(), batch.data());
+      for (size_t i = 0; i < data.rows(); ++i) {
+        EXPECT_EQ(batch[i],
+                  pq.AdcDistance(table, codes.data() + i * pq.code_size()))
+            << "m=" << m << " q=" << q << " i=" << i;
+      }
+    }
+    // Empty scan is a no-op.
+    pq.AdcDistanceBatch(table, codes.data(), 0, batch.data());
+  }
+}
+
 TEST(ProductQuantizer, SymmetricDistanceProperties) {
   const la::Matrix data = RandomVectors(50, 8, 10);
   ProductQuantizer pq(8, {});

@@ -437,7 +437,20 @@ AlResult ActiveLearningLoop::Run() {
     matcher->PredictProbs(*pair_cache_, CandidatePairs(final_cand));
   }
   result.block_match_seconds = timer.Seconds();
+  final_matcher_ = std::move(matcher);
   return result;
+}
+
+TrainedModels ActiveLearningLoop::ReleaseTrainedModels() {
+  DIAL_CHECK(final_matcher_ != nullptr)
+      << "ReleaseTrainedModels requires a completed Run()";
+  TrainedModels models;
+  models.matcher = std::move(final_matcher_);
+  models.committee = std::move(committee_);
+  // Detach the loop-owned pool: the models may outlive this loop.
+  models.matcher->SetThreadPool(nullptr);
+  if (models.committee != nullptr) models.committee->SetThreadPool(nullptr);
+  return models;
 }
 
 }  // namespace dial::core

@@ -119,6 +119,15 @@ struct AlResult {
 
 struct AlCheckpoint;  // core/checkpoint.h
 
+/// The final round's trained models, released by the loop for serving. The
+/// models are detached from the loop's thread pool before hand-off, so they
+/// outlive the loop safely (a server attaches its own pool/contexts).
+struct TrainedModels {
+  std::unique_ptr<Matcher> matcher;
+  /// Null for every blocking strategy except kDial.
+  std::unique_ptr<BlockerCommittee> committee;
+};
+
 class ActiveLearningLoop {
  public:
   ActiveLearningLoop(const data::DatasetBundle* bundle,
@@ -140,6 +149,12 @@ class ActiveLearningLoop {
   util::Status RestoreCheckpoint(const std::string& path);
 
   AlResult Run();
+
+  /// Transfers ownership of the final round's trained matcher (and, for
+  /// kDial, committee) out of the loop — the loader split that lets a
+  /// ServingBundle reuse a finished training run without retraining. Valid
+  /// once, after Run(); the loop keeps no model state afterwards.
+  TrainedModels ReleaseTrainedModels();
 
  private:
   /// Produces this round's candidate set; fills the timing fields.
@@ -164,6 +179,7 @@ class ActiveLearningLoop {
   std::unique_ptr<PairEncodingCache> pair_cache_;
   std::unique_ptr<SentenceBertBlocker> sbert_;
   std::unique_ptr<BlockerCommittee> committee_;  // kept for RT measurement
+  std::unique_ptr<Matcher> final_matcher_;       // retained by Run() for release
   /// Cross-round blocker indexes (the warm-start refresh path); persisted in
   /// checkpoints so a resumed run refreshes from the identical structure.
   IbcIndexCache index_cache_;

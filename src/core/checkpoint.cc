@@ -40,7 +40,11 @@ util::Status ReadEntries(util::BinaryReader& r,
                          std::vector<data::LabeledSet::Entry>* entries) {
   const uint64_t n = r.ReadU64();
   if (!r.status().ok()) return r.status();
-  if (n > (1u << 26)) return util::Status::Corruption("entry count too large");
+  // 12 wire bytes per entry; bounding against the actual file size keeps a
+  // corrupted count from reserving gigabytes before the reads start failing.
+  if (n > (1u << 26) || n * 12 > r.RemainingBytes()) {
+    return util::Status::Corruption("entry count too large");
+  }
   entries->clear();
   entries->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -199,12 +203,16 @@ util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint,
   DIAL_RETURN_IF_ERROR(ReadEntries(r, &checkpoint->negatives));
   const uint64_t n_cal = r.ReadU64();
   DIAL_RETURN_IF_ERROR(r.status());
-  if (n_cal > (1u << 26)) return util::Status::Corruption("calibration too large");
+  if (n_cal > (1u << 26) || n_cal * 8 > r.RemainingBytes()) {
+    return util::Status::Corruption("calibration too large");
+  }
   checkpoint->calibration.clear();
   for (uint64_t i = 0; i < n_cal; ++i) checkpoint->calibration.push_back(ReadPair(r));
   const uint64_t n_rounds = r.ReadU64();
   DIAL_RETURN_IF_ERROR(r.status());
-  if (n_rounds > (1u << 20)) return util::Status::Corruption("round count too large");
+  if (n_rounds > (1u << 20) || n_rounds * 8 > r.RemainingBytes()) {
+    return util::Status::Corruption("round count too large");
+  }
   checkpoint->rounds.clear();
   for (uint64_t i = 0; i < n_rounds; ++i) checkpoint->rounds.push_back(ReadRound(r));
   DIAL_RETURN_IF_ERROR(r.status());

@@ -74,28 +74,48 @@ Var CommitteeMember::Forward(nn::ForwardContext& ctx, Var embeddings) {
   return out;
 }
 
+la::Matrix CommitteeMember::TransformWith(autograd::InferenceContext& ctx,
+                                          const la::Matrix& embeddings) const {
+  namespace infer = autograd::infer;
+  // Mirrors Forward's graph: mask broadcast, linear, tanh, optional row
+  // normalization — tape-free through the supplied arena.
+  autograd::Scratch masked(ctx, embeddings.rows(), embeddings.cols());
+  const float* mask = mask_.row(0);
+  for (size_t r = 0; r < embeddings.rows(); ++r) {
+    const float* src = embeddings.row(r);
+    float* dst = masked->row(r);
+    for (size_t c = 0; c < embeddings.cols(); ++c) dst[c] = src[c] * mask[c];
+  }
+  autograd::Scratch out = linear_.InferForward(ctx, *masked);
+  infer::TanhInPlace(*out);
+  if (normalize_output_) infer::NormalizeRowsInPlace(*out);
+  return *out;
+}
+
 la::Matrix CommitteeMember::Transform(const la::Matrix& embeddings) {
   if (use_inference_) {
-    namespace infer = autograd::infer;
-    // Mirrors Forward's graph: mask broadcast, linear, tanh, optional row
-    // normalization — tape-free through the member's arena.
-    autograd::Scratch masked(infer_ctx_, embeddings.rows(), embeddings.cols());
-    const float* mask = mask_.row(0);
-    for (size_t r = 0; r < embeddings.rows(); ++r) {
-      const float* src = embeddings.row(r);
-      float* dst = masked->row(r);
-      for (size_t c = 0; c < embeddings.cols(); ++c) dst[c] = src[c] * mask[c];
-    }
-    autograd::Scratch out = linear_.InferForward(infer_ctx_, *masked);
-    infer::TanhInPlace(*out);
-    if (normalize_output_) infer::NormalizeRowsInPlace(*out);
-    return *out;
+    return TransformWith(infer_ctx_, embeddings);
   }
   autograd::Tape tape;
   tape.SetThreadPool(pool_);
   nn::ForwardContext ctx{&tape, &scratch_rng_, /*training=*/false};
   Var out = Forward(ctx, tape.Constant(embeddings));
   return out.value();
+}
+
+void CommitteeMember::SaveState(util::BinaryWriter& writer) {
+  writer.WriteFloats(mask_.row(0), mask_.cols());
+  Save(writer);
+}
+
+util::Status CommitteeMember::LoadState(util::BinaryReader& reader) {
+  const std::vector<float> mask = reader.ReadFloatVector();
+  DIAL_RETURN_IF_ERROR(reader.status());
+  if (mask.size() != mask_.cols()) {
+    return util::Status::Corruption("committee member mask has wrong dimension");
+  }
+  std::copy(mask.begin(), mask.end(), mask_.row(0));
+  return Load(reader);
 }
 
 BlockerCommittee::BlockerCommittee(size_t dim, const BlockerConfig& config)
@@ -110,6 +130,25 @@ BlockerCommittee::BlockerCommittee(size_t dim, const BlockerConfig& config)
           util::StrFormat("committee.head%zu", k), dim, rng));
     }
   }
+}
+
+void BlockerCommittee::SaveWeights(util::BinaryWriter& writer) {
+  writer.WriteU64(members_.size());
+  writer.WriteU64(dim_);
+  for (auto& member : members_) member->SaveState(writer);
+}
+
+util::Status BlockerCommittee::LoadWeights(util::BinaryReader& reader) {
+  const uint64_t count = reader.ReadU64();
+  const uint64_t dim = reader.ReadU64();
+  DIAL_RETURN_IF_ERROR(reader.status());
+  if (count != members_.size() || dim != dim_) {
+    return util::Status::Corruption("committee shape mismatch");
+  }
+  for (auto& member : members_) {
+    DIAL_RETURN_IF_ERROR(member->LoadState(reader));
+  }
+  return util::Status::OK();
 }
 
 double BlockerCommittee::Train(const la::Matrix& emb_r, const la::Matrix& emb_s,

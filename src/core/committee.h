@@ -8,6 +8,7 @@
 #include "autograd/inference.h"
 #include "data/dataset.h"
 #include "nn/layers.h"
+#include "util/serialize.h"
 
 /// \file
 /// The DIAL blocker (Sec. 3.2): a committee of N lightweight embedding heads
@@ -72,6 +73,18 @@ class CommitteeMember : public nn::Module {
   /// SetInferenceEngine).
   la::Matrix Transform(const la::Matrix& embeddings);
 
+  /// Tape-free Transform through an *external* context: const, so serving
+  /// workers can encode through one shared member concurrently, each with
+  /// its own InferenceContext. Bit-identical to Transform on the engine path.
+  la::Matrix TransformWith(autograd::InferenceContext& ctx,
+                           const la::Matrix& embeddings) const;
+
+  /// Persists the member's full state: the fixed random mask (not an
+  /// autograd Parameter, so Module::Save misses it) followed by the learned
+  /// affine weights.
+  void SaveState(util::BinaryWriter& writer);
+  util::Status LoadState(util::BinaryReader& reader);
+
   const la::Matrix& mask() const { return mask_; }
 
   /// Unowned pool threaded through this member's tapes (see Matcher).
@@ -102,6 +115,16 @@ class BlockerCommittee {
 
   size_t size() const { return members_.size(); }
   CommitteeMember& member(size_t k) { return *members_[k]; }
+  const CommitteeMember& member(size_t k) const { return *members_[k]; }
+  const BlockerConfig& config() const { return config_; }
+  size_t dim() const { return dim_; }
+
+  /// Persists every member's state (masks + learned weights) in order. The
+  /// serving loader reconstructs a committee with the same (dim, config)
+  /// shape and overwrites its members from this. Classification heads are
+  /// training-only state and are not saved.
+  void SaveWeights(util::BinaryWriter& writer);
+  util::Status LoadWeights(util::BinaryReader& reader);
 
   /// Trains every member on the frozen record embeddings. `emb_r`/`emb_s`
   /// hold E(x) for every record of R/S (row = record id). `dups` are T_p;

@@ -60,9 +60,11 @@ size_t PqSubspacesFor(size_t dim, size_t want) {
   return 1;
 }
 
-std::unique_ptr<index::VectorIndex> MakeIndex(IndexBackend backend, size_t dim,
-                                              index::Metric metric,
-                                              util::ThreadPool* pool) {
+}  // namespace
+
+std::unique_ptr<index::VectorIndex> MakeIbcIndex(IndexBackend backend, size_t dim,
+                                                 index::Metric metric,
+                                                 util::ThreadPool* pool) {
   std::unique_ptr<index::VectorIndex> idx;
   switch (backend) {
     case IndexBackend::kFlat:
@@ -100,6 +102,8 @@ std::unique_ptr<index::VectorIndex> MakeIndex(IndexBackend backend, size_t dim,
   if (idx != nullptr) idx->SetThreadPool(pool);
   return idx;
 }
+
+namespace {
 
 /// Merges per-member retrievals keeping the minimum distance per pair, then
 /// sorts ascending and truncates.
@@ -154,7 +158,7 @@ bool PrepareCache(IbcIndexCache& cache, IndexBackend backend,
     cache.dim = dim;
     cache.members.reserve(slots);
     for (size_t k = 0; k < slots; ++k) {
-      cache.members.push_back(MakeIndex(backend, dim, metric, pool));
+      cache.members.push_back(MakeIbcIndex(backend, dim, metric, pool));
     }
   } else {
     for (auto& member : cache.members) member->SetThreadPool(pool);
@@ -206,7 +210,7 @@ util::Status IbcIndexCache::LoadWarmState(util::BinaryReader& reader) {
   dim = dim_in;
   members.reserve(count);
   for (uint64_t k = 0; k < count; ++k) {
-    auto idx = MakeIndex(backend, dim, metric, nullptr);
+    auto idx = MakeIbcIndex(backend, dim, metric, nullptr);
     DIAL_RETURN_IF_ERROR(idx->LoadWarmState(reader));
     members.push_back(std::move(idx));
   }
@@ -246,7 +250,7 @@ std::vector<Candidate> IndexByCommittee(BlockerCommittee& committee,
       if (cache != nullptr) {
         idx = cache->members[k].get();
       } else {
-        owned = MakeIndex(config.backend, enc_r.cols(), config.metric, pool);
+        owned = MakeIbcIndex(config.backend, enc_r.cols(), config.metric, pool);
         idx = owned.get();
       }
       util::WallTimer timer;
@@ -284,7 +288,7 @@ std::vector<Candidate> DirectKnnCandidates(const la::Matrix& emb_r,
                                emb_r.cols(), 1, pool);
     idx = cache->members[0].get();
   } else {
-    owned = MakeIndex(config.backend, emb_r.cols(), config.metric, pool);
+    owned = MakeIbcIndex(config.backend, emb_r.cols(), config.metric, pool);
     idx = owned.get();
   }
   util::WallTimer timer;

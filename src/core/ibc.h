@@ -118,6 +118,13 @@ std::vector<Candidate> DirectKnnCandidates(const la::Matrix& emb_r,
 /// Extracts just the pairs.
 std::vector<data::PairId> CandidatePairs(const std::vector<Candidate>& cand);
 
+/// Constructs a backend index with the exact per-backend options IBC uses
+/// (PQ subspace fitting etc.). Exposed for the serving layer, which builds
+/// per-member indexes once at bundle-load time and probes them per request.
+std::unique_ptr<index::VectorIndex> MakeIbcIndex(IndexBackend backend, size_t dim,
+                                                 index::Metric metric,
+                                                 util::ThreadPool* pool = nullptr);
+
 }  // namespace dial::core
 
 #endif  // DIAL_CORE_IBC_H_

@@ -184,19 +184,54 @@ std::vector<const text::EncodedSequence*> Matcher::GatherPairSeqs(
   return seqs;
 }
 
-void Matcher::InferHeadBatch(const std::vector<const text::EncodedSequence*>& seqs,
-                             la::Matrix* h_out, std::vector<float>* probs) {
-  const la::Matrix features = model_->EncodePairFeaturesBatch(infer_ctx_, seqs);
-  autograd::Scratch h = head_dense_->InferForward(infer_ctx_, features);
+void Matcher::InferHeadBatchWith(autograd::InferenceContext& ctx,
+                                 const std::vector<const text::EncodedSequence*>& seqs,
+                                 la::Matrix* h_out, std::vector<float>* probs) const {
+  const la::Matrix features = model_->EncodePairFeaturesBatch(ctx, seqs);
+  autograd::Scratch h = head_dense_->InferForward(ctx, features);
   autograd::infer::TanhInPlace(*h);
   if (probs != nullptr) {
-    autograd::Scratch logits = head_out_->InferForward(infer_ctx_, *h);
+    autograd::Scratch logits = head_out_->InferForward(ctx, *h);
     probs->resize(seqs.size());
     for (size_t i = 0; i < seqs.size(); ++i) {
       (*probs)[i] = 1.0f / (1.0f + std::exp(-(*logits)(i, 0)));
     }
   }
   if (h_out != nullptr) *h_out = *h;
+}
+
+void Matcher::InferHeadBatch(const std::vector<const text::EncodedSequence*>& seqs,
+                             la::Matrix* h_out, std::vector<float>* probs) {
+  InferHeadBatchWith(infer_ctx_, seqs, h_out, probs);
+}
+
+std::vector<float> Matcher::PredictProbsWith(
+    autograd::InferenceContext& ctx,
+    const std::vector<const text::EncodedSequence*>& seqs) const {
+  std::vector<float> probs(seqs.size());
+  if (seqs.empty()) return probs;
+  InferHeadBatchWith(ctx, seqs, nullptr, &probs);
+  return probs;
+}
+
+la::Matrix Matcher::EmbedSingleModeWith(
+    autograd::InferenceContext& ctx,
+    const std::vector<const text::EncodedSequence*>& seqs) const {
+  la::Matrix out = model_->EncodeSingleBatch(ctx, seqs);
+  la::NormalizeRowsInPlace(out);
+  return out;
+}
+
+void Matcher::SaveWeights(util::BinaryWriter& writer) {
+  model_->Save(writer);
+  head_dense_->Save(writer);
+  head_out_->Save(writer);
+}
+
+util::Status Matcher::LoadWeights(util::BinaryReader& reader) {
+  DIAL_RETURN_IF_ERROR(model_->Load(reader));
+  DIAL_RETURN_IF_ERROR(head_dense_->Load(reader));
+  return head_out_->Load(reader);
 }
 
 std::vector<float> Matcher::PredictProbs(PairEncodingCache& pairs,
@@ -265,9 +300,7 @@ la::Matrix Matcher::EmbedSingleMode(
     const std::vector<const text::EncodedSequence*>& seqs) {
   const size_t d = model_->config().transformer.dim;
   if (use_inference_) {
-    la::Matrix out = model_->EncodeSingleBatch(infer_ctx_, seqs);
-    la::NormalizeRowsInPlace(out);
-    return out;
+    return EmbedSingleModeWith(infer_ctx_, seqs);
   }
   la::Matrix out(seqs.size(), d);
   for (size_t i = 0; i < seqs.size(); ++i) {

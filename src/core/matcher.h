@@ -8,6 +8,7 @@
 #include "core/encodings.h"
 #include "nn/layers.h"
 #include "tplm/tplm.h"
+#include "util/serialize.h"
 
 /// \file
 /// The DIAL matcher (Sec. 3.1): the TPLM in paired mode plus the
@@ -76,6 +77,27 @@ class Matcher {
   std::vector<float> PredictProbs(PairEncodingCache& pairs,
                                   const std::vector<data::PairId>& query);
 
+  /// Tape-free batched probabilities through an *external* context — the
+  /// serving entry point: many worker threads can score through one const
+  /// Matcher concurrently, each with its own InferenceContext. Bit-identical
+  /// to PredictProbs over the same encodings (the engine's batched ≡
+  /// one-at-a-time contract).
+  std::vector<float> PredictProbsWith(
+      autograd::InferenceContext& ctx,
+      const std::vector<const text::EncodedSequence*>& seqs) const;
+
+  /// External-context counterpart of EmbedSingleMode (see PredictProbsWith).
+  la::Matrix EmbedSingleModeWith(
+      autograd::InferenceContext& ctx,
+      const std::vector<const text::EncodedSequence*>& seqs) const;
+
+  /// Writes the transformer + head weights (nn::Module wire format).
+  void SaveWeights(util::BinaryWriter& writer);
+  /// Restores weights written by SaveWeights; non-OK on name/shape mismatch
+  /// or truncation, and no partial state is observable through the engine
+  /// path on failure (callers discard the matcher).
+  util::Status LoadWeights(util::BinaryReader& reader);
+
   /// BADGE gradient embeddings (Sec. 2.3.4): g = (p - ŷ) · [h ; 1] where h
   /// is the penultimate activation and ŷ the most likely label. One row per
   /// pair; dimension = dim + 1.
@@ -124,7 +146,11 @@ class Matcher {
 
   /// Engine path shared by the prob/badge/representation entry points:
   /// batched pair features -> penultimate activations `h` (m, d) and, when
-  /// `probs` is non-null, sigmoid probabilities.
+  /// `probs` is non-null, sigmoid probabilities. Const + external context so
+  /// serving workers can run it concurrently (weights are read-only here).
+  void InferHeadBatchWith(autograd::InferenceContext& ctx,
+                          const std::vector<const text::EncodedSequence*>& seqs,
+                          la::Matrix* h_out, std::vector<float>* probs) const;
   void InferHeadBatch(const std::vector<const text::EncodedSequence*>& seqs,
                       la::Matrix* h_out, std::vector<float>* probs);
 

@@ -1,0 +1,349 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dial::serve {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Get(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : fallback;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void DumpNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no inf/nan; serving never emits them anyway
+    return;
+  }
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: DumpNumber(number_, out); break;
+    case Kind::kString: EscapeInto(string_, out); break;
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out.push_back(',');
+        first = false;
+        EscapeInto(k, out);
+        out.push_back(':');
+        out += v.Dump();
+      }
+      out.push_back('}');
+      break;
+    }
+    case Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : items_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += item.Dump();
+      }
+      out.push_back(']');
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument("JSON parse error: " + what);
+  }
+
+  util::StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > 64) return Error("nesting too deep");
+    SkipWs();
+    if (p >= end) return Error("unexpected end of input");
+    switch (*p) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        std::string s;
+        util::Status st = ParseString(s);
+        if (!st.ok()) return st;
+        return JsonValue::Str(std::move(s));
+      }
+      case 't':
+        if (end - p >= 4 && std::string(p, 4) == "true") {
+          p += 4;
+          return JsonValue::Bool(true);
+        }
+        return Error("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::string(p, 5) == "false") {
+          p += 5;
+          return JsonValue::Bool(false);
+        }
+        return Error("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::string(p, 4) == "null") {
+          p += 4;
+          return JsonValue::Null();
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  util::StatusOr<JsonValue> ParseNumber() {
+    const char* start = p;
+    if (p < end && (*p == '-' || *p == '+')) ++p;
+    while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                       *p == 'E' || *p == '-' || *p == '+')) {
+      ++p;
+    }
+    if (p == start) return Error("expected value");
+    char* num_end = nullptr;
+    const std::string text(start, p);
+    const double d = std::strtod(text.c_str(), &num_end);
+    if (num_end != text.c_str() + text.size()) return Error("bad number '" + text + "'");
+    return JsonValue::Number(d);
+  }
+
+  util::Status ParseString(std::string& out) {
+    ++p;  // opening quote
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return Error("bad escape");
+        switch (*p) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (end - p < 5) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return Error("bad \\u escape");
+            }
+            p += 4;
+            // UTF-8 encode (BMP only; surrogate pairs unsupported — the
+            // serving protocol carries subword-tokenized ASCII-ish text).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+        ++p;
+      } else {
+        out.push_back(*p);
+        ++p;
+      }
+    }
+    if (p >= end) return Error("unterminated string");
+    ++p;  // closing quote
+    return util::Status::OK();
+  }
+
+  util::StatusOr<JsonValue> ParseArray(int depth) {
+    ++p;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return arr;
+    }
+    while (true) {
+      auto item = ParseValue(depth + 1);
+      if (!item.ok()) return item.status();
+      arr.Append(std::move(item).value());
+      SkipWs();
+      if (p >= end) return Error("unterminated array");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == ']') {
+        ++p;
+        return arr;
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  util::StatusOr<JsonValue> ParseObject(int depth) {
+    ++p;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      if (p >= end || *p != '"') return Error("expected object key");
+      std::string key;
+      util::Status st = ParseString(key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (p >= end || *p != ':') return Error("expected ':'");
+      ++p;
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      obj.Set(key, std::move(value).value());
+      SkipWs();
+      if (p >= end) return Error("unterminated object");
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return obj;
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+util::StatusOr<JsonValue> ParseJson(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  auto value = parser.ParseValue(0);
+  if (!value.ok()) return value.status();
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    return util::Status::InvalidArgument("JSON parse error: trailing data");
+  }
+  return value;
+}
+
+std::string FloatToJson(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+  return buf;
+}
+
+}  // namespace dial::serve

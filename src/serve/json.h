@@ -1,0 +1,77 @@
+#ifndef DIAL_SERVE_JSON_H_
+#define DIAL_SERVE_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Minimal JSON for the serving protocol (newline-delimited JSON over a
+/// local socket). Self-contained recursive-descent parser plus a serializer
+/// — no external dependency, no allocation tricks; request/response bodies
+/// are tiny, so clarity wins over speed here. Numbers are parsed as double;
+/// floats are emitted with %.9g so a round-trip through the wire reproduces
+/// the exact float bit pattern (the serve ≡ direct-call identity contract
+/// in tests/serve_test.cc leans on this).
+
+namespace dial::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  std::vector<JsonValue>& items() { return items_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object access. Get returns nullptr when the key is absent.
+  const JsonValue* Get(const std::string& key) const;
+  void Set(const std::string& key, JsonValue value);
+
+  /// Typed lookups with defaults (absent key or wrong kind -> fallback).
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  /// Compact single-line serialization (no trailing newline).
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject, in order
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+util::StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Float -> shortest string that round-trips exactly (%.9g).
+std::string FloatToJson(float value);
+
+}  // namespace dial::serve
+
+#endif  // DIAL_SERVE_JSON_H_

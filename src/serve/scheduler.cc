@@ -1,0 +1,186 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dial::serve {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BatchPlan PlanNextBatch(const std::vector<PlanItem>& queue, int64_t now_us,
+                        size_t max_batch, int64_t max_delay_us,
+                        size_t idle_workers) {
+  BatchPlan plan;
+  if (queue.empty()) return plan;  // wait_us = -1: sleep until a submit
+  const ServeOp op = queue.front().op;
+  for (size_t i = 0; i < queue.size() && plan.indices.size() < max_batch; ++i) {
+    if (queue[i].op == op) plan.indices.push_back(i);
+  }
+  if (plan.indices.size() >= max_batch || idle_workers > 0) {
+    return plan;  // full batch, or capacity sitting idle: dispatch now
+  }
+  const int64_t age_us = now_us - queue.front().enqueue_us;
+  if (age_us >= max_delay_us) {
+    return plan;  // deadline hit: dispatch even though workers are busy
+  }
+  plan.indices.clear();
+  plan.wait_us = max_delay_us - age_us;
+  return plan;
+}
+
+Scheduler::Scheduler(SchedulerOptions options, BatchExecutor executor)
+    : options_(options), executor_(std::move(executor)) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  batch_cv_.notify_all();
+  dispatcher_.join();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool Scheduler::Submit(ServeRequest request, ServeCallback callback) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ || in_flight_ >= options_.ring_capacity) {
+      ++stats_.rejected;
+      return false;
+    }
+    ++stats_.submitted;
+    ++in_flight_;
+    queue_.push_back(Pending{std::move(request), std::move(callback), NowMicros()});
+  }
+  batch_cv_.notify_one();  // an idle worker claims straight off the queue
+  return true;
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<Scheduler::Pending> Scheduler::ExtractLocked(
+    const std::vector<size_t>& indices) {
+  // Indices are ascending; extract back-to-front so positions stay valid.
+  std::vector<Pending> batch;
+  batch.reserve(indices.size());
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    batch.push_back(std::move(queue_[*it]));
+    queue_.erase(queue_.begin() + static_cast<long>(*it));
+  }
+  std::reverse(batch.begin(), batch.end());  // restore arrival order
+  return batch;
+}
+
+std::vector<PlanItem> Scheduler::PlanItemsLocked() const {
+  std::vector<PlanItem> items;
+  items.reserve(queue_.size());
+  for (const Pending& p : queue_) {
+    items.push_back(PlanItem{p.request.op, p.enqueue_us});
+  }
+  return items;
+}
+
+void Scheduler::DispatcherLoop() {
+  // Deadline watchdog: idle workers claim work themselves (see WorkerLoop),
+  // so this thread only matters while every worker is busy — it flushes the
+  // head batch to ready_batches_ once the oldest request ages out, freezing
+  // its composition at the promised latency bound.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) return;
+    const BatchPlan plan = PlanNextBatch(PlanItemsLocked(), NowMicros(),
+                                         options_.max_batch, options_.max_delay_us,
+                                         /*idle_workers=*/0);
+    if (!plan.indices.empty()) {
+      ++stats_.deadline_flushes;
+      ready_batches_.push_back(ExtractLocked(plan.indices));
+      batch_cv_.notify_one();
+      continue;  // queue may hold more dispatchable work
+    }
+    if (plan.wait_us < 0) {
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    } else {
+      // Workers notify on claim while this timer is armed (see WorkerLoop),
+      // so a stale deadline re-plans right away instead of firing later into
+      // the middle of a worker's forward pass.
+      dispatcher_armed_ = true;
+      queue_cv_.wait_for(lock, std::chrono::microseconds(plan.wait_us));
+      dispatcher_armed_ = false;
+    }
+  }
+}
+
+void Scheduler::WorkerLoop(size_t worker_id) {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_cv_.wait(lock, [this] {
+        return stop_ || !ready_batches_.empty() || !queue_.empty();
+      });
+      if (stop_ && ready_batches_.empty()) return;  // queued-unplanned dropped
+      if (!ready_batches_.empty()) {
+        // A deadline-flushed batch: its requests have waited longest.
+        batch = std::move(ready_batches_.front());
+        ready_batches_.pop_front();
+      } else {
+        // Work-conserving fast path: this worker is idle by definition, so
+        // claim the head run straight off the queue — no dispatcher round
+        // trip (two context switches) on the per-batch critical path.
+        const BatchPlan plan = PlanNextBatch(PlanItemsLocked(), NowMicros(),
+                                             options_.max_batch,
+                                             options_.max_delay_us,
+                                             /*idle_workers=*/1);
+        batch = ExtractLocked(plan.indices);
+      }
+      ++busy_workers_;
+      ++stats_.batches;
+      stats_.requests_executed += batch.size();
+      stats_.max_batch_observed = std::max(stats_.max_batch_observed, batch.size());
+      // Deadline arming happens here, not in Submit: with work-conserving
+      // claims an idle worker takes new work immediately, so a deadline can
+      // only matter for requests this claim left behind while every worker
+      // is (about to be) busy. Waking the dispatcher per submit would put a
+      // context-switch cycle on the per-request critical path at low
+      // concurrency — measurably (~15%) slower on a single-core host.
+      if (queue_.empty() ? dispatcher_armed_
+                         : busy_workers_ == workers_.size()) {
+        queue_cv_.notify_one();  // arm for the new head, or disarm a stale timer
+      }
+    }
+    const size_t n = batch.size();
+    executor_(worker_id, std::move(batch));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --busy_workers_;
+      in_flight_ -= n;
+      if (in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dial::serve

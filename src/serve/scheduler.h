@@ -1,0 +1,188 @@
+#ifndef DIAL_SERVE_SCHEDULER_H_
+#define DIAL_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Cross-request dynamic batching: the piece that turns many concurrent
+/// 1-pair requests into one batched engine forward. A bounded request ring
+/// feeds a worker pool that packs same-operation requests (arrival order)
+/// into batches of up to `max_batch`. Dispatch is work-conserving: an idle
+/// worker claims the head run immediately (holding a partial batch back
+/// while capacity sits unused would add latency without improving fusion),
+/// so requests accumulate only while every worker is busy — bounded by
+/// `max_delay_us` on the oldest request, enforced by a dispatcher thread
+/// acting as a deadline watchdog. Because idle workers self-serve, the
+/// watchdog is armed at claim time (only when a claim leaves backlog behind
+/// with all workers busy), never on the per-request submit path. Each
+/// worker owns its `InferenceContext`, so one batched GEMM serves every
+/// request in the batch (the PR-5 engine's batched ≡ one-at-a-time
+/// bit-identity makes this transparent to clients).
+///
+/// The packing policy itself is the pure function `PlanNextBatch` so its
+/// decisions (grouping, deadline flush, split points) are unit-testable
+/// without threads or clocks.
+
+namespace dial::serve {
+
+enum class ServeOp { kMatch, kTopK, kEmbed };
+
+/// One client request, already parsed off the wire.
+struct ServeRequest {
+  ServeOp op = ServeOp::kMatch;
+  /// Client-chosen id echoed back in the response.
+  std::string id;
+  // kMatch by record ids (r >= 0) or by texts (r_id < 0).
+  int64_t r_id = -1;
+  int64_t s_id = -1;
+  std::string r_text;
+  std::string s_text;
+  // kTopK / kEmbed query text.
+  std::string text;
+  size_t k = 10;
+};
+
+struct TopKResult {
+  uint32_t r_id = 0;
+  float distance = 0.0f;
+};
+
+struct ServeResponse {
+  util::Status status;
+  std::string id;
+  ServeOp op = ServeOp::kMatch;
+  float prob = 0.0f;                  // kMatch
+  std::vector<float> embedding;       // kEmbed
+  std::vector<TopKResult> neighbors;  // kTopK
+  /// How many requests shared this response's engine forward (diagnostics;
+  /// the bench asserts cross-request batching through it).
+  size_t batch_size = 0;
+};
+
+using ServeCallback = std::function<void(ServeResponse)>;
+
+struct SchedulerOptions {
+  size_t num_workers = 2;
+  /// Max requests fused into one engine forward.
+  size_t max_batch = 32;
+  /// Deadline: a queued request never waits longer than this for peers, and
+  /// waits at all only while every worker is busy (see PlanNextBatch).
+  int64_t max_delay_us = 2000;
+  /// Bound on queued-but-unexecuted requests; Submit rejects beyond it
+  /// (overload backpressure) rather than queueing unboundedly.
+  size_t ring_capacity = 1024;
+};
+
+struct SchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t batches = 0;
+  uint64_t requests_executed = 0;
+  /// Batches frozen by the deadline watchdog (head aged past max_delay_us
+  /// while every worker was busy) rather than claimed by an idle worker.
+  uint64_t deadline_flushes = 0;
+  size_t max_batch_observed = 0;
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0 : static_cast<double>(requests_executed) /
+                                    static_cast<double>(batches);
+  }
+};
+
+/// What PlanNextBatch sees of each queued request.
+struct PlanItem {
+  ServeOp op = ServeOp::kMatch;
+  int64_t enqueue_us = 0;
+};
+
+struct BatchPlan {
+  /// Queue positions to dispatch now, in arrival order; empty = keep waiting.
+  std::vector<size_t> indices;
+  /// When indices is empty: microseconds until the head's deadline
+  /// (-1 = queue empty, wait for a submit).
+  int64_t wait_us = -1;
+};
+
+/// The pure packing policy. Scans from the head, collecting requests with
+/// the head's op (skipping other ops — they form later batches) up to
+/// `max_batch`. Dispatches when the batch is full, when a worker is idle
+/// (work conservation: delaying a partial batch while capacity sits unused
+/// buys nothing), or when the head has aged past `max_delay_us`; otherwise
+/// reports how long the dispatcher may sleep.
+BatchPlan PlanNextBatch(const std::vector<PlanItem>& queue, int64_t now_us,
+                        size_t max_batch, int64_t max_delay_us,
+                        size_t idle_workers);
+
+class Scheduler {
+ public:
+  struct Pending {
+    ServeRequest request;
+    ServeCallback callback;
+    int64_t enqueue_us = 0;
+  };
+
+  /// Executes one packed batch; called on a worker thread with that worker's
+  /// stable id (for per-worker InferenceContexts). Must invoke every
+  /// pending's callback exactly once.
+  using BatchExecutor = std::function<void(size_t worker_id, std::vector<Pending>&& batch)>;
+
+  Scheduler(SchedulerOptions options, BatchExecutor executor);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a request; the callback fires on a worker thread. Returns
+  /// false (without invoking the callback) when the ring is full — the
+  /// server layer turns that into an "overload" response.
+  bool Submit(ServeRequest request, ServeCallback callback);
+
+  /// Blocks until every submitted request has executed (test/bench barrier).
+  void Drain();
+
+  SchedulerStats stats() const;
+
+ private:
+  void DispatcherLoop();
+  void WorkerLoop(size_t worker_id);
+  /// Snapshot of queue_ in PlanNextBatch's terms (requires mu_).
+  std::vector<PlanItem> PlanItemsLocked() const;
+  /// Removes the planned queue positions, preserving arrival order
+  /// (requires mu_; indices must be ascending).
+  std::vector<Pending> ExtractLocked(const std::vector<size_t>& indices);
+
+  const SchedulerOptions options_;
+  const BatchExecutor executor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     // dispatcher wakeups
+  std::condition_variable batch_cv_;     // worker wakeups
+  std::condition_variable drained_cv_;   // Drain wakeups
+  std::deque<Pending> queue_;
+  std::deque<std::vector<Pending>> ready_batches_;
+  /// Submitted and not yet finished executing (queue + ready + running).
+  size_t in_flight_ = 0;
+  /// Workers currently inside the executor; Submit wakes the dispatcher's
+  /// deadline timer only when all workers are busy (see Submit).
+  size_t busy_workers_ = 0;
+  /// True while the dispatcher sits in a timed deadline wait; workers wake
+  /// it on claim so stale timers never fire into a running forward.
+  bool dispatcher_armed_ = false;
+  bool stop_ = false;
+  SchedulerStats stats_;
+
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dial::serve
+
+#endif  // DIAL_SERVE_SCHEDULER_H_

@@ -1,0 +1,122 @@
+#ifndef DIAL_SERVE_SERVING_BUNDLE_H_
+#define DIAL_SERVE_SERVING_BUNDLE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/al_loop.h"
+#include "core/experiment.h"
+#include "core/ibc.h"
+
+/// \file
+/// The read-only model/index artifact behind `dial_serve`: the trained
+/// matcher, the blocker committee, and the committee's per-member indexes
+/// over R, split out of the AL loop so a finished training run can be
+/// persisted once and served by many worker threads without retraining.
+///
+/// Every query entry point is `const` and takes a caller-owned
+/// `InferenceContext` — the serving concurrency contract. The bundle itself
+/// holds no mutable state after construction, so N workers (each with its
+/// own context) score through one shared bundle; outputs are bit-identical
+/// to the training-side `Matcher::PredictProbs` on the same pairs
+/// (tests/serve_test.cc pins this).
+
+namespace dial::serve {
+
+struct ServingOptions {
+  std::string dataset = "walmart_amazon";
+  data::Scale scale = data::Scale::kSmoke;
+  uint64_t data_seed = 1;
+  uint64_t al_seed = 7;
+  core::IndexBackend backend = core::IndexBackend::kFlat;
+  /// Neighbours retrieved per member per topk probe before the cross-member
+  /// min-distance merge (the IBC k).
+  size_t k_neighbors = 3;
+};
+
+/// One retrieved R-record for a topk query.
+struct TopKHit {
+  uint32_t r_id = 0;
+  float distance = 0.0f;
+};
+
+class ServingBundle {
+ public:
+  /// Trains a bundle from scratch: dataset + vocab + pretrain (cache-backed)
+  /// + the full AL loop, then takes ownership of the final models and builds
+  /// the member indexes. The expensive path — Save the result.
+  static std::unique_ptr<ServingBundle> Train(const ServingOptions& options);
+
+  /// Persists everything Load needs: options, model shapes, matcher and
+  /// committee weights. Indexes are rebuilt (deterministically) at load time
+  /// rather than serialized — rebuilding from the saved weights is exact and
+  /// keeps the artifact small. (Non-const only because nn::Module::Save
+  /// walks mutable parameter references; no observable state changes.)
+  util::Status Save(const std::string& path);
+
+  /// Restores a bundle written by Save. The dataset and vocabulary are
+  /// regenerated deterministically from the recorded (dataset, scale, seed);
+  /// weights are loaded into freshly constructed models. All failures —
+  /// truncation, corruption, shape/vocab mismatch — return non-OK with no
+  /// partially-initialized bundle escaping.
+  static util::StatusOr<std::unique_ptr<ServingBundle>> Load(const std::string& path);
+
+  // ---- Query API (const; pass a per-worker InferenceContext) ----
+
+  /// P(duplicate) for record-id pairs (r from R, s from S).
+  util::StatusOr<std::vector<float>> MatchPairs(
+      autograd::InferenceContext& ctx,
+      const std::vector<data::PairId>& pairs) const;
+
+  /// P(duplicate) for free-text record pairs.
+  std::vector<float> MatchTexts(
+      autograd::InferenceContext& ctx,
+      const std::vector<std::pair<std::string, std::string>>& texts) const;
+
+  /// Normalized single-mode embeddings E(x), one row per text.
+  la::Matrix EmbedTexts(autograd::InferenceContext& ctx,
+                        const std::vector<std::string>& texts) const;
+
+  /// IBC probe for one query text: every member encodes the query and
+  /// searches its R-index; hits are merged keeping the minimum distance per
+  /// record, sorted ascending (ties by id), truncated to k.
+  std::vector<TopKHit> TopK(autograd::InferenceContext& ctx,
+                            const std::string& text, size_t k) const;
+
+  const ServingOptions& options() const { return options_; }
+  const data::DatasetBundle& bundle() const { return bundle_; }
+  const core::Matcher& matcher() const { return *matcher_; }
+  bool has_committee() const { return committee_ != nullptr; }
+  size_t num_r_records() const { return bundle_.r_table.size(); }
+  size_t num_s_records() const { return bundle_.s_table.size(); }
+  size_t max_pair_len() const { return tplm_config_.max_pair_len; }
+
+  /// Encodes a by-id pair exactly as training did (the bit-identity path).
+  text::EncodedSequence EncodePairById(data::PairId pair) const;
+
+ private:
+  ServingBundle() = default;
+
+  /// Encodes and embeds all of R, then builds one index per committee
+  /// member (or a single direct index when there is no committee).
+  void BuildIndexes();
+
+  ServingOptions options_;
+  /// The configured vocab cap (pre-shrink) — needed to regenerate the
+  /// identical vocabulary at load time.
+  uint64_t vocab_max_ = 0;
+  data::DatasetBundle bundle_;
+  text::SubwordVocab vocab_;
+  tplm::TplmConfig tplm_config_;
+  std::unique_ptr<core::Matcher> matcher_;
+  std::unique_ptr<core::BlockerCommittee> committee_;  // null for non-kDial
+  /// One index per member; a single slot holding the raw-embedding index
+  /// when committee_ is null.
+  std::vector<std::unique_ptr<index::VectorIndex>> member_indexes_;
+};
+
+}  // namespace dial::serve
+
+#endif  // DIAL_SERVE_SERVING_BUNDLE_H_

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -57,40 +58,64 @@ std::string* FlagSet::AddString(const std::string& name,
   return f.string_value;
 }
 
-void FlagSet::SetFromText(const std::string& name, Flag& flag,
-                          const std::string& text) {
+Status FlagSet::SetFromText(const std::string& name, Flag& flag,
+                            const std::string& text) {
+  // strtoll/strtod accept leading garbage tolerance we don't want: require a
+  // non-empty value that parses in full, so `--workers=` and `--workers=8x`
+  // are errors instead of silently becoming 0 / 8.
+  char* end = nullptr;
   switch (flag.kind) {
-    case Kind::kInt:
-      *flag.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    case Kind::kInt: {
+      if (text.empty()) {
+        return Status::InvalidArgument("empty value for --" + name);
+      }
+      errno = 0;
+      const int64_t v = std::strtoll(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size() || errno == ERANGE) {
+        return Status::InvalidArgument("bad integer value for --" + name + ": " +
+                                       text);
+      }
+      *flag.int_value = v;
       break;
-    case Kind::kDouble:
-      *flag.double_value = std::strtod(text.c_str(), nullptr);
+    }
+    case Kind::kDouble: {
+      if (text.empty()) {
+        return Status::InvalidArgument("empty value for --" + name);
+      }
+      errno = 0;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || errno == ERANGE) {
+        return Status::InvalidArgument("bad numeric value for --" + name + ": " +
+                                       text);
+      }
+      *flag.double_value = v;
       break;
+    }
     case Kind::kBool:
       if (text == "true" || text == "1") {
         *flag.bool_value = true;
       } else if (text == "false" || text == "0") {
         *flag.bool_value = false;
       } else {
-        DIAL_LOG_FATAL << "Bad boolean value for --" << name << ": " << text;
+        return Status::InvalidArgument("bad boolean value for --" + name + ": " +
+                                       text);
       }
       break;
     case Kind::kString:
       *flag.string_value = text;
       break;
   }
+  return Status::OK();
 }
 
-void FlagSet::Parse(int argc, char** argv) {
+Status FlagSet::TryParse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "%s", Usage(argv[0]).c_str());
-      std::exit(0);
+      return Status::InvalidArgument("help requested");
     }
     if (!StartsWith(arg, "--")) {
-      DIAL_LOG_FATAL << "Unexpected positional argument: " << arg << "\n"
-                     << Usage(argv[0]);
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
     std::string value_text;
@@ -108,19 +133,38 @@ void FlagSet::Parse(int argc, char** argv) {
     }
     auto it = flags_.find(arg);
     if (it == flags_.end()) {
-      DIAL_LOG_FATAL << "Unknown flag --" << arg << "\n" << Usage(argv[0]);
+      return Status::InvalidArgument("Unknown flag --" + arg);
     }
     Flag& flag = it->second;
     if (flag.kind == Kind::kBool && !has_value) {
       *flag.bool_value = !negated;
       continue;
     }
-    DIAL_CHECK(!negated) << "--no- prefix is only valid for boolean flags";
+    if (negated) {
+      return Status::InvalidArgument("--no- prefix is only valid for boolean flags: --no-" +
+                                     arg);
+    }
     if (!has_value) {
-      DIAL_CHECK_LT(i + 1, argc) << "Flag --" << arg << " expects a value";
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + arg + " expects a value");
+      }
       value_text = argv[++i];
     }
-    SetFromText(arg, flag, value_text);
+    DIAL_RETURN_IF_ERROR(SetFromText(arg, flag, value_text));
+  }
+  return Status::OK();
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help" || std::string(argv[i]) == "-h") {
+      std::fprintf(stderr, "%s", Usage(argv[0]).c_str());
+      std::exit(0);
+    }
+  }
+  const Status s = TryParse(argc, argv);
+  if (!s.ok()) {
+    DIAL_LOG_FATAL << s.message() << "\n" << Usage(argv[0]);
   }
 }
 

@@ -7,11 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 /// \file
 /// Tiny command-line flag parser for the bench harnesses and examples.
 /// Supports `--name=value`, `--name value`, and boolean `--name` /
-/// `--no-name`. Unknown flags are a hard error so typos in sweep scripts are
-/// caught immediately.
+/// `--no-name`. Unknown flags, malformed values (`--workers=abc`,
+/// `--workers=`), and missing values are hard errors so typos in sweep
+/// scripts and serve launch lines are caught immediately.
 
 namespace dial::util {
 
@@ -30,6 +33,12 @@ class FlagSet {
   /// `--help`.
   void Parse(int argc, char** argv);
 
+  /// Status-returning variant of Parse for embedding and tests: returns
+  /// InvalidArgument for unknown flags, positionals, malformed or missing
+  /// values, and for `--help`. Flags parsed before the offending argument
+  /// keep their new values; the rest are untouched.
+  Status TryParse(int argc, char** argv);
+
   /// Usage text listing every registered flag.
   std::string Usage(const std::string& program) const;
 
@@ -45,7 +54,7 @@ class FlagSet {
     std::string* string_value = nullptr;
   };
 
-  void SetFromText(const std::string& name, Flag& flag, const std::string& text);
+  Status SetFromText(const std::string& name, Flag& flag, const std::string& text);
 
   std::map<std::string, Flag> flags_;
   // Deques of stable storage for registered values.

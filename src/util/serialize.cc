@@ -67,6 +67,16 @@ BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
     status_ = Status::NotFound("cannot open for read: " + path);
     return;
   }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    status_ = Status::IoError("cannot seek in " + path);
+    return;
+  }
+  const long size = std::ftell(file_);
+  if (size < 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
+    status_ = Status::IoError("cannot determine size of " + path);
+    return;
+  }
+  file_size_ = static_cast<uint64_t>(size);
   const uint32_t got_magic = ReadU32();
   const uint32_t got_version = ReadU32();
   if (!status_.ok()) return;
@@ -81,13 +91,18 @@ BinaryReader::~BinaryReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+uint64_t BinaryReader::RemainingBytes() const {
+  return offset_ <= file_size_ ? file_size_ - offset_ : 0;
+}
+
 bool BinaryReader::ReadBytes(void* data, size_t n) {
   if (!status_.ok() || file_ == nullptr) return false;
   if (n == 0) return true;
-  if (std::fread(data, 1, n, file_) != n) {
+  if (n > RemainingBytes() || std::fread(data, 1, n, file_) != n) {
     status_ = Status::Corruption("short read");
     return false;
   }
+  offset_ += n;
   return true;
 }
 
@@ -124,8 +139,8 @@ double BinaryReader::ReadF64() {
 std::string BinaryReader::ReadString() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n > kMaxVectorBytes) {
-    status_ = Status::Corruption("string length too large");
+  if (n > kMaxVectorBytes || n > RemainingBytes()) {
+    status_ = Status::Corruption("string length exceeds file size");
     return {};
   }
   std::string s(n, '\0');
@@ -136,8 +151,9 @@ std::string BinaryReader::ReadString() {
 std::vector<float> BinaryReader::ReadFloatVector() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n > kMaxVectorBytes / sizeof(float)) {  // division avoids n*4 overflow
-    status_ = Status::Corruption("vector length too large");
+  if (n > kMaxVectorBytes / sizeof(float) ||  // division avoids n*4 overflow
+      n * sizeof(float) > RemainingBytes()) {
+    status_ = Status::Corruption("vector length exceeds file size");
     return {};
   }
   std::vector<float> v(n);

@@ -62,6 +62,12 @@ class BinaryReader {
   /// Non-OK if the file failed to open or validate; check before reading.
   const Status& status() const { return status_; }
 
+  /// Bytes left between the read cursor and end-of-file. Length-prefixed
+  /// reads validate their length against this before allocating, so a
+  /// corrupted length field fails cleanly instead of reserving up to the
+  /// 1 GiB sanity cap.
+  uint64_t RemainingBytes() const;
+
   uint32_t ReadU32();
   uint64_t ReadU64();
   int64_t ReadI64();
@@ -75,6 +81,8 @@ class BinaryReader {
 
   std::FILE* file_ = nullptr;
   Status status_;
+  uint64_t file_size_ = 0;
+  uint64_t offset_ = 0;
 };
 
 }  // namespace dial::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace dial::util {
 
@@ -74,13 +75,29 @@ void ParallelFor(ThreadPool* pool, size_t n,
     fn(0, n);
     return;
   }
+  // Per-call completion latch: waiting on the pool-global in_flight_ counter
+  // (ThreadPool::Wait) is wrong once several threads share the pool — a
+  // caller would block on *everyone's* tasks, and under a submitter that
+  // never goes idle (the serve dispatcher) it would never return at all.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
   const size_t chunks = std::min(n, pool->num_threads() * 4);
   const size_t chunk = (n + chunks - 1) / chunks;
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = (n + chunk - 1) / chunk;
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    pool->Submit([&fn, begin, end] { fn(begin, end); });
+    pool->Submit([&fn, latch, begin, end] {
+      fn(begin, end);
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
   }
-  pool->Wait();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&latch] { return latch->remaining == 0; });
 }
 
 }  // namespace dial::util

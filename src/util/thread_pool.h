@@ -31,7 +31,11 @@ class ThreadPool {
   /// Enqueues a task; returns immediately (or runs inline if no workers).
   void Submit(std::function<void()> fn);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until the pool is fully drained (no queued or running tasks from
+  /// *any* submitter). Only meaningful for a caller that owns all outstanding
+  /// work — with concurrent submitters this waits on strangers' tasks and may
+  /// never return if the pool never goes idle. `ParallelFor` therefore uses a
+  /// per-call completion latch instead of this.
   void Wait();
 
   /// True when the calling thread is one of this pool's workers. Used by
@@ -60,6 +64,10 @@ class ThreadPool {
 /// Chunk boundaries never change results for callers whose iterations are
 /// independent, which is what the index layer's determinism guarantee
 /// (threaded Search bit-identical to inline) rests on.
+///
+/// Safe with concurrent submitters: completion is tracked by a per-call
+/// latch, so each caller returns exactly when its own chunks finish, even
+/// while other threads keep the pool busy.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn);
 

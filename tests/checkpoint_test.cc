@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -109,6 +110,32 @@ TEST(Checkpoint, LoadTruncatedFileFails) {
   out.close();
   AlCheckpoint loaded;
   EXPECT_FALSE(LoadAlCheckpoint(path, &loaded).ok());
+}
+
+TEST(Checkpoint, LoadRejectsEveryTruncationPoint) {
+  // Sweep cut points across the whole artifact (magic, header fields,
+  // vector payloads, rng state): every prefix must fail cleanly — the
+  // hardened reader returns non-OK instead of crashing or accepting a
+  // half-read checkpoint.
+  const std::string path = TempPath("ckpt_trunc_sweep.bin");
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, SampleCheckpoint()));
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+  const std::string cut_path = TempPath("ckpt_trunc_sweep_cut.bin");
+  for (size_t cut = 0; cut < bytes.size();
+       cut += std::max<size_t>(1, bytes.size() / 64)) {
+    std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    AlCheckpoint loaded;
+    EXPECT_FALSE(LoadAlCheckpoint(cut_path, &loaded).ok())
+        << "accepted a " << cut << "-byte prefix of " << bytes.size();
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
 }
 
 TEST(Checkpoint, LoadGarbageMagicFails) {

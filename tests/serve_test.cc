@@ -1,0 +1,638 @@
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/inference.h"
+#include "serve/json.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/serving_bundle.h"
+#include "status_matchers.h"
+
+/// \file
+/// The serving stack: protocol JSON, the PlanNextBatch packing policy, the
+/// dynamic-batching scheduler (including the deadline watchdog and ring
+/// overload), ServingBundle persistence (round-trip + truncation fuzz), and
+/// the contract the whole PR rests on — a served "match" response carries
+/// exactly the bits `Matcher::PredictProbs` produces for the same pair.
+/// Runs in the smoke label so TSan chews on the scheduler paths every push.
+
+namespace dial::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(ServeJson, ParsesAndDumpsRoundTrip) {
+  const std::string text =
+      R"({"op":"match","id":"q1","r":3,"s":7,"nested":{"a":[1,2.5,true,null,"x"]}})";
+  DIAL_ASSERT_OK_AND_ASSIGN(const JsonValue v, ParseJson(text));
+  EXPECT_EQ(v.GetString("op", ""), "match");
+  EXPECT_EQ(v.GetNumber("r", -1), 3);
+  const JsonValue* nested = v.Get("nested");
+  ASSERT_NE(nested, nullptr);
+  const JsonValue* arr = nested->Get("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items().size(), 5u);
+  EXPECT_TRUE(arr->items()[3].is_null());
+  // Dump re-parses to the same structure.
+  DIAL_ASSERT_OK_AND_ASSIGN(const JsonValue again, ParseJson(v.Dump()));
+  EXPECT_EQ(again.Dump(), v.Dump());
+}
+
+TEST(ServeJson, StringEscapes) {
+  DIAL_ASSERT_OK_AND_ASSIGN(const JsonValue v,
+                            ParseJson(R"({"s":"a\"b\\c\n\t"})"));
+  EXPECT_EQ(v.GetString("s", ""), "a\"b\\c\n\t");
+  DIAL_ASSERT_OK_AND_ASSIGN(const JsonValue again, ParseJson(v.Dump()));
+  EXPECT_EQ(again.GetString("s", ""), "a\"b\\c\n\t");
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "{\"a\":1,}", "[1,", "{\"a\" 1}", "tru",
+        "{\"a\":1} trailing", "\"unterminated", "{\"a\":01x}"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(ServeJson, FloatRoundTripsExactBits) {
+  // %.9g must reproduce the exact float: the serve ≡ direct-call identity
+  // travels through this formatting.
+  for (const float f : {0.123456789f, 1.0f / 3.0f, 3.1415927f, 1e-20f,
+                        0.9999999f, 123456.789f}) {
+    const std::string wire = FloatToJson(f);
+    const float back = std::strtof(wire.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&back, &f, sizeof(float)), 0)
+        << f << " -> " << wire << " -> " << back;
+  }
+}
+
+// ---------------------------------------------------------- PlanNextBatch
+
+PlanItem Item(ServeOp op, int64_t enqueue_us) { return PlanItem{op, enqueue_us}; }
+
+TEST(PlanNextBatch, EmptyQueueWaitsForSubmit) {
+  const BatchPlan plan = PlanNextBatch({}, 1000, 32, 2000, /*idle_workers=*/1);
+  EXPECT_TRUE(plan.indices.empty());
+  EXPECT_EQ(plan.wait_us, -1);
+}
+
+TEST(PlanNextBatch, FullBatchDispatchesEvenWithNoIdleWorker) {
+  std::vector<PlanItem> queue(4, Item(ServeOp::kMatch, 100));
+  const BatchPlan plan = PlanNextBatch(queue, 101, /*max_batch=*/4, 2000,
+                                       /*idle_workers=*/0);
+  ASSERT_EQ(plan.indices.size(), 4u);
+}
+
+TEST(PlanNextBatch, WorkConservingPartialDispatchWhenIdle) {
+  // One young request, a worker idle: holding it back buys nothing.
+  const BatchPlan plan = PlanNextBatch({Item(ServeOp::kMatch, 100)}, 101, 32,
+                                       2000, /*idle_workers=*/1);
+  ASSERT_EQ(plan.indices.size(), 1u);
+  EXPECT_EQ(plan.indices[0], 0u);
+}
+
+TEST(PlanNextBatch, YoungPartialBatchWaitsWhileAllBusy) {
+  const BatchPlan plan = PlanNextBatch({Item(ServeOp::kMatch, 100)}, 600, 32,
+                                       2000, /*idle_workers=*/0);
+  EXPECT_TRUE(plan.indices.empty());
+  EXPECT_EQ(plan.wait_us, 1500);  // deadline - age = 2000 - 500
+}
+
+TEST(PlanNextBatch, DeadlineFlushesAgedHead) {
+  const std::vector<PlanItem> queue = {Item(ServeOp::kMatch, 100),
+                                       Item(ServeOp::kMatch, 2000)};
+  const BatchPlan plan = PlanNextBatch(queue, 2101, 32, 2000,
+                                       /*idle_workers=*/0);
+  // Head aged 2001us >= 2000: flush everything packable, composition frozen.
+  ASSERT_EQ(plan.indices.size(), 2u);
+}
+
+TEST(PlanNextBatch, GroupsByHeadOpSkippingOthers) {
+  const std::vector<PlanItem> queue = {
+      Item(ServeOp::kMatch, 1), Item(ServeOp::kEmbed, 2),
+      Item(ServeOp::kMatch, 3), Item(ServeOp::kTopK, 4),
+      Item(ServeOp::kMatch, 5)};
+  const BatchPlan plan = PlanNextBatch(queue, 10, 32, 2000, /*idle_workers=*/1);
+  // The head run is every kMatch; kEmbed/kTopK stay queued for later batches.
+  EXPECT_EQ(plan.indices, (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(PlanNextBatch, CapsAtMaxBatch) {
+  std::vector<PlanItem> queue(10, Item(ServeOp::kEmbed, 1));
+  const BatchPlan plan = PlanNextBatch(queue, 2, /*max_batch=*/3, 2000,
+                                       /*idle_workers=*/1);
+  EXPECT_EQ(plan.indices, (std::vector<size_t>{0, 1, 2}));
+}
+
+// -------------------------------------------------------------- scheduler
+
+ServeRequest MatchRequest(const std::string& id) {
+  ServeRequest req;
+  req.op = ServeOp::kMatch;
+  req.id = id;
+  req.r_id = 0;
+  req.s_id = 0;
+  return req;
+}
+
+TEST(Scheduler, ExecutesEverySubmittedRequest) {
+  SchedulerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 8;
+  std::atomic<int> executed{0};
+  Scheduler scheduler(options, [&](size_t, std::vector<Scheduler::Pending>&& batch) {
+    for (auto& p : batch) {
+      ServeResponse response;
+      response.id = p.request.id;
+      p.callback(std::move(response));
+      ++executed;
+    }
+  });
+  constexpr int kRequests = 200;
+  std::atomic<int> called_back{0};
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(scheduler.Submit(MatchRequest(std::to_string(i)),
+                                 [&](ServeResponse) { ++called_back; }));
+  }
+  scheduler.Drain();
+  EXPECT_EQ(executed.load(), kRequests);
+  EXPECT_EQ(called_back.load(), kRequests);
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.requests_executed, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(Scheduler, BatchesRequestsQueuedBehindBusyWorker) {
+  // Gate the single worker on the first request, pile up 6 more, release:
+  // the backlog must execute as one fused batch (cross-request batching).
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.max_batch = 32;
+  options.max_delay_us = 1000000;  // deadline out of the picture
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<size_t> batch_sizes;
+  Scheduler scheduler(options, [&](size_t, std::vector<Scheduler::Pending>&& batch) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      batch_sizes.push_back(batch.size());
+      cv.notify_all();
+      if (batch_sizes.size() == 1) cv.wait(lock, [&] { return release; });
+    }
+    for (auto& p : batch) p.callback(ServeResponse{});
+  });
+  ASSERT_TRUE(scheduler.Submit(MatchRequest("gate"), [](ServeResponse) {}));
+  // Wait until the worker is inside the executor before piling on.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return !batch_sizes.empty(); });
+    ASSERT_FALSE(batch_sizes.empty());
+  }
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(scheduler.Submit(MatchRequest(std::to_string(i)),
+                                 [](ServeResponse) {}));
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_EQ(batch_sizes.size(), 2u);
+  EXPECT_EQ(batch_sizes[0], 1u);
+  EXPECT_EQ(batch_sizes[1], 6u);
+  EXPECT_EQ(scheduler.stats().max_batch_observed, 6u);
+}
+
+TEST(Scheduler, SplitsBatchesAtOpBoundaries) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.max_batch = 32;
+  options.max_delay_us = 1000000;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::vector<ServeOp>> batches;
+  Scheduler scheduler(options, [&](size_t, std::vector<Scheduler::Pending>&& batch) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      std::vector<ServeOp> ops;
+      for (const auto& p : batch) ops.push_back(p.request.op);
+      batches.push_back(ops);
+      cv.notify_all();
+      if (batches.size() == 1) cv.wait(lock, [&] { return release; });
+    }
+    for (auto& p : batch) p.callback(ServeResponse{});
+  });
+  ASSERT_TRUE(scheduler.Submit(MatchRequest("gate"), [](ServeResponse) {}));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return !batches.empty(); });
+    ASSERT_FALSE(batches.empty());
+  }
+  // Mixed backlog: match, embed, match. One batch per op run, never mixed.
+  ASSERT_TRUE(scheduler.Submit(MatchRequest("m1"), [](ServeResponse) {}));
+  ServeRequest embed;
+  embed.op = ServeOp::kEmbed;
+  embed.id = "e1";
+  embed.text = "x";
+  ASSERT_TRUE(scheduler.Submit(std::move(embed), [](ServeResponse) {}));
+  ASSERT_TRUE(scheduler.Submit(MatchRequest("m2"), [](ServeResponse) {}));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[1], (std::vector<ServeOp>{ServeOp::kMatch, ServeOp::kMatch}));
+  EXPECT_EQ(batches[2], (std::vector<ServeOp>{ServeOp::kEmbed}));
+}
+
+TEST(Scheduler, RingOverflowRejectsWithoutCallback) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.max_batch = 1;
+  options.ring_capacity = 4;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> gated{false};
+  Scheduler scheduler(options, [&](size_t, std::vector<Scheduler::Pending>&& batch) {
+    gated = true;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+    for (auto& p : batch) p.callback(ServeResponse{});
+  });
+  ASSERT_TRUE(scheduler.Submit(MatchRequest("gate"), [](ServeResponse) {}));
+  while (!gated.load()) std::this_thread::yield();
+  // Capacity counts in-flight work: 1 executing + 3 queued fill the ring.
+  std::atomic<int> accepted{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(scheduler.Submit(MatchRequest(std::to_string(i)),
+                                 [&](ServeResponse) { ++accepted; }));
+  }
+  std::atomic<bool> overflow_callback{false};
+  EXPECT_FALSE(scheduler.Submit(MatchRequest("over"),
+                                [&](ServeResponse) { overflow_callback = true; }));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(accepted.load(), 3);
+  EXPECT_FALSE(overflow_callback.load());
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(Scheduler, DeadlineWatchdogFlushesBacklogBehindBusyWorker) {
+  // The armed path: a claim that leaves backlog behind while every worker
+  // is busy arms the watchdog; once the leftover head ages past the
+  // deadline it must flush to a ready batch even though no worker freed up.
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.max_batch = 32;
+  options.max_delay_us = 2000;  // 2ms
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_match = false;
+  bool release_embed = false;
+  int executor_entries = 0;
+  Scheduler scheduler(options, [&](size_t, std::vector<Scheduler::Pending>&& batch) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++executor_entries;
+      cv.notify_all();
+      if (batch[0].request.op == ServeOp::kMatch) {
+        cv.wait(lock, [&] { return release_match; });
+      } else if (batch[0].request.op == ServeOp::kEmbed) {
+        cv.wait(lock, [&] { return release_embed; });
+      }
+    }
+    for (auto& p : batch) p.callback(ServeResponse{});
+  });
+  // Gate the worker on a match batch, then queue embed + topk behind it.
+  ASSERT_TRUE(scheduler.Submit(MatchRequest("gate"), [](ServeResponse) {}));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return executor_entries == 1; }));
+  }
+  ServeRequest embed;
+  embed.op = ServeOp::kEmbed;
+  embed.id = "e";
+  ServeRequest topk;
+  topk.op = ServeOp::kTopK;
+  topk.id = "t";
+  ASSERT_TRUE(scheduler.Submit(std::move(embed), [](ServeResponse) {}));
+  ASSERT_TRUE(scheduler.Submit(std::move(topk), [](ServeResponse) {}));
+  // Release the match; the worker claims the embed run, leaving topk behind
+  // with every worker busy -> watchdog armed. The embed gate holds the
+  // worker past the 2ms deadline, so the watchdog must flush the topk.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release_match = true;
+  }
+  cv.notify_all();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (scheduler.stats().deadline_flushes == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(scheduler.stats().deadline_flushes, 1u);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release_embed = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().requests_executed, 3u);
+}
+
+TEST(Scheduler, ConcurrentSubmittersAllComplete) {
+  // TSan fodder: many submitter threads racing Submit against the worker
+  // pool's claims and the deadline watchdog.
+  SchedulerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.max_delay_us = 100;
+  Scheduler scheduler(options, [&](size_t, std::vector<Scheduler::Pending>&& batch) {
+    for (auto& p : batch) p.callback(ServeResponse{});
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        while (!scheduler.Submit(MatchRequest("x"),
+                                 [&](ServeResponse) { ++completed; })) {
+          std::this_thread::yield();  // ring full: retry
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  scheduler.Drain();
+  EXPECT_EQ(completed.load(), kThreads * kPerThread);
+}
+
+// ------------------------------------------- bundle + end-to-end identity
+
+/// Trains the smoke bundle once for every test below (seconds, but no need
+/// to pay it per test).
+class ServingBundleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ServingOptions options;
+    options.dataset = "walmart_amazon";
+    options.scale = data::Scale::kSmoke;
+    bundle_ = ServingBundle::Train(options).release();
+    ASSERT_NE(bundle_, nullptr);
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static ServingBundle* bundle_;
+};
+
+ServingBundle* ServingBundleTest::bundle_ = nullptr;
+
+TEST_F(ServingBundleTest, SaveLoadRoundTripPreservesScores) {
+  const std::string path = TempPath("serve_bundle_roundtrip.bin");
+  DIAL_ASSERT_OK(bundle_->Save(path));
+  DIAL_ASSERT_OK_AND_ASSIGN(const std::unique_ptr<ServingBundle> loaded,
+                            ServingBundle::Load(path));
+  const std::vector<data::PairId> pairs = {{0, 0}, {1, 3}, {2, 2}};
+  autograd::InferenceContext ctx_a;
+  autograd::InferenceContext ctx_b;
+  DIAL_ASSERT_OK_AND_ASSIGN(const std::vector<float> want,
+                            bundle_->MatchPairs(ctx_a, pairs));
+  DIAL_ASSERT_OK_AND_ASSIGN(const std::vector<float> got,
+                            loaded->MatchPairs(ctx_b, pairs));
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&want[i], &got[i], sizeof(float)), 0) << i;
+  }
+  // The rebuilt indexes answer topk identically too.
+  const auto want_hits = bundle_->TopK(ctx_a, "acme phone 32gb", 3);
+  const auto got_hits = loaded->TopK(ctx_b, "acme phone 32gb", 3);
+  ASSERT_EQ(want_hits.size(), got_hits.size());
+  for (size_t i = 0; i < want_hits.size(); ++i) {
+    EXPECT_EQ(want_hits[i].r_id, got_hits[i].r_id);
+    EXPECT_EQ(want_hits[i].distance, got_hits[i].distance);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServingBundleTest, LoadRejectsEveryTruncationCleanly) {
+  const std::string path = TempPath("serve_bundle_trunc.bin");
+  DIAL_ASSERT_OK(bundle_->Save(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  // Sweep truncation points across the artifact (header, options, shapes,
+  // weight blobs): every prefix must load as a clean non-OK, never a crash
+  // or a half-built bundle.
+  const std::string trunc_path = TempPath("serve_bundle_trunc_cut.bin");
+  for (size_t cut = 0; cut < bytes.size();
+       cut += std::max<size_t>(1, bytes.size() / 64)) {
+    FILE* out = std::fopen(trunc_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, cut, out), cut);
+    std::fclose(out);
+    const auto loaded = ServingBundle::Load(trunc_path);
+    EXPECT_FALSE(loaded.ok()) << "truncation at " << cut << " of " << size;
+  }
+
+  // Flipped magic / corrupt tail byte also fail cleanly.
+  std::string corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  FILE* out = std::fopen(trunc_path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(std::fwrite(corrupt.data(), 1, corrupt.size(), out), corrupt.size());
+  std::fclose(out);
+  EXPECT_FALSE(ServingBundle::Load(trunc_path).ok());
+  std::remove(path.c_str());
+  std::remove(trunc_path.c_str());
+}
+
+TEST_F(ServingBundleTest, ConcurrentWorkersScoreIdentically) {
+  // The serving concurrency contract: N threads, each with its own context,
+  // scoring through one shared const bundle, must all see the exact
+  // single-threaded bits.
+  const std::vector<data::PairId> pairs = {{0, 1}, {3, 2}, {1, 1}, {2, 0}};
+  autograd::InferenceContext ref_ctx;
+  DIAL_ASSERT_OK_AND_ASSIGN(const std::vector<float> want,
+                            bundle_->MatchPairs(ref_ctx, pairs));
+  constexpr int kThreads = 4;
+  std::vector<std::vector<float>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      autograd::InferenceContext ctx;
+      for (int round = 0; round < 5; ++round) {
+        auto probs = bundle_->MatchPairs(ctx, pairs);
+        ASSERT_TRUE(probs.ok());
+        got[t] = std::move(probs).value();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&got[t][i], &want[i], sizeof(float)), 0)
+          << "thread " << t << " pair " << i;
+    }
+  }
+}
+
+/// Minimal blocking client for the socket tests.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  std::string CallRaw(const std::string& request) {
+    std::string line = request;
+    line.push_back('\n');
+    if (::send(fd_, line.data(), line.size(), 0) !=
+        static_cast<ssize_t>(line.size())) {
+      return "";
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t newline = buffer_.find('\n');
+    std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return response;
+  }
+
+  JsonValue Call(const std::string& request) {
+    auto parsed = ParseJson(CallRaw(request));
+    return parsed.ok() ? std::move(parsed).value() : JsonValue::Null();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST_F(ServingBundleTest, ServedMatchIsBitIdenticalToDirectCall) {
+  ServerOptions options;
+  options.socket_path = TempPath("serve_test_ident.sock");
+  options.scheduler.num_workers = 2;
+  Server server(bundle_, options);
+  DIAL_ASSERT_OK(server.Start());
+  TestClient client(options.socket_path);
+  ASSERT_TRUE(client.connected());
+
+  const std::vector<data::PairId> pairs = {{0, 0}, {1, 2}, {3, 1}};
+  autograd::InferenceContext ctx;
+  DIAL_ASSERT_OK_AND_ASSIGN(const std::vector<float> want,
+                            bundle_->MatchPairs(ctx, pairs));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const std::string request =
+        "{\"op\":\"match\",\"id\":\"q\",\"r\":" + std::to_string(pairs[i].r) +
+        ",\"s\":" + std::to_string(pairs[i].s) + "}";
+    const std::string raw = client.CallRaw(request);
+    DIAL_ASSERT_OK_AND_ASSIGN(const JsonValue response, ParseJson(raw));
+    ASSERT_EQ(response.GetString("status", ""), "ok") << raw;
+    // Parse the prob back off the wire text: %.9g must reproduce the bits.
+    const size_t pos = raw.find("\"prob\":");
+    ASSERT_NE(pos, std::string::npos) << raw;
+    const float got = std::strtof(raw.c_str() + pos + 7, nullptr);
+    EXPECT_EQ(std::memcmp(&got, &want[i], sizeof(float)), 0)
+        << "pair " << i << ": wire " << got << " direct " << want[i];
+  }
+  server.Stop();
+}
+
+TEST_F(ServingBundleTest, ServerSmokeAllOpsAndErrors) {
+  ServerOptions options;
+  options.socket_path = TempPath("serve_test_smoke.sock");
+  options.scheduler.num_workers = 1;
+  Server server(bundle_, options);
+  DIAL_ASSERT_OK(server.Start());
+  TestClient client(options.socket_path);
+  ASSERT_TRUE(client.connected());
+
+  EXPECT_EQ(client.Call(R"({"op":"match","id":"1","r":0,"s":0})")
+                .GetString("status", ""),
+            "ok");
+  EXPECT_EQ(client
+                .Call(R"({"op":"match","id":"2","r_text":"acme","s_text":"acme inc"})")
+                .GetString("status", ""),
+            "ok");
+  const JsonValue topk = client.Call(R"({"op":"topk","id":"3","text":"acme","k":2})");
+  EXPECT_EQ(topk.GetString("status", ""), "ok");
+  ASSERT_NE(topk.Get("neighbors"), nullptr);
+  EXPECT_LE(topk.Get("neighbors")->items().size(), 2u);
+  const JsonValue embed = client.Call(R"({"op":"embed","id":"4","text":"acme"})");
+  EXPECT_EQ(embed.GetString("status", ""), "ok");
+  ASSERT_NE(embed.Get("embedding"), nullptr);
+  EXPECT_FALSE(embed.Get("embedding")->items().empty());
+
+  // Error paths: out-of-range id, unknown op, malformed JSON line.
+  EXPECT_EQ(client.Call(R"({"op":"match","id":"5","r":999999,"s":0})")
+                .GetString("status", ""),
+            "error");
+  EXPECT_EQ(client.Call(R"({"op":"frobnicate","id":"6"})").GetString("status", ""),
+            "error");
+  EXPECT_EQ(client.Call("{not json").GetString("status", ""), "error");
+
+  const JsonValue stats = client.Call(R"({"op":"stats","id":"7"})");
+  EXPECT_EQ(stats.GetString("status", ""), "ok");
+  EXPECT_GE(stats.GetNumber("requests_executed", 0), 4);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dial::serve

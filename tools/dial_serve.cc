@@ -1,0 +1,192 @@
+// dial_serve — online matching service over a unix-domain socket.
+//
+// Loads (or trains and saves) a ServingBundle, then answers newline-
+// delimited JSON requests with cross-request dynamic batching: concurrent
+// match/embed requests are packed into one batched engine forward, so the
+// linear sublayers run as a single GEMM across requests. See
+// src/serve/server.h for the protocol.
+//
+// Typical session:
+//   dial_serve --dataset=walmart_amazon --scale=smoke
+//       --bundle=/tmp/wa.bundle --socket=/tmp/dial.sock
+//   # elsewhere:
+//   printf '{"op":"match","id":"1","r":3,"s":7}\n' | nc -U /tmp/dial.sock
+//
+// --self_test starts the server, drives a client session against it
+// (match/topk/embed/stats/shutdown), and exits 0 on success — the CI smoke
+// for the binary.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+using dial::serve::JsonValue;
+
+/// Minimal blocking client for --self_test.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    DIAL_CHECK(fd_ >= 0) << "socket(): " << std::strerror(errno);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    DIAL_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+        << "connect(" << socket_path << "): " << std::strerror(errno);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  JsonValue Call(const std::string& request) {
+    std::string line = request;
+    line.push_back('\n');
+    DIAL_CHECK(::send(fd_, line.data(), line.size(), 0) ==
+               static_cast<ssize_t>(line.size()));
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      DIAL_CHECK(n > 0) << "server closed the connection";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t newline = buffer_.find('\n');
+    const std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    auto parsed = dial::serve::ParseJson(response);
+    DIAL_CHECK(parsed.ok()) << parsed.status().ToString() << ": " << response;
+    return std::move(parsed).value();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+int SelfTest(const dial::serve::ServingBundle& bundle, const std::string& socket_path,
+             dial::serve::ServerOptions options) {
+  dial::serve::Server server(&bundle, std::move(options));
+  DIAL_CHECK_OK(server.Start());
+  Client client(socket_path);
+
+  JsonValue match = client.Call(R"({"op":"match","id":"m1","r":0,"s":0})");
+  DIAL_CHECK(match.GetString("status", "") == "ok") << match.Dump();
+  DIAL_CHECK(match.Get("prob") != nullptr) << match.Dump();
+
+  JsonValue text_match = client.Call(
+      R"({"op":"match","id":"m2","r_text":"acme phone 32gb","s_text":"acme phone 32 gb"})");
+  DIAL_CHECK(text_match.GetString("status", "") == "ok") << text_match.Dump();
+
+  JsonValue topk = client.Call(R"({"op":"topk","id":"t1","text":"acme phone","k":3})");
+  DIAL_CHECK(topk.GetString("status", "") == "ok") << topk.Dump();
+  DIAL_CHECK(topk.Get("neighbors") != nullptr) << topk.Dump();
+
+  JsonValue embed = client.Call(R"({"op":"embed","id":"e1","text":"acme phone"})");
+  DIAL_CHECK(embed.GetString("status", "") == "ok") << embed.Dump();
+  DIAL_CHECK(embed.Get("embedding") != nullptr &&
+             !embed.Get("embedding")->items().empty())
+      << embed.Dump();
+
+  JsonValue bad = client.Call(R"({"op":"match","id":"b1","r":99999999,"s":0})");
+  DIAL_CHECK(bad.GetString("status", "") == "error") << bad.Dump();
+
+  JsonValue stats = client.Call(R"({"op":"stats","id":"s1"})");
+  DIAL_CHECK(stats.GetNumber("requests_executed", 0) >= 4) << stats.Dump();
+
+  JsonValue ack = client.Call(R"({"op":"shutdown","id":"q1"})");
+  DIAL_CHECK(ack.GetString("status", "") == "ok") << ack.Dump();
+  server.WaitForShutdown();
+  server.Stop();
+  std::printf("self_test ok: %s\n", stats.Dump().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dial::util::FlagSet flags;
+  std::string* dataset = flags.AddString("dataset", "walmart_amazon", "dataset name");
+  std::string* scale_text = flags.AddString("scale", "smoke", "smoke|small|medium");
+  int64_t* data_seed = flags.AddInt("data_seed", 1, "dataset generator seed");
+  int64_t* al_seed = flags.AddInt("al_seed", 7, "active-learning seed");
+  std::string* bundle_path = flags.AddString(
+      "bundle", "", "bundle file: load if present, else train and save here");
+  std::string* socket_path =
+      flags.AddString("socket", "/tmp/dial_serve.sock", "unix socket path");
+  std::string* backend_text = flags.AddString("backend", "flat", "index backend");
+  int64_t* k_neighbors = flags.AddInt("k", 3, "IBC neighbours per member probe");
+  int64_t* workers = flags.AddInt("workers", 2, "scheduler worker threads");
+  int64_t* max_batch = flags.AddInt("max_batch", 32, "max requests per fused batch");
+  int64_t* max_delay_us =
+      flags.AddInt("max_delay_us", 2000, "deadline before a partial batch flushes");
+  int64_t* ring = flags.AddInt("ring", 1024, "request ring capacity (overload bound)");
+  bool* self_test = flags.AddBool(
+      "self_test", false, "serve, run a scripted client session, exit (CI smoke)");
+  flags.Parse(argc, argv);
+
+  dial::serve::ServingOptions options;
+  options.dataset = *dataset;
+  options.scale = dial::data::ParseScale(*scale_text);
+  options.data_seed = static_cast<uint64_t>(*data_seed);
+  options.al_seed = static_cast<uint64_t>(*al_seed);
+  options.backend = dial::core::ParseIndexBackend(*backend_text);
+  options.k_neighbors = static_cast<size_t>(*k_neighbors);
+
+  std::unique_ptr<dial::serve::ServingBundle> bundle;
+  if (!bundle_path->empty()) {
+    if (FILE* f = std::fopen(bundle_path->c_str(), "rb"); f != nullptr) {
+      std::fclose(f);
+      auto loaded = dial::serve::ServingBundle::Load(*bundle_path);
+      DIAL_CHECK_OK(loaded.status());
+      bundle = std::move(loaded).value();
+      std::printf("loaded bundle %s (%s/%s, %zu R records)\n", bundle_path->c_str(),
+                  bundle->options().dataset.c_str(),
+                  dial::data::ScaleName(bundle->options().scale).c_str(),
+                  bundle->num_r_records());
+    }
+  }
+  if (bundle == nullptr) {
+    std::printf("training bundle for %s/%s...\n", dataset->c_str(), scale_text->c_str());
+    bundle = dial::serve::ServingBundle::Train(options);
+    if (!bundle_path->empty()) {
+      DIAL_CHECK_OK(bundle->Save(*bundle_path));
+      std::printf("saved bundle to %s\n", bundle_path->c_str());
+    }
+  }
+
+  dial::serve::ServerOptions server_options;
+  server_options.socket_path = *socket_path;
+  server_options.scheduler.num_workers = static_cast<size_t>(*workers);
+  server_options.scheduler.max_batch = static_cast<size_t>(*max_batch);
+  server_options.scheduler.max_delay_us = *max_delay_us;
+  server_options.scheduler.ring_capacity = static_cast<size_t>(*ring);
+
+  if (*self_test) {
+    return SelfTest(*bundle, *socket_path, std::move(server_options));
+  }
+
+  dial::serve::Server server(bundle.get(), std::move(server_options));
+  DIAL_CHECK_OK(server.Start());
+  std::printf("serving %s on %s (%lld workers, max_batch %lld, deadline %lld us)\n",
+              bundle->options().dataset.c_str(), socket_path->c_str(),
+              static_cast<long long>(*workers), static_cast<long long>(*max_batch),
+              static_cast<long long>(*max_delay_us));
+  server.WaitForShutdown();
+  server.Stop();
+  const dial::serve::SchedulerStats stats = server.scheduler_stats();
+  std::printf("shutdown: %llu requests in %llu batches (mean %.2f, max %zu)\n",
+              static_cast<unsigned long long>(stats.requests_executed),
+              static_cast<unsigned long long>(stats.batches), stats.mean_batch_size(),
+              stats.max_batch_observed);
+  return 0;
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Doc-drift gate: fail CI when the docs and the binaries disagree.
+
+Two checks, both against files in the working tree plus the built
+binaries' --help output:
+
+1. Markdown links: every relative link target in README.md and docs/
+   must exist (anchors and external URLs are skipped).
+2. Flag drift: every flag a documented binary actually exposes must be
+   mentioned somewhere in README.md or docs/, and every `--flag` the
+   docs attribute to that binary must exist in its --help. Flags are
+   parsed from util::FlagSet's usage format ("  --name  help text
+   (default: ...)").
+
+Usage: scripts/check_doc_drift.py [--build-dir build]
+Exit 0 = no drift; 1 = drift (each item printed); 2 = cannot run
+(missing binary) — CI treats 2 as failure too, so the gate cannot
+silently skip.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Binaries whose flags the docs promise to describe, and the doc files
+# whose `--flag` mentions are attributed to them. dial_cli hides its
+# flags behind subcommands, so each subcommand is checked separately.
+BINARIES = {
+    "dial_serve": {"cmd": ["dial_serve", "--help"]},
+    "dial_cli run": {"cmd": ["dial_cli", "run", "--help"]},
+    "dial_cli datasets": {"cmd": ["dial_cli", "datasets", "--help"]},
+    "dial_cli jedai": {"cmd": ["dial_cli", "jedai", "--help"]},
+}
+
+DOC_FILES = ["README.md"] + [
+    os.path.join("docs", f)
+    for f in sorted(os.listdir(os.path.join(REPO, "docs")))
+    if f.endswith(".md")
+]
+
+FLAG_USAGE_RE = re.compile(r"^\s+--([A-Za-z0-9_-]+)\s")
+FLAG_DOC_RE = re.compile(r"--([A-Za-z0-9][A-Za-z0-9_-]*)")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def read(path):
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        return f.read()
+
+
+def check_links(errors):
+    for doc in DOC_FILES:
+        text = read(doc)
+        # Strip fenced code blocks: example links in ``` blocks are not
+        # navigation.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(REPO, os.path.dirname(doc), target_path))
+            if not os.path.exists(resolved):
+                errors.append(f"{doc}: broken link -> {target}")
+
+
+def help_flags(build_dir, spec, errors):
+    binary = os.path.join(build_dir, spec["cmd"][0])
+    if not os.path.exists(binary):
+        print(f"FATAL: missing binary {binary} (build tools first)")
+        sys.exit(2)
+    proc = subprocess.run([binary] + spec["cmd"][1:], capture_output=True,
+                          text=True, timeout=60)
+    flags = set()
+    for line in (proc.stdout + proc.stderr).splitlines():
+        m = FLAG_USAGE_RE.match(line)
+        if m:
+            flags.add(m.group(1))
+    if not flags:
+        errors.append(f"{' '.join(spec['cmd'])}: no flags parsed from --help "
+                      "(usage format changed?)")
+    return flags
+
+
+def check_flags(build_dir, errors):
+    docs_text = "\n".join(read(doc) for doc in DOC_FILES)
+    documented = set(FLAG_DOC_RE.findall(docs_text))
+    # Long-form GNU flags that appear in docs but belong to other tools
+    # (cmake, compilers, ctest, gcovr) rather than dial binaries.
+    foreign = {f for f in documented if f.startswith(("D", "coverage", "march",
+                                                      "ffp", "m", "W"))}
+    foreign |= {"build", "build-dir", "output-on-failure"}
+
+    all_binary_flags = set()
+    for name, spec in BINARIES.items():
+        flags = help_flags(build_dir, spec, errors)
+        all_binary_flags |= flags
+        missing = sorted(f for f in flags if f not in documented)
+        for f in missing:
+            errors.append(
+                f"{name}: flag --{f} is not mentioned in README.md or docs/")
+
+    # Reverse direction: doc'd dial flags that no binary exposes. Bench
+    # harness flags (json_out, reps, ...) are exempt via an allowlist of
+    # prefixes the bench/common layer owns.
+    bench_flags = {"json_out", "refresh_json_out", "datasets", "rounds",
+                   "seed", "scale", "threads", "reps", "per_client",
+                   "help", "self_test"}
+    for f in sorted(documented - all_binary_flags - foreign - bench_flags):
+        errors.append(
+            f"docs mention --{f} but no checked binary exposes it")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    args = parser.parse_args()
+
+    errors = []
+    check_links(errors)
+    check_flags(args.build_dir, errors)
+    if errors:
+        print(f"doc drift: {len(errors)} problem(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"doc drift: clean ({len(DOC_FILES)} docs, "
+          f"{len(BINARIES)} binaries checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,22 @@
 
 namespace dial::core {
 
+namespace {
+
+// AlConfig carries the precision as its CLI spelling; parse (with a hard
+// failure on typos — silently running fp32 when the user asked for int8
+// would invalidate any parity comparison) at each model-construction site.
+autograd::Precision ConfiguredPrecision(const AlConfig& config) {
+  autograd::Precision precision;
+  if (!autograd::ParsePrecision(config.inference_precision, &precision)) {
+    DIAL_LOG_FATAL << "Unknown inference_precision '"
+                   << config.inference_precision << "' (fp32|int8)";
+  }
+  return precision;
+}
+
+}  // namespace
+
 BlockingStrategy ParseBlocking(const std::string& text) {
   if (text == "dial") return BlockingStrategy::kDial;
   if (text == "paired_fixed") return BlockingStrategy::kPairedFixed;
@@ -121,6 +137,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
       committee_ = std::make_unique<BlockerCommittee>(emb_r.cols(), blocker);
       committee_->SetThreadPool(pool_.get());
       committee_->SetInferenceEngine(config_.inference_engine);
+      committee_->SetInferencePrecision(ConfiguredPrecision(config_));
       std::vector<data::PairId> dups;
       for (const auto& e : labeled_.positives()) dups.push_back(e.pair);
       std::vector<data::PairId> negs;
@@ -141,6 +158,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
         Matcher probe(pretrained_->config(), config_.matcher, config_.seed ^ 0xfef1);
         probe.SetThreadPool(pool_.get());
         probe.SetInferenceEngine(config_.inference_engine);
+        probe.SetInferencePrecision(ConfiguredPrecision(config_));
         probe.ResetFromPretrained(*pretrained_);
         const la::Matrix emb_r = EmbedAllR(probe);
         const la::Matrix emb_s = EmbedAllS(probe);
@@ -169,6 +187,7 @@ std::vector<Candidate> ActiveLearningLoop::BuildCandidates(size_t round,
           pretrained_->config(), config_.sbert, config_.seed ^ (0x5be7 + round));
       sbert_->SetThreadPool(pool_.get());
       sbert_->SetInferenceEngine(config_.inference_engine);
+      sbert_->SetInferencePrecision(ConfiguredPrecision(config_));
       sbert_->ResetFromPretrained(*pretrained_, 0xbeef + round);
       sbert_->Train(*encodings_, labeled_.AllPairs());
       metrics.t_train_committee = timer.Seconds();
@@ -248,6 +267,7 @@ AlResult ActiveLearningLoop::Run() {
                                         config_.seed ^ 0x1111 ^ round);
     matcher->SetThreadPool(pool_.get());
     matcher->SetInferenceEngine(config_.inference_engine);
+    matcher->SetInferencePrecision(ConfiguredPrecision(config_));
     matcher->ResetFromPretrained(*pretrained_);
     matcher->Train(*pair_cache_, labeled_.AllPairs(), calibration_);
     metrics.t_train_matcher = timer.Seconds();
@@ -300,6 +320,7 @@ AlResult ActiveLearningLoop::Run() {
         Matcher boot(pretrained_->config(), boot_config, config_.seed ^ (0xc00 + m));
         boot.SetThreadPool(pool_.get());
         boot.SetInferenceEngine(config_.inference_engine);
+        boot.SetInferencePrecision(ConfiguredPrecision(config_));
         boot.ResetFromPretrained(*pretrained_);
         std::vector<data::LabeledPair> sample;
         sample.reserve(all_pairs.size());

@@ -98,6 +98,12 @@ class CommitteeMember : public nn::Module {
   /// Bit-identical either way; training always uses the Tape.
   void SetInferenceEngine(bool on) { use_inference_ = on; }
 
+  /// Numeric mode for the engine's linear sublayer (default fp32; see
+  /// Matcher::SetInferencePrecision).
+  void SetInferencePrecision(autograd::Precision precision) {
+    infer_ctx_.SetPrecision(precision);
+  }
+
  private:
   la::Matrix mask_;  // (1, d) of {0,1}
   nn::Linear linear_;
@@ -150,6 +156,11 @@ class BlockerCommittee {
   /// Toggles every member's tape-free Transform path (see CommitteeMember).
   void SetInferenceEngine(bool on) {
     for (auto& member : members_) member->SetInferenceEngine(on);
+  }
+
+  /// Sets every member's engine precision (see CommitteeMember).
+  void SetInferencePrecision(autograd::Precision precision) {
+    for (auto& member : members_) member->SetInferencePrecision(precision);
   }
 
  private:

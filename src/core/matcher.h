@@ -135,6 +135,13 @@ class Matcher {
   void SetInferenceEngine(bool on) { use_inference_ = on; }
   bool inference_engine() const { return use_inference_; }
 
+  /// Numeric mode for the engine's linear sublayers (default fp32). int8 is
+  /// NOT bit-identical — it is gated by the F1-parity test in the AL golden
+  /// harness; training always stays fp32 on the Tape.
+  void SetInferencePrecision(autograd::Precision precision) {
+    infer_ctx_.SetPrecision(precision);
+  }
+
  private:
   /// Probability and optional penultimate activation for one pair (the Tape
   /// fallback path).

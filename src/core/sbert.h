@@ -56,6 +56,12 @@ class SentenceBertBlocker {
   /// uses the Tape.
   void SetInferenceEngine(bool on) { use_inference_ = on; }
 
+  /// Numeric mode for the engine's linear sublayers (default fp32; see
+  /// Matcher::SetInferencePrecision).
+  void SetInferencePrecision(autograd::Precision precision) {
+    infer_ctx_.SetPrecision(precision);
+  }
+
  private:
   la::Matrix Embed(const std::vector<const text::EncodedSequence*>& seqs);
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "index/kmeans.h"
+#include "la/kernels.h"
 
 namespace dial::index {
 
@@ -121,42 +122,21 @@ void ProductQuantizer::ComputeDistanceTable(const float* query, bool inner_produ
   }
 }
 
-namespace {
-
-/// Shared ADC kernel: 4 independent subspace accumulators (combined as
-/// (s0+s1)+(s2+s3), scalar tail) so consecutive table lookups overlap
-/// instead of serializing on one add chain. Backing both the scalar and
-/// batch entry points keeps them bit-identical to each other.
-inline float AdcOne(const float* table, size_t ksub, const uint8_t* code,
-                    size_t m) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  size_t sub = 0;
-  for (; sub + 4 <= m; sub += 4) {
-    s0 += table[sub * ksub + code[sub]];
-    s1 += table[(sub + 1) * ksub + code[sub + 1]];
-    s2 += table[(sub + 2) * ksub + code[sub + 2]];
-    s3 += table[(sub + 3) * ksub + code[sub + 3]];
-  }
-  float acc = (s0 + s1) + (s2 + s3);
-  for (; sub < m; ++sub) acc += table[sub * ksub + code[sub]];
-  return acc;
-}
-
-}  // namespace
-
+// The ADC kernel lives in la/kernels (dispatched per CPU tier): 4 independent
+// subspace accumulators combined as (s0+s1)+(s2+s3) with a scalar tail, and
+// the batched scan replays the per-code chain exactly, so both entry points
+// stay bit-identical to each other on every tier.
 float ProductQuantizer::AdcDistance(const std::vector<float>& table,
                                     const uint8_t* code) const {
-  return AdcOne(table.data(), ksub_, code, options_.num_subspaces);
+  return la::kernels::AdcDistance(table.data(), ksub_, code,
+                                  options_.num_subspaces);
 }
 
 void ProductQuantizer::AdcDistanceBatch(const std::vector<float>& table,
                                         const uint8_t* codes, size_t n,
                                         float* out) const {
-  const size_t m = options_.num_subspaces;
-  const float* t = table.data();
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = AdcOne(t, ksub_, codes + i * m, m);
-  }
+  la::kernels::AdcDistanceScan(table.data(), ksub_, codes,
+                               options_.num_subspaces, n, out);
 }
 
 float ProductQuantizer::SymmetricDistance(const uint8_t* a, const uint8_t* b) const {

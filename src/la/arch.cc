@@ -1,0 +1,208 @@
+#include "la/arch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dial::la::arch {
+
+namespace {
+
+// CPU capability probe. On x86 __builtin_cpu_supports reads CPUID once per
+// process (glibc caches); on aarch64 NEON is architecturally guaranteed.
+bool CpuHasTier(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+    case Tier::kNeon:
+      return false;
+#elif defined(__aarch64__)
+    case Tier::kAvx2:
+    case Tier::kAvx512:
+      return false;
+    case Tier::kNeon:
+      return true;
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* TableFor(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return ScalarKernelTable();
+    case Tier::kAvx2:
+      return Avx2KernelTable();
+    case Tier::kAvx512:
+      return Avx512KernelTable();
+    case Tier::kNeon:
+      return NeonKernelTable();
+  }
+  return nullptr;
+}
+
+// Candidate order when clamping a request downward: try the request, then
+// every cheaper tier in its family, ending at scalar (always present).
+Tier NextBelow(Tier tier) {
+  switch (tier) {
+    case Tier::kAvx512:
+      return Tier::kAvx2;
+    case Tier::kAvx2:
+    case Tier::kNeon:
+    case Tier::kScalar:
+      return Tier::kScalar;
+  }
+  return Tier::kScalar;
+}
+
+Tier ClampToSupported(Tier tier) {
+  Tier t = tier;
+  while (!TierSupported(t) && t != Tier::kScalar) t = NextBelow(t);
+  return t;
+}
+
+struct ActiveState {
+  std::atomic<const KernelTable*> table{nullptr};
+  std::atomic<int> tier{static_cast<int>(Tier::kScalar)};
+  std::once_flag init;
+};
+
+ActiveState& State() {
+  static ActiveState state;
+  return state;
+}
+
+Tier InstallTier(Tier tier) {
+  const Tier actual = ClampToSupported(tier);
+  ActiveState& s = State();
+  // Publish the table first: a reader pairing a fresh tier with a stale
+  // table would be harmless (both are valid), but keep the order anyway so
+  // ActiveTier() never gets ahead of Active().
+  s.table.store(TableFor(actual), std::memory_order_release);
+  s.tier.store(static_cast<int>(actual), std::memory_order_release);
+  return actual;
+}
+
+Tier DefaultPolicyTier() {
+  const char* force = std::getenv("DIAL_FORCE_ARCH");
+  if (force != nullptr && force[0] != '\0') {
+    Tier tier;
+    bool native = false;
+    if (!ParseTier(force, &tier, &native)) {
+      std::fprintf(stderr,
+                   "dial: DIAL_FORCE_ARCH=%s not recognized "
+                   "(scalar|avx2|avx512|neon|native); using detected tier\n",
+                   force);
+      return DetectedTier();
+    }
+    if (native) return DetectedTier();
+    if (!TierSupported(tier)) {
+      std::fprintf(stderr,
+                   "dial: DIAL_FORCE_ARCH=%s unsupported on this CPU/build; "
+                   "falling back to %s\n",
+                   force, TierName(ClampToSupported(tier)));
+    }
+    return tier;  // InstallTier clamps.
+  }
+  return DetectedTier();
+}
+
+void EnsureInit() {
+  ActiveState& s = State();
+  std::call_once(s.init, [] { InstallTier(DefaultPolicyTier()); });
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+    case Tier::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool ParseTier(const std::string& text, Tier* out, bool* native) {
+  *native = false;
+  if (text == "native" || text == "best") {
+    *native = true;
+    *out = DetectedTier();
+    return true;
+  }
+  if (text == "scalar") {
+    *out = Tier::kScalar;
+    return true;
+  }
+  if (text == "avx2") {
+    *out = Tier::kAvx2;
+    return true;
+  }
+  if (text == "avx512") {
+    *out = Tier::kAvx512;
+    return true;
+  }
+  if (text == "neon") {
+    *out = Tier::kNeon;
+    return true;
+  }
+  return false;
+}
+
+bool TierSupported(Tier tier) {
+  return CpuHasTier(tier) && TableFor(tier) != nullptr;
+}
+
+Tier DetectedTier() {
+  if (TierSupported(Tier::kAvx512)) return Tier::kAvx512;
+  if (TierSupported(Tier::kAvx2)) return Tier::kAvx2;
+  if (TierSupported(Tier::kNeon)) return Tier::kNeon;
+  return Tier::kScalar;
+}
+
+std::vector<Tier> SupportedTiers() {
+  std::vector<Tier> tiers;
+  for (Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512, Tier::kNeon}) {
+    if (TierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+Tier ActiveTier() {
+  EnsureInit();
+  return static_cast<Tier>(State().tier.load(std::memory_order_acquire));
+}
+
+Tier SetTier(Tier tier) {
+  EnsureInit();
+  return InstallTier(tier);
+}
+
+Tier ResetTierFromEnv() {
+  EnsureInit();
+  return InstallTier(DefaultPolicyTier());
+}
+
+const KernelTable& Active() {
+  EnsureInit();
+  return *State().table.load(std::memory_order_acquire);
+}
+
+}  // namespace dial::la::arch

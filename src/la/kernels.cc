@@ -1,7 +1,13 @@
+// Public kernel entry points: thin threading + dispatch shims. The compute
+// lives in kernels_arch.inc, instantiated once per CPU tier (see la/arch.h);
+// this TU only partitions output rows across the pool and forwards to the
+// active tier's table. The table is loaded once per entry call, so a
+// concurrent SetTier never mixes tiers within one GEMM.
 #include "la/kernels.h"
 
 #include <algorithm>
 
+#include "la/arch.h"
 #include "util/thread_pool.h"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -13,239 +19,33 @@
 namespace dial::la::kernels {
 
 namespace {
-
-// Panel sizes. kBlockK rows of b (GemmNN/GemmTN) or kBlockJ rows of b
-// (GemmNT) are streamed repeatedly while out rows stay register/L1-resident;
-// at 64 rows a panel is 64*n (resp. 64*k) floats — L2-resident for every
-// matrix shape in this codebase. These are compile-time constants on purpose:
-// the k-grouping they induce is part of the deterministic accumulation order.
-constexpr size_t kBlockK = 64;
-constexpr size_t kBlockJ = 64;
 constexpr size_t kTransposeTile = 32;
-
-/// One row of out += a-row * b-panel rows [p0, p1). The 4-way p-unroll keeps
-/// four FMA streams per j-vector and amortizes the out-row store; the scalar
-/// remainder handles p1 - p0 % 4. This grouping is a fixed function of
-/// (p0, p1), which is what makes the accumulation order deterministic.
-inline void GemmRowKernel(const float* DIAL_RESTRICT avals, size_t astride,
-                          size_t p0, size_t p1, size_t n,
-                          const float* DIAL_RESTRICT b,
-                          float* DIAL_RESTRICT orow) {
-  size_t p = p0;
-  for (; p + 4 <= p1; p += 4) {
-    const float a0 = avals[(p - p0) * astride];
-    const float a1 = avals[(p - p0 + 1) * astride];
-    const float a2 = avals[(p - p0 + 2) * astride];
-    const float a3 = avals[(p - p0 + 3) * astride];
-    const float* DIAL_RESTRICT b0 = b + p * n;
-    const float* DIAL_RESTRICT b1 = b0 + n;
-    const float* DIAL_RESTRICT b2 = b1 + n;
-    const float* DIAL_RESTRICT b3 = b2 + n;
-    for (size_t j = 0; j < n; ++j) {
-      orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-    }
-  }
-  for (; p < p1; ++p) {
-    const float av = avals[(p - p0) * astride];
-    const float* DIAL_RESTRICT brow = b + p * n;
-    for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-  }
-}
-
-/// Two rows of out at once, sharing one pass over the b panel — halves the
-/// b-load traffic vs two single-row calls. Per output element the
-/// accumulation order is identical to GemmRowKernel, so how rows get paired
-/// (and therefore how threads split the row range) never changes results.
-inline void GemmRowPairKernel(const float* DIAL_RESTRICT avals0,
-                              const float* DIAL_RESTRICT avals1, size_t astride,
-                              size_t p0, size_t p1, size_t n,
-                              const float* DIAL_RESTRICT b,
-                              float* DIAL_RESTRICT orow0,
-                              float* DIAL_RESTRICT orow1) {
-  size_t p = p0;
-  for (; p + 4 <= p1; p += 4) {
-    const float a00 = avals0[(p - p0) * astride];
-    const float a01 = avals0[(p - p0 + 1) * astride];
-    const float a02 = avals0[(p - p0 + 2) * astride];
-    const float a03 = avals0[(p - p0 + 3) * astride];
-    const float a10 = avals1[(p - p0) * astride];
-    const float a11 = avals1[(p - p0 + 1) * astride];
-    const float a12 = avals1[(p - p0 + 2) * astride];
-    const float a13 = avals1[(p - p0 + 3) * astride];
-    const float* DIAL_RESTRICT b0 = b + p * n;
-    const float* DIAL_RESTRICT b1 = b0 + n;
-    const float* DIAL_RESTRICT b2 = b1 + n;
-    const float* DIAL_RESTRICT b3 = b2 + n;
-    for (size_t j = 0; j < n; ++j) {
-      const float v0 = b0[j];
-      const float v1 = b1[j];
-      const float v2 = b2[j];
-      const float v3 = b3[j];
-      orow0[j] += (a00 * v0 + a01 * v1) + (a02 * v2 + a03 * v3);
-      orow1[j] += (a10 * v0 + a11 * v1) + (a12 * v2 + a13 * v3);
-    }
-  }
-  for (; p < p1; ++p) {
-    const float av0 = avals0[(p - p0) * astride];
-    const float av1 = avals1[(p - p0) * astride];
-    const float* DIAL_RESTRICT brow = b + p * n;
-    for (size_t j = 0; j < n; ++j) {
-      orow0[j] += av0 * brow[j];
-      orow1[j] += av1 * brow[j];
-    }
-  }
-}
-
-/// Four rows of out at once — the widest register-blocked shape that still
-/// fits the SSE2 baseline's 16 vector registers without spilling (6- and
-/// 8-row variants measure ~4x slower). Quarters the b-load traffic vs four
-/// single-row calls; per-element accumulation order is identical to
-/// GemmRowKernel.
-inline void GemmRowQuadKernel(const float* DIAL_RESTRICT avals0,
-                              const float* DIAL_RESTRICT avals1,
-                              const float* DIAL_RESTRICT avals2,
-                              const float* DIAL_RESTRICT avals3, size_t astride,
-                              size_t p0, size_t p1, size_t n,
-                              const float* DIAL_RESTRICT b,
-                              float* DIAL_RESTRICT orow0,
-                              float* DIAL_RESTRICT orow1,
-                              float* DIAL_RESTRICT orow2,
-                              float* DIAL_RESTRICT orow3) {
-  size_t p = p0;
-  for (; p + 4 <= p1; p += 4) {
-    const size_t q = (p - p0) * astride;
-    const float a00 = avals0[q], a01 = avals0[q + astride],
-                a02 = avals0[q + 2 * astride], a03 = avals0[q + 3 * astride];
-    const float a10 = avals1[q], a11 = avals1[q + astride],
-                a12 = avals1[q + 2 * astride], a13 = avals1[q + 3 * astride];
-    const float a20 = avals2[q], a21 = avals2[q + astride],
-                a22 = avals2[q + 2 * astride], a23 = avals2[q + 3 * astride];
-    const float a30 = avals3[q], a31 = avals3[q + astride],
-                a32 = avals3[q + 2 * astride], a33 = avals3[q + 3 * astride];
-    const float* DIAL_RESTRICT b0 = b + p * n;
-    const float* DIAL_RESTRICT b1 = b0 + n;
-    const float* DIAL_RESTRICT b2 = b1 + n;
-    const float* DIAL_RESTRICT b3 = b2 + n;
-    for (size_t j = 0; j < n; ++j) {
-      const float v0 = b0[j];
-      const float v1 = b1[j];
-      const float v2 = b2[j];
-      const float v3 = b3[j];
-      orow0[j] += (a00 * v0 + a01 * v1) + (a02 * v2 + a03 * v3);
-      orow1[j] += (a10 * v0 + a11 * v1) + (a12 * v2 + a13 * v3);
-      orow2[j] += (a20 * v0 + a21 * v1) + (a22 * v2 + a23 * v3);
-      orow3[j] += (a30 * v0 + a31 * v1) + (a32 * v2 + a33 * v3);
-    }
-  }
-  for (; p < p1; ++p) {
-    const size_t q = (p - p0) * astride;
-    const float av0 = avals0[q];
-    const float av1 = avals1[q];
-    const float av2 = avals2[q];
-    const float av3 = avals3[q];
-    const float* DIAL_RESTRICT brow = b + p * n;
-    for (size_t j = 0; j < n; ++j) {
-      orow0[j] += av0 * brow[j];
-      orow1[j] += av1 * brow[j];
-      orow2[j] += av2 * brow[j];
-      orow3[j] += av3 * brow[j];
-    }
-  }
-}
-
-/// Rows [i_begin, i_end): quads first, then a pair, then a single row. Every
-/// kernel shares the same p-grouping, so the split (and therefore the thread
-/// chunking) never changes any output element's accumulation order.
-inline void GemmRowsBlocked(size_t i_begin, size_t i_end, size_t astride,
-                            size_t row_stride, size_t p0, size_t p1, size_t n,
-                            const float* a_base, const float* DIAL_RESTRICT b,
-                            float* DIAL_RESTRICT out) {
-  // a_base points at the (p0, i_begin) element; consecutive rows are
-  // `row_stride` apart in a and the per-row p-stride is `astride`.
-  size_t i = i_begin;
-  for (; i + 4 <= i_end; i += 4) {
-    const float* arow = a_base + (i - i_begin) * row_stride;
-    GemmRowQuadKernel(arow, arow + row_stride, arow + 2 * row_stride,
-                      arow + 3 * row_stride, astride, p0, p1, n, b,
-                      out + i * n, out + (i + 1) * n, out + (i + 2) * n,
-                      out + (i + 3) * n);
-  }
-  if (i + 2 <= i_end) {
-    const float* arow = a_base + (i - i_begin) * row_stride;
-    GemmRowPairKernel(arow, arow + row_stride, astride, p0, p1, n, b,
-                      out + i * n, out + (i + 1) * n);
-    i += 2;
-  }
-  if (i < i_end) {
-    GemmRowKernel(a_base + (i - i_begin) * row_stride, astride, p0, p1, n, b,
-                  out + i * n);
-  }
-}
-
-/// out rows [i_begin, i_end) of out(m,n) += a(m,k) * b(k,n).
-void GemmNNRange(size_t i_begin, size_t i_end, size_t n, size_t k,
-                 const float* DIAL_RESTRICT a, const float* DIAL_RESTRICT b,
-                 float* DIAL_RESTRICT out) {
-  for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
-    const size_t p1 = std::min(k, p0 + kBlockK);
-    GemmRowsBlocked(i_begin, i_end, /*astride=*/1, /*row_stride=*/k, p0, p1, n,
-                    a + i_begin * k + p0, b, out);
-  }
-}
-
-/// out rows [i_begin, i_end) of out(m,n) += a(k,m)^T * b(k,n). Row i of the
-/// output reads column i of `a` (stride m).
-void GemmTNRange(size_t i_begin, size_t i_end, size_t m, size_t n, size_t k,
-                 const float* DIAL_RESTRICT a, const float* DIAL_RESTRICT b,
-                 float* DIAL_RESTRICT out) {
-  for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
-    const size_t p1 = std::min(k, p0 + kBlockK);
-    // Column i of a = stride-m walk from a[p0 * m + i]; consecutive output
-    // rows are adjacent columns (row_stride 1).
-    GemmRowsBlocked(i_begin, i_end, /*astride=*/m, /*row_stride=*/1, p0, p1, n,
-                    a + p0 * m + i_begin, b, out);
-  }
-}
-
-/// out rows [i_begin, i_end) of out(m,n) += a(m,k) * b(n,k)^T: each output
-/// element is a row-row dot product; the j-panel keeps kBlockJ rows of b hot
-/// across consecutive rows of a.
-void GemmNTRange(size_t i_begin, size_t i_end, size_t n, size_t k,
-                 const float* DIAL_RESTRICT a, const float* DIAL_RESTRICT b,
-                 float* DIAL_RESTRICT out) {
-  for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
-    const size_t j1 = std::min(n, j0 + kBlockJ);
-    for (size_t i = i_begin; i < i_end; ++i) {
-      const float* arow = a + i * k;
-      float* DIAL_RESTRICT orow = out + i * n;
-      for (size_t j = j0; j < j1; ++j) orow[j] += Dot(arow, b + j * k, k);
-    }
-  }
-}
-
 }  // namespace
 
 void GemmNN(size_t m, size_t n, size_t k, const float* a, const float* b,
             float* out, util::ThreadPool* pool) {
   if (m == 0 || n == 0 || k == 0) return;
-  util::ParallelFor(pool, m, [=](size_t begin, size_t end) {
-    GemmNNRange(begin, end, n, k, a, b, out);
+  const arch::KernelTable& table = arch::Active();
+  util::ParallelFor(pool, m, [=, &table](size_t begin, size_t end) {
+    table.gemm_nn_range(begin, end, n, k, a, b, out);
   });
 }
 
 void GemmTN(size_t m, size_t n, size_t k, const float* a, const float* b,
             float* out, util::ThreadPool* pool) {
   if (m == 0 || n == 0 || k == 0) return;
-  util::ParallelFor(pool, m, [=](size_t begin, size_t end) {
-    GemmTNRange(begin, end, m, n, k, a, b, out);
+  const arch::KernelTable& table = arch::Active();
+  util::ParallelFor(pool, m, [=, &table](size_t begin, size_t end) {
+    table.gemm_tn_range(begin, end, m, n, k, a, b, out);
   });
 }
 
 void GemmNT(size_t m, size_t n, size_t k, const float* a, const float* b,
             float* out, util::ThreadPool* pool) {
   if (m == 0 || n == 0 || k == 0) return;
-  util::ParallelFor(pool, m, [=](size_t begin, size_t end) {
-    GemmNTRange(begin, end, n, k, a, b, out);
+  const arch::KernelTable& table = arch::Active();
+  util::ParallelFor(pool, m, [=, &table](size_t begin, size_t end) {
+    table.gemm_nt_range(begin, end, n, k, a, b, out);
   });
 }
 
@@ -263,58 +63,26 @@ void TransposeBlocked(size_t rows, size_t cols, const float* DIAL_RESTRICT in,
   }
 }
 
-float Dot(const float* DIAL_RESTRICT a, const float* DIAL_RESTRICT b,
-          size_t n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  float acc = (s0 + s1) + (s2 + s3);
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+float Dot(const float* a, const float* b, size_t n) {
+  return arch::Active().dot(a, b, n);
 }
 
-float SquaredDistance(const float* DIAL_RESTRICT a,
-                      const float* DIAL_RESTRICT b, size_t n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  float acc = (s0 + s1) + (s2 + s3);
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  return arch::Active().squared_distance(a, b, n);
 }
 
 void DotBatch(const float* q, const float* base, size_t n, size_t d,
-              float* DIAL_RESTRICT out) {
-  for (size_t i = 0; i < n; ++i) out[i] = Dot(q, base + i * d, d);
+              float* out) {
+  arch::Active().dot_batch(q, base, n, d, out);
 }
 
 void SquaredDistanceBatch(const float* q, const float* base, size_t n,
-                          size_t d, float* DIAL_RESTRICT out) {
-  for (size_t i = 0; i < n; ++i) out[i] = SquaredDistance(q, base + i * d, d);
+                          size_t d, float* out) {
+  arch::Active().squared_distance_batch(q, base, n, d, out);
 }
 
-void NormsSquared(const float* a, size_t n, size_t d, float* DIAL_RESTRICT out) {
-  for (size_t i = 0; i < n; ++i) {
-    const float* row = a + i * d;
-    out[i] = Dot(row, row, d);
-  }
+void NormsSquared(const float* a, size_t n, size_t d, float* out) {
+  arch::Active().norms_squared(a, n, d, out);
 }
 
 size_t ArgMin(const float* v, size_t n) {
@@ -333,12 +101,30 @@ size_t ArgMax(const float* v, size_t n) {
   return best;
 }
 
-void SquaredDistanceFromDots(float q_sq, const float* DIAL_RESTRICT dots,
-                             const float* DIAL_RESTRICT base_sq, size_t n,
-                             float* DIAL_RESTRICT out) {
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = std::max(0.0f, q_sq + base_sq[i] - 2.0f * dots[i]);
-  }
+void SquaredDistanceFromDots(float q_sq, const float* dots,
+                             const float* base_sq, size_t n, float* out) {
+  arch::Active().squared_distance_from_dots(q_sq, dots, base_sq, n, out);
+}
+
+float AdcDistance(const float* table, size_t ksub, const uint8_t* code,
+                  size_t m) {
+  return arch::Active().adc_one(table, ksub, code, m);
+}
+
+void AdcDistanceScan(const float* table, size_t ksub, const uint8_t* codes,
+                     size_t m, size_t n, float* out) {
+  arch::Active().adc_scan(table, ksub, codes, m, n, out);
+}
+
+void GemmInt8NT(size_t m, size_t n, size_t k, const int8_t* a,
+                const float* a_scales, const int8_t* b, const float* b_scales,
+                const float* bias, float* out, util::ThreadPool* pool) {
+  if (m == 0 || n == 0) return;
+  const arch::KernelTable& table = arch::Active();
+  util::ParallelFor(pool, m, [=, &table](size_t begin, size_t end) {
+    table.gemm_int8_nt_range(begin, end, n, k, a, a_scales, b, b_scales, bias,
+                             out);
+  });
 }
 
 }  // namespace dial::la::kernels

@@ -2,24 +2,37 @@
 #define DIAL_LA_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 /// \file
 /// Raw-pointer compute kernels behind la::Matrix: cache-blocked GEMM in the
-/// three transpose layouts autograd needs, a blocked transpose, and batched
-/// row-distance kernels for the index/selector scan loops. Everything here is
-/// branch-free in the inner loops, `restrict`-qualified, and unrolled so the
-/// compiler can keep multiple FMA streams in flight.
+/// three transpose layouts autograd needs, a blocked transpose, batched
+/// row-distance kernels for the index/selector scan loops, the PQ ADC scan,
+/// and an int8 GEMM for quantized inference. Every entry point here
+/// dispatches through la/arch.h to a per-CPU-tier instantiation (scalar /
+/// AVX2 / AVX-512 / NEON) selected at runtime — see arch.h for the tier
+/// policy and the DIAL_FORCE_ARCH override.
 ///
-/// Accumulation contract (all callers rely on this):
-///  - Everything accumulates in float32. Row reductions (Dot,
-///    SquaredDistance, NormsSquared) use four independent partial sums over
-///    interleaved lanes, combined as (s0+s1)+(s2+s3), with a scalar tail for
-///    n % 4 — the SAME routine backs the scalar and batch entry points, so a
-///    batched scan is bit-identical to calling the scalar kernel per row.
+/// Accumulation contract (all callers AND all dispatch tiers rely on this):
+///  - Everything accumulates in float32 with no FMA contraction. Row
+///    reductions (Dot, SquaredDistance, NormsSquared) use SIXTEEN independent
+///    partial sums over interleaved lanes (lane j sums elements i ≡ j mod
+///    16), combined by the fixed tree ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))
+///    + ..., with a sequential scalar tail for n % 16 — wide enough that a
+///    512-bit register is one accumulator and every narrower tier keeps the
+///    same per-lane chains, so all tiers are bit-identical. The SAME routine
+///    backs the scalar and batch entry points, so a batched scan is
+///    bit-identical to calling the scalar kernel per row.
 ///  - GEMM accumulates each output element over k in a fixed order: k-blocks
 ///    ascending, 4 rows of b combined per step. The order never depends on
-///    the thread count (threads split output rows, never the k reduction),
-///    so pooled GEMM is bit-identical to inline GEMM.
+///    the thread count (threads split output rows, never the k reduction) or
+///    the dispatch tier (SIMD widens over output columns, never k), so
+///    pooled GEMM is bit-identical to inline GEMM on every tier.
+///  - ADC accumulates per code over 4 interleaved subspace partials combined
+///    as (s0+s1)+(s2+s3) with a sequential tail for m % 4; the batched scan
+///    replays that chain per code.
+///  - int8 GEMM accumulates exactly in int32 (order-free), then dequantizes
+///    per element as float(acc) * (a_scale * b_scale) + bias.
 ///  - Reductions ACROSS many rows (k-means inertia, k-means++ totals) are
 ///    the caller's job and should accumulate in double; per-row / per-pair
 ///    quantities stay float32.
@@ -50,7 +63,7 @@ void GemmNT(size_t m, size_t n, size_t k, const float* a, const float* b,
 /// out(cols,rows) = in(rows,cols)^T, tiled so both sides stay cache-resident.
 void TransposeBlocked(size_t rows, size_t cols, const float* in, float* out);
 
-/// Dot product of two length-n rows (4 partial sums, see contract above).
+/// Dot product of two length-n rows (16 partial sums, see contract above).
 float Dot(const float* a, const float* b, size_t n);
 
 /// Squared L2 distance between two length-n rows.
@@ -83,6 +96,29 @@ size_t ArgMax(const float* v, size_t n);
 /// beats exactness.
 void SquaredDistanceFromDots(float q_sq, const float* dots,
                              const float* base_sq, size_t n, float* out);
+
+/// PQ asymmetric-distance lookup: sum over the m subspaces of
+/// table[sub * ksub + code[sub]], where `table` is a query's precomputed
+/// (m x ksub) distance table. 4 interleaved subspace partials, see contract.
+float AdcDistance(const float* table, size_t ksub, const uint8_t* code,
+                  size_t m);
+
+/// out[i] = AdcDistance(table, ksub, codes + i*m, m) for i in [0, n).
+/// Bit-identical to the per-code kernel; SIMD tiers scan several codes per
+/// step with one gather per subspace.
+void AdcDistanceScan(const float* table, size_t ksub, const uint8_t* codes,
+                     size_t m, size_t n, float* out);
+
+/// Quantized GEMM, NT layout (both operands row-contiguous over k):
+/// out(m,n) = dequant(a(m,k) * b(n,k)^T) [+ bias], where a and b hold int8
+/// values with per-row symmetric scales (row i of a ≈ a[i,:] * a_scales[i]).
+/// Accumulation is exact in int32, so results are bit-identical across
+/// tiers and thread counts; `out` is OVERWRITTEN (not accumulated into).
+/// `bias` (length n, added per output column) may be null.
+void GemmInt8NT(size_t m, size_t n, size_t k, const int8_t* a,
+                const float* a_scales, const int8_t* b, const float* b_scales,
+                const float* bias, float* out,
+                util::ThreadPool* pool = nullptr);
 
 }  // namespace dial::la::kernels
 

@@ -1,0 +1,29 @@
+// NEON tier (aarch64 baseline). NEON is mandatory on aarch64, so this tier
+// exists to keep the tier axis explicit in benches and forced-arch tests; the
+// generic kernels_arch.inc code auto-vectorizes to NEON under the default
+// aarch64 target flags (with -ffp-contract=off so no FMA contraction).
+// Returns nullptr on non-aarch64 targets.
+#include "la/arch.h"
+
+#if defined(__aarch64__)
+
+#define DIAL_ARCH_NS neon_impl
+#include "la/kernels_arch.inc"
+#undef DIAL_ARCH_NS
+
+namespace dial::la::arch {
+
+const KernelTable* NeonKernelTable() {
+  static const KernelTable table = DIAL_ARCH_TABLE_INIT(neon_impl);
+  return &table;
+}
+
+}  // namespace dial::la::arch
+
+#else
+
+namespace dial::la::arch {
+const KernelTable* NeonKernelTable() { return nullptr; }
+}  // namespace dial::la::arch
+
+#endif

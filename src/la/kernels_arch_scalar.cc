@@ -1,0 +1,19 @@
+// Portable scalar tier. Compiled WITHOUT extra -m flags (and pinned to the
+// baseline -march on x86 in CMakeLists so a -march=native build of the rest
+// of the repo cannot leak wide instructions into this TU) — it must run on
+// any machine the binary reaches, and it is the bit-identity reference every
+// other tier is tested against.
+#include "la/arch.h"
+
+#define DIAL_ARCH_NS scalar_impl
+#include "la/kernels_arch.inc"
+#undef DIAL_ARCH_NS
+
+namespace dial::la::arch {
+
+const KernelTable* ScalarKernelTable() {
+  static const KernelTable table = DIAL_ARCH_TABLE_INIT(scalar_impl);
+  return &table;
+}
+
+}  // namespace dial::la::arch

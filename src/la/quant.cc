@@ -1,0 +1,93 @@
+#include "la/quant.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace dial::la::quant {
+
+namespace {
+
+std::atomic<uint64_t> g_weight_epoch{1};
+
+inline float RowMaxAbs(const float* row, size_t n) {
+  float maxabs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(row[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  return maxabs;
+}
+
+inline void QuantizeRow(const float* src, size_t n, float scale, int8_t* dst) {
+  const float inv = 1.0f / scale;
+  for (size_t i = 0; i < n; ++i) {
+    // lrintf = round-to-nearest-even under the default rounding mode; the
+    // clamp only matters for the maxabs element itself when rounding lands
+    // on 128.
+    long v = std::lrintf(src[i] * inv);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    dst[i] = static_cast<int8_t>(v);
+  }
+}
+
+}  // namespace
+
+void QuantizeRows(const float* src, size_t rows, size_t cols,
+                  QuantizedTensor* out) {
+  out->rows = rows;
+  out->cols = cols;
+  out->values.resize(rows * cols);
+  out->scales.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = src + r * cols;
+    const float maxabs = RowMaxAbs(row, cols);
+    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    out->scales[r] = scale;
+    QuantizeRow(row, cols, scale, out->values.data() + r * cols);
+  }
+}
+
+void QuantizeTransposed(const Matrix& w, QuantizedTensor* out) {
+  const size_t in = w.rows();
+  const size_t n = w.cols();
+  out->rows = n;
+  out->cols = in;
+  out->values.resize(n * in);
+  out->scales.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    float maxabs = 0.0f;
+    for (size_t i = 0; i < in; ++i) {
+      const float a = std::fabs(w.row(i)[j]);
+      if (a > maxabs) maxabs = a;
+    }
+    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    out->scales[j] = scale;
+    const float inv = 1.0f / scale;
+    int8_t* dst = out->values.data() + j * in;
+    for (size_t i = 0; i < in; ++i) {
+      long v = std::lrintf(w.row(i)[j] * inv);
+      if (v > 127) v = 127;
+      if (v < -127) v = -127;
+      dst[i] = static_cast<int8_t>(v);
+    }
+  }
+}
+
+void DequantizeRow(const QuantizedTensor& q, size_t r, float* dst) {
+  const float scale = q.scales[r];
+  const int8_t* row = q.values.data() + r * q.cols;
+  for (size_t c = 0; c < q.cols; ++c) {
+    dst[c] = static_cast<float>(row[c]) * scale;
+  }
+}
+
+uint64_t WeightEpoch() {
+  return g_weight_epoch.load(std::memory_order_acquire);
+}
+
+void BumpWeightEpoch() {
+  g_weight_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace dial::la::quant

@@ -1,0 +1,68 @@
+#ifndef DIAL_LA_QUANT_H_
+#define DIAL_LA_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+/// \file
+/// Per-row symmetric int8 quantization for the inference engine's linear
+/// sublayers. A fp32 row maps to int8 by `scale = maxabs / 127` and
+/// `q = round(v / scale)` clamped to ±127; kernels::GemmInt8NT multiplies
+/// int8 against int8 with exact int32 accumulation and dequantizes per
+/// element by the product of the two rows' scales. Weights are quantized
+/// TRANSPOSED — a Linear weight (in, out) becomes an (out, in) QuantizedTensor
+/// whose rows are output features — so both GEMM operands are row-contiguous
+/// over k and every output feature carries its own scale.
+///
+/// Only `InferForward` uses this path (training stays fp32 on the Tape), and
+/// it is opt-in behind AlConfig::inference_precision / dial_serve
+/// --precision=int8, gated by an F1-parity test in the AL golden harness.
+/// The quantization routines themselves are scalar and undispatched: they
+/// run once per weight epoch (weights) or once per forward over m*k cheap
+/// elements (activations), and keeping them out of the dispatch table makes
+/// int8 results bit-identical across tiers for free (the int32 GEMM already
+/// is — see la/kernels.h).
+///
+/// Weight staleness: quantized weights are cached (see
+/// InferenceContext::QuantizedTransposed) keyed on the global weight epoch
+/// below. Anything that rewrites parameter values — an optimizer step, a
+/// checkpoint load, module (re)construction — must call BumpWeightEpoch();
+/// caches then lazily requantize on next use.
+
+namespace dial::la::quant {
+
+/// int8 rows with one fp32 scale per row: row r of the original data is
+/// approximately values[r*cols + c] * scales[r].
+struct QuantizedTensor {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<int8_t> values;
+  std::vector<float> scales;
+};
+
+/// Quantizes each length-`cols` row of `src` (row-major, rows x cols)
+/// symmetrically to int8. An all-zero row gets scale 1.
+void QuantizeRows(const float* src, size_t rows, size_t cols,
+                  QuantizedTensor* out);
+
+/// Quantizes the TRANSPOSE of `w`: out has w.cols() rows of length w.rows(),
+/// one scale per original column. This is the weight-side layout GemmInt8NT
+/// wants for x(m,in) * W(in,out).
+void QuantizeTransposed(const Matrix& w, QuantizedTensor* out);
+
+/// Dequantizes row `r` of `q` into `dst` (length q.cols) — test helper for
+/// round-trip bounds, not a hot path.
+void DequantizeRow(const QuantizedTensor& q, size_t r, float* dst);
+
+/// Monotonic counter identifying the current generation of every parameter
+/// value in the process. Bumped by optimizer steps, Module::Load, and
+/// parameter construction; quantized-weight caches compare against it.
+uint64_t WeightEpoch();
+void BumpWeightEpoch();
+
+}  // namespace dial::la::quant
+
+#endif  // DIAL_LA_QUANT_H_

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "autograd/inference.h"
+#include "la/arch.h"
+#include "la/kernels.h"
+#include "la/matrix.h"
+#include "la/quant.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+/// Forced-arch parity suite: the cross-tier bit-identity contract of
+/// la/arch.h, asserted for every dispatch tier the running CPU can reach.
+/// Every fp32 kernel must produce IDENTICAL BITS on every tier (and with or
+/// without a thread pool); the int8 GEMM must match an exact int32 reference
+/// on every tier. Smoke-labeled so the sanitizer and native CI jobs cover the
+/// detection + dispatch code too.
+
+namespace dial::la {
+namespace {
+
+namespace arch = dial::la::arch;
+
+/// Restores the ambient tier (env policy) when a test exits.
+class TierGuard {
+ public:
+  TierGuard() = default;
+  ~TierGuard() { arch::ResetTierFromEnv(); }
+};
+
+std::vector<float> RandomVec(util::Rng& rng, size_t n, float limit = 1.0f) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = (static_cast<float>(rng.Next() >> 40) / 16777216.0f * 2.0f - 1.0f) *
+        limit;
+  }
+  return v;
+}
+
+TEST(ArchDetect, ScalarAlwaysSupportedAndActiveTierValid) {
+  EXPECT_TRUE(arch::TierSupported(arch::Tier::kScalar));
+  const auto tiers = arch::SupportedTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), arch::Tier::kScalar);
+  bool active_listed = false;
+  for (arch::Tier t : tiers) {
+    if (t == arch::ActiveTier()) active_listed = true;
+  }
+  EXPECT_TRUE(active_listed);
+  EXPECT_TRUE(arch::TierSupported(arch::DetectedTier()));
+}
+
+TEST(ArchDetect, ParseTierRoundTripsEveryName) {
+  for (arch::Tier t : {arch::Tier::kScalar, arch::Tier::kAvx2,
+                       arch::Tier::kAvx512, arch::Tier::kNeon}) {
+    arch::Tier parsed;
+    bool native = true;
+    ASSERT_TRUE(arch::ParseTier(arch::TierName(t), &parsed, &native));
+    EXPECT_EQ(parsed, t);
+    EXPECT_FALSE(native);
+  }
+  arch::Tier parsed;
+  bool native = false;
+  ASSERT_TRUE(arch::ParseTier("native", &parsed, &native));
+  EXPECT_TRUE(native);
+  EXPECT_EQ(parsed, arch::DetectedTier());
+  EXPECT_FALSE(arch::ParseTier("sse9000", &parsed, &native));
+}
+
+TEST(ArchDetect, SetTierClampsToSupportedAndForcingDownWorks) {
+  TierGuard guard;
+  // Forcing down to scalar always works.
+  EXPECT_EQ(arch::SetTier(arch::Tier::kScalar), arch::Tier::kScalar);
+  EXPECT_EQ(arch::ActiveTier(), arch::Tier::kScalar);
+  // Any request installs SOME supported tier at or below it.
+  for (arch::Tier req : {arch::Tier::kAvx512, arch::Tier::kAvx2,
+                         arch::Tier::kNeon}) {
+    const arch::Tier got = arch::SetTier(req);
+    EXPECT_TRUE(arch::TierSupported(got)) << arch::TierName(req);
+    if (!arch::TierSupported(req)) {
+      EXPECT_NE(got, req);
+    }
+  }
+  EXPECT_EQ(arch::SetTier(arch::DetectedTier()), arch::DetectedTier());
+}
+
+/// Everything the fp32 kernel API computes for one fixed input set, so a
+/// whole tier can be compared against scalar with one struct equality.
+struct KernelOutputs {
+  float dot = 0.0f;
+  float sqdist = 0.0f;
+  std::vector<float> dot_batch;
+  std::vector<float> sqdist_batch;
+  std::vector<float> norms;
+  std::vector<float> from_dots;
+  std::vector<float> gemm_nn;
+  std::vector<float> gemm_tn;
+  std::vector<float> gemm_nt;
+  float adc = 0.0f;
+  std::vector<float> adc_scan;
+};
+
+struct KernelInputs {
+  // Deliberately awkward sizes: every tail path (n % 16 row reduction,
+  // m % 4 GEMM rows / k-steps, m % 4 ADC subspaces, n % 8 ADC codes) runs.
+  static constexpr size_t kM = 13, kN = 37, kK = 83;
+  static constexpr size_t kRows = 19, kDim = 53;
+  static constexpr size_t kSub = 11, kKsub = 14, kCodes = 29;
+
+  std::vector<float> a, b_nn, b_nt, a_tn, q, base, dots, base_sq, table;
+  std::vector<uint8_t> codes;
+
+  explicit KernelInputs(uint64_t seed) {
+    util::Rng rng(seed);
+    a = RandomVec(rng, kM * kK);
+    b_nn = RandomVec(rng, kK * kN);
+    b_nt = RandomVec(rng, kN * kK);
+    a_tn = RandomVec(rng, kK * kM);
+    q = RandomVec(rng, kDim);
+    base = RandomVec(rng, kRows * kDim);
+    dots = RandomVec(rng, kRows);
+    base_sq = RandomVec(rng, kRows, 2.0f);
+    table = RandomVec(rng, kSub * kKsub, 3.0f);
+    codes.resize(kCodes * kSub);
+    for (uint8_t& c : codes) {
+      c = static_cast<uint8_t>(rng.UniformInt(kKsub));
+    }
+  }
+};
+
+KernelOutputs ComputeAll(const KernelInputs& in, util::ThreadPool* pool) {
+  using I = KernelInputs;
+  KernelOutputs out;
+  out.dot = kernels::Dot(in.q.data(), in.base.data(), I::kDim);
+  out.sqdist = kernels::SquaredDistance(in.q.data(), in.base.data(), I::kDim);
+  out.dot_batch.resize(I::kRows);
+  kernels::DotBatch(in.q.data(), in.base.data(), I::kRows, I::kDim,
+                    out.dot_batch.data());
+  out.sqdist_batch.resize(I::kRows);
+  kernels::SquaredDistanceBatch(in.q.data(), in.base.data(), I::kRows, I::kDim,
+                                out.sqdist_batch.data());
+  out.norms.resize(I::kRows);
+  kernels::NormsSquared(in.base.data(), I::kRows, I::kDim, out.norms.data());
+  out.from_dots.resize(I::kRows);
+  kernels::SquaredDistanceFromDots(1.75f, in.dots.data(), in.base_sq.data(),
+                                   I::kRows, out.from_dots.data());
+  out.gemm_nn.assign(I::kM * I::kN, 0.125f);
+  kernels::GemmNN(I::kM, I::kN, I::kK, in.a.data(), in.b_nn.data(),
+                  out.gemm_nn.data(), pool);
+  out.gemm_tn.assign(I::kM * I::kN, -0.5f);
+  kernels::GemmTN(I::kM, I::kN, I::kK, in.a_tn.data(), in.b_nn.data(),
+                  out.gemm_tn.data(), pool);
+  out.gemm_nt.assign(I::kM * I::kN, 0.0f);
+  kernels::GemmNT(I::kM, I::kN, I::kK, in.a.data(), in.b_nt.data(),
+                  out.gemm_nt.data(), pool);
+  out.adc = kernels::AdcDistance(in.table.data(), I::kKsub, in.codes.data(),
+                                 I::kSub);
+  out.adc_scan.resize(I::kCodes);
+  kernels::AdcDistanceScan(in.table.data(), I::kKsub, in.codes.data(), I::kSub,
+                           I::kCodes, out.adc_scan.data());
+  return out;
+}
+
+void ExpectBitIdentical(const KernelOutputs& want, const KernelOutputs& got,
+                        const char* tier) {
+  // memcmp, not float ==: the contract is identical BITS, and this also
+  // pins NaN payloads should one ever appear.
+  EXPECT_EQ(std::memcmp(&want.dot, &got.dot, sizeof(float)), 0) << tier;
+  EXPECT_EQ(std::memcmp(&want.sqdist, &got.sqdist, sizeof(float)), 0) << tier;
+  EXPECT_EQ(std::memcmp(&want.adc, &got.adc, sizeof(float)), 0) << tier;
+  const auto vec_eq = [&](const std::vector<float>& w,
+                          const std::vector<float>& g, const char* name) {
+    ASSERT_EQ(w.size(), g.size()) << tier << " " << name;
+    EXPECT_EQ(std::memcmp(w.data(), g.data(), w.size() * sizeof(float)), 0)
+        << tier << " " << name;
+  };
+  vec_eq(want.dot_batch, got.dot_batch, "dot_batch");
+  vec_eq(want.sqdist_batch, got.sqdist_batch, "sqdist_batch");
+  vec_eq(want.norms, got.norms, "norms");
+  vec_eq(want.from_dots, got.from_dots, "from_dots");
+  vec_eq(want.gemm_nn, got.gemm_nn, "gemm_nn");
+  vec_eq(want.gemm_tn, got.gemm_tn, "gemm_tn");
+  vec_eq(want.gemm_nt, got.gemm_nt, "gemm_nt");
+  vec_eq(want.adc_scan, got.adc_scan, "adc_scan");
+}
+
+TEST(ArchParity, EveryTierBitIdenticalToScalarInlineAndPooled) {
+  TierGuard guard;
+  const KernelInputs in(0xd1a1);
+  ASSERT_EQ(arch::SetTier(arch::Tier::kScalar), arch::Tier::kScalar);
+  const KernelOutputs want = ComputeAll(in, nullptr);
+
+  util::ThreadPool pool(3);
+  for (arch::Tier tier : arch::SupportedTiers()) {
+    ASSERT_EQ(arch::SetTier(tier), tier);
+    const KernelOutputs inline_out = ComputeAll(in, nullptr);
+    ExpectBitIdentical(want, inline_out, arch::TierName(tier));
+    const KernelOutputs pooled_out = ComputeAll(in, &pool);
+    ExpectBitIdentical(want, pooled_out, arch::TierName(tier));
+  }
+}
+
+TEST(ArchParity, Int8GemmMatchesExactInt32ReferenceOnEveryTier) {
+  TierGuard guard;
+  constexpr size_t kM = 7, kN = 23, kK = 61;
+  util::Rng rng(99);
+  std::vector<int8_t> a(kM * kK), b(kN * kK);
+  for (int8_t& v : a) v = static_cast<int8_t>(rng.UniformRange(-127, 127));
+  for (int8_t& v : b) v = static_cast<int8_t>(rng.UniformRange(-127, 127));
+  const std::vector<float> a_scales = RandomVec(rng, kM, 0.01f);
+  const std::vector<float> b_scales = RandomVec(rng, kN, 0.01f);
+  const std::vector<float> bias = RandomVec(rng, kN);
+
+  // Exact reference: int32 accumulation is associative, so a plain loop is
+  // THE answer, not an approximation.
+  std::vector<float> want(kM * kN);
+  for (size_t i = 0; i < kM; ++i) {
+    for (size_t j = 0; j < kN; ++j) {
+      int32_t acc = 0;
+      for (size_t t = 0; t < kK; ++t) {
+        acc += static_cast<int32_t>(a[i * kK + t]) *
+               static_cast<int32_t>(b[j * kK + t]);
+      }
+      want[i * kN + j] =
+          static_cast<float>(acc) * (a_scales[i] * b_scales[j]) + bias[j];
+    }
+  }
+
+  util::ThreadPool pool(2);
+  for (arch::Tier tier : arch::SupportedTiers()) {
+    ASSERT_EQ(arch::SetTier(tier), tier);
+    for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr),
+                                &pool}) {
+      std::vector<float> got(kM * kN, -123.0f);  // must be overwritten
+      kernels::GemmInt8NT(kM, kN, kK, a.data(), a_scales.data(), b.data(),
+                          b_scales.data(), bias.data(), got.data(), p);
+      EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)),
+                0)
+          << arch::TierName(tier) << (p ? " pooled" : " inline");
+    }
+  }
+}
+
+TEST(Quant, RoundTripErrorBoundedByHalfScale) {
+  util::Rng rng(7);
+  constexpr size_t kRows = 5, kCols = 41;
+  const std::vector<float> src = RandomVec(rng, kRows * kCols, 4.0f);
+  quant::QuantizedTensor q;
+  quant::QuantizeRows(src.data(), kRows, kCols, &q);
+  ASSERT_EQ(q.rows, kRows);
+  ASSERT_EQ(q.cols, kCols);
+  std::vector<float> back(kCols);
+  for (size_t r = 0; r < kRows; ++r) {
+    quant::DequantizeRow(q, r, back.data());
+    // Symmetric round-to-nearest: each element within scale/2, and the
+    // per-row scale tracks that row's maxabs.
+    for (size_t c = 0; c < kCols; ++c) {
+      EXPECT_LE(std::fabs(back[c] - src[r * kCols + c]),
+                q.scales[r] * 0.5f + 1e-7f)
+          << r << "," << c;
+    }
+  }
+  // An all-zero row quantizes to zeros with scale 1 (no div-by-zero).
+  const std::vector<float> zeros(kCols, 0.0f);
+  quant::QuantizedTensor qz;
+  quant::QuantizeRows(zeros.data(), 1, kCols, &qz);
+  EXPECT_EQ(qz.scales[0], 1.0f);
+  for (int8_t v : qz.values) EXPECT_EQ(v, 0);
+}
+
+TEST(Quant, TransposedLayoutMatchesPerColumnQuantization) {
+  util::Rng rng(21);
+  Matrix w(17, 9);
+  w.RandUniform(rng, 2.0f);
+  quant::QuantizedTensor qt;
+  quant::QuantizeTransposed(w, &qt);
+  ASSERT_EQ(qt.rows, w.cols());
+  ASSERT_EQ(qt.cols, w.rows());
+  // Row j of qt is column j of w quantized with column j's maxabs scale.
+  for (size_t j = 0; j < w.cols(); ++j) {
+    float maxabs = 0.0f;
+    for (size_t i = 0; i < w.rows(); ++i) {
+      maxabs = std::max(maxabs, std::fabs(w.row(i)[j]));
+    }
+    EXPECT_FLOAT_EQ(qt.scales[j], maxabs / 127.0f);
+    for (size_t i = 0; i < w.rows(); ++i) {
+      const float back =
+          static_cast<float>(qt.values[j * qt.cols + i]) * qt.scales[j];
+      EXPECT_LE(std::fabs(back - w.row(i)[j]), qt.scales[j] * 0.5f + 1e-7f);
+    }
+  }
+}
+
+TEST(Quant, WeightEpochInvalidatesContextCache) {
+  autograd::InferenceContext ctx;
+  Matrix w(8, 6);
+  util::Rng rng(5);
+  w.RandUniform(rng, 1.0f);
+
+  const auto q1 = ctx.QuantizedTransposed(w);
+  const auto q2 = ctx.QuantizedTransposed(w);
+  EXPECT_EQ(q1.get(), q2.get());  // cached within an epoch
+
+  // Mutate the weights the way training does: values change, epoch bumps.
+  w.row(0)[0] += 10.0f;
+  quant::BumpWeightEpoch();
+  const auto q3 = ctx.QuantizedTransposed(w);
+  EXPECT_NE(q1.get(), q3.get());
+  EXPECT_NE(q1->values, q3->values);  // requantized from the new values
+  // The old shared_ptr stays alive and unchanged for in-flight users.
+  EXPECT_EQ(q1->rows, static_cast<size_t>(6));
+}
+
+TEST(Quant, LinearInferForwardInt8TracksFp32WithinQuantError) {
+  TierGuard guard;
+  util::Rng rng(31);
+  nn::Linear linear("lin", /*in=*/29, /*out=*/11, rng);
+  Matrix x(5, 29);
+  x.RandUniform(rng, 1.0f);
+
+  autograd::InferenceContext fp32_ctx;
+  const Matrix fp32_out = [&] {
+    autograd::Scratch s = linear.InferForward(fp32_ctx, x);
+    return *s;
+  }();
+
+  autograd::InferenceContext int8_ctx;
+  int8_ctx.SetPrecision(autograd::Precision::kInt8);
+  const Matrix int8_out = [&] {
+    autograd::Scratch s = linear.InferForward(int8_ctx, x);
+    return *s;
+  }();
+
+  ASSERT_EQ(int8_out.rows(), fp32_out.rows());
+  ASSERT_EQ(int8_out.cols(), fp32_out.cols());
+  // Per-element quantization error bound: |x_q - x| <= sx/2 per lane and
+  // |w_q - w| <= sw/2, so each of the k products errs by at most
+  // sx*|w| + sw*|x| + sx*sw over lanes — loose-bound it with the scales.
+  double max_err = 0.0, ref_mag = 0.0;
+  for (size_t r = 0; r < fp32_out.rows(); ++r) {
+    for (size_t c = 0; c < fp32_out.cols(); ++c) {
+      max_err = std::max(
+          max_err,
+          static_cast<double>(std::fabs(int8_out.row(r)[c] - fp32_out.row(r)[c])));
+      ref_mag = std::max(ref_mag,
+                         static_cast<double>(std::fabs(fp32_out.row(r)[c])));
+    }
+  }
+  EXPECT_LT(max_err, 0.05 * std::max(1.0, ref_mag))
+      << "int8 Linear drifted beyond quantization error";
+  EXPECT_GT(ref_mag, 0.0);
+
+  // And the int8 result itself is bit-identical on every tier (exact int32
+  // accumulation + undispatched quantization).
+  for (arch::Tier tier : arch::SupportedTiers()) {
+    ASSERT_EQ(arch::SetTier(tier), tier);
+    autograd::InferenceContext tier_ctx;
+    tier_ctx.SetPrecision(autograd::Precision::kInt8);
+    autograd::Scratch s = linear.InferForward(tier_ctx, x);
+    EXPECT_EQ(std::memcmp(s->data(), int8_out.data(),
+                          int8_out.size() * sizeof(float)),
+              0)
+        << arch::TierName(tier);
+  }
+}
+
+}  // namespace
+}  // namespace dial::la

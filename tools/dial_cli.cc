@@ -98,6 +98,10 @@ int CmdRun(int argc, char** argv) {
       "inference", true,
       "tape-free batched inference engine (off = per-sequence Tape forwards; "
       "bit-identical results either way)");
+  std::string* precision = flags.AddString(
+      "precision", "fp32",
+      "fp32|int8 inference numerics (int8 quantizes the engine's linear "
+      "sublayers; not bit-identical, fences checkpoint resume)");
   flags.Parse(argc, argv);
 
   dial::core::ExperimentConfig exp_config;
@@ -136,6 +140,7 @@ int CmdRun(int argc, char** argv) {
   if (*refresh_iters > 0) al.refresh.warm_iterations = static_cast<size_t>(*refresh_iters);
   al.refresh.drift_threshold = *drift;
   al.inference_engine = *inference;
+  al.inference_precision = *precision;
 
   dial::core::ActiveLearningLoop loop(&exp.bundle, &exp.vocab,
                                       exp.pretrained.get(), al);

@@ -168,6 +168,25 @@ inline core::AlResult RunStrategy(core::Experiment& exp, data::Scale scale,
                      [](core::AlConfig&) {});
 }
 
+/// Peak resident set size (VmHWM from /proc/self/status) in bytes; 0 when
+/// unavailable (non-Linux). Process-wide high-water mark — monotone over the
+/// process lifetime, so benches that compare configurations should either
+/// run the memory-light configurations first or record a baseline reading
+/// before each phase (bench_scale does both).
+inline double PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lf kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024.0;
+}
+
+inline double PeakRssMb() { return PeakRssBytes() / (1024.0 * 1024.0); }
+
 inline std::string Pct(double fraction, int precision = 1) {
   return util::TablePrinter::Num(100.0 * fraction, precision);
 }

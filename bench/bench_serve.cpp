@@ -307,7 +307,8 @@ int main(int argc, char** argv) {
                 {"p50_ms", r.p50_ms},
                 {"p99_ms", r.p99_ms},
                 {"mean_batch", r.mean_batch},
-                {"max_batch_observed", static_cast<double>(r.max_batch_observed)}},
+                {"max_batch_observed", static_cast<double>(r.max_batch_observed)},
+                {"peak_rss_mb", dial::bench::PeakRssMb()}},
                wall.Seconds() * 1000.0);
     }
   }
@@ -331,7 +332,8 @@ int main(int argc, char** argv) {
                {{"qps", r.qps},
                 {"p50_ms", r.p50_ms},
                 {"p99_ms", r.p99_ms},
-                {"mean_batch", r.mean_batch}},
+                {"mean_batch", r.mean_batch},
+                {"peak_rss_mb", dial::bench::PeakRssMb()}},
                wall.Seconds() * 1000.0);
     }
   }

@@ -111,7 +111,9 @@ def check_flags(build_dir, errors):
     # prefixes the bench/common layer owns.
     bench_flags = {"json_out", "refresh_json_out", "datasets", "rounds",
                    "seed", "scale", "threads", "reps", "per_client",
-                   "help", "self_test"}
+                   "help", "self_test",
+                   # bench_scale (docs/BENCHMARKS.md)
+                   "n", "dim", "k", "queries", "backends", "shards"}
     for f in sorted(documented - all_binary_flags - foreign - bench_flags):
         errors.append(
             f"docs mention --{f} but no checked binary exposes it")

@@ -180,7 +180,8 @@ void SortEdges(std::vector<WeightedEdge>& edges) {
 }  // namespace
 
 MetaBlockingResult MetaBlock(const BlockCollection& collection,
-                             const MetaBlockingConfig& config) {
+                             const MetaBlockingConfig& config,
+                             util::ThreadPool* pool) {
   MetaBlockingResult result;
   const size_t num_blocks = collection.blocks.size();
   if (num_blocks == 0) return result;
@@ -193,17 +194,45 @@ MetaBlockingResult MetaBlock(const BlockCollection& collection,
     for (const uint32_t s : block.s_ids) ++s_blocks[s];
   }
 
-  // Blocking-graph edges with co-occurrence statistics.
-  std::unordered_map<uint64_t, EdgeStats> stats;
-  for (const Block& block : collection.blocks) {
-    const double inv = 1.0 / static_cast<double>(block.Comparisons());
-    for (const uint32_t r : block.r_ids) {
-      for (const uint32_t s : block.s_ids) {
-        EdgeStats& edge = stats[data::PairId{r, s}.Key()];
-        ++edge.common_blocks;
-        edge.arcs += inv;
+  // Blocking-graph edges with co-occurrence statistics — the O(Σ|b_r|·|b_s|)
+  // pass that dominates at scale. Blocks are processed in fixed 256-block
+  // chunks (grain independent of worker count) into per-chunk partial maps;
+  // the serial chunk-order merge below accumulates each edge's statistics in
+  // chunk order, so the double-precision ARCS sums come out bit-identical no
+  // matter how the chunks were scheduled — or whether a pool ran them at all
+  // (the inline path is this same code with every chunk on one thread).
+  constexpr size_t kBlockChunk = 256;
+  const size_t num_chunks = (num_blocks + kBlockChunk - 1) / kBlockChunk;
+  std::vector<std::unordered_map<uint64_t, EdgeStats>> partial(num_chunks);
+  util::ParallelFor(pool, num_chunks, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+      std::unordered_map<uint64_t, EdgeStats>& local = partial[c];
+      const size_t block_end = std::min(num_blocks, (c + 1) * kBlockChunk);
+      for (size_t b = c * kBlockChunk; b < block_end; ++b) {
+        const Block& block = collection.blocks[b];
+        const double inv = 1.0 / static_cast<double>(block.Comparisons());
+        for (const uint32_t r : block.r_ids) {
+          for (const uint32_t s : block.s_ids) {
+            EdgeStats& edge = local[data::PairId{r, s}.Key()];
+            ++edge.common_blocks;
+            edge.arcs += inv;
+          }
+        }
       }
     }
+  });
+  // Merge into chunk 0's map (single-chunk collections — every unit test —
+  // thus reproduce the pre-chunking sequential map exactly). Each key occurs
+  // at most once per chunk map, so within-chunk hash iteration order cannot
+  // reorder any key's accumulation sequence.
+  std::unordered_map<uint64_t, EdgeStats> stats = std::move(partial[0]);
+  for (size_t c = 1; c < num_chunks; ++c) {
+    for (const auto& [key, edge] : partial[c]) {
+      EdgeStats& merged = stats[key];
+      merged.common_blocks += edge.common_blocks;
+      merged.arcs += edge.arcs;
+    }
+    partial[c].clear();
   }
   result.input_edges = stats.size();
 

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "index/kmeans.h"
+#include "index/row_source.h"
 #include "index/topk.h"
 #include "la/kernels.h"
 
@@ -50,6 +51,25 @@ void IvfIndex::Add(const la::Matrix& vectors) {
   for (size_t i = 0; i < vectors.rows(); ++i) {
     lists_[cell[i]].push_back(static_cast<int>(base + i));
   }
+}
+
+void IvfIndex::AddStreamed(const RowSource& source,
+                           const StreamOptions& options) {
+  DIAL_CHECK_EQ(source.cols(), dim_);
+  if (source.rows() == 0) return;
+  if (centroids_.empty()) {
+    // Train on the bounded sample only; the sample's assignment is discarded
+    // because every row (sampled or not) routes through the chunked-Add
+    // nearest-cell path below, keeping one consistent assignment rule.
+    util::Rng rng(options_.seed);
+    const size_t nlist = std::min(options_.nlist, source.rows());
+    KMeansResult km =
+        KMeansSampled(source, nlist, options_.train_iterations,
+                      options.train_sample, options.sample_seed, rng, pool_);
+    centroids_ = std::move(km.centroids);
+    lists_.assign(centroids_.rows(), {});
+  }
+  AddStreamedChunks(source, options.chunk_rows);
 }
 
 RefreshStats IvfIndex::Refresh(const la::Matrix& vectors,

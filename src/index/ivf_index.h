@@ -29,6 +29,14 @@ class IvfIndex : public VectorIndex {
   /// First Add() trains the coarse quantizer on the incoming vectors; later
   /// Adds assign to the existing cells.
   void Add(const la::Matrix& vectors) override;
+  /// Streamed build: the coarse quantizer trains on a capped sample instead
+  /// of the whole source, then rows are routed chunk by chunk. Note IVF-flat
+  /// stores raw vectors, so while the k-means *training* cost is bounded,
+  /// total memory still grows with the source (use IVFPQ/PQ/SQ for code-only
+  /// residency at 10^6+ rows).
+  void AddStreamed(const RowSource& source,
+                   const StreamOptions& options) override;
+  using VectorIndex::AddStreamed;
   size_t size() const override { return data_.rows(); }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 

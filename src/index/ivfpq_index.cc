@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "index/kmeans.h"
+#include "index/row_source.h"
 #include "index/topk.h"
 #include "la/kernels.h"
 
@@ -91,6 +92,39 @@ void IvfPqIndex::Add(const la::Matrix& vectors) {
     trained_err_ = pq_.QuantizationError(residuals, kDriftSampleRows);
   }
   EncodeInto(vectors, count_);
+}
+
+void IvfPqIndex::AddStreamed(const RowSource& source,
+                             const StreamOptions& options) {
+  DIAL_CHECK_EQ(source.cols(), dim_);
+  if (source.rows() == 0) return;
+  pq_.SetThreadPool(pool_);
+  if (centroids_.empty()) {
+    // One bounded sample trains both structures: k-means for the cells, then
+    // the residual PQ on that same sample's residuals (mirroring the
+    // first-Add path, just against the sample instead of the whole batch).
+    const la::Matrix sample = SampleRows(
+        source, std::max<size_t>(1, options.train_sample), options.sample_seed);
+    util::Rng rng(options_.seed);
+    const size_t nlist = std::min(options_.nlist, sample.rows());
+    KMeansResult km =
+        KMeans(sample, nlist, options_.train_iterations, rng, pool_);
+    centroids_ = std::move(km.centroids);
+    list_ids_.assign(nlist, {});
+    list_codes_.assign(nlist, {});
+    la::Matrix residuals(sample.rows(), dim_);
+    util::ParallelFor(pool_, sample.rows(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const float* x = sample.row(i);
+        const float* centroid = centroids_.row(km.assignment[i]);
+        float* out = residuals.row(i);
+        for (size_t d = 0; d < dim_; ++d) out[d] = x[d] - centroid[d];
+      }
+    });
+    pq_.Train(residuals);
+    trained_err_ = pq_.QuantizationError(residuals, kDriftSampleRows);
+  }
+  AddStreamedChunks(source, options.chunk_rows);
 }
 
 void IvfPqIndex::ResetAll() {

@@ -33,6 +33,12 @@ class IvfPqIndex : public VectorIndex {
   /// First Add() trains the coarse quantizer and the residual PQ on the
   /// incoming batch; later batches reuse the trained structures.
   void Add(const la::Matrix& vectors) override;
+  /// Bounded-memory build: coarse quantizer + residual PQ train on one
+  /// capped sample, then rows route/encode chunk by chunk. Residency is
+  /// codes + ids only — the backend of choice for the 10^6–10^7 axis.
+  void AddStreamed(const RowSource& source,
+                   const StreamOptions& options) override;
+  using VectorIndex::AddStreamed;
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 

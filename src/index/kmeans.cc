@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "index/row_source.h"
 #include "la/kernels.h"
 
 namespace dial::index {
@@ -123,6 +124,16 @@ KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
     }
   }
   return result;
+}
+
+KMeansResult KMeansSampled(const RowSource& source, size_t k,
+                           size_t max_iterations, size_t max_sample_rows,
+                           uint64_t sample_seed, util::Rng& rng,
+                           util::ThreadPool* pool) {
+  DIAL_CHECK_GT(source.rows(), 0u);
+  const la::Matrix sample =
+      SampleRows(source, std::max(max_sample_rows, k), sample_seed);
+  return KMeans(sample, std::min(k, sample.rows()), max_iterations, rng, pool);
 }
 
 KMeansResult KMeansWarm(const la::Matrix& data, const la::Matrix& init,

@@ -14,6 +14,8 @@
 
 namespace dial::index {
 
+class RowSource;
+
 /// k-means++ seeding (Arthur & Vassilvitskii 2007): returns `k` distinct row
 /// indices of `data`, chosen with probability proportional to squared
 /// distance from the already-picked set.
@@ -34,6 +36,18 @@ struct KMeansResult {
 /// serial so results are bit-identical with and without a pool.
 KMeansResult KMeans(const la::Matrix& data, size_t k, size_t max_iterations,
                     util::Rng& rng, util::ThreadPool* pool = nullptr);
+
+/// Streamed-build variant: trains on a bounded sample of `source` (see
+/// SampleRows — every row, in order, when the source fits `max_sample_rows`,
+/// a deterministic reservoir otherwise) so 10^7-row sources never
+/// materialize. The returned `assignment`/`inertia` refer to the SAMPLE
+/// rows, not the source: streamed callers (IvfIndex::AddStreamed) only keep
+/// the centroids and route full rows chunk by chunk. `k` is clipped to the
+/// sample size.
+KMeansResult KMeansSampled(const RowSource& source, size_t k,
+                           size_t max_iterations, size_t max_sample_rows,
+                           uint64_t sample_seed, util::Rng& rng,
+                           util::ThreadPool* pool = nullptr);
 
 /// Lloyd iterations warm-started from caller-supplied centroids — the index
 /// Refresh path (IVF/IVFPQ coarse quantizers re-converge against drifted

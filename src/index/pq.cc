@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "index/kmeans.h"
+#include "index/row_source.h"
 #include "la/kernels.h"
 
 namespace dial::index {
@@ -54,6 +55,13 @@ void ProductQuantizer::Train(const la::Matrix& data) {
     }
     sdc_tables_.push_back(std::move(table));
   }
+}
+
+void ProductQuantizer::TrainSampled(const RowSource& source,
+                                    size_t max_sample_rows,
+                                    uint64_t sample_seed) {
+  DIAL_CHECK_GT(source.rows(), 0u);
+  Train(SampleRows(source, std::max<size_t>(1, max_sample_rows), sample_seed));
 }
 
 size_t ProductQuantizer::NearestCentroid(size_t subspace, const float* sub) const {

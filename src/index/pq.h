@@ -23,6 +23,8 @@
 
 namespace dial::index {
 
+class RowSource;
+
 class ProductQuantizer {
  public:
   struct Options {
@@ -41,6 +43,11 @@ class ProductQuantizer {
   /// Learns the per-subspace codebooks. If fewer training rows than 2^bits
   /// are supplied, the codebook size is clipped to the number of rows.
   void Train(const la::Matrix& data);
+  /// Streamed-build variant: trains on a bounded sample of `source` (see
+  /// SampleRows). When the source fits `max_sample_rows` the sample is every
+  /// row in order, so this is bit-identical to Train on the full matrix.
+  void TrainSampled(const RowSource& source, size_t max_sample_rows,
+                    uint64_t sample_seed);
   bool trained() const { return ksub_ > 0; }
   /// Drops the trained codebooks (back to the untrained state) so the next
   /// Train starts from scratch — the index Refresh drift-fallback path.

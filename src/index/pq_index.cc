@@ -1,5 +1,8 @@
 #include "index/pq_index.h"
 
+#include <algorithm>
+
+#include "index/row_source.h"
 #include "index/topk.h"
 
 namespace dial::index {
@@ -21,6 +24,21 @@ void PqIndex::Add(const la::Matrix& vectors) {
   std::vector<uint8_t> batch = pq_.EncodeBatch(vectors);
   codes_.insert(codes_.end(), batch.begin(), batch.end());
   count_ += vectors.rows();
+}
+
+void PqIndex::AddStreamed(const RowSource& source,
+                          const StreamOptions& options) {
+  DIAL_CHECK_EQ(source.cols(), dim_);
+  if (source.rows() == 0) return;
+  pq_.SetThreadPool(pool_);
+  if (!pq_.trained()) {
+    const la::Matrix sample = SampleRows(
+        source, std::max<size_t>(1, options.train_sample), options.sample_seed);
+    pq_.Train(sample);
+    trained_err_ = pq_.QuantizationError(sample, kDriftSampleRows);
+  }
+  codes_.reserve(codes_.size() + source.rows() * pq_.code_size());
+  AddStreamedChunks(source, options.chunk_rows);
 }
 
 RefreshStats PqIndex::Refresh(const la::Matrix& vectors,

@@ -25,6 +25,12 @@ class PqIndex : public VectorIndex {
   /// The first Add() trains the quantizer on the incoming batch; later
   /// batches are encoded with the existing codebooks.
   void Add(const la::Matrix& vectors) override;
+  /// Bounded-memory build: trains the codebooks on a capped sample, then
+  /// encodes chunk by chunk — peak full-width residency is one sample plus
+  /// one chunk, never the whole source.
+  void AddStreamed(const RowSource& source,
+                   const StreamOptions& options) override;
+  using VectorIndex::AddStreamed;
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 

@@ -1,0 +1,50 @@
+#include "index/row_source.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace dial::index {
+
+void MatrixRowSource::ReadRows(size_t begin, size_t end, float* out) const {
+  DIAL_CHECK_LE(begin, end);
+  DIAL_CHECK_LE(end, data_->rows());
+  if (begin == end) return;
+  const float* src = data_->row(begin);
+  std::copy(src, src + (end - begin) * data_->cols(), out);
+}
+
+la::Matrix ReadRowBlock(const RowSource& source, size_t begin, size_t end) {
+  DIAL_CHECK_LE(begin, end);
+  DIAL_CHECK_LE(end, source.rows());
+  la::Matrix block(end - begin, source.cols());
+  source.ReadRows(begin, end, block.data());
+  return block;
+}
+
+la::Matrix SampleRows(const RowSource& source, size_t max_rows, uint64_t seed) {
+  const size_t n = source.rows();
+  DIAL_CHECK_GT(max_rows, 0u);
+  if (n <= max_rows) return ReadRowBlock(source, 0, n);
+
+  // Algorithm R over indices only: never touches row data until the picks
+  // are final, never holds more than max_rows indices.
+  util::Rng rng(seed);
+  std::vector<size_t> picks(max_rows);
+  for (size_t i = 0; i < max_rows; ++i) picks[i] = i;
+  for (size_t i = max_rows; i < n; ++i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i + 1));
+    if (j < max_rows) picks[j] = i;
+  }
+  // Ascending reads keep the access pattern sequential on disk-backed
+  // sources (and make the sample independent of reservoir slot order).
+  std::sort(picks.begin(), picks.end());
+
+  la::Matrix sample(max_rows, source.cols());
+  for (size_t i = 0; i < max_rows; ++i) {
+    source.ReadRows(picks[i], picks[i] + 1, sample.row(i));
+  }
+  return sample;
+}
+
+}  // namespace dial::index

@@ -1,0 +1,61 @@
+#ifndef DIAL_INDEX_ROW_SOURCE_H_
+#define DIAL_INDEX_ROW_SOURCE_H_
+
+#include <cstdint>
+
+#include "la/matrix.h"
+
+/// \file
+/// `RowSource` — the streamed-build abstraction that decouples index
+/// training/encoding from where the fp32 rows live. A 10^7-row dataset never
+/// fits a `la::Matrix` in RAM (10^7 x 128 x 4B = 5 GB), but every quantizing
+/// backend only ever needs (a) a bounded training sample and (b) one
+/// fixed-size chunk at a time — so `VectorIndex::AddStreamed` takes a
+/// RowSource instead of a Matrix and builds in bounded memory.
+///
+/// Implementations must be const-thread-safe: `ReadRows` over disjoint
+/// ranges may be called concurrently from ParallelFor chunks.
+
+namespace dial::index {
+
+/// Read-only provider of dense fp32 rows.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+
+  /// Copies rows [begin, end) into `out`, row-major, (end - begin) * cols()
+  /// floats. `begin <= end <= rows()`.
+  virtual void ReadRows(size_t begin, size_t end, float* out) const = 0;
+};
+
+/// Adapts an in-RAM matrix (unowned; caller keeps it alive) — the bridge
+/// that lets streamed and materialized builds share one code path.
+class MatrixRowSource final : public RowSource {
+ public:
+  explicit MatrixRowSource(const la::Matrix& data) : data_(&data) {}
+
+  size_t rows() const override { return data_->rows(); }
+  size_t cols() const override { return data_->cols(); }
+  void ReadRows(size_t begin, size_t end, float* out) const override;
+
+ private:
+  const la::Matrix* data_;
+};
+
+/// Materializes rows [begin, end) of `source` into a Matrix.
+la::Matrix ReadRowBlock(const RowSource& source, size_t begin, size_t end);
+
+/// Deterministic bounded-memory training sample. When `source.rows() <=
+/// max_rows` this is every row, in order — so training on the sample is
+/// bit-identical to training on the full matrix. Otherwise it is a uniform
+/// reservoir sample (Algorithm R, O(max_rows) memory and one sequential
+/// pass over row *indices*, not row data) whose picks are read back in
+/// ascending row order. Deterministic in (rows, max_rows, seed).
+la::Matrix SampleRows(const RowSource& source, size_t max_rows, uint64_t seed);
+
+}  // namespace dial::index
+
+#endif  // DIAL_INDEX_ROW_SOURCE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "index/row_source.h"
 #include "index/topk.h"
 
 namespace dial::index {
@@ -72,6 +73,20 @@ void SqIndex::Add(const la::Matrix& vectors) {
     EncodeRows(vectors, begin, end, codes_.data() + base);
   });
   count_ += vectors.rows();
+}
+
+void SqIndex::AddStreamed(const RowSource& source,
+                          const StreamOptions& options) {
+  DIAL_CHECK_EQ(source.cols(), dim_);
+  if (source.rows() == 0) return;
+  if (!trained()) {
+    const la::Matrix sample = SampleRows(
+        source, std::max<size_t>(1, options.train_sample), options.sample_seed);
+    TrainRanges(sample);
+    trained_err_ = QuantizationError(sample, kDriftSampleRows);
+  }
+  codes_.reserve(codes_.size() + source.rows() * dim_);
+  AddStreamedChunks(source, options.chunk_rows);
 }
 
 SearchBatch SqIndex::Search(const la::Matrix& queries, size_t k) const {

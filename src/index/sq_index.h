@@ -24,6 +24,12 @@ class SqIndex : public VectorIndex {
   /// First Add() trains the per-dimension ranges; later batches clamp into
   /// the trained ranges.
   void Add(const la::Matrix& vectors) override;
+  /// Bounded-memory build: ranges train on a capped sample, encoding streams
+  /// chunk by chunk (values outside the sampled ranges clamp, as on any
+  /// post-training Add).
+  void AddStreamed(const RowSource& source,
+                   const StreamOptions& options) override;
+  using VectorIndex::AddStreamed;
   size_t size() const override { return count_; }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 

@@ -1,0 +1,25 @@
+#include "index/vector_index.h"
+
+#include <algorithm>
+
+#include "index/row_source.h"
+
+namespace dial::index {
+
+void VectorIndex::AddStreamed(const RowSource& source,
+                              const StreamOptions& options) {
+  AddStreamedChunks(source, options.chunk_rows);
+}
+
+void VectorIndex::AddStreamedChunks(const RowSource& source,
+                                    size_t chunk_rows) {
+  DIAL_CHECK_EQ(source.cols(), dim_);
+  const size_t n = source.rows();
+  const size_t chunk = std::max<size_t>(1, chunk_rows);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    Add(ReadRowBlock(source, begin, end));
+  }
+}
+
+}  // namespace dial::index

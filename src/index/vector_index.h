@@ -35,6 +35,8 @@
 
 namespace dial::index {
 
+class RowSource;
+
 enum class Metric {
   kL2,            // squared Euclidean distance
   kInnerProduct,  // negated dot product
@@ -87,6 +89,20 @@ struct RefreshOptions {
 /// refresh is one pass; a large sample would cancel the warm-start win).
 constexpr size_t kDriftSampleRows = 64;
 
+/// Knobs for VectorIndex::AddStreamed.
+struct StreamOptions {
+  /// Cap on the rows materialized for structure training (k-means, PQ
+  /// codebooks, SQ ranges). Sources at or under the cap train on every row
+  /// in order, making AddStreamed equivalent to a one-shot Add for the
+  /// backends whose training is row-order independent (see AddStreamed).
+  size_t train_sample = 32768;
+  /// Rows materialized per encode chunk — the working-set bound.
+  size_t chunk_rows = 8192;
+  /// Seed for the reservoir sampler (only consulted when the source exceeds
+  /// train_sample rows).
+  uint64_t sample_seed = 97;
+};
+
 /// What Refresh did (diagnostics for benches/tests and the AL round metrics).
 struct RefreshStats {
   /// Trained structure was reused. False when the index was untrained/empty,
@@ -114,6 +130,27 @@ class VectorIndex {
 
   /// Number of indexed vectors.
   virtual size_t size() const = 0;
+
+  /// Builds from a row stream in bounded memory: trains structure on a
+  /// capped sample (quantizing backends override to do so), then encodes in
+  /// `options.chunk_rows`-sized chunks — the only full-width buffer ever
+  /// held is one chunk. Ids follow stream order, same as Add. The default
+  /// implementation is just the chunked Add loop (correct for every
+  /// backend; backends whose first Add trains on the incoming batch
+  /// override so training sees the sample, not merely the first chunk).
+  ///
+  /// Equivalence to `Add(all rows at once)`: bit-identical for flat/matmul
+  /// (no trained structure) and, when the source fits `train_sample`, for
+  /// PQ/SQ (training reads the full sample in row order and encoding is
+  /// per-row). IVF/IVFPQ are *not* bit-identical even on small sources:
+  /// k-means assignment after an exhausted iteration cap is not the argmin
+  /// of the final centroids, so chunked re-assignment can differ — results
+  /// remain valid per the Search contract, just not identical.
+  virtual void AddStreamed(const RowSource& source,
+                           const StreamOptions& options);
+  void AddStreamed(const RowSource& source) {
+    AddStreamed(source, StreamOptions{});
+  }
 
   /// k nearest neighbours for each row of `queries` (m, dim). Returns fewer
   /// than k entries per query only when the index holds fewer than k vectors
@@ -156,6 +193,10 @@ class VectorIndex {
   util::ThreadPool* thread_pool() const { return pool_; }
 
  protected:
+  /// Chunked-Add workhorse shared by AddStreamed and its overrides: streams
+  /// `source` through Add in chunk_rows-sized blocks.
+  void AddStreamedChunks(const RowSource& source, size_t chunk_rows);
+
   /// Pairwise distance under this index's metric.
   float Distance(const float* a, const float* b) const;
 

@@ -26,7 +26,9 @@ void BinaryWriter::WriteBytes(const void* data, size_t n) {
   if (!status_.ok() || file_ == nullptr || n == 0) return;
   if (std::fwrite(data, 1, n, file_) != n) {
     status_ = Status::IoError("short write to " + path_);
+    return;
   }
+  bytes_written_ += n;
 }
 
 void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
@@ -48,6 +50,20 @@ void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
 void BinaryWriter::WriteFloats(const float* data, size_t n) {
   WriteU64(n);
   WriteBytes(data, n * sizeof(float));
+}
+
+void BinaryWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  WriteBytes(v.data(), v.size() * sizeof(uint64_t));
+}
+
+void BinaryWriter::WriteZeros(size_t n) {
+  static constexpr char kZeros[8] = {0};
+  while (n > 0) {
+    const size_t chunk = n < sizeof(kZeros) ? n : sizeof(kZeros);
+    WriteBytes(kZeros, chunk);
+    n -= chunk;
+  }
 }
 
 Status BinaryWriter::Finish() {
@@ -158,6 +174,21 @@ std::vector<float> BinaryReader::ReadFloatVector() {
   }
   std::vector<float> v(n);
   ReadBytes(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<uint64_t> BinaryReader::ReadU64Vector() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  // Division-based compare: a corrupted length near 2^64 would overflow the
+  // multiplication n * 8 to a small value and sail past a product check.
+  if (n > kMaxVectorBytes / sizeof(uint64_t) ||
+      n * sizeof(uint64_t) > RemainingBytes()) {
+    status_ = Status::Corruption("vector length exceeds file size");
+    return {};
+  }
+  std::vector<uint64_t> v(n);
+  ReadBytes(v.data(), n * sizeof(uint64_t));
   return v;
 }
 

@@ -38,6 +38,15 @@ class BinaryWriter {
   /// storage that is not a plain std::vector<float> (e.g. la::Matrix's
   /// aligned backing store).
   void WriteFloats(const float* data, size_t n);
+  /// u64 length + raw u64s — offset tables and id lists (record packs).
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  /// `n` zero bytes, no length prefix — alignment padding (record packs).
+  void WriteZeros(size_t n);
+
+  /// Bytes emitted so far, header included — the write cursor. This is what
+  /// lets a writer record absolute offsets (the record-pack offset table)
+  /// without re-stat()ing the file.
+  uint64_t BytesWritten() const { return bytes_written_; }
 
   /// Closes the file and reports the first error encountered, if any.
   Status Finish();
@@ -48,6 +57,7 @@ class BinaryWriter {
   std::FILE* file_ = nullptr;
   Status status_;
   std::string path_;
+  uint64_t bytes_written_ = 0;
 };
 
 /// Reads a file produced by BinaryWriter, validating magic and version.
@@ -75,6 +85,7 @@ class BinaryReader {
   double ReadF64();
   std::string ReadString();
   std::vector<float> ReadFloatVector();
+  std::vector<uint64_t> ReadU64Vector();
 
  private:
   bool ReadBytes(void* data, size_t n);

@@ -13,6 +13,8 @@
 #include "index/lsh_index.h"
 #include "index/matmul_search.h"
 #include "index/pq_index.h"
+#include "index/row_source.h"
+#include "index/shard.h"
 #include "index/sq_index.h"
 
 /// Seeded randomized property/fuzz harness over the whole backend matrix:
@@ -292,6 +294,228 @@ INSTANTIATE_TEST_SUITE_P(
     [](const testing::TestParamInfo<IndexBackend>& info) {
       return core::IndexBackendName(info.param);
     });
+
+// ---------------------------------------------------------------------------
+// IndexShard: the same contract, through the sharded wrapper. Three extra
+// invariants ride on top of the shared ones: shard=1 is bit-identical to the
+// unsharded backend (the partition is the identity map), exact backends are
+// bit-identical across *any* shard count, and pooled fan-out over shards is
+// bit-identical to inline.
+
+std::unique_ptr<IndexShard> MakeSharded(const Trial& t, size_t num_shards) {
+  return std::make_unique<IndexShard>(
+      t.dim, t.metric, num_shards, [t] { return MakeBackend(t); });
+}
+
+class ShardFuzz : public testing::TestWithParam<IndexBackend> {};
+
+TEST_P(ShardFuzz, ContractAndShardCountIdentity) {
+  util::Rng rng(kSuiteSeed ^
+                (0x2000ull * (static_cast<uint64_t>(GetParam()) + 1)));
+  for (size_t trial = 0; trial < kTrialsPerBackend; ++trial) {
+    Trial t = SampleTrial(GetParam(), rng);
+    SCOPED_TRACE("sharded " + t.Describe());
+    const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+    const la::Matrix queries = Clustered(6, t.dim, t.seed ^ 0x9e37);
+    const size_t shard_counts[] = {1, 3, 8};
+    const size_t S = shard_counts[rng.UniformInt(3)];
+
+    auto sharded = MakeSharded(t, S);
+    sharded->Add(data);
+    ASSERT_EQ(sharded->size(), t.n);
+    const SearchBatch results = sharded->Search(queries, t.k);
+    CheckContract(t, results, queries.rows());
+
+    // shard=1 ≡ unsharded: every backend, bit for bit.
+    auto unsharded = MakeBackend(t);
+    unsharded->Add(data);
+    auto one = MakeSharded(t, 1);
+    one->Add(data);
+    ExpectBitIdentical(t, unsharded->Search(queries, t.k),
+                       one->Search(queries, t.k));
+
+    // Exact backends: S shards ≡ 1 shard (same per-pair distances, merge by
+    // the same (distance, id) total order).
+    if (IsExact(t.backend)) {
+      ExpectBitIdentical(t, one->Search(queries, t.k), results);
+    }
+
+    // Pool/inline bit-identity through the shard fan-out.
+    if (t.threads > 0) {
+      util::ThreadPool pool(t.threads);
+      auto threaded = MakeSharded(t, S);
+      threaded->SetThreadPool(&pool);
+      threaded->Add(data);
+      ExpectBitIdentical(t, results, threaded->Search(queries, t.k));
+
+      // Refresh through the fan-out, shrinking by one row so the rebuild
+      // path for newly-empty partitions gets exercised when n is small.
+      // Refresh(0 rows) is a no-op per the base contract, so size only
+      // changes when there are rows to install.
+      const la::Matrix drifted =
+          Clustered(t.n > 1 ? t.n - 1 : t.n, t.dim, t.seed ^ 0x77);
+      sharded->Refresh(drifted);
+      threaded->Refresh(drifted);
+      EXPECT_EQ(sharded->size(), drifted.rows() > 0 ? drifted.rows() : t.n);
+      const SearchBatch refreshed = sharded->Search(queries, t.k);
+      Trial rt = t;
+      rt.n = sharded->size();
+      CheckContract(rt, refreshed, queries.rows());
+      ExpectBitIdentical(rt, refreshed, threaded->Search(queries, t.k));
+    }
+  }
+}
+
+TEST_P(ShardFuzz, MoreShardsThanRows) {
+  // n < S leaves shards empty at build; a later Refresh that shrinks the
+  // data must also empty previously-filled shards (factory rebuild path).
+  Trial t;
+  t.backend = GetParam();
+  t.metric = Metric::kL2;
+  t.dim = 7;
+  t.n = 3;
+  t.k = 5;
+  t.threads = 2;
+  t.seed = kSuiteSeed ^ 0xabc;
+  SCOPED_TRACE("tiny " + t.Describe());
+  const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+  const la::Matrix queries = Clustered(4, t.dim, t.seed ^ 0x9e37);
+  auto sharded = MakeSharded(t, 8);
+  sharded->Add(data);
+  EXPECT_EQ(sharded->size(), 3u);
+  CheckContract(t, sharded->Search(queries, t.k), queries.rows());
+
+  const la::Matrix one_row = Clustered(1, t.dim, t.seed ^ 0x5);
+  sharded->Refresh(one_row);
+  EXPECT_EQ(sharded->size(), 1u);
+  Trial rt = t;
+  rt.n = 1;
+  const SearchBatch results = sharded->Search(queries, t.k);
+  CheckContract(rt, results, queries.rows());
+  for (const auto& neighbors : results) {
+    for (const Neighbor& nb : neighbors) EXPECT_EQ(nb.id, 0) << rt.Describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ShardFuzz, testing::ValuesIn(core::AllIndexBackends()),
+    [](const testing::TestParamInfo<IndexBackend>& info) {
+      return core::IndexBackendName(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// AddStreamed: the bounded-memory build path. When the source fits the
+// training sample, flat/matmul/pq/sq are bit-identical to the materialized
+// Add (same training rows in the same order, per-row deterministic encode);
+// IVF/IVFPQ re-assign rows against the final centroids, so they keep the
+// contract but not bit-identity with Add. Chunk size must never matter:
+// training happens once against the full source, then rows encode
+// independently.
+
+bool StreamedMatchesAdd(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kIvf:
+    case IndexBackend::kIvfPq:
+      return false;  // Lloyd assignment ≠ argmin of final centroids
+    default:
+      return true;
+  }
+}
+
+class StreamedBuildFuzz : public testing::TestWithParam<IndexBackend> {};
+
+TEST_P(StreamedBuildFuzz, MatchesMaterializedAdd) {
+  util::Rng rng(kSuiteSeed ^
+                (0x3000ull * (static_cast<uint64_t>(GetParam()) + 1)));
+  for (size_t trial = 0; trial < kTrialsPerBackend; ++trial) {
+    Trial t = SampleTrial(GetParam(), rng);
+    SCOPED_TRACE("streamed " + t.Describe());
+    const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+    const la::Matrix queries = Clustered(6, t.dim, t.seed ^ 0x9e37);
+    const MatrixRowSource source(data);
+
+    auto streamed = MakeBackend(t);
+    streamed->AddStreamed(source);
+    ASSERT_EQ(streamed->size(), t.n);
+    const SearchBatch results = streamed->Search(queries, t.k);
+    CheckContract(t, results, queries.rows());
+
+    if (StreamedMatchesAdd(t.backend)) {
+      auto materialized = MakeBackend(t);
+      materialized->Add(data);
+      ExpectBitIdentical(t, materialized->Search(queries, t.k), results);
+    }
+
+    // Chunk-size invariance: training saw the whole source either way, and
+    // rows encode/insert in the same global order.
+    StreamOptions tiny;
+    tiny.chunk_rows = 3;
+    auto rechunked = MakeBackend(t);
+    rechunked->AddStreamed(source, tiny);
+    ExpectBitIdentical(t, results, rechunked->Search(queries, t.k));
+  }
+}
+
+TEST_P(StreamedBuildFuzz, OversizedSourceKeepsContract) {
+  // Source bigger than the training sample: the reservoir path. Contract
+  // plus exactness for exact backends (their storage doesn't depend on
+  // training at all).
+  Trial t;
+  t.backend = GetParam();
+  t.metric = Metric::kL2;
+  t.dim = 7;
+  t.n = 300;
+  t.k = 4;
+  t.threads = 0;
+  t.seed = kSuiteSeed ^ 0xf00d;
+  SCOPED_TRACE("reservoir " + t.Describe());
+  const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+  const la::Matrix queries = Clustered(6, t.dim, t.seed ^ 0x9e37);
+  const MatrixRowSource source(data);
+  StreamOptions options;
+  options.train_sample = 64;  // << n: forces the reservoir sample
+  options.chunk_rows = 50;
+  auto streamed = MakeBackend(t);
+  streamed->AddStreamed(source, options);
+  ASSERT_EQ(streamed->size(), t.n);
+  const SearchBatch results = streamed->Search(queries, t.k);
+  CheckContract(t, results, queries.rows());
+  if (IsExact(t.backend)) {
+    auto materialized = MakeBackend(t);
+    materialized->Add(data);
+    ExpectBitIdentical(t, materialized->Search(queries, t.k), results);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StreamedBuildFuzz, testing::ValuesIn(core::AllIndexBackends()),
+    [](const testing::TestParamInfo<IndexBackend>& info) {
+      return core::IndexBackendName(info.param);
+    });
+
+TEST(SampleRowsTest, IdentityWhenSourceFits) {
+  const la::Matrix data = Clustered(20, 5, 0x51);
+  const MatrixRowSource source(data);
+  const la::Matrix sample = SampleRows(source, 20, 97);
+  ASSERT_EQ(sample.rows(), 20u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(sample.data()[i], data.data()[i]);
+  }
+}
+
+TEST(SampleRowsTest, ReservoirIsBoundedAndDeterministic) {
+  const la::Matrix data = Clustered(500, 3, 0x52);
+  const MatrixRowSource source(data);
+  const la::Matrix a = SampleRows(source, 64, 97);
+  const la::Matrix b = SampleRows(source, 64, 97);
+  ASSERT_EQ(a.rows(), 64u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+  // Different seed, different picks (with overwhelming probability).
+  const la::Matrix c = SampleRows(source, 64, 98);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= a.data()[i] != c.data()[i];
+  EXPECT_TRUE(any_diff);
+}
 
 }  // namespace
 }  // namespace dial::index

@@ -282,6 +282,52 @@ TEST(JedaiWithSchemes, EverySchemeCombinationCompletes) {
   }
 }
 
+TEST(MetaBlockParallel, PooledMatchesInlineExactly) {
+  // The graph-building pass fans fixed 256-block chunks over the pool; the
+  // chunk-order merge must make pooled and inline runs bit-identical —
+  // including the double-precision ARCS sums and the WEP mean — on a real
+  // token-blocking collection spanning many chunks.
+  const data::DatasetBundle bundle =
+      data::MakeDataset("walmart_amazon", data::Scale::kSmoke, 9);
+  BlockCollection collection = TokenBlocking(bundle);
+  // Smoke scale alone yields < 256 blocks (one chunk); pad with synthetic
+  // overlapping blocks so the pooled run really fans multiple chunks.
+  const uint32_t r_n = static_cast<uint32_t>(collection.r_size);
+  const uint32_t s_n = static_cast<uint32_t>(collection.s_size);
+  for (uint32_t b = 0; collection.blocks.size() < 700; ++b) {
+    Block block;
+    block.key = "pad" + std::to_string(b);
+    for (uint32_t j = 0; j < 2 + b % 3; ++j) {
+      block.r_ids.push_back((b * 7 + j * 13) % r_n);
+      block.s_ids.push_back((b * 11 + j * 17) % s_n);
+    }
+    collection.blocks.push_back(std::move(block));
+  }
+  ASSERT_GT(collection.blocks.size(), 256u);  // multiple chunks, else vacuous
+  util::ThreadPool pool(4);
+  for (const EdgeWeighting w :
+       {EdgeWeighting::kCbs, EdgeWeighting::kJs, EdgeWeighting::kArcs,
+        EdgeWeighting::kEcbs, EdgeWeighting::kChiSquare}) {
+    for (const PruningScheme p : {PruningScheme::kWep, PruningScheme::kCnp}) {
+      SCOPED_TRACE(EdgeWeightingName(w) + "+" + PruningSchemeName(p));
+      MetaBlockingConfig config;
+      config.weighting = w;
+      config.pruning = p;
+      const MetaBlockingResult inline_result =
+          MetaBlock(collection, config, nullptr);
+      const MetaBlockingResult pooled_result =
+          MetaBlock(collection, config, &pool);
+      EXPECT_EQ(inline_result.input_edges, pooled_result.input_edges);
+      ASSERT_EQ(inline_result.edges.size(), pooled_result.edges.size());
+      for (size_t i = 0; i < inline_result.edges.size(); ++i) {
+        EXPECT_EQ(inline_result.edges[i].pair, pooled_result.edges[i].pair);
+        EXPECT_EQ(inline_result.edges[i].weight, pooled_result.edges[i].weight)
+            << "edge " << i;
+      }
+    }
+  }
+}
+
 TEST(JedaiWithSchemes, BlockFilteringReducesComparisons) {
   const data::DatasetBundle bundle =
       data::MakeDataset("walmart_amazon", data::Scale::kSmoke, 7);

@@ -430,6 +430,44 @@ TEST(Serialize, OverflowingVectorLengthRejected) {
   EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
 }
 
+TEST(Serialize, U64VectorRoundTripAndBytesWritten) {
+  const std::string path = testing::TempDir() + "/dial_serialize_u64vec.bin";
+  const std::vector<uint64_t> offsets = {0, 8, 1ull << 33, ~0ull};
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    EXPECT_EQ(writer.BytesWritten(), 8u);  // magic + version
+    writer.WriteU64Vector(offsets);
+    // u64 count + 4 raw u64s.
+    EXPECT_EQ(writer.BytesWritten(), 8u + 8u + 4 * 8u);
+    writer.WriteZeros(12);  // > one internal chunk, odd alignment
+    EXPECT_EQ(writer.BytesWritten(), 8u + 8u + 4 * 8u + 12u);
+    writer.WriteU64Vector({});
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  DIAL_ASSERT_OK(reader.status());
+  EXPECT_EQ(reader.ReadU64Vector(), offsets);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(reader.ReadU32(), 0u);
+  EXPECT_TRUE(reader.ReadU64Vector().empty());
+  DIAL_EXPECT_OK(reader.status());
+}
+
+TEST(Serialize, OverflowingU64VectorLengthRejected) {
+  const std::string path = testing::TempDir() + "/dial_serialize_u64_overflow.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);
+    // n * 8 wraps uint64 to 8: a product check would read one bogus element;
+    // the division check must reject the length outright.
+    writer.WriteU64((1ull << 61) + 1);
+    writer.WriteU64(0xdeadbeefull);
+    DIAL_ASSERT_OK(writer.Finish());
+  }
+  BinaryReader reader(path, 0x1111u, 1);
+  DIAL_ASSERT_OK(reader.status());
+  EXPECT_TRUE(reader.ReadU64Vector().empty());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
 TEST(Serialize, BadMagicRejected) {
   const std::string path = testing::TempDir() + "/dial_serialize_magic.bin";
   {

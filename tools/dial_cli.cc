@@ -24,6 +24,7 @@
 #include "baselines/rules.h"
 #include "core/checkpoint.h"
 #include "core/experiment.h"
+#include "data/record_pack.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -37,8 +38,29 @@ int CmdDatasets(int argc, char** argv) {
   std::string* datasets = flags.AddString(
       "datasets", "", "comma-separated names; default = all registered");
   int64_t* seed = flags.AddInt("seed", 1, "generator seed");
+  std::string* pack = flags.AddString(
+      "pack", "",
+      "convert to record packs: with --pack_records=0, write each listed "
+      "dataset's tables to <pack><name>.{r,s}.pack; with --pack_records=N, "
+      "stream N synthetic records to <pack> instead (O(1) memory)");
+  int64_t* pack_records = flags.AddInt(
+      "pack_records", 0, "synthetic record count for --pack (0 = pack tables)");
   flags.Parse(argc, argv);
   const auto scale = dial::data::ParseScale(*scale_text);
+
+  if (!pack->empty() && *pack_records > 0) {
+    const dial::util::Status status = dial::data::WriteSyntheticPack(
+        *pack, static_cast<size_t>(*pack_records), static_cast<uint64_t>(*seed));
+    if (!status.ok()) {
+      std::fprintf(stderr, "pack failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    dial::data::RecordPackReader reader;
+    DIAL_CHECK_OK(reader.Open(*pack));
+    std::printf("wrote %zu synthetic records to %s (%zu attrs)\n",
+                reader.size(), pack->c_str(), reader.schema().size());
+    return 0;
+  }
 
   std::vector<std::string> names = datasets->empty()
                                        ? dial::data::AllDatasetNames()
@@ -53,6 +75,19 @@ int CmdDatasets(int argc, char** argv) {
                   std::to_string(stats.s_size), std::to_string(stats.num_dups),
                   dial::util::StrFormat("%.1e", stats.dup_rate),
                   std::to_string(stats.test_size)});
+    if (!pack->empty()) {
+      const std::pair<const char*, const dial::data::Table*> sides[] = {
+          {"r", &bundle.r_table}, {"s", &bundle.s_table}};
+      for (const auto& [side, t] : sides) {
+        const std::string path = *pack + name + "." + side + ".pack";
+        const dial::util::Status status = dial::data::WriteTablePack(path, *t);
+        if (!status.ok()) {
+          std::fprintf(stderr, "pack failed: %s\n", status.ToString().c_str());
+          return 1;
+        }
+        std::printf("packed %s -> %s\n", name.c_str(), path.c_str());
+      }
+    }
   }
   std::printf("%s", table.ToString().c_str());
   return 0;

@@ -91,7 +91,7 @@ size_t ParseSeq(const std::string& response) {
 /// requests. A client sends every due request in one write and reads every
 /// available response in one read — the wire pattern that lets the server's
 /// per-batch response coalescing pay off.
-LoadResult ClosedLoop(const ServingBundle& bundle, const std::string& socket_path,
+LoadResult ClosedLoop(ServingBundle& bundle, const std::string& socket_path,
                       size_t max_batch, size_t conns, size_t window,
                       size_t per_client) {
   dial::serve::ServerOptions options;
@@ -178,7 +178,7 @@ LoadResult ClosedLoop(const ServingBundle& bundle, const std::string& socket_pat
 /// One writer firing at `rate_qps` without waiting for responses; a reader
 /// thread timestamps completions by send order (requests are answered in
 /// batch order on a single connection's match stream).
-LoadResult OpenLoop(const ServingBundle& bundle, const std::string& socket_path,
+LoadResult OpenLoop(ServingBundle& bundle, const std::string& socket_path,
                     size_t max_batch, double rate_qps, size_t total) {
   dial::serve::ServerOptions options;
   options.socket_path = socket_path;

@@ -1,0 +1,313 @@
+// Streaming-age benchmark: recall and match latency as an index ages under
+// churn, comparing two maintenance strategies per backend:
+//
+//   incremental — per-id Remove + batched Add each epoch, MaybeCompact(0.25)
+//                 draining tombstones, and a full Refresh only when the
+//                 backend's insert_drift() crosses the drift budget (the
+//                 signal quantized backends expose for exactly this driver);
+//   periodic    — the classic swap: rebuild the whole index from the live
+//                 set every --refresh_every epochs.
+//
+// The claim under test (ISSUE 9 acceptance): incremental maintenance
+// sustains recall within a couple points of the always-fresh periodic
+// rebuild at a fraction of its cumulative rebuild cost. Truth for recall is
+// an exact flat scan over the current live set, recomputed outside both
+// strategies' cost accounting.
+//
+// CI's bench-smoke job runs this at --scale smoke with --json_out to archive
+// the per-backend numbers as BENCH_stream.json.
+
+#include <set>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "index/ivfpq_index.h"
+#include "index/lsh_index.h"
+#include "index/matmul_search.h"
+#include "index/pq_index.h"
+#include "index/sq_index.h"
+
+namespace {
+
+using dial::core::IndexBackend;
+using namespace dial::index;
+
+std::unique_ptr<VectorIndex> Make(IndexBackend backend, size_t dim) {
+  switch (backend) {
+    case IndexBackend::kFlat:
+      return std::make_unique<FlatIndex>(dim, Metric::kL2);
+    case IndexBackend::kIvf: {
+      IvfIndex::Options options;
+      options.nlist = 32;
+      options.nprobe = 4;
+      return std::make_unique<IvfIndex>(dim, Metric::kL2, options);
+    }
+    case IndexBackend::kLsh:
+      return std::make_unique<LshIndex>(dim, Metric::kL2, LshIndex::Options{});
+    case IndexBackend::kPq:
+      return std::make_unique<PqIndex>(dim, Metric::kL2,
+                                       ProductQuantizer::Options{});
+    case IndexBackend::kIvfPq:
+      return std::make_unique<IvfPqIndex>(dim, Metric::kL2,
+                                          IvfPqIndex::Options{});
+    case IndexBackend::kSq:
+      return std::make_unique<SqIndex>(dim, Metric::kL2);
+    case IndexBackend::kHnsw:
+      return std::make_unique<HnswIndex>(dim, Metric::kL2, HnswIndex::Options{});
+    case IndexBackend::kMatmul:
+      return std::make_unique<MatmulSearchIndex>(dim, Metric::kL2);
+  }
+  return nullptr;
+}
+
+/// The churn source: clustered arrivals whose latent catalogue slowly turns
+/// over — each epoch one cluster centre is replaced, so late arrivals drift
+/// away from the distribution the quantized backends trained on and the
+/// insert_drift() → Refresh path genuinely fires.
+class DriftingStream {
+ public:
+  DriftingStream(size_t dim, size_t clusters, uint64_t seed)
+      : dim_(dim), centers_(clusters, dim), rng_(seed) {
+    centers_.RandNormal(rng_, 8.0f);
+  }
+
+  void AdvanceEpoch() {
+    const size_t c = rng_.UniformInt(centers_.rows());
+    for (size_t j = 0; j < dim_; ++j) {
+      centers_(c, j) = static_cast<float>(rng_.Normal()) * 8.0f;
+    }
+  }
+
+  dial::la::Matrix Draw(size_t n) {
+    dial::la::Matrix m(n, dim_);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = rng_.UniformInt(centers_.rows());
+      for (size_t j = 0; j < dim_; ++j) {
+        m(i, j) = centers_(c, j) + static_cast<float>(rng_.Normal()) * 0.5f;
+      }
+    }
+    return m;
+  }
+
+ private:
+  size_t dim_;
+  dial::la::Matrix centers_;
+  dial::util::Rng rng_;
+};
+
+struct LiveItem {
+  std::vector<float> vec;
+  int inc_id = 0;  // current external id in the incremental index
+};
+
+dial::la::Matrix LiveMatrix(const std::vector<LiveItem>& items, size_t dim) {
+  dial::la::Matrix m(items.size(), dim);
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::copy(items[i].vec.begin(), items[i].vec.end(), m.row(i));
+  }
+  return m;
+}
+
+double RecallVs(const SearchBatch& truth, const SearchBatch& got,
+                const std::unordered_map<int, size_t>* id_to_item) {
+  size_t hits = 0, total = 0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    std::set<size_t> expected;
+    for (const Neighbor& nb : truth[q]) {
+      expected.insert(static_cast<size_t>(nb.id));
+    }
+    for (const Neighbor& nb : got[q]) {
+      size_t item = static_cast<size_t>(nb.id);
+      if (id_to_item != nullptr) {
+        const auto it = id_to_item->find(nb.id);
+        DIAL_CHECK(it != id_to_item->end()) << "dead id surfaced: " << nb.id;
+        item = it->second;
+      }
+      hits += expected.count(item);
+    }
+    total += truth[q].size();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dial::bench::BenchFlags flags;
+  int64_t* k_flag = flags.flags.AddInt("k", 10, "neighbours per query");
+  int64_t* num_queries = flags.flags.AddInt("queries", 128, "query batch size");
+  int64_t* epochs_flag = flags.flags.AddInt("epochs", 0, "churn epochs (0 = scale default)");
+  int64_t* refresh_every =
+      flags.flags.AddInt("refresh_every", 1, "periodic strategy rebuild period");
+  double* drift_budget = flags.flags.AddDouble(
+      "drift_budget", 1.5,
+      "incremental strategy refreshes when insert_drift() exceeds this");
+  flags.Parse(argc, argv);
+
+  const size_t dim = 32;
+  const size_t k = static_cast<size_t>(*k_flag);
+  size_t n0 = 1500, add_n = 200, remove_n = 150, epochs = 8;
+  switch (flags.ParsedScale()) {
+    case dial::data::Scale::kSmoke: break;
+    case dial::data::Scale::kSmall:
+      n0 = 6000; add_n = 600; remove_n = 450; epochs = 12;
+      break;
+    case dial::data::Scale::kMedium:
+      n0 = 15000; add_n = 1200; remove_n = 900; epochs = 16;
+      break;
+  }
+  if (*epochs_flag > 0) epochs = static_cast<size_t>(*epochs_flag);
+
+  dial::bench::PrintHeader(
+      "Streaming age: incremental maintenance vs periodic full refresh",
+      "the north-star online serving loop — not a paper table");
+  std::printf(
+      "n0=%zu, %zu epochs of +%zu/-%zu churn, dim=%zu, k=%zu, queries=%zu,\n"
+      "drift budget %.2f, periodic rebuild every %lld epoch(s)\n\n",
+      n0, epochs, add_n, remove_n, dim, k, static_cast<size_t>(*num_queries),
+      *drift_budget, static_cast<long long>(*refresh_every));
+
+  dial::bench::BenchJsonWriter json;
+  dial::util::TablePrinter table(
+      {"backend", "recall inc", "recall per", "gap", "maint ms", "rebuild ms",
+       "cost", "search ms", "refresh", "compact"});
+
+  for (const auto backend : dial::core::AllIndexBackends()) {
+    dial::util::WallTimer total;
+    const std::string name = dial::core::IndexBackendName(backend);
+    const uint64_t seed = static_cast<uint64_t>(*flags.seed);
+    DriftingStream stream(dim, 24, seed);
+    dial::util::Rng churn_rng(seed ^ 0xabcdef123456ull);
+
+    std::vector<LiveItem> items;
+    {
+      const dial::la::Matrix initial = stream.Draw(n0);
+      items.resize(n0);
+      for (size_t i = 0; i < n0; ++i) {
+        items[i].vec.assign(initial.row(i), initial.row(i) + dim);
+        items[i].inc_id = static_cast<int>(i);
+      }
+    }
+
+    auto incremental = Make(backend, dim);
+    incremental->Add(LiveMatrix(items, dim));
+    int next_inc_id = static_cast<int>(n0);
+    auto periodic = Make(backend, dim);
+    periodic->Add(LiveMatrix(items, dim));
+
+    double maint_ms = 0.0, rebuild_ms = 0.0, search_ms = 0.0;
+    double recall_inc_sum = 0.0, recall_per_sum = 0.0;
+    size_t refreshes = 0, compactions = 0;
+
+    for (size_t epoch = 1; epoch <= epochs; ++epoch) {
+      stream.AdvanceEpoch();
+      // Churn: retire remove_n random live items, then add_n arrivals.
+      std::vector<int> removed_ids;
+      for (size_t r = 0; r < remove_n && !items.empty(); ++r) {
+        const size_t victim = churn_rng.UniformInt(items.size());
+        removed_ids.push_back(items[victim].inc_id);
+        items[victim] = items.back();
+        items.pop_back();
+      }
+      const dial::la::Matrix arrivals = stream.Draw(add_n);
+      for (size_t i = 0; i < add_n; ++i) {
+        LiveItem item;
+        item.vec.assign(arrivals.row(i), arrivals.row(i) + dim);
+        item.inc_id = next_inc_id++;
+        items.push_back(std::move(item));
+      }
+
+      {  // Incremental: tombstone, append, compact-on-threshold, drift check.
+        dial::util::WallTimer timer;
+        for (const int id : removed_ids) incremental->Remove(id);
+        incremental->Add(arrivals);
+        if (incremental->MaybeCompact(0.25)) ++compactions;
+        if (*drift_budget > 0.0 &&
+            incremental->insert_drift() > *drift_budget) {
+          incremental->Refresh(LiveMatrix(items, dim));
+          for (size_t i = 0; i < items.size(); ++i) {
+            items[i].inc_id = static_cast<int>(i);
+          }
+          next_inc_id = static_cast<int>(items.size());
+          ++refreshes;
+        }
+        maint_ms += timer.Seconds() * 1000.0;
+      }
+      if (epoch % static_cast<size_t>(*refresh_every) == 0) {
+        // Periodic: the full swap — fresh structure over the live set.
+        dial::util::WallTimer timer;
+        periodic = Make(backend, dim);
+        periodic->Add(LiveMatrix(items, dim));
+        rebuild_ms += timer.Seconds() * 1000.0;
+      }
+
+      // Measurement (outside both strategies' cost): exact truth over the
+      // live set, recall + latency for each strategy's aged index.
+      const dial::la::Matrix queries =
+          stream.Draw(static_cast<size_t>(*num_queries));
+      const dial::la::Matrix live = LiveMatrix(items, dim);
+      FlatIndex truth(dim, Metric::kL2);
+      truth.Add(live);
+      const SearchBatch expected = truth.Search(queries, k);
+
+      std::unordered_map<int, size_t> inc_id_to_item;
+      for (size_t i = 0; i < items.size(); ++i) {
+        inc_id_to_item.emplace(items[i].inc_id, i);
+      }
+      dial::util::WallTimer timer;
+      const SearchBatch inc_got = incremental->Search(queries, k);
+      search_ms += timer.Seconds() * 1000.0;
+      recall_inc_sum += RecallVs(expected, inc_got, &inc_id_to_item);
+      // Periodic ids are live-set rows (row i got id i at rebuild); on off
+      // epochs (refresh_every > 1) that mapping is stale — the swap
+      // strategy's own cost, scored against current truth the same way a
+      // client would experience it.
+      const SearchBatch per_got = periodic->Search(queries, k);
+      recall_per_sum += RecallVs(expected, per_got, nullptr);
+    }
+
+    const double recall_inc = recall_inc_sum / static_cast<double>(epochs);
+    const double recall_per = recall_per_sum / static_cast<double>(epochs);
+    const double cost_ratio = rebuild_ms > 0.0 ? maint_ms / rebuild_ms : 0.0;
+    table.AddRow({name, dial::bench::Pct(recall_inc), dial::bench::Pct(recall_per),
+                  dial::util::TablePrinter::Num(100.0 * (recall_per - recall_inc), 1),
+                  dial::util::TablePrinter::Num(maint_ms, 1),
+                  dial::util::TablePrinter::Num(rebuild_ms, 1),
+                  dial::util::TablePrinter::Num(cost_ratio, 2),
+                  dial::util::TablePrinter::Num(
+                      search_ms / static_cast<double>(epochs), 2),
+                  std::to_string(refreshes), std::to_string(compactions)});
+    json.Add("stream_age",
+             {{"backend", name},
+              {"scale", *flags.scale},
+              {"n0", std::to_string(n0)},
+              {"epochs", std::to_string(epochs)},
+              {"add_per_epoch", std::to_string(add_n)},
+              {"remove_per_epoch", std::to_string(remove_n)},
+              {"k", std::to_string(k)},
+              {"refresh_every", std::to_string(*refresh_every)}},
+             {{"recall_incremental", recall_inc},
+              {"recall_periodic", recall_per},
+              {"recall_gap", recall_per - recall_inc},
+              {"maintenance_ms", maint_ms},
+              {"rebuild_ms", rebuild_ms},
+              {"cost_ratio", cost_ratio},
+              {"search_ms_per_epoch", search_ms / static_cast<double>(epochs)},
+              {"drift_refreshes", static_cast<double>(refreshes)},
+              {"compactions", static_cast<double>(compactions)}},
+             total.Seconds() * 1000.0);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "gap = periodic recall - incremental recall, in points (negative =\n"
+      "incremental ahead); cost = cumulative maintenance / cumulative rebuild\n"
+      "wall time. Incremental maintenance should hold the gap within ~2\n"
+      "points at a fraction of the rebuild bill; drift-triggered Refresh is\n"
+      "what keeps the quantized backends (pq/sq/ivfpq) inside that band as\n"
+      "the catalogue turns over.\n");
+  if (!json.WriteTo(*flags.json_out)) return 1;
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Streaming dedup: the incremental index lifecycle end to end.
+//
+// A live matching deployment never sees its catalogue at rest — records
+// arrive, get revised, and retire. This example runs a synthetic product
+// stream through a nearest-neighbour dedup filter built on the incremental
+// VectorIndex API: every arrival probes the index, near-duplicates within a
+// distance threshold REPLACE their stored copy (Remove + Add, "keep
+// newest"), a slice of the stream retires old records outright, and
+// MaybeCompact() drains tombstones whenever the dead fraction passes 25%.
+// The same loop runs on an exact backend and an approximate one so the
+// trade-off is visible: flat dedups perfectly, hnsw dedups almost as well
+// at sublinear probe cost.
+//
+// Usage: streaming_dedup [--stream=4000] [--dim=32] [--clusters=40]
+//                        [--threshold=1.0] [--seed=7]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ibc.h"
+#include "index/vector_index.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+/// One synthetic arrival: a fresh item near a cluster centre, or (40% of the
+/// time) a jittered re-issue of an item we emitted before — the duplicates
+/// the filter must catch.
+struct StreamItem {
+  std::vector<float> vec;
+  bool is_reissue = false;
+};
+
+std::vector<StreamItem> MakeStream(size_t n, size_t dim, size_t clusters,
+                                   uint64_t seed) {
+  dial::util::Rng rng(seed);
+  dial::la::Matrix centers(clusters, dim);
+  centers.RandNormal(rng, 8.0f);
+  std::vector<StreamItem> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StreamItem item;
+    item.vec.resize(dim);
+    if (!stream.empty() && rng.UniformInt(10) < 4) {
+      // Re-issue an earlier item with small jitter: a near-duplicate.
+      const StreamItem& base = stream[rng.UniformInt(stream.size())];
+      for (size_t j = 0; j < dim; ++j) {
+        item.vec[j] = base.vec[j] + static_cast<float>(rng.Normal()) * 0.02f;
+      }
+      item.is_reissue = true;
+    } else {
+      const size_t c = rng.UniformInt(clusters);
+      for (size_t j = 0; j < dim; ++j) {
+        item.vec[j] = centers(c, j) + static_cast<float>(rng.Normal()) * 0.5f;
+      }
+    }
+    stream.push_back(std::move(item));
+  }
+  return stream;
+}
+
+struct DedupStats {
+  size_t kept = 0;
+  size_t replaced = 0;
+  size_t retired = 0;
+  size_t compactions = 0;
+  double seconds = 0.0;
+};
+
+DedupStats RunDedup(dial::index::VectorIndex& index,
+                    const std::vector<StreamItem>& stream, size_t dim,
+                    float threshold, uint64_t seed) {
+  dial::util::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  DedupStats stats;
+  std::vector<int> live_ids;  // ids currently stored (dedup keys)
+  dial::util::WallTimer timer;
+  for (const StreamItem& item : stream) {
+    dial::la::Matrix row(1, dim);
+    std::copy(item.vec.begin(), item.vec.end(), row.row(0));
+
+    // Probe before insert: is this a near-duplicate of something stored?
+    const dial::index::SearchBatch hits = index.Search(row, 1);
+    const bool duplicate =
+        !hits[0].empty() && hits[0][0].distance < threshold * threshold;
+    if (duplicate) {
+      // Keep-newest: retire the stored copy, insert the fresh arrival.
+      index.Remove(hits[0][0].id);
+      for (size_t i = 0; i < live_ids.size(); ++i) {
+        if (live_ids[i] == hits[0][0].id) {
+          live_ids[i] = live_ids.back();
+          live_ids.pop_back();
+          break;
+        }
+      }
+      ++stats.replaced;
+    } else {
+      ++stats.kept;
+    }
+    const int fresh_id = static_cast<int>(index.size());
+    index.Add(row);
+    live_ids.push_back(fresh_id);
+
+    // A slice of the stream retires old records outright (delistings).
+    if (live_ids.size() > 8 && rng.UniformInt(10) == 0) {
+      const size_t victim = rng.UniformInt(live_ids.size());
+      index.Remove(live_ids[victim]);
+      live_ids[victim] = live_ids.back();
+      live_ids.pop_back();
+      ++stats.retired;
+    }
+
+    // Tombstones accumulate; compaction keeps the store tight. Surviving
+    // ids are stable across Compact, so live_ids stays valid.
+    if (index.MaybeCompact(0.25)) ++stats.compactions;
+  }
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dial::util::FlagSet flags;
+  int64_t* stream_n = flags.AddInt("stream", 4000, "arrivals in the stream");
+  int64_t* dim = flags.AddInt("dim", 32, "embedding dimension");
+  int64_t* clusters = flags.AddInt("clusters", 40, "latent catalogue clusters");
+  double* threshold =
+      flags.AddDouble("threshold", 1.0, "L2 distance below which = duplicate");
+  int64_t* seed = flags.AddInt("seed", 7, "stream generator seed");
+  flags.Parse(argc, argv);
+
+  const size_t d = static_cast<size_t>(*dim);
+  const std::vector<StreamItem> stream = MakeStream(
+      static_cast<size_t>(*stream_n), d, static_cast<size_t>(*clusters),
+      static_cast<uint64_t>(*seed));
+  size_t reissues = 0;
+  for (const StreamItem& item : stream) reissues += item.is_reissue ? 1 : 0;
+  std::printf("stream: %zu arrivals (%zu re-issues), dim=%zu, threshold=%.2f\n\n",
+              stream.size(), reissues, d, *threshold);
+  std::printf("%-8s %-8s %-10s %-8s %-9s %-8s %-8s %-8s\n", "backend", "kept",
+              "replaced", "retired", "compacts", "stored", "dead", "ms");
+
+  for (const dial::core::IndexBackend backend :
+       {dial::core::IndexBackend::kFlat, dial::core::IndexBackend::kHnsw}) {
+    std::unique_ptr<dial::index::VectorIndex> index = dial::core::MakeIbcIndex(
+        backend, d, dial::index::Metric::kL2);
+    const DedupStats stats = RunDedup(*index, stream, d,
+                                      static_cast<float>(*threshold),
+                                      static_cast<uint64_t>(*seed));
+    std::printf("%-8s %-8zu %-10zu %-8zu %-9zu %-8zu %-8zu %-8.1f\n",
+                dial::core::IndexBackendName(backend).c_str(), stats.kept,
+                stats.replaced, stats.retired, stats.compactions,
+                index->live_size(), index->dead_count(),
+                stats.seconds * 1000.0);
+  }
+  std::printf(
+      "\nEvery arrival is one probe + at most one Remove + one Add;\n"
+      "MaybeCompact(0.25) bounds tombstone bloat to a quarter of the store.\n"
+      "Ids survive compaction, so the application's id book-keeping never\n"
+      "needs invalidating — the contract the serving layer's upsert/retire\n"
+      "ops are built on.\n");
+  return 0;
+}

@@ -72,11 +72,24 @@ void FlatIndex::Add(const la::Matrix& vectors) {
                             norms_sq_.data() + base);
 }
 
+void FlatIndex::CompactRows(const std::vector<int>& keep) {
+  la::Matrix packed(keep.size(), dim_);
+  std::vector<float> norms(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const float* src = data_.row(keep[i]);
+    std::copy(src, src + dim_, packed.row(i));
+    norms[i] = norms_sq_[keep[i]];
+  }
+  data_ = std::move(packed);
+  norms_sq_ = std::move(norms);
+}
+
 RefreshStats FlatIndex::Refresh(const la::Matrix& vectors,
                                 const RefreshOptions& options) {
   (void)options;
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
   data_ = vectors;
   norms_sq_.resize(vectors.rows());
   la::kernels::NormsSquared(data_.data(), data_.rows(), dim_, norms_sq_.data());
@@ -92,7 +105,7 @@ SearchBatch FlatIndex::Search(const la::Matrix& queries, size_t k) const {
       DistanceBatch(queries.row(q), data_, dist.data(), norms_sq_.data());
       TopK topk(k);
       for (size_t i = 0; i < data_.rows(); ++i) {
-        topk.Push(static_cast<int>(i), dist[i]);
+        if (RowLive(i)) topk.Push(IdOf(i), dist[i]);
       }
       results[q] = topk.Take();
     }

@@ -33,6 +33,10 @@ class FlatIndex : public VectorIndex {
   /// Direct row access (used by tests and the IBC candidate merge).
   const la::Matrix& data() const { return data_; }
 
+ protected:
+  /// Gathers the kept rows (and their cached norms) into a packed matrix.
+  void CompactRows(const std::vector<int>& keep) override;
+
  private:
   la::Matrix data_;
   /// Per-row |x|² maintained by Add — lets cosine Search reuse the norms

@@ -159,6 +159,51 @@ void HnswIndex::InsertOne(int id, int level) {
   }
 }
 
+void HnswIndex::RepairEntryPoint() {
+  int best = -1;
+  int best_level = -1;
+  for (size_t row = 0; row < nodes_.size(); ++row) {
+    if (!RowLive(row)) continue;
+    if (nodes_[row].level > best_level) {
+      best_level = nodes_[row].level;
+      best = static_cast<int>(row);
+    }
+  }
+  entry_point_ = best;
+  max_level_ = best_level;
+}
+
+void HnswIndex::Remove(int id) {
+  VectorIndex::Remove(id);
+  if (entry_point_ >= 0 && !RowLive(static_cast<size_t>(entry_point_))) {
+    RepairEntryPoint();
+  }
+}
+
+void HnswIndex::CompactRows(const std::vector<int>& keep) {
+  la::Matrix packed(keep.size(), dim_);
+  std::vector<int> levels(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const float* src = data_.row(keep[i]);
+    std::copy(src, src + dim_, packed.row(i));
+    levels[i] = nodes_[keep[i]].level;
+  }
+  data_ = std::move(packed);
+  nodes_.assign(keep.size(), {});
+  entry_point_ = -1;
+  max_level_ = -1;
+  // Same insertion ordering as a warm Refresh: kept levels, highest level
+  // first, stable by id — deterministic regardless of removal history.
+  std::vector<int> order(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (levels[a] != levels[b]) return levels[a] > levels[b];
+    return a < b;
+  });
+  for (const int id : order) InsertOne(id, levels[id]);
+  warm_levels_.clear();
+}
+
 void HnswIndex::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   const size_t base = data_.rows();
@@ -184,6 +229,7 @@ RefreshStats HnswIndex::Refresh(const la::Matrix& vectors,
                                 const RefreshOptions& options) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
   std::vector<int> prev_levels = std::move(warm_levels_);
   warm_levels_.clear();
   if (prev_levels.empty()) {
@@ -259,8 +305,14 @@ util::Status HnswIndex::LoadWarmState(util::BinaryReader& reader) {
 SearchBatch HnswIndex::Search(const la::Matrix& queries, size_t k) const {
   DIAL_CHECK_EQ(queries.cols(), dim_);
   SearchBatch results(queries.rows());
-  if (data_.empty()) return results;
-  const size_t ef = std::max(options_.ef_search, k);
+  // entry_point_ < 0 with non-empty data means every node is tombstoned
+  // (Remove repaired the entry away): nothing is returnable, and descending
+  // from a -1 entry would read data_.row(-1).
+  if (data_.empty() || entry_point_ < 0) return results;
+  // Dead nodes stay in the graph as waypoints until Compact, but they are
+  // filtered from results — widen the beam by the stored dead count so k
+  // live neighbours still fit.
+  const size_t ef = std::max(options_.ef_search, k) + dead_count();
   // Queries are independent: the graph is read-only during Search and every
   // per-query structure (beam, visited set) lives in SearchLayer's frame.
   util::ParallelFor(pool_, queries.rows(), [&](size_t begin, size_t end) {
@@ -283,8 +335,13 @@ SearchBatch HnswIndex::Search(const la::Matrix& queries, size_t k) const {
         }
       }
       std::vector<Neighbor> found = SearchLayer(query, entry, ef, 0);
-      if (found.size() > k) found.resize(k);
-      results[q] = std::move(found);
+      std::vector<Neighbor>& out = results[q];
+      out.reserve(std::min(found.size(), k));
+      for (const Neighbor& nb : found) {
+        if (out.size() >= k) break;
+        if (!RowLive(nb.id)) continue;
+        out.push_back({IdOf(nb.id), nb.distance});
+      }
     }
   });
   return results;

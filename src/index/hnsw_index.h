@@ -40,6 +40,17 @@ class HnswIndex : public VectorIndex {
   size_t size() const override { return data_.rows(); }
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
 
+  /// Tombstones `id` and repairs the entry point when the removed node was
+  /// anchoring it: searches greedily descend from `entry_point_`, so leaving
+  /// it on a dead node would anchor every future query (and insert) on an id
+  /// that can never be returned — and leaving it at -1 with live data would
+  /// crash the descent. The repair re-anchors on the highest-level live
+  /// node (ties to the smallest id); when every node is dead the entry
+  /// drops to -1 and Search returns empty result lists. Dead nodes remain
+  /// graph waypoints — removal never edits links, so reachability of the
+  /// survivors is untouched until Compact rebuilds the graph.
+  void Remove(int id) override;
+
   /// Lifecycle: the graph is rebuilt (links depend on the vectors), but a
   /// warm refresh reuses each node's level assignment and inserts in prior
   /// entry-point order — highest level first, stable by id — so the layered
@@ -56,8 +67,20 @@ class HnswIndex : public VectorIndex {
   const Options& options() const { return options_; }
   /// Highest layer currently in the graph (-1 when empty; diagnostics).
   int max_level() const { return max_level_; }
+  /// Current search anchor (-1 when no live node remains; diagnostics).
+  /// Invariant: when >= 0, it names a live node whose level is the maximum
+  /// over all live nodes, and equals max_level().
+  int entry_point() const { return entry_point_; }
+  /// Layer assignment of node `id` (diagnostics; id must be < size()).
+  int node_level(int id) const { return nodes_[static_cast<size_t>(id)].level; }
   /// Mean out-degree on layer 0 (diagnostics for graph health).
   double MeanDegree() const;
+
+ protected:
+  /// Rebuilds the graph from the surviving vectors, reusing each survivor's
+  /// level assignment and inserting highest-level-first (stable by id) —
+  /// the warm-Refresh ordering, so compaction is deterministic.
+  void CompactRows(const std::vector<int>& keep) override;
 
  private:
   struct Node {
@@ -68,6 +91,11 @@ class HnswIndex : public VectorIndex {
 
   int DrawLevel(util::Rng& rng) const;
   int RandomLevel() { return DrawLevel(level_rng_); }
+  /// Re-anchors entry_point_/max_level_ on the highest-level live node
+  /// (smallest id on ties), or -1/-1 when no live node remains. max_level_
+  /// must track the entry's own level: the greedy descent indexes
+  /// nodes_[entry].links[l] for l up to max_level_.
+  void RepairEntryPoint();
   /// Greedy best-first search on one layer starting from `entry`; returns up
   /// to `ef` closest nodes, ascending by distance.
   std::vector<Neighbor> SearchLayer(const float* query, int entry, size_t ef,

@@ -51,6 +51,28 @@ void IvfIndex::Add(const la::Matrix& vectors) {
   for (size_t i = 0; i < vectors.rows(); ++i) {
     lists_[cell[i]].push_back(static_cast<int>(base + i));
   }
+  // Imbalance check: nearest-centroid routing against frozen centroids can
+  // pile a drifted stream into one cell, collapsing nprobe recall.
+  if (options_.rebalance_threshold > 0.0 && lists_.size() > 1 &&
+      data_.rows() >= 4 * lists_.size()) {
+    size_t max_list = 0;
+    for (const auto& list : lists_) max_list = std::max(max_list, list.size());
+    const double mean =
+        static_cast<double>(data_.rows()) / static_cast<double>(lists_.size());
+    if (static_cast<double>(max_list) > options_.rebalance_threshold * mean) {
+      Rebalance();
+    }
+  }
+}
+
+void IvfIndex::Rebalance() {
+  KMeansResult km = KMeansWarm(data_, centroids_, /*iterations=*/5, pool_);
+  centroids_ = std::move(km.centroids);
+  lists_.assign(centroids_.rows(), {});
+  for (size_t i = 0; i < data_.rows(); ++i) {
+    lists_[km.assignment[i]].push_back(static_cast<int>(i));
+  }
+  ++rebalances_;
 }
 
 void IvfIndex::AddStreamed(const RowSource& source,
@@ -76,6 +98,7 @@ RefreshStats IvfIndex::Refresh(const la::Matrix& vectors,
                                const RefreshOptions& options) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
   if (!options.warm_start || centroids_.empty()) {
     // Cold path: drop everything and take the first-Add training route —
     // bit-identical to a freshly constructed index.
@@ -114,7 +137,27 @@ util::Status IvfIndex::LoadWarmState(util::BinaryReader& reader) {
   std::copy(values.begin(), values.end(), centroids_.data());
   data_ = la::Matrix();
   lists_.assign(rows, {});
+  ResetLifecycle();
   return util::Status::OK();
+}
+
+void IvfIndex::CompactRows(const std::vector<int>& keep) {
+  // old internal row -> new internal row (-1 = dropped).
+  std::vector<int> remap(data_.rows(), -1);
+  for (size_t i = 0; i < keep.size(); ++i) remap[keep[i]] = static_cast<int>(i);
+  la::Matrix packed(keep.size(), dim_);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const float* src = data_.row(keep[i]);
+    std::copy(src, src + dim_, packed.row(i));
+  }
+  data_ = std::move(packed);
+  for (auto& list : lists_) {
+    size_t out = 0;
+    for (const int row : list) {
+      if (remap[row] >= 0) list[out++] = remap[row];
+    }
+    list.resize(out);
+  }
 }
 
 SearchBatch IvfIndex::Search(const la::Matrix& queries, size_t k) const {
@@ -136,8 +179,9 @@ SearchBatch IvfIndex::Search(const la::Matrix& queries, size_t k) const {
       }
       TopK topk(k);
       for (const Neighbor& cell : cell_topk.Take()) {
-        for (const int id : lists_[cell.id]) {
-          topk.Push(id, Distance(query, data_.row(id)));
+        for (const int row : lists_[cell.id]) {
+          if (!RowLive(row)) continue;
+          topk.Push(IdOf(row), Distance(query, data_.row(row)));
         }
       }
       results[q] = topk.Take();

@@ -21,6 +21,14 @@ class IvfIndex : public VectorIndex {
     size_t nprobe = 4;
     size_t train_iterations = 10;
     uint64_t seed = 17;
+    /// Incremental inserts assign to the nearest frozen centroid, which can
+    /// skew the lists when the stream drifts. After a post-training Add, if
+    /// the fullest list exceeds `rebalance_threshold` times the mean
+    /// occupancy (and the index holds at least 4*nlist rows), the centroids
+    /// re-converge with warm Lloyd steps over the stored vectors and the
+    /// lists rebuild from the fresh assignment. <= 0 disables. Deterministic
+    /// either way.
+    double rebalance_threshold = 4.0;
   };
 
   IvfIndex(size_t dim, Metric metric, Options options)
@@ -52,12 +60,24 @@ class IvfIndex : public VectorIndex {
 
   const Options& options() const { return options_; }
   const la::Matrix& centroids() const { return centroids_; }
+  /// Imbalance-triggered rebalances performed by post-training Adds.
+  size_t rebalances() const { return rebalances_; }
+
+ protected:
+  /// Gathers the kept rows and filters the inverted lists in place (list
+  /// order — ascending internal id — is preserved).
+  void CompactRows(const std::vector<int>& keep) override;
 
  private:
+  /// Warm-Lloyd re-convergence over the stored vectors + list rebuild; the
+  /// imbalance escape hatch for drifting insert streams.
+  void Rebalance();
+
   Options options_;
   la::Matrix data_;
   la::Matrix centroids_;                   // (nlist, dim)
-  std::vector<std::vector<int>> lists_;    // cell -> vector ids
+  std::vector<std::vector<int>> lists_;    // cell -> internal row ids
+  size_t rebalances_ = 0;
 };
 
 }  // namespace dial::index

@@ -90,8 +90,60 @@ void IvfPqIndex::Add(const la::Matrix& vectors) {
     });
     pq_.Train(residuals);
     trained_err_ = pq_.QuantizationError(residuals, kDriftSampleRows);
+    EncodeInto(vectors, count_);
+    return;
+  }
+  if (trained_err_ > 0.0) {
+    // Encode-on-insert behind the drift watch: sample this batch's residual
+    // quantization error against the frozen codebooks.
+    const size_t sample = std::min(vectors.rows(), kDriftSampleRows);
+    la::Matrix residuals(sample, dim_);
+    for (size_t i = 0; i < sample; ++i) {
+      const float* x = vectors.row(i);
+      const float* centroid = centroids_.row(NearestCell(x));
+      float* out = residuals.row(i);
+      for (size_t d = 0; d < dim_; ++d) out[d] = x[d] - centroid[d];
+    }
+    const double err = pq_.QuantizationError(residuals);
+    insert_drift_ = std::max(insert_drift_, err / trained_err_);
   }
   EncodeInto(vectors, count_);
+  if (options_.rebalance_threshold > 0.0 && list_ids_.size() > 1 &&
+      count_ >= 4 * list_ids_.size()) {
+    size_t max_list = 0;
+    for (const auto& ids : list_ids_) max_list = std::max(max_list, ids.size());
+    const double mean =
+        static_cast<double>(count_) / static_cast<double>(list_ids_.size());
+    if (static_cast<double>(max_list) > options_.rebalance_threshold * mean) {
+      Rebalance();
+    }
+  }
+}
+
+void IvfPqIndex::Rebalance() {
+  // Codes are all we have: reconstruct centroid + decoded residual per row
+  // (in internal row order), re-converge the coarse quantizer on the
+  // reconstructions, and re-encode against the moved centroids.
+  const size_t code_size = pq_.code_size();
+  la::Matrix recon(count_, dim_);
+  std::vector<float> residual(dim_);
+  for (size_t c = 0; c < list_ids_.size(); ++c) {
+    const std::vector<int>& ids = list_ids_[c];
+    const std::vector<uint8_t>& codes = list_codes_[c];
+    const float* centroid = centroids_.row(c);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      pq_.Decode(codes.data() + i * code_size, residual.data());
+      float* out = recon.row(ids[i]);
+      for (size_t d = 0; d < dim_; ++d) out[d] = centroid[d] + residual[d];
+    }
+  }
+  KMeansResult km = KMeansWarm(recon, centroids_, /*iterations=*/5, pool_);
+  centroids_ = std::move(km.centroids);
+  list_ids_.assign(centroids_.rows(), {});
+  list_codes_.assign(centroids_.rows(), {});
+  count_ = 0;
+  EncodeWithCells(recon, 0, km.assignment);
+  ++rebalances_;
 }
 
 void IvfPqIndex::AddStreamed(const RowSource& source,
@@ -140,6 +192,8 @@ RefreshStats IvfPqIndex::Refresh(const la::Matrix& vectors,
                                  const RefreshOptions& options) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
+  insert_drift_ = 0.0;
   if (!options.warm_start || centroids_.empty() || !pq_.trained()) {
     ResetAll();
     Add(vectors);
@@ -202,7 +256,34 @@ util::Status IvfPqIndex::LoadWarmState(util::BinaryReader& reader) {
   list_ids_.assign(rows, {});
   list_codes_.assign(rows, {});
   count_ = 0;
+  ResetLifecycle();
+  insert_drift_ = 0.0;
   return util::Status::OK();
+}
+
+void IvfPqIndex::CompactRows(const std::vector<int>& keep) {
+  // old internal row -> new internal row (-1 = dropped).
+  std::vector<int> remap(count_, -1);
+  for (size_t i = 0; i < keep.size(); ++i) remap[keep[i]] = static_cast<int>(i);
+  const size_t code_size = pq_.code_size();
+  for (size_t c = 0; c < list_ids_.size(); ++c) {
+    std::vector<int>& ids = list_ids_[c];
+    std::vector<uint8_t>& codes = list_codes_[c];
+    size_t out = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (remap[ids[i]] < 0) continue;
+      ids[out] = remap[ids[i]];
+      if (out != i) {
+        std::copy(codes.begin() + i * code_size,
+                  codes.begin() + (i + 1) * code_size,
+                  codes.begin() + out * code_size);
+      }
+      ++out;
+    }
+    ids.resize(out);
+    codes.resize(out * code_size);
+  }
+  count_ = keep.size();
 }
 
 SearchBatch IvfPqIndex::Search(const la::Matrix& queries, size_t k) const {
@@ -241,7 +322,9 @@ SearchBatch IvfPqIndex::Search(const la::Matrix& queries, size_t k) const {
         const std::vector<uint8_t>& codes = list_codes_[cell.id];
         if (adc.size() < ids.size()) adc.resize(ids.size());
         pq_.AdcDistanceBatch(table, codes.data(), ids.size(), adc.data());
-        for (size_t i = 0; i < ids.size(); ++i) topk.Push(ids[i], adc[i]);
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (RowLive(ids[i])) topk.Push(IdOf(ids[i]), adc[i]);
+        }
       }
       const std::vector<Neighbor>& sorted = topk.Sorted();
       results[q].assign(sorted.begin(), sorted.end());

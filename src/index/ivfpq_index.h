@@ -26,6 +26,14 @@ class IvfPqIndex : public VectorIndex {
     size_t train_iterations = 10;
     ProductQuantizer::Options pq;
     uint64_t seed = 29;
+    /// Same imbalance escape hatch as IvfIndex::Options: after a
+    /// post-training Add, if the fullest list exceeds this multiple of the
+    /// mean occupancy (with at least 4*nlist rows stored), re-converge the
+    /// coarse centroids and re-encode. The index stores codes, not raw
+    /// vectors, so the re-balance runs over *reconstructed* vectors
+    /// (centroid + decoded residual) — approximate but deterministic.
+    /// <= 0 disables.
+    double rebalance_threshold = 4.0;
   };
 
   IvfPqIndex(size_t dim, Metric metric, Options options);
@@ -58,9 +66,21 @@ class IvfPqIndex : public VectorIndex {
   const ProductQuantizer& quantizer() const { return pq_; }
   /// Sampled residual quantization error at PQ training time.
   double trained_error() const { return trained_err_; }
+  /// Worst post-training insert batch's sampled residual-error ratio vs the
+  /// training baseline (see VectorIndex::insert_drift).
+  double insert_drift() const override { return insert_drift_; }
+  /// Imbalance-triggered rebalances performed by post-training Adds.
+  size_t rebalances() const { return rebalances_; }
+
+ protected:
+  /// Filters the per-cell id/code parallel arrays (list order preserved).
+  void CompactRows(const std::vector<int>& keep) override;
 
  private:
   size_t NearestCell(const float* x) const;
+  /// Reconstructs every stored vector, re-converges the coarse centroids
+  /// with warm Lloyd steps, and re-encodes — see Options::rebalance_threshold.
+  void Rebalance();
   void EncodeInto(const la::Matrix& vectors, size_t base_id);
   /// Residual-encodes rows whose cells are already known (the Refresh path
   /// reuses the warm Lloyd assignment; bit-identical to recomputing).
@@ -76,6 +96,8 @@ class IvfPqIndex : public VectorIndex {
   std::vector<std::vector<uint8_t>> list_codes_;
   size_t count_ = 0;
   double trained_err_ = 0.0;
+  double insert_drift_ = 0.0;
+  size_t rebalances_ = 0;
 };
 
 }  // namespace dial::index

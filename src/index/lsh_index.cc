@@ -99,10 +99,28 @@ double LshIndex::SampledBitFlipFraction(const la::Matrix& vectors) const {
          static_cast<double>(sample * nt * options_.num_bits);
 }
 
+void LshIndex::CompactRows(const std::vector<int>& keep) {
+  const size_t nt = options_.num_tables;
+  la::Matrix packed(keep.size(), dim_);
+  std::vector<uint64_t> kept_codes(keep.size() * nt);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const float* src = data_.row(keep[i]);
+    std::copy(src, src + dim_, packed.row(i));
+    std::copy(codes_.begin() + static_cast<size_t>(keep[i]) * nt,
+              codes_.begin() + (static_cast<size_t>(keep[i]) + 1) * nt,
+              kept_codes.begin() + i * nt);
+  }
+  data_ = std::move(packed);
+  codes_ = std::move(kept_codes);
+  for (auto& table : tables_) table.clear();
+  InsertCodes(codes_, keep.size(), 0);
+}
+
 RefreshStats LshIndex::Refresh(const la::Matrix& vectors,
                                const RefreshOptions& options) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
   if (!options.warm_start) {
     // Cold path mirrors a fresh construction exactly (the planes come out
     // identical — they are a pure function of the seed).
@@ -165,6 +183,7 @@ util::Status LshIndex::LoadWarmState(util::BinaryReader& reader) {
   codes_ = std::move(codes);
   for (auto& table : tables_) table.clear();
   data_ = la::Matrix();
+  ResetLifecycle();
   return util::Status::OK();
 }
 
@@ -186,11 +205,12 @@ SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
       const auto scan_bucket = [&](size_t table, uint64_t code) {
         auto it = tables_[table].find(code);
         if (it == tables_[table].end()) return;
-        for (const int id : it->second) {
-          if (seen[id]) continue;
-          seen[id] = 1;
+        for (const int row : it->second) {
+          if (seen[row]) continue;
+          seen[row] = 1;
+          if (!RowLive(row)) continue;
           ++candidates;
-          topk.Push(id, Distance(query, data_.row(id)));
+          topk.Push(IdOf(row), Distance(query, data_.row(row)));
         }
       };
       HashAll(query, hash_dots.data(), codes.data());
@@ -209,8 +229,8 @@ SearchBatch LshIndex::Search(const la::Matrix& queries, size_t k) const {
         // Distance loop, but vectorized).
         fallback_dist.resize(data_.rows());
         DistanceBatch(query, data_, fallback_dist.data());
-        for (size_t id = 0; id < data_.rows(); ++id) {
-          topk.Push(static_cast<int>(id), fallback_dist[id]);
+        for (size_t row = 0; row < data_.rows(); ++row) {
+          if (RowLive(row)) topk.Push(IdOf(row), fallback_dist[row]);
         }
       }
       results[q] = topk.Take();

@@ -54,6 +54,12 @@ class LshIndex : public VectorIndex {
   /// Mean bucket occupancy across tables (diagnostics).
   double MeanBucketSize() const;
 
+ protected:
+  /// Gathers the kept rows and codes, then rebuilds the hash tables by
+  /// re-inserting the kept codes in the new id order (same id-order bucket
+  /// contents a from-scratch build of the survivors has).
+  void CompactRows(const std::vector<int>& keep) override;
+
  private:
   /// All num_tables codes of one vector, via one batched dot against every
   /// hyperplane (bit-identical to per-bit la::Dot; see la/kernels.h). The

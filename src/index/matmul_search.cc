@@ -41,11 +41,33 @@ void MatmulSearchIndex::Add(const la::Matrix& vectors) {
   count_ += vectors.rows();
 }
 
+void MatmulSearchIndex::CompactRows(const std::vector<int>& keep) {
+  la::Matrix packed(keep.size(), dim_);
+  size_t out = 0;
+  size_t base = 0;
+  size_t next = 0;  // cursor into keep (ascending rows)
+  for (const la::Matrix& block : blocks_) {
+    while (next < keep.size() &&
+           static_cast<size_t>(keep[next]) < base + block.rows()) {
+      const float* src = block.row(static_cast<size_t>(keep[next]) - base);
+      std::copy(src, src + dim_, packed.row(out++));
+      ++next;
+    }
+    base += block.rows();
+  }
+  blocks_.clear();
+  sq_norms_.clear();
+  norms_.clear();
+  count_ = 0;
+  Add(packed);
+}
+
 RefreshStats MatmulSearchIndex::Refresh(const la::Matrix& vectors,
                                         const RefreshOptions& options) {
   (void)options;
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
   blocks_.clear();
   sq_norms_.clear();
   norms_.clear();
@@ -106,7 +128,7 @@ SearchBatch MatmulSearchIndex::Search(const la::Matrix& queries, size_t k) const
             break;
         }
         for (size_t j = 0; j < rows; ++j) {
-          heaps[i].Push(static_cast<int>(base_id + j), dist[j]);
+          if (RowLive(base_id + j)) heaps[i].Push(IdOf(base_id + j), dist[j]);
         }
       }
       base_id += rows;

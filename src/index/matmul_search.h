@@ -42,6 +42,11 @@ class MatmulSearchIndex : public VectorIndex {
 
   const Options& options() const { return options_; }
 
+ protected:
+  /// Gathers the kept rows out of the GEMM blocks and re-packs them into
+  /// fresh blocks (same layout a from-scratch Add of the survivors builds).
+  void CompactRows(const std::vector<int>& keep) override;
+
  private:
   Options options_;
   /// Database pre-partitioned into row blocks of <= db_block rows.

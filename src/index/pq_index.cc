@@ -20,6 +20,11 @@ void PqIndex::Add(const la::Matrix& vectors) {
   if (!pq_.trained()) {
     pq_.Train(vectors);
     trained_err_ = pq_.QuantizationError(vectors, kDriftSampleRows);
+  } else if (trained_err_ > 0.0) {
+    // Encode-on-insert behind the drift watch: sample how well the frozen
+    // codebooks quantize this batch and remember the worst ratio seen.
+    const double err = pq_.QuantizationError(vectors, kDriftSampleRows);
+    insert_drift_ = std::max(insert_drift_, err / trained_err_);
   }
   std::vector<uint8_t> batch = pq_.EncodeBatch(vectors);
   codes_.insert(codes_.end(), batch.begin(), batch.end());
@@ -45,6 +50,8 @@ RefreshStats PqIndex::Refresh(const la::Matrix& vectors,
                               const RefreshOptions& options) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
+  insert_drift_ = 0.0;
   if (!options.warm_start || !pq_.trained()) {
     pq_.Reset();
     trained_err_ = 0.0;
@@ -88,7 +95,20 @@ util::Status PqIndex::LoadWarmState(util::BinaryReader& reader) {
   trained_err_ = reader.ReadF64();
   codes_.clear();
   count_ = 0;
+  ResetLifecycle();
+  insert_drift_ = 0.0;
   return reader.status();
+}
+
+void PqIndex::CompactRows(const std::vector<int>& keep) {
+  const size_t code_size = pq_.code_size();
+  std::vector<uint8_t> packed(keep.size() * code_size);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const uint8_t* src = codes_.data() + static_cast<size_t>(keep[i]) * code_size;
+    std::copy(src, src + code_size, packed.data() + i * code_size);
+  }
+  codes_ = std::move(packed);
+  count_ = keep.size();
 }
 
 SearchBatch PqIndex::Search(const la::Matrix& queries, size_t k) const {
@@ -107,8 +127,8 @@ SearchBatch PqIndex::Search(const la::Matrix& queries, size_t k) const {
       pq_.ComputeDistanceTable(queries.row(q), ip, table);
       pq_.AdcDistanceBatch(table, codes_.data(), count_, dist.data());
       topk.Reset(k);
-      for (size_t id = 0; id < count_; ++id) {
-        topk.Push(static_cast<int>(id), dist[id]);
+      for (size_t row = 0; row < count_; ++row) {
+        if (RowLive(row)) topk.Push(IdOf(row), dist[row]);
       }
       const std::vector<Neighbor>& sorted = topk.Sorted();
       results[q].assign(sorted.begin(), sorted.end());

@@ -51,12 +51,21 @@ class PqIndex : public VectorIndex {
   /// Sampled quantization error recorded when the codebooks were trained
   /// (the drift-check denominator; 0 until trained).
   double trained_error() const { return trained_err_; }
+  /// Worst post-training insert batch's sampled error ratio vs the training
+  /// baseline (see VectorIndex::insert_drift) — codes-only storage cannot
+  /// retrain in place, so this is the signal a streaming driver watches.
+  double insert_drift() const override { return insert_drift_; }
+
+ protected:
+  /// Drops the dead code rows (codes are the only storage).
+  void CompactRows(const std::vector<int>& keep) override;
 
  private:
   ProductQuantizer pq_;
   std::vector<uint8_t> codes_;
   size_t count_ = 0;
   double trained_err_ = 0.0;
+  double insert_drift_ = 0.0;
 };
 
 }  // namespace dial::index

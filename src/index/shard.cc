@@ -40,10 +40,16 @@ std::vector<la::Matrix> IndexShard::Partition(const la::Matrix& vectors,
   return parts;
 }
 
+size_t IndexShard::size() const {
+  size_t stored = 0;
+  for (const auto& shard : shards_) stored += shard->size();
+  return stored;
+}
+
 void IndexShard::Add(const la::Matrix& vectors) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return;
-  std::vector<la::Matrix> parts = Partition(vectors, total_);
+  std::vector<la::Matrix> parts = Partition(vectors, assigned_);
   // Shards are disjoint: each iteration touches exactly one sub-index, and
   // sub-indexes run inline (no pool), so chunk boundaries cannot change
   // per-shard build results — pool and inline execution are bit-identical.
@@ -52,7 +58,37 @@ void IndexShard::Add(const la::Matrix& vectors) {
       shards_[s]->Add(parts[s]);
     }
   });
-  total_ += vectors.rows();
+  assigned_ += vectors.rows();
+}
+
+void IndexShard::Remove(int id) {
+  DIAL_CHECK_GE(id, 0);
+  DIAL_CHECK_LT(static_cast<size_t>(id), assigned_)
+      << "Remove of an id never assigned by Add";
+  const size_t S = shards_.size();
+  shards_[static_cast<size_t>(id) % S]->Remove(
+      static_cast<int>(static_cast<size_t>(id) / S));
+}
+
+bool IndexShard::IsRemoved(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= assigned_) return false;
+  const size_t S = shards_.size();
+  return shards_[static_cast<size_t>(id) % S]->IsRemoved(
+      static_cast<int>(static_cast<size_t>(id) / S));
+}
+
+size_t IndexShard::dead_count() const {
+  size_t dead = 0;
+  for (const auto& shard : shards_) dead += shard->dead_count();
+  return dead;
+}
+
+void IndexShard::Compact() {
+  util::ParallelFor(pool_, shards_.size(), [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      shards_[s]->Compact();
+    }
+  });
 }
 
 SearchBatch IndexShard::Search(const la::Matrix& queries, size_t k) const {
@@ -111,7 +147,7 @@ RefreshStats IndexShard::Refresh(const la::Matrix& vectors,
       per_shard[s] = shards_[s]->Refresh(parts[s], options);
     }
   });
-  total_ = vectors.rows();
+  assigned_ = vectors.rows();
   RefreshStats stats;
   stats.warm = true;
   for (size_t s = 0; s < S; ++s) {

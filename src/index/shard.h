@@ -42,8 +42,20 @@ class IndexShard : public VectorIndex {
   IndexShard(size_t dim, Metric metric, size_t num_shards, Factory factory);
 
   void Add(const la::Matrix& vectors) override;
-  size_t size() const override { return total_; }
+  /// Rows physically stored across shards (shrinks on Compact). Id routing
+  /// uses the monotone assigned-id counter, not this.
+  size_t size() const override;
   SearchBatch Search(const la::Matrix& queries, size_t k) const override;
+
+  /// Mutations fan to the owning shard: global id g lives in shard g % S as
+  /// local id g / S, and local ids are stable across shard-local compaction,
+  /// so the mapping (and the merge contract) survives every mutation.
+  void Remove(int id) override;
+  bool IsRemoved(int id) const override;
+  size_t dead_count() const override;
+  /// Compacts every shard (disjoint, so the fan-out runs over the pool with
+  /// the usual bit-identity guarantee).
+  void Compact() override;
 
   /// Fans the per-shard partitions out to the sub-indexes' own Refresh.
   /// Stats aggregate: warm = every non-empty shard warm, retrained = any
@@ -67,7 +79,9 @@ class IndexShard : public VectorIndex {
 
   Factory factory_;
   std::vector<std::unique_ptr<VectorIndex>> shards_;
-  size_t total_ = 0;
+  /// Global ids ever assigned by Add (monotone — never shrinks, so id
+  /// routing g % S / g / S stays valid after removals and compactions).
+  size_t assigned_ = 0;
 };
 
 }  // namespace dial::index

@@ -65,6 +65,12 @@ void SqIndex::Add(const la::Matrix& vectors) {
   if (!trained()) {
     TrainRanges(vectors);
     trained_err_ = QuantizationError(vectors, kDriftSampleRows);
+  } else if (trained_err_ > 0.0) {
+    // Encode-on-insert behind the drift watch: out-of-range values clamp, so
+    // the clamp excess of this batch is exactly what the frozen ranges cost.
+    const double excess = ClampExcess(vectors, kDriftSampleRows);
+    insert_drift_ =
+        std::max(insert_drift_, (trained_err_ + excess) / trained_err_);
   }
   const size_t base = codes_.size();
   codes_.resize(base + vectors.rows() * dim_);
@@ -108,11 +114,12 @@ SearchBatch SqIndex::Search(const la::Matrix& queries, size_t k) const {
         }
       }
       TopK topk(k);
-      for (size_t id = 0; id < count_; ++id) {
-        const uint8_t* code = codes_.data() + id * dim_;
+      for (size_t row = 0; row < count_; ++row) {
+        if (!RowLive(row)) continue;
+        const uint8_t* code = codes_.data() + row * dim_;
         float dist = 0.0f;
         for (size_t d = 0; d < dim_; ++d) dist += table[d * 256 + code[d]];
-        topk.Push(static_cast<int>(id), dist);
+        topk.Push(IdOf(row), dist);
       }
       results[q] = topk.Take();
     }
@@ -124,6 +131,8 @@ RefreshStats SqIndex::Refresh(const la::Matrix& vectors,
                               const RefreshOptions& options) {
   DIAL_CHECK_EQ(vectors.cols(), dim_);
   if (vectors.rows() == 0) return {};
+  ResetLifecycle();
+  insert_drift_ = 0.0;
   if (!options.warm_start || !trained()) {
     min_.clear();
     scale_.clear();
@@ -204,7 +213,19 @@ util::Status SqIndex::LoadWarmState(util::BinaryReader& reader) {
   }
   codes_.clear();
   count_ = 0;
+  ResetLifecycle();
+  insert_drift_ = 0.0;
   return util::Status::OK();
+}
+
+void SqIndex::CompactRows(const std::vector<int>& keep) {
+  std::vector<uint8_t> packed(keep.size() * dim_);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const uint8_t* src = codes_.data() + static_cast<size_t>(keep[i]) * dim_;
+    std::copy(src, src + dim_, packed.data() + i * dim_);
+  }
+  codes_ = std::move(packed);
+  count_ = keep.size();
 }
 
 double SqIndex::QuantizationError(const la::Matrix& data, size_t max_rows) const {

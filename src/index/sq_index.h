@@ -60,6 +60,14 @@ class SqIndex : public VectorIndex {
   size_t code_bytes() const { return codes_.size(); }
   /// Sampled dequantization error recorded when the ranges were trained.
   double trained_error() const { return trained_err_; }
+  /// Worst post-training insert batch's clamp-excess ratio vs the training
+  /// baseline (see VectorIndex::insert_drift) — frozen ranges clamp
+  /// out-of-range inserts, so this is the signal a streaming driver watches.
+  double insert_drift() const override { return insert_drift_; }
+
+ protected:
+  /// Drops the dead code rows (codes are the only storage).
+  void CompactRows(const std::vector<int>& keep) override;
 
  private:
   void TrainRanges(const la::Matrix& vectors);
@@ -80,6 +88,7 @@ class SqIndex : public VectorIndex {
   std::vector<uint8_t> codes_;
   size_t count_ = 0;
   double trained_err_ = 0.0;
+  double insert_drift_ = 0.0;
 };
 
 }  // namespace dial::index

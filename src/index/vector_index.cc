@@ -22,4 +22,60 @@ void VectorIndex::AddStreamedChunks(const RowSource& source,
   }
 }
 
+void VectorIndex::Remove(int id) {
+  DIAL_CHECK_GE(id, 0);
+  const size_t assigned = dropped_ + size();
+  DIAL_CHECK_LT(static_cast<size_t>(id), assigned)
+      << "Remove of an id never assigned by Add";
+  if (static_cast<size_t>(id) >= dead_.size()) {
+    dead_.resize(assigned, 0);
+  }
+  if (dead_[id]) return;  // already removed (possibly compacted away)
+  dead_[id] = 1;
+  // Every assigned id is either already tombstoned (compaction only drops
+  // dead rows, and dropped ids keep their dead bit) or still stored — so a
+  // first-time Remove always tombstones a stored row.
+  ++dead_rows_;
+}
+
+bool VectorIndex::IsRemoved(int id) const {
+  return id >= 0 && static_cast<size_t>(id) < dead_.size() && dead_[id] != 0;
+}
+
+void VectorIndex::Compact() {
+  if (dead_rows_ == 0) return;
+  const size_t n = size();
+  std::vector<int> keep;
+  keep.reserve(n - dead_rows_);
+  std::vector<int> kept_ids;
+  kept_ids.reserve(n - dead_rows_);
+  for (size_t row = 0; row < n; ++row) {
+    if (RowLive(row)) {
+      keep.push_back(static_cast<int>(row));
+      kept_ids.push_back(IdOf(row));
+    }
+  }
+  CompactRows(keep);
+  DIAL_CHECK_EQ(size(), keep.size()) << "CompactRows kept the wrong row count";
+  dropped_ += n - keep.size();
+  ids_ = std::move(kept_ids);
+  dead_rows_ = 0;
+}
+
+bool VectorIndex::MaybeCompact(double max_dead_fraction) {
+  const size_t stored = size();
+  if (stored == 0 || dead_count() == 0) return false;
+  if (static_cast<double>(dead_count()) <=
+      max_dead_fraction * static_cast<double>(stored)) {
+    return false;
+  }
+  Compact();
+  return true;
+}
+
+void VectorIndex::CompactRows(const std::vector<int>& keep) {
+  (void)keep;
+  DIAL_CHECK(false) << "this backend does not implement CompactRows";
+}
+
 }  // namespace dial::index

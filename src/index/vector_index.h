@@ -32,6 +32,18 @@
 /// retrain when the quantization error on the new vectors degrades past a
 /// threshold. Refresh obeys the same determinism contract as Search/Add:
 /// results are bit-identical with and without an attached pool.
+///
+/// Incremental lifecycle (streaming pools): `Add` assigns monotonically
+/// increasing ids and `Remove(id)` tombstones one id — the trained structure
+/// and the stored row are left in place, Search just filters the id out of
+/// its results. Tombstones accumulate until `Compact()` (or the threshold
+/// form `MaybeCompact`) physically drops the dead rows; surviving ids are
+/// *stable across compaction* — an id handed out by Add refers to the same
+/// vector until it is removed, no matter how many compactions run in
+/// between. Removed ids are never reused. Tombstones and the id remap are
+/// serving-time state, NOT trained structure: SaveWarmState does not persist
+/// them (a checkpoint fingerprint stays independent of removal history), and
+/// Refresh resets the id space to 0..n-1 with no tombstones.
 
 namespace dial::index {
 
@@ -153,9 +165,47 @@ class VectorIndex {
   }
 
   /// k nearest neighbours for each row of `queries` (m, dim). Returns fewer
-  /// than k entries per query only when the index holds fewer than k vectors
-  /// (or, for approximate indexes, when probing finds fewer candidates).
+  /// than k entries per query only when the index holds fewer than k live
+  /// vectors (or, for approximate indexes, when probing finds fewer
+  /// candidates). Tombstoned ids never appear in results.
   virtual SearchBatch Search(const la::Matrix& queries, size_t k) const = 0;
+
+  /// Tombstones `id` (assigned by Add: row i of the first Add is id 0, ids
+  /// grow monotonically and are never reused). The stored row and trained
+  /// structure stay put; Search filters the id from every result from now
+  /// on. Removing an already-removed id is a no-op. `id` must have been
+  /// assigned (checked).
+  virtual void Remove(int id);
+
+  /// True when `id` has been tombstoned (compacted-away ids stay removed).
+  /// False for live ids and ids never assigned.
+  virtual bool IsRemoved(int id) const;
+
+  /// Tombstoned rows still physically stored (reset to 0 by Compact).
+  virtual size_t dead_count() const { return dead_rows_; }
+
+  /// Live (searchable) vectors: size() - dead_count().
+  size_t live_size() const { return size() - dead_count(); }
+
+  /// Physically drops every tombstoned row. Surviving ids are unchanged;
+  /// internal storage is re-packed (per backend: rows gathered, inverted
+  /// lists filtered, the HNSW graph rebuilt from the surviving nodes' kept
+  /// level assignments). Deterministic, and bit-identical with and without
+  /// an attached pool. No-op when nothing is dead.
+  virtual void Compact();
+
+  /// Compacts when the stored-dead fraction exceeds `max_dead_fraction`
+  /// (the streaming maintenance policy). Returns true when it compacted.
+  bool MaybeCompact(double max_dead_fraction = 0.25);
+
+  /// Quantizing backends (PQ/SQ/IVFPQ) cannot retrain their codebooks on
+  /// post-training inserts (they hold codes, not raw vectors). Instead each
+  /// post-training Add samples its batch's quantization error; this reports
+  /// the worst sampled-error ratio against the training-time baseline (0
+  /// until a post-training batch arrives, 1.0-ish means "as good as training
+  /// day"). Streaming drivers watch it and schedule a full Refresh when it
+  /// crosses their drift budget. Non-quantizing backends return 0.
+  virtual double insert_drift() const { return 0.0; }
 
   /// Replaces the index contents with `vectors` (n, dim), reusing trained
   /// structure where the backend supports it (see the per-backend headers for
@@ -197,6 +247,40 @@ class VectorIndex {
   /// `source` through Add in chunk_rows-sized blocks.
   void AddStreamedChunks(const RowSource& source, size_t chunk_rows);
 
+  /// External id of internal row `row`. Identity until the first Compact;
+  /// afterwards survivors keep their pre-compaction ids via an explicit
+  /// remap, and rows appended later extend the id space from
+  /// dropped-so-far + row (so Add needs no lifecycle hook).
+  int IdOf(size_t row) const {
+    if (row < ids_.size()) return ids_[row];
+    return static_cast<int>(dropped_ + row);
+  }
+
+  /// True when internal row `row` is not tombstoned. The dead_rows_ == 0
+  /// shortcut keeps removal-free workloads on the exact pre-lifecycle code
+  /// path (bit-identical results, no per-row bitmap lookups).
+  bool RowLive(size_t row) const {
+    if (dead_rows_ == 0) return true;
+    const size_t id = static_cast<size_t>(IdOf(row));
+    return id >= dead_.size() || !dead_[id];
+  }
+
+  /// Restarts the id space at 0..n-1 with no tombstones — every backend
+  /// Refresh calls this first (Refresh replaces the contents wholesale, and
+  /// tombstones/remaps are content state, not trained structure).
+  void ResetLifecycle() {
+    ids_.clear();
+    dead_.clear();
+    dropped_ = 0;
+    dead_rows_ = 0;
+  }
+
+  /// Backend compaction primitive: physically keep exactly the internal
+  /// rows listed in `keep` (ascending), renumbering internal storage to
+  /// 0..keep.size()-1 in that order. The base Compact() maintains the
+  /// id remap around this call.
+  virtual void CompactRows(const std::vector<int>& keep);
+
   /// Pairwise distance under this index's metric.
   float Distance(const float* a, const float* b) const;
 
@@ -212,6 +296,19 @@ class VectorIndex {
   size_t dim_;
   Metric metric_;
   util::ThreadPool* pool_ = nullptr;  // unowned; null = inline execution
+
+ private:
+  /// Internal row -> external id for rows below ids_.size() (non-empty only
+  /// after a Compact actually dropped something); ascending, so (distance,
+  /// external id) order equals (distance, row) order and TopK tie-breaks
+  /// are unchanged by compaction.
+  std::vector<int> ids_;
+  /// Tombstone bitmap keyed by external id (grown lazily by Remove).
+  std::vector<uint8_t> dead_;
+  /// Ids dropped by past Compacts: total ids ever assigned = dropped_ + size().
+  size_t dropped_ = 0;
+  /// Stored rows currently tombstoned (the RowLive fast-path gate).
+  size_t dead_rows_ = 0;
 };
 
 }  // namespace dial::index

@@ -34,7 +34,7 @@
 
 namespace dial::serve {
 
-enum class ServeOp { kMatch, kTopK, kEmbed };
+enum class ServeOp { kMatch, kTopK, kEmbed, kUpsert, kRetire };
 
 /// One client request, already parsed off the wire.
 struct ServeRequest {
@@ -42,11 +42,12 @@ struct ServeRequest {
   /// Client-chosen id echoed back in the response.
   std::string id;
   // kMatch by record ids (r >= 0) or by texts (r_id < 0).
+  // kUpsert / kRetire reuse r_id as the target R-record id.
   int64_t r_id = -1;
   int64_t s_id = -1;
   std::string r_text;
   std::string s_text;
-  // kTopK / kEmbed query text.
+  // kTopK / kEmbed query text; kUpsert's replacement record text.
   std::string text;
   size_t k = 10;
 };
@@ -63,6 +64,8 @@ struct ServeResponse {
   float prob = 0.0f;                  // kMatch
   std::vector<float> embedding;       // kEmbed
   std::vector<TopKResult> neighbors;  // kTopK
+  /// kUpsert / kRetire: live (non-retired) R records after the mutation.
+  size_t live = 0;
   /// How many requests shared this response's engine forward (diagnostics;
   /// the bench asserts cross-request batching through it).
   size_t batch_size = 0;

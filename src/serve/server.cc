@@ -12,6 +12,31 @@
 
 namespace dial::serve {
 
+ssize_t ReadRetry(int fd, void* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // peer went away
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 namespace {
 
 util::StatusOr<ServeRequest> ParseRequest(const JsonValue& obj) {
@@ -60,12 +85,28 @@ util::StatusOr<ServeRequest> ParseRequest(const JsonValue& obj) {
     req.k = static_cast<size_t>(k);
     return req;
   }
+  if (op == "upsert" || op == "retire") {
+    req.op = op == "upsert" ? ServeOp::kUpsert : ServeOp::kRetire;
+    const JsonValue* r = obj.Get("r");
+    if (r == nullptr || !r->is_number() || r->AsNumber() < 0) {
+      return util::Status::InvalidArgument(op + " needs a numeric 'r' >= 0");
+    }
+    req.r_id = static_cast<int64_t>(r->AsNumber());
+    if (req.op == ServeOp::kUpsert) {
+      const JsonValue* text = obj.Get("text");
+      if (text == nullptr || !text->is_string()) {
+        return util::Status::InvalidArgument("upsert needs a 'text' string");
+      }
+      req.text = text->AsString();
+    }
+    return req;
+  }
   return util::Status::InvalidArgument("unknown op '" + op + "'");
 }
 
 }  // namespace
 
-Server::Server(const ServingBundle* bundle, ServerOptions options)
+Server::Server(ServingBundle* bundle, ServerOptions options)
     : bundle_(bundle), options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
@@ -129,8 +170,8 @@ void Server::ConnectionLoop(int fd) {
   std::string buffer;
   char chunk[4096];
   while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;  // EOF, error, or shutdown()
+    const ssize_t n = ReadRetry(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF, real error, or shutdown() — EINTR retried inside
     buffer.append(chunk, static_cast<size_t>(n));
     size_t newline;
     while ((newline = buffer.find('\n')) != std::string::npos) {
@@ -307,6 +348,28 @@ void Server::ExecuteBatch(size_t worker_id,
       }
       break;
     }
+    case ServeOp::kUpsert:
+    case ServeOp::kRetire: {
+      // Mutations run one at a time (the bundle serializes them anyway);
+      // batching buys nothing here and per-request statuses keep failures
+      // attributable.
+      for (size_t i = 0; i < n; ++i) {
+        const ServeRequest& req = batch[i].request;
+        ServeResponse response;
+        response.id = req.id;
+        response.op = op;
+        response.batch_size = n;
+        if (op == ServeOp::kUpsert) {
+          response.status =
+              bundle_->Upsert(ctx, static_cast<uint32_t>(req.r_id), req.text);
+        } else {
+          response.status = bundle_->Retire(static_cast<uint32_t>(req.r_id));
+        }
+        response.live = bundle_->live_r_records();
+        batch[i].callback(std::move(response));
+      }
+      break;
+    }
   }
   batch_sends = nullptr;
   for (const auto& [fd, data] : sends) SendFramed(fd, data);
@@ -364,6 +427,11 @@ std::string Server::RenderResponse(const ServeResponse& response) const {
       json += "]}";
       return json;
     }
+    case ServeOp::kUpsert:
+    case ServeOp::kRetire: {
+      out.Set("live", JsonValue::Number(static_cast<double>(response.live)));
+      return out.Dump();
+    }
   }
   return out.Dump();
 }
@@ -376,18 +444,9 @@ void Server::SendLine(int fd, const std::string& line) {
 
 void Server::SendFramed(int fd, const std::string& framed) {
   std::unique_lock<std::mutex> lock(write_mu_);
-  size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) return;  // peer went away; nothing to do
-    sent += static_cast<size_t>(n);
-  }
+  // SendAll loops partial writes and retries EINTR; a failed send means the
+  // peer went away — nothing to do.
+  SendAll(fd, framed.data(), framed.size());
 }
 
 void Server::WaitForShutdown() {

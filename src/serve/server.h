@@ -1,6 +1,8 @@
 #ifndef DIAL_SERVE_SERVER_H_
 #define DIAL_SERVE_SERVER_H_
 
+#include <sys/types.h>
+
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -25,13 +27,31 @@
 ///   {"op":"match","id":"2","r_text":"..","s_text":".."}
 ///   {"op":"topk","id":"3","text":"..","k":5}       -> {... "neighbors":[{"r":..,"distance":..}]}
 ///   {"op":"embed","id":"4","text":".."}            -> {... "embedding":[..]}
-///   {"op":"stats","id":"5"}                        -> scheduler counters (answered inline)
-///   {"op":"shutdown","id":"6"}                     -> acks, then stops the server
+///   {"op":"upsert","id":"5","r":3,"text":".."}     -> {... "live":N} replaces record r's
+///                                                     text + index entry in place
+///   {"op":"retire","id":"6","r":3}                 -> {... "live":N} tombstones record r
+///                                                     (topk never returns it again)
+///   {"op":"stats","id":"7"}                        -> scheduler counters (answered inline)
+///   {"op":"shutdown","id":"8"}                     -> acks, then stops the server
 /// Errors: {"id":..,"status":"error","message":..}; a full ring responds
 /// {"status":"overload"}. Floats are emitted with %.9g, so parsing the wire
 /// value back to float reproduces the exact bits the model produced.
 
 namespace dial::serve {
+
+/// EINTR-safe blocking read: retries when a signal interrupts the call
+/// before any data arrived, otherwise returns read()'s result (0 = EOF,
+/// < 0 = real error). A plain ::read here would tear down a healthy
+/// connection whenever a signal (profiler tick, SIGCHLD from a subprocess)
+/// landed mid-wait.
+ssize_t ReadRetry(int fd, void* buf, size_t len);
+
+/// Sends the entire buffer: loops over short writes and retries EINTR.
+/// Short writes are real on large coalesced responses (a batch's worth of
+/// embed rows overflows the socket buffer) — a single send() would
+/// silently truncate mid-line and desync the newline framing. Returns
+/// false when the peer is gone (any error other than EINTR).
+bool SendAll(int fd, const char* data, size_t len);
 
 struct ServerOptions {
   std::string socket_path;
@@ -50,8 +70,10 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// The bundle must outlive the server.
-  Server(const ServingBundle* bundle, ServerOptions options);
+  /// The bundle must outlive the server. Non-const: upsert/retire requests
+  /// mutate its member indexes (internally synchronized — see
+  /// serving_bundle.h).
+  Server(ServingBundle* bundle, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -88,7 +110,7 @@ class Server {
   static ServeResponse ErrorResponse(std::string id, ServeOp op, util::Status status);
   std::string RenderResponse(const ServeResponse& response) const;
 
-  const ServingBundle* bundle_;
+  ServingBundle* bundle_;
   ServerOptions options_;
   std::unique_ptr<Scheduler> scheduler_;
   /// Shared GEMM workers (see ServerOptions::gemm_threads); null = inline.

@@ -118,6 +118,15 @@ void ServingBundle::BuildIndexes() {
   autograd::InferenceContext ctx;
   const la::Matrix emb_r = EmbedTable(*matcher_, ctx, bundle_.r_table, vocab_,
                                       tplm_config_.max_single_len);
+  // Fresh build: index external ids 0..n-1 are exactly the R record ids.
+  const size_t n = bundle_.r_table.size();
+  record_index_id_.resize(n);
+  index_id_record_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    record_index_id_[i] = static_cast<int>(i);
+    index_id_record_[i] = static_cast<uint32_t>(i);
+  }
+  text_overlay_.assign(n, std::string());
   member_indexes_.clear();
   if (committee_ != nullptr) {
     for (size_t k = 0; k < committee_->size(); ++k) {
@@ -251,23 +260,39 @@ util::StatusOr<std::unique_ptr<ServingBundle>> ServingBundle::Load(
   return bundle;
 }
 
-text::EncodedSequence ServingBundle::EncodePairById(data::PairId pair) const {
-  return vocab_.EncodePair(bundle_.r_table.TextOf(pair.r),
-                           bundle_.s_table.TextOf(pair.s),
+std::string ServingBundle::RTextLocked(uint32_t r) const {
+  if (r < text_overlay_.size() && !text_overlay_[r].empty()) {
+    return text_overlay_[r];
+  }
+  return bundle_.r_table.TextOf(r);
+}
+
+text::EncodedSequence ServingBundle::EncodePairByIdLocked(data::PairId pair) const {
+  return vocab_.EncodePair(RTextLocked(pair.r), bundle_.s_table.TextOf(pair.s),
                            tplm_config_.max_pair_len);
+}
+
+text::EncodedSequence ServingBundle::EncodePairById(data::PairId pair) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return EncodePairByIdLocked(pair);
 }
 
 util::StatusOr<std::vector<float>> ServingBundle::MatchPairs(
     autograd::InferenceContext& ctx, const std::vector<data::PairId>& pairs) const {
   std::vector<text::EncodedSequence> encoded;
   encoded.reserve(pairs.size());
-  for (const data::PairId pair : pairs) {
-    if (pair.r >= bundle_.r_table.size() || pair.s >= bundle_.s_table.size()) {
-      return util::Status::InvalidArgument(
-          "record id out of range: (" + std::to_string(pair.r) + ", " +
-          std::to_string(pair.s) + ")");
+  {
+    // One shared acquisition for the whole batch (the overlay text must not
+    // change mid-encode); the forward below runs lock-free on model state.
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    for (const data::PairId pair : pairs) {
+      if (pair.r >= bundle_.r_table.size() || pair.s >= bundle_.s_table.size()) {
+        return util::Status::InvalidArgument(
+            "record id out of range: (" + std::to_string(pair.r) + ", " +
+            std::to_string(pair.s) + ")");
+      }
+      encoded.push_back(EncodePairByIdLocked(pair));
     }
-    encoded.push_back(EncodePairById(pair));
   }
   std::vector<const text::EncodedSequence*> ptrs;
   ptrs.reserve(encoded.size());
@@ -305,8 +330,11 @@ la::Matrix ServingBundle::EmbedTexts(autograd::InferenceContext& ctx,
 std::vector<TopKHit> ServingBundle::TopK(autograd::InferenceContext& ctx,
                                          const std::string& text, size_t k) const {
   const la::Matrix emb = EmbedTexts(ctx, {text});
-  // Per-record minimum distance across members (the IBC merge).
+  // Per-record minimum distance across members (the IBC merge). Keyed by
+  // record id: index external ids grow with upserts, but each record has at
+  // most one live entry, so the merge semantics match a fresh build.
   std::unordered_map<int, float> best;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
   for (size_t m = 0; m < member_indexes_.size(); ++m) {
     la::Matrix query;
     if (committee_ != nullptr) {
@@ -317,7 +345,9 @@ std::vector<TopKHit> ServingBundle::TopK(autograd::InferenceContext& ctx,
     const index::SearchBatch batch =
         member_indexes_[m]->Search(query, options_.k_neighbors);
     for (const index::Neighbor& nb : batch[0]) {
-      auto [it, inserted] = best.try_emplace(nb.id, nb.distance);
+      const int record = static_cast<int>(
+          index_id_record_[static_cast<size_t>(nb.id)]);
+      auto [it, inserted] = best.try_emplace(record, nb.distance);
       if (!inserted && nb.distance < it->second) it->second = nb.distance;
     }
   }
@@ -332,6 +362,70 @@ std::vector<TopKHit> ServingBundle::TopK(autograd::InferenceContext& ctx,
   });
   if (hits.size() > k) hits.resize(k);
   return hits;
+}
+
+util::Status ServingBundle::Upsert(autograd::InferenceContext& ctx,
+                                   uint32_t r_id, const std::string& text) {
+  if (r_id >= bundle_.r_table.size()) {
+    return util::Status::InvalidArgument("upsert: record id out of range: " +
+                                         std::to_string(r_id));
+  }
+  if (text.empty()) {
+    return util::Status::InvalidArgument("upsert: empty record text");
+  }
+  // Embed + member-transform outside the lock: model state is read-only, so
+  // the expensive forward never blocks concurrent retrieval.
+  const la::Matrix emb = EmbedTexts(ctx, {text});
+  std::vector<la::Matrix> member_rows;
+  member_rows.reserve(member_indexes_.size());
+  for (size_t m = 0; m < member_indexes_.size(); ++m) {
+    if (committee_ != nullptr) {
+      member_rows.push_back(committee_->member(m).TransformWith(ctx, emb));
+    } else {
+      member_rows.push_back(emb);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  const int old_id = record_index_id_[r_id];
+  // The fresh external id: every member has seen the identical Add sequence
+  // (initial build + one row per upsert), so the next assigned id equals the
+  // id-map length in all of them.
+  const int fresh_id = static_cast<int>(index_id_record_.size());
+  for (size_t m = 0; m < member_indexes_.size(); ++m) {
+    if (old_id >= 0) member_indexes_[m]->Remove(old_id);
+    member_indexes_[m]->Add(member_rows[m]);
+    member_indexes_[m]->MaybeCompact(kMaxDeadFraction);
+  }
+  index_id_record_.push_back(r_id);
+  record_index_id_[r_id] = fresh_id;
+  text_overlay_[r_id] = text;
+  return util::Status::OK();
+}
+
+util::Status ServingBundle::Retire(uint32_t r_id) {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  if (r_id >= record_index_id_.size()) {
+    return util::Status::InvalidArgument("retire: record id out of range: " +
+                                         std::to_string(r_id));
+  }
+  const int cur = record_index_id_[r_id];
+  if (cur < 0) {
+    return util::Status::InvalidArgument("retire: record already retired: " +
+                                         std::to_string(r_id));
+  }
+  for (auto& index : member_indexes_) {
+    index->Remove(cur);
+    index->MaybeCompact(kMaxDeadFraction);
+  }
+  record_index_id_[r_id] = -1;
+  return util::Status::OK();
+}
+
+size_t ServingBundle::live_r_records() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  size_t live = 0;
+  for (const int id : record_index_id_) live += id >= 0 ? 1 : 0;
+  return live;
 }
 
 }  // namespace dial::serve

@@ -2,6 +2,7 @@
 #define DIAL_SERVE_SERVING_BUNDLE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,17 +12,27 @@
 #include "core/ibc.h"
 
 /// \file
-/// The read-only model/index artifact behind `dial_serve`: the trained
-/// matcher, the blocker committee, and the committee's per-member indexes
-/// over R, split out of the AL loop so a finished training run can be
-/// persisted once and served by many worker threads without retraining.
+/// The model/index artifact behind `dial_serve`: the trained matcher, the
+/// blocker committee, and the committee's per-member indexes over R, split
+/// out of the AL loop so a finished training run can be persisted once and
+/// served by many worker threads without retraining.
 ///
 /// Every query entry point is `const` and takes a caller-owned
-/// `InferenceContext` — the serving concurrency contract. The bundle itself
-/// holds no mutable state after construction, so N workers (each with its
-/// own context) score through one shared bundle; outputs are bit-identical
-/// to the training-side `Matcher::PredictProbs` on the same pairs
+/// `InferenceContext` — the serving concurrency contract. The models hold
+/// no mutable state after construction, so N workers (each with its own
+/// context) score through one shared bundle; outputs are bit-identical to
+/// the training-side `Matcher::PredictProbs` on the same pairs
 /// (tests/serve_test.cc pins this).
+///
+/// The member indexes, by contrast, evolve in place: `Upsert` re-embeds one
+/// R record and replaces its index entry (old entry tombstoned, fresh
+/// per-member Add, compaction past the dead-fraction threshold), `Retire`
+/// tombstones it. A shared_mutex arbitrates — mutations take the exclusive
+/// side, index-touching queries the shared side — so retrieval never sees a
+/// half-applied upsert, and the model weights (never mutated) stay
+/// lock-free. Mutations are serving-session state only: Save persists the
+/// weights, not the overlay, so a save/load round-trip rebuilds the indexes
+/// from the pristine R table.
 
 namespace dial::serve {
 
@@ -94,14 +105,42 @@ class ServingBundle {
   size_t max_pair_len() const { return tplm_config_.max_pair_len; }
 
   /// Encodes a by-id pair exactly as training did (the bit-identity path).
+  /// After an Upsert of pair.r, the overlay text is used instead.
   text::EncodedSequence EncodePairById(data::PairId pair) const;
+
+  // ---- Incremental mutation API (exclusive-locked; see file comment) ----
+
+  /// Replaces R record `r_id`'s text and index entry: the old entry is
+  /// tombstoned in every member index, the new text is embedded and added
+  /// under a fresh index id, and each member compacts once its dead
+  /// fraction passes kMaxDeadFraction. Subsequent by-id matches and topk
+  /// retrievals see the new text. `r_id` must name an existing R record.
+  util::Status Upsert(autograd::InferenceContext& ctx, uint32_t r_id,
+                      const std::string& text);
+
+  /// Tombstones R record `r_id` in every member index so topk never
+  /// returns it again (by-id matching still works — the text remains
+  /// known). Retiring an already-retired record is an error; a later
+  /// Upsert revives the id with new text.
+  util::Status Retire(uint32_t r_id);
+
+  /// R records not currently retired.
+  size_t live_r_records() const;
+
+  /// Dead-fraction threshold at which a mutation compacts a member index.
+  static constexpr double kMaxDeadFraction = 0.25;
 
  private:
   ServingBundle() = default;
 
   /// Encodes and embeds all of R, then builds one index per committee
-  /// member (or a single direct index when there is no committee).
+  /// member (or a single direct index when there is no committee), and
+  /// resets the record<->index-id maps to the identity.
   void BuildIndexes();
+
+  /// Overlay-aware record text (requires index_mu_ held).
+  std::string RTextLocked(uint32_t r) const;
+  text::EncodedSequence EncodePairByIdLocked(data::PairId pair) const;
 
   ServingOptions options_;
   /// The configured vocab cap (pre-shrink) — needed to regenerate the
@@ -115,6 +154,19 @@ class ServingBundle {
   /// One index per member; a single slot holding the raw-embedding index
   /// when committee_ is null.
   std::vector<std::unique_ptr<index::VectorIndex>> member_indexes_;
+
+  /// Guards member_indexes_ and the lifecycle maps below (the models are
+  /// never mutated and need no lock). Exclusive for Upsert/Retire, shared
+  /// for TopK / by-id encoding.
+  mutable std::shared_mutex index_mu_;
+  /// Record id -> current index external id (-1 = retired). Every member
+  /// index sees the identical Add sequence, so one map serves all members.
+  std::vector<int> record_index_id_;
+  /// Index external id -> record id (grows by one per Upsert; external ids
+  /// are never reused, so stale entries simply stop being reachable).
+  std::vector<uint32_t> index_id_record_;
+  /// Per-record replacement text from Upsert ("" = use r_table's text).
+  std::vector<std::string> text_overlay_;
 };
 
 }  // namespace dial::serve

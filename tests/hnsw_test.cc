@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "index/flat_index.h"
 #include "index/hnsw_index.h"
@@ -210,6 +212,110 @@ TEST(HnswIndex, DuplicateVectors) {
   const auto results = index.Search(query, 5);
   ASSERT_EQ(results[0].size(), 5u);
   for (const Neighbor& nb : results[0]) EXPECT_NEAR(nb.distance, 0.0f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point liveness: removals must keep the search anchor on a live node.
+
+/// The entry point must be live, sit on the highest level any live node
+/// occupies, and agree with max_level(); an all-dead graph must anchor
+/// nowhere and search empty.
+void CheckEntryInvariants(const HnswIndex& index) {
+  size_t live = 0;
+  int best_level = -1;
+  for (size_t id = 0; id < index.size(); ++id) {
+    if (index.IsRemoved(static_cast<int>(id))) continue;
+    ++live;
+    best_level = std::max(best_level, index.node_level(static_cast<int>(id)));
+  }
+  if (live == 0) {
+    EXPECT_EQ(index.entry_point(), -1);
+    EXPECT_EQ(index.max_level(), -1);
+    return;
+  }
+  const int entry = index.entry_point();
+  ASSERT_GE(entry, 0);
+  EXPECT_FALSE(index.IsRemoved(entry));
+  EXPECT_EQ(index.node_level(entry), best_level);
+  EXPECT_EQ(index.max_level(), best_level);
+}
+
+TEST(HnswIndex, RemovingEntryPointRepairsAnchor) {
+  const la::Matrix data = RandomVectors(120, 8, 21);
+  HnswIndex index(8, Metric::kL2, {});
+  index.Add(data);
+  const la::Matrix queries = RandomVectors(10, 8, 22);
+  util::Rng rng(23);
+  size_t live = index.size();
+  while (live > 0) {
+    // Alternate between shooting the anchor itself (forcing a repair) and a
+    // random live node (exercising the no-repair-needed path).
+    int victim = index.entry_point();
+    if (live % 2 == 0 || index.IsRemoved(victim)) {
+      do {
+        victim = static_cast<int>(rng.UniformInt(index.size()));
+      } while (index.IsRemoved(victim));
+    }
+    index.Remove(victim);
+    --live;
+    CheckEntryInvariants(index);
+    const SearchBatch results = index.Search(queries, 5);
+    for (const auto& neighbors : results) {
+      EXPECT_LE(neighbors.size(), std::min<size_t>(5, live));
+      for (const Neighbor& nb : neighbors) {
+        EXPECT_FALSE(index.IsRemoved(nb.id)) << "tombstoned id surfaced";
+      }
+      if (live == 0) EXPECT_TRUE(neighbors.empty());
+    }
+  }
+  EXPECT_EQ(index.entry_point(), -1);
+
+  // The graph must come back to life after draining: fresh adds re-anchor.
+  index.Add(RandomVectors(5, 8, 24));
+  CheckEntryInvariants(index);
+  const SearchBatch revived = index.Search(queries, 3);
+  for (const auto& neighbors : revived) EXPECT_FALSE(neighbors.empty());
+}
+
+TEST(HnswIndex, CompactAfterRemovalsKeepsRecall) {
+  const la::Matrix data = RandomVectors(300, 16, 25);
+  const la::Matrix queries = RandomVectors(25, 16, 26);
+  HnswIndex::Options options;
+  options.ef_search = 64;
+  HnswIndex index(16, Metric::kL2, options);
+  index.Add(data);
+  // Tombstone every third row, compact, and check quality over survivors.
+  std::vector<bool> dead(data.rows(), false);
+  for (size_t i = 0; i < data.rows(); i += 3) {
+    index.Remove(static_cast<int>(i));
+    dead[i] = true;
+  }
+  CheckEntryInvariants(index);
+  index.Compact();
+  EXPECT_EQ(index.dead_count(), 0u);
+  CheckEntryInvariants(index);
+
+  std::vector<int> live_ids;
+  la::Matrix survivors(data.rows() - (data.rows() + 2) / 3, 16);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (dead[i]) continue;
+    std::copy(data.row(i), data.row(i) + 16, survivors.row(live_ids.size()));
+    live_ids.push_back(static_cast<int>(i));
+  }
+  FlatIndex flat(16, Metric::kL2);
+  flat.Add(survivors);
+  const SearchBatch truth = flat.Search(queries, 10);
+  const SearchBatch got = index.Search(queries, 10);
+  size_t hits = 0, total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::set<int> expected;
+    for (const Neighbor& nb : truth[q]) {
+      expected.insert(live_ids[static_cast<size_t>(nb.id)]);
+    }
+    for (const Neighbor& nb : got[q]) hits += expected.count(nb.id);
+    total += truth[q].size();
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.7);
 }
 
 class HnswMetrics : public testing::TestWithParam<Metric> {};

@@ -493,6 +493,52 @@ INSTANTIATE_TEST_SUITE_P(
       return core::IndexBackendName(info.param);
     });
 
+TEST_P(StreamedBuildFuzz, TrainSampleAboveRowsAboveChunkBoundary) {
+  // The train_sample > n > chunk_rows regime: SampleRows takes its identity
+  // path (the whole source fits the training sample) while ingestion still
+  // spans several chunks. Regression guard — this boundary must behave
+  // exactly like the one-chunk case: bit-identical to a materialized Add
+  // for backends whose post-training encode is per-row deterministic, and
+  // chunk-size invariant for all of them.
+  uint64_t salt = 0;
+  for (const size_t n : {size_t{40}, size_t{70}}) {
+    for (const size_t chunk : {size_t{16}, size_t{33}}) {
+      Trial t;
+      t.backend = GetParam();
+      t.metric = Metric::kL2;
+      t.dim = 7;
+      t.n = n;
+      t.k = 5;
+      t.threads = 0;
+      t.seed = kSuiteSeed ^ 0xb0a2 ^ (salt++ * 0x9e3779b9ull);
+      SCOPED_TRACE("boundary chunk=" + std::to_string(chunk) + " " +
+                   t.Describe());
+      const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+      const la::Matrix queries = Clustered(6, t.dim, t.seed ^ 0x9e37);
+      const MatrixRowSource source(data);
+      StreamOptions options;
+      options.train_sample = 128;  // > n: identity sample, no reservoir
+      options.chunk_rows = chunk;  // < n: several ingest chunks
+      auto streamed = MakeBackend(t);
+      streamed->AddStreamed(source, options);
+      ASSERT_EQ(streamed->size(), t.n);
+      const SearchBatch results = streamed->Search(queries, t.k);
+      CheckContract(t, results, queries.rows());
+      if (StreamedMatchesAdd(t.backend)) {
+        auto materialized = MakeBackend(t);
+        materialized->Add(data);
+        ExpectBitIdentical(t, materialized->Search(queries, t.k), results);
+      }
+      // The boundary regime is also chunk-invariant against one big chunk.
+      StreamOptions one_chunk = options;
+      one_chunk.chunk_rows = t.n + 10;
+      auto whole = MakeBackend(t);
+      whole->AddStreamed(source, one_chunk);
+      ExpectBitIdentical(t, results, whole->Search(queries, t.k));
+    }
+  }
+}
+
 TEST(SampleRowsTest, IdentityWhenSourceFits) {
   const la::Matrix data = Clustered(20, 5, 0x51);
   const MatrixRowSource source(data);
@@ -515,6 +561,321 @@ TEST(SampleRowsTest, ReservoirIsBoundedAndDeterministic) {
   bool any_diff = false;
   for (size_t i = 0; i < a.size(); ++i) any_diff |= a.data()[i] != c.data()[i];
   EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental lifecycle: random interleavings of Add / Remove / Search /
+// Compact per backend, mirrored onto a pooled copy. The model is the full
+// append-order vector list (external id == append position — ids are never
+// reused) plus a tombstone bitmap. Invariants per step: tombstoned ids never
+// surface, returned ids stay in the assigned range, live accounting
+// (size - dead_count) matches the model, and the pooled copy stays
+// bit-identical. After the final Compact: dead_count == 0, stored size ==
+// live count, and search quality matches a fresh build over the survivors —
+// exactly for flat/matmul (modulo the stable id mapping), within the usual
+// recall band for the quantized/graph backends.
+
+void CheckLifecycleSearch(const Trial& t, const SearchBatch& results,
+                          const std::vector<char>& dead, size_t assigned,
+                          size_t live, size_t expect_queries) {
+  ASSERT_EQ(results.size(), expect_queries) << t.Describe();
+  for (size_t q = 0; q < results.size(); ++q) {
+    const auto& neighbors = results[q];
+    EXPECT_LE(neighbors.size(), std::min(t.k, live)) << t.Describe();
+    if (IsExact(t.backend)) {
+      EXPECT_EQ(neighbors.size(), std::min(t.k, live)) << t.Describe();
+    }
+    std::set<int> seen;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const int id = neighbors[i].id;
+      ASSERT_GE(id, 0) << t.Describe();
+      ASSERT_LT(id, static_cast<int>(assigned)) << t.Describe();
+      EXPECT_FALSE(dead[static_cast<size_t>(id)])
+          << t.Describe() << " tombstoned id " << id << " surfaced";
+      EXPECT_TRUE(seen.insert(id).second)
+          << t.Describe() << " duplicate id " << id;
+      if (i > 0) {
+        EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance)
+            << t.Describe() << " rank " << i;
+      }
+    }
+  }
+}
+
+void RunLifecycleTrial(const Trial& t, bool compact_during_ops) {
+  SCOPED_TRACE(std::string(compact_during_ops ? "compact " : "remove ") +
+               t.Describe());
+  util::Rng rng(t.seed);
+  auto index = MakeBackend(t);
+  std::unique_ptr<util::ThreadPool> pool;
+  std::unique_ptr<VectorIndex> threaded;
+  if (t.threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(t.threads);
+    threaded = MakeBackend(t);
+    threaded->SetThreadPool(pool.get());
+  }
+  const la::Matrix queries = Clustered(4, t.dim, t.seed ^ 0x9e37);
+  // One stationary pool feeds every Add: the trained backends quantize
+  // against the initial sample, so the final compacted-vs-fresh quality
+  // comparison is only apples-to-apples when later inserts come from the
+  // same distribution (distribution drift is the Refresh path's job, pinned
+  // by insert_drift()).
+  const la::Matrix pool_rows = Clustered(600, t.dim, t.seed ^ 0x71);
+  size_t next_pool_row = 0;
+
+  std::vector<std::vector<float>> model;  // external id -> vector
+  std::vector<char> dead;                 // external id -> tombstoned
+  size_t live = 0;
+
+  const auto add_batch = [&](size_t count) {
+    ASSERT_LE(next_pool_row + count, pool_rows.rows());
+    la::Matrix batch(count, t.dim);
+    for (size_t i = 0; i < count; ++i) {
+      const float* src = pool_rows.row(next_pool_row++);
+      std::copy(src, src + t.dim, batch.row(i));
+    }
+    index->Add(batch);
+    if (threaded != nullptr) threaded->Add(batch);
+    for (size_t i = 0; i < batch.rows(); ++i) {
+      model.emplace_back(batch.row(i), batch.row(i) + t.dim);
+      dead.push_back(0);
+      ++live;
+    }
+  };
+  const auto check_search = [&] {
+    const SearchBatch results = index->Search(queries, t.k);
+    CheckLifecycleSearch(t, results, dead, model.size(), live, queries.rows());
+    if (threaded != nullptr) {
+      ExpectBitIdentical(t, results, threaded->Search(queries, t.k));
+    }
+  };
+
+  // A solid initial build so the trained backends see a sane sample.
+  add_batch(48 + rng.UniformInt(32));
+  check_search();
+
+  const size_t kOps = 60;
+  for (size_t op = 0; op < kOps; ++op) {
+    switch (rng.UniformInt(6)) {
+      case 0:
+      case 1:
+        add_batch(1 + rng.UniformInt(8));
+        break;
+      case 2:
+      case 3: {
+        if (live == 0) break;
+        // Pick a random live external id.
+        size_t pick = rng.UniformInt(live);
+        int id = -1;
+        for (size_t i = 0; i < dead.size(); ++i) {
+          if (!dead[i] && pick-- == 0) {
+            id = static_cast<int>(i);
+            break;
+          }
+        }
+        ASSERT_GE(id, 0);
+        index->Remove(id);
+        if (threaded != nullptr) threaded->Remove(id);
+        dead[static_cast<size_t>(id)] = 1;
+        --live;
+        EXPECT_TRUE(index->IsRemoved(id)) << t.Describe();
+        index->Remove(id);  // idempotent
+        EXPECT_EQ(index->dead_count(), index->size() - live) << t.Describe();
+        break;
+      }
+      case 4:
+        check_search();
+        break;
+      case 5:
+        if (compact_during_ops) {
+          if (rng.UniformInt(2) == 0) {
+            index->Compact();
+            if (threaded != nullptr) threaded->Compact();
+            EXPECT_EQ(index->dead_count(), 0u) << t.Describe();
+            EXPECT_EQ(index->size(), live) << t.Describe();
+          } else {
+            const bool did = index->MaybeCompact(0.25);
+            if (threaded != nullptr) {
+              EXPECT_EQ(threaded->MaybeCompact(0.25), did) << t.Describe();
+            }
+          }
+        }
+        break;
+    }
+    ASSERT_EQ(index->live_size(), live) << t.Describe();
+    if (threaded != nullptr) {
+      ASSERT_EQ(threaded->live_size(), live) << t.Describe();
+    }
+  }
+  check_search();
+
+  // Final compaction: tombstones drain, external ids survive, and — for
+  // every backend but HNSW (whose graph is rebuilt, changing the beam's
+  // exploration order) — search results are bit-identical before and after:
+  // compaction only drops dead rows, never touches trained structure,
+  // codes, or the live candidate set.
+  const SearchBatch pre_compact = index->Search(queries, t.k);
+  index->Compact();
+  if (threaded != nullptr) threaded->Compact();
+  EXPECT_EQ(index->dead_count(), 0u) << t.Describe();
+  ASSERT_EQ(index->size(), live) << t.Describe();
+  check_search();
+  if (t.backend != IndexBackend::kHnsw) {
+    ExpectBitIdentical(t, pre_compact, index->Search(queries, t.k));
+  }
+
+  std::vector<int> live_ids;
+  la::Matrix survivors(live, t.dim);
+  for (size_t i = 0; i < dead.size(); ++i) {
+    if (dead[i]) continue;
+    std::copy(model[i].begin(), model[i].end(),
+              survivors.row(live_ids.size()));
+    live_ids.push_back(static_cast<int>(i));
+  }
+  auto fresh = MakeBackend(t);
+  fresh->Add(survivors);
+  const SearchBatch compacted = index->Search(queries, t.k);
+  const SearchBatch rebuilt = fresh->Search(queries, t.k);
+  if (IsExact(t.backend)) {
+    // Kept external ids are ascending, so the fresh build's (distance, row)
+    // order equals the compacted index's (distance, external id) order.
+    ASSERT_EQ(compacted.size(), rebuilt.size());
+    for (size_t q = 0; q < compacted.size(); ++q) {
+      ASSERT_EQ(compacted[q].size(), rebuilt[q].size()) << t.Describe();
+      for (size_t i = 0; i < compacted[q].size(); ++i) {
+        EXPECT_EQ(compacted[q][i].id,
+                  live_ids[static_cast<size_t>(rebuilt[q][i].id)])
+            << t.Describe();
+        EXPECT_EQ(compacted[q][i].distance, rebuilt[q][i].distance)
+            << t.Describe();
+      }
+    }
+  } else if (t.backend == IndexBackend::kHnsw && live > 1 && t.k > 0) {
+    // HNSW trains nothing, so the aged-then-compacted graph should match a
+    // fresh build over the survivors to within beam noise. Quantized
+    // backends (pq/sq/ivf*) are deliberately excluded here: their codebooks
+    // were trained on the initial insert pool and can legitimately trail a
+    // fresh-trained build — that staleness is insert_drift()/Refresh
+    // territory, while compaction correctness is already pinned bit-exactly
+    // by the pre/post-Compact comparison above.
+    FlatIndex truth(t.dim, t.metric);
+    truth.Add(survivors);
+    SearchBatch exact = truth.Search(queries, t.k);
+    // Map truth/fresh row ids to external ids for recall comparison.
+    for (auto& neighbors : exact) {
+      for (auto& nb : neighbors) nb.id = live_ids[static_cast<size_t>(nb.id)];
+    }
+    SearchBatch rebuilt_mapped = rebuilt;
+    for (auto& neighbors : rebuilt_mapped) {
+      for (auto& nb : neighbors) nb.id = live_ids[static_cast<size_t>(nb.id)];
+    }
+    EXPECT_GE(Recall(exact, compacted), Recall(exact, rebuilt_mapped) - 0.25)
+        << t.Describe();
+  }
+}
+
+Trial SampleLifecycleTrial(IndexBackend backend, util::Rng& rng) {
+  Trial t = SampleTrial(backend, rng);
+  t.n = 0;     // rows come from the op stream, not a single build
+  t.k = 1 + rng.UniformInt(8);
+  return t;
+}
+
+class RemoveFuzz : public testing::TestWithParam<IndexBackend> {};
+
+TEST_P(RemoveFuzz, TombstonedIdsNeverSurface) {
+  util::Rng rng(kSuiteSeed ^
+                (0x4000ull * (static_cast<uint64_t>(GetParam()) + 1)));
+  for (size_t trial = 0; trial < kTrialsPerBackend; ++trial) {
+    RunLifecycleTrial(SampleLifecycleTrial(GetParam(), rng),
+                      /*compact_during_ops=*/false);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, RemoveFuzz, testing::ValuesIn(core::AllIndexBackends()),
+    [](const testing::TestParamInfo<IndexBackend>& info) {
+      return core::IndexBackendName(info.param);
+    });
+
+class CompactFuzz : public testing::TestWithParam<IndexBackend> {};
+
+TEST_P(CompactFuzz, CompactionPreservesIdsAndQuality) {
+  util::Rng rng(kSuiteSeed ^
+                (0x5000ull * (static_cast<uint64_t>(GetParam()) + 1)));
+  for (size_t trial = 0; trial < kTrialsPerBackend; ++trial) {
+    RunLifecycleTrial(SampleLifecycleTrial(GetParam(), rng),
+                      /*compact_during_ops=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CompactFuzz, testing::ValuesIn(core::AllIndexBackends()),
+    [](const testing::TestParamInfo<IndexBackend>& info) {
+      return core::IndexBackendName(info.param);
+    });
+
+// Sharded lifecycle: mutations route to the owning shard, the monotone id
+// mapping survives shard-local compaction, and S=1 stays bit-identical to
+// the unsharded backend through the whole Remove/Compact sequence.
+TEST(ShardLifecycle, RemoveCompactRouteThroughShards) {
+  for (const IndexBackend backend :
+       {IndexBackend::kFlat, IndexBackend::kHnsw, IndexBackend::kPq}) {
+    Trial t;
+    t.backend = backend;
+    t.metric = Metric::kL2;
+    t.dim = 7;
+    t.n = 60;
+    t.k = 6;
+    t.threads = 2;
+    t.seed = kSuiteSeed ^ (0x51ull + static_cast<uint64_t>(backend) * 977);
+    SCOPED_TRACE("shard lifecycle " + t.Describe());
+    const la::Matrix data = Clustered(t.n, t.dim, t.seed);
+    const la::Matrix queries = Clustered(4, t.dim, t.seed ^ 0x9e37);
+
+    util::ThreadPool pool(t.threads);
+    auto sharded = MakeSharded(t, 3);
+    sharded->SetThreadPool(&pool);
+    sharded->Add(data);
+    auto one = MakeSharded(t, 1);
+    one->Add(data);
+    auto unsharded = MakeBackend(t);
+    unsharded->Add(data);
+
+    util::Rng rng(t.seed ^ 0xdead);
+    std::vector<char> dead(t.n, 0);
+    size_t live = t.n;
+    for (int round = 0; round < 20; ++round) {
+      int id;
+      do {
+        id = static_cast<int>(rng.UniformInt(t.n));
+      } while (dead[static_cast<size_t>(id)]);
+      dead[static_cast<size_t>(id)] = 1;
+      --live;
+      sharded->Remove(id);
+      one->Remove(id);
+      unsharded->Remove(id);
+      EXPECT_TRUE(sharded->IsRemoved(id));
+      EXPECT_EQ(sharded->dead_count(), t.n - live);
+    }
+    const SearchBatch got = sharded->Search(queries, t.k);
+    CheckLifecycleSearch(t, got, dead, t.n, live, queries.rows());
+    ExpectBitIdentical(t, one->Search(queries, t.k),
+                       unsharded->Search(queries, t.k));
+
+    sharded->Compact();
+    one->Compact();
+    unsharded->Compact();
+    EXPECT_EQ(sharded->dead_count(), 0u);
+    EXPECT_EQ(sharded->size(), live);
+    const SearchBatch after = sharded->Search(queries, t.k);
+    CheckLifecycleSearch(t, after, dead, t.n, live, queries.rows());
+    ExpectBitIdentical(t, one->Search(queries, t.k),
+                       unsharded->Search(queries, t.k));
+    if (IsExact(t.backend)) {
+      ExpectBitIdentical(t, got, after);  // compaction never changes results
+    }
+  }
 }
 
 }  // namespace

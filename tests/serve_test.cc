@@ -1,10 +1,14 @@
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -565,6 +569,75 @@ class TestClient {
   std::string buffer_;
 };
 
+// ---------------------------------------------- EINTR-safe socket helpers
+
+TEST(SocketIo, SendAllSurvivesShortWritesAndEintr) {
+  // Regression for the old single-shot send in the server's framed-write
+  // path: a >64 KiB payload over tiny socket buffers forces many short
+  // writes, and a signal storm (no-op handler installed WITHOUT SA_RESTART)
+  // makes the blocking send/read calls surface EINTR mid-transfer. The old
+  // code dropped the remainder of the frame on either; SendAll/ReadRetry
+  // must deliver every byte.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::string payload(256 * 1024, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i * 131) % 23);
+  }
+
+  std::atomic<bool> done{false};
+  std::string received;
+  bool send_ok = false;
+  std::thread reader([&] {
+    char chunk[1024];
+    while (received.size() < payload.size()) {
+      const ssize_t n = ReadRetry(fds[1], chunk, sizeof(chunk));
+      if (n <= 0) break;
+      received.append(chunk, static_cast<size_t>(n));
+    }
+  });
+  std::thread writer([&] {
+    send_ok = SendAll(fds[0], payload.data(), payload.size());
+    done.store(true);
+  });
+  // Pepper the writer while it blocks on the full socket buffer.
+  while (!done.load()) {
+    ::pthread_kill(writer.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  writer.join();
+  reader.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_TRUE(send_ok);
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+}
+
+TEST(SocketIo, ReadRetryReportsEofAndRealErrors) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(SendAll(fds[0], "ab", 2));
+  ::close(fds[0]);  // flushes then EOFs the peer
+  char buf[16];
+  EXPECT_EQ(ReadRetry(fds[1], buf, sizeof(buf)), 2);
+  EXPECT_EQ(ReadRetry(fds[1], buf, sizeof(buf)), 0);  // clean EOF, not -1
+  ::close(fds[1]);
+  EXPECT_LT(ReadRetry(fds[1], buf, sizeof(buf)), 0);  // EBADF is a real error
+  EXPECT_FALSE(SendAll(fds[1], "x", 1));
+}
+
 TEST_F(ServingBundleTest, ServedMatchIsBitIdenticalToDirectCall) {
   ServerOptions options;
   options.socket_path = TempPath("serve_test_ident.sock");
@@ -631,6 +704,175 @@ TEST_F(ServingBundleTest, ServerSmokeAllOpsAndErrors) {
   const JsonValue stats = client.Call(R"({"op":"stats","id":"7"})");
   EXPECT_EQ(stats.GetString("status", ""), "ok");
   EXPECT_GE(stats.GetNumber("requests_executed", 0), 4);
+  server.Stop();
+}
+
+TEST_F(ServingBundleTest, PipelinedEmbedBurstDeliversOver64KiBIntact) {
+  // Regression for the framed-write path end-to-end: a pipelined client
+  // fires enough embed requests in one write that the coalesced responses
+  // total well past 64 KiB, then checks every line arrives whole and
+  // parseable (a short write anywhere desyncs the newline framing for the
+  // rest of the session).
+  ServerOptions options;
+  options.socket_path = TempPath("serve_test_burst.sock");
+  options.scheduler.num_workers = 2;
+  options.scheduler.max_batch = 64;
+  options.scheduler.ring_capacity = 4096;
+  Server server(bundle_, options);
+  DIAL_ASSERT_OK(server.Start());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Measure one response, then size the burst to clear 64 KiB with margin.
+  std::string buffer;
+  const auto read_line = [&]() -> std::string {
+    size_t newline;
+    while ((newline = buffer.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ReadRetry(fd, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    return line;
+  };
+  const std::string probe = "{\"op\":\"embed\",\"id\":\"p\",\"text\":\"probe\"}\n";
+  ASSERT_TRUE(SendAll(fd, probe.data(), probe.size()));
+  const std::string probe_response = read_line();
+  ASSERT_FALSE(probe_response.empty());
+  const size_t burst =
+      std::min<size_t>(4000, 2 + (96 * 1024) / (probe_response.size() + 1));
+
+  std::string out;
+  for (size_t i = 0; i < burst; ++i) {
+    out += "{\"op\":\"embed\",\"id\":\"q" + std::to_string(i) +
+           "\",\"text\":\"item number " + std::to_string(i) + "\"}\n";
+  }
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+
+  size_t total_bytes = 0;
+  size_t embedding_len = 0;
+  for (size_t i = 0; i < burst; ++i) {
+    const std::string line = read_line();
+    ASSERT_FALSE(line.empty()) << "connection died after " << i << " responses";
+    total_bytes += line.size() + 1;
+    DIAL_ASSERT_OK_AND_ASSIGN(const JsonValue response, ParseJson(line));
+    ASSERT_EQ(response.GetString("status", ""), "ok") << line;
+    const JsonValue* embedding = response.Get("embedding");
+    ASSERT_NE(embedding, nullptr);
+    if (embedding_len == 0) embedding_len = embedding->items().size();
+    EXPECT_EQ(embedding->items().size(), embedding_len);
+  }
+  EXPECT_GT(total_bytes, 64u * 1024u);
+  ::close(fd);
+  server.Stop();
+}
+
+// ------------------------------- incremental lifecycle (mutates bundle_!)
+//
+// These run LAST in this file by declaration order: they upsert/retire
+// records in the shared suite bundle, so every bit-identity test above must
+// already have executed against the pristine build.
+
+TEST_F(ServingBundleTest, UpsertRetireEvolveIndexesInPlace) {
+  autograd::InferenceContext ctx;
+  const size_t live0 = bundle_->live_r_records();
+  ASSERT_GT(live0, 3u);
+  const auto base = bundle_->TopK(ctx, "acme phone 32gb", 5);
+  ASSERT_FALSE(base.empty());
+
+  // Retire the best hit: it must stop surfacing, live count drops by one,
+  // and a second retire of the same id is an error.
+  const uint32_t victim = base[0].r_id;
+  DIAL_ASSERT_OK(bundle_->Retire(victim));
+  EXPECT_EQ(bundle_->live_r_records(), live0 - 1);
+  for (const auto& hit : bundle_->TopK(ctx, "acme phone 32gb", 5)) {
+    EXPECT_NE(hit.r_id, victim);
+  }
+  EXPECT_FALSE(bundle_->Retire(victim).ok());
+
+  // Upsert revives the id under new text; topk for the new text finds it.
+  const std::string fresh_text = "zzyzx unique revived widget 999";
+  DIAL_ASSERT_OK(bundle_->Upsert(ctx, victim, fresh_text));
+  EXPECT_EQ(bundle_->live_r_records(), live0);
+  bool found = false;
+  for (const auto& hit : bundle_->TopK(ctx, fresh_text, 3)) {
+    found = found || hit.r_id == victim;
+  }
+  EXPECT_TRUE(found);
+
+  // By-id matching scores against the overlay text without error.
+  DIAL_ASSERT_OK_AND_ASSIGN(const std::vector<float> probs,
+                            bundle_->MatchPairs(ctx, {{victim, 0}}));
+  EXPECT_EQ(probs.size(), 1u);
+
+  // Churn a few records repeatedly: every upsert tombstones the previous
+  // entry and appends a fresh one, exercising the tombstone accounting (and
+  // compaction once the dead fraction builds up) without a rebuild.
+  for (int round = 0; round < 12; ++round) {
+    const uint32_t r = static_cast<uint32_t>(round % 3);
+    DIAL_ASSERT_OK(
+        bundle_->Upsert(ctx, r, "churn item " + std::to_string(round)));
+  }
+  EXPECT_EQ(bundle_->live_r_records(), live0);
+  for (const auto& hit : bundle_->TopK(ctx, "churn item 11", 5)) {
+    EXPECT_LT(hit.r_id, static_cast<uint32_t>(bundle_->num_r_records()));
+  }
+
+  // Guard rails.
+  EXPECT_FALSE(bundle_->Upsert(ctx, 1u << 30, "x").ok());
+  EXPECT_FALSE(bundle_->Upsert(ctx, 0, "").ok());
+  EXPECT_FALSE(bundle_->Retire(1u << 30).ok());
+}
+
+TEST_F(ServingBundleTest, ServerUpsertRetireWireOps) {
+  ServerOptions options;
+  options.socket_path = TempPath("serve_test_lifecycle.sock");
+  options.scheduler.num_workers = 1;
+  Server server(bundle_, options);
+  DIAL_ASSERT_OK(server.Start());
+  TestClient client(options.socket_path);
+  ASSERT_TRUE(client.connected());
+
+  const JsonValue up = client.Call(
+      R"({"op":"upsert","id":"u1","r":0,"text":"wire upserted record zero"})");
+  EXPECT_EQ(up.GetString("status", ""), "ok") << up.Dump();
+  const double live = up.GetNumber("live", -1);
+  EXPECT_GT(live, 0);
+
+  // Missing text / bad record are parse- and execution-level errors.
+  EXPECT_EQ(client.Call(R"({"op":"upsert","id":"u2","r":0})")
+                .GetString("status", ""),
+            "error");
+  EXPECT_EQ(client.Call(R"({"op":"upsert","id":"u3","r":-1,"text":"x"})")
+                .GetString("status", ""),
+            "error");
+  EXPECT_EQ(client.Call(R"({"op":"retire","id":"x1","r":99999999})")
+                .GetString("status", ""),
+            "error");
+
+  const JsonValue retire = client.Call(R"({"op":"retire","id":"x2","r":2})");
+  EXPECT_EQ(retire.GetString("status", ""), "ok") << retire.Dump();
+  EXPECT_EQ(retire.GetNumber("live", -1), live - 1);
+  EXPECT_EQ(client.Call(R"({"op":"retire","id":"x3","r":2})")
+                .GetString("status", ""),
+            "error");
+
+  // The retired record stops surfacing in topk over the wire.
+  const JsonValue topk =
+      client.Call(R"({"op":"topk","id":"t1","text":"acme","k":5})");
+  EXPECT_EQ(topk.GetString("status", ""), "ok");
+  ASSERT_NE(topk.Get("neighbors"), nullptr);
+  for (const JsonValue& hit : topk.Get("neighbors")->items()) {
+    EXPECT_NE(hit.GetNumber("r", -1), 2) << topk.Dump();
+  }
   server.Stop();
 }
 

@@ -13,8 +13,8 @@
 //   printf '{"op":"match","id":"1","r":3,"s":7}\n' | nc -U /tmp/dial.sock
 //
 // --self_test starts the server, drives a client session against it
-// (match/topk/embed/stats/shutdown), and exits 0 on success — the CI smoke
-// for the binary.
+// (match/topk/embed/upsert/retire/stats/shutdown), and exits 0 on success —
+// the CI smoke for the binary.
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -52,11 +52,13 @@ class Client {
   JsonValue Call(const std::string& request) {
     std::string line = request;
     line.push_back('\n');
-    DIAL_CHECK(::send(fd_, line.data(), line.size(), 0) ==
-               static_cast<ssize_t>(line.size()));
+    // EINTR-safe request write + response read (same discipline as the
+    // server side — a stray signal must not desync the framing).
+    DIAL_CHECK(dial::serve::SendAll(fd_, line.data(), line.size()))
+        << "server closed the connection";
     while (buffer_.find('\n') == std::string::npos) {
       char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      const ssize_t n = dial::serve::ReadRetry(fd_, chunk, sizeof(chunk));
       DIAL_CHECK(n > 0) << "server closed the connection";
       buffer_.append(chunk, static_cast<size_t>(n));
     }
@@ -73,7 +75,7 @@ class Client {
   std::string buffer_;
 };
 
-int SelfTest(const dial::serve::ServingBundle& bundle, const std::string& socket_path,
+int SelfTest(dial::serve::ServingBundle& bundle, const std::string& socket_path,
              dial::serve::ServerOptions options) {
   dial::serve::Server server(&bundle, std::move(options));
   DIAL_CHECK_OK(server.Start());
@@ -100,8 +102,31 @@ int SelfTest(const dial::serve::ServingBundle& bundle, const std::string& socket
   JsonValue bad = client.Call(R"({"op":"match","id":"b1","r":99999999,"s":0})");
   DIAL_CHECK(bad.GetString("status", "") == "error") << bad.Dump();
 
+  // Incremental lifecycle: upsert record 0 in place, retire record 1, and
+  // confirm the retired record stops surfacing in topk while by-id matching
+  // keeps working.
+  JsonValue upsert = client.Call(
+      R"({"op":"upsert","id":"u1","r":0,"text":"acme phone 32gb refurbished"})");
+  DIAL_CHECK(upsert.GetString("status", "") == "ok") << upsert.Dump();
+  DIAL_CHECK(upsert.Get("live") != nullptr) << upsert.Dump();
+
+  JsonValue retire = client.Call(R"({"op":"retire","id":"x1","r":1})");
+  DIAL_CHECK(retire.GetString("status", "") == "ok") << retire.Dump();
+  JsonValue retire_again = client.Call(R"({"op":"retire","id":"x2","r":1})");
+  DIAL_CHECK(retire_again.GetString("status", "") == "error") << retire_again.Dump();
+
+  JsonValue topk_after =
+      client.Call(R"({"op":"topk","id":"t2","text":"acme phone","k":5})");
+  DIAL_CHECK(topk_after.GetString("status", "") == "ok") << topk_after.Dump();
+  for (const JsonValue& hit : topk_after.Get("neighbors")->items()) {
+    DIAL_CHECK(hit.GetNumber("r", -1) != 1) << "retired record served: "
+                                            << topk_after.Dump();
+  }
+  JsonValue match_after = client.Call(R"({"op":"match","id":"m3","r":1,"s":0})");
+  DIAL_CHECK(match_after.GetString("status", "") == "ok") << match_after.Dump();
+
   JsonValue stats = client.Call(R"({"op":"stats","id":"s1"})");
-  DIAL_CHECK(stats.GetNumber("requests_executed", 0) >= 4) << stats.Dump();
+  DIAL_CHECK(stats.GetNumber("requests_executed", 0) >= 9) << stats.Dump();
 
   JsonValue ack = client.Call(R"({"op":"shutdown","id":"q1"})");
   DIAL_CHECK(ack.GetString("status", "") == "ok") << ack.Dump();

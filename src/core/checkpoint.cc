@@ -13,7 +13,11 @@ constexpr uint32_t kCheckpointMagic = 0x4441'4c43;  // "DALC"
 // v2: RoundMetrics gained t_index_build/index_warm_members and the file
 // gained the IbcIndexCache warm-state section (index-refresh lifecycle).
 // v3: RoundMetrics gained t_predict/t_embed (inference-engine breakdown).
-constexpr uint32_t kCheckpointVersion = 3;
+// v4: CRC32C trailer (whole-file, verified before parsing); payload layout
+// unchanged. v3 files still load — unverified, the pre-CRC contract.
+constexpr uint32_t kCheckpointVersion = 4;
+constexpr uint32_t kCheckpointMinVersion = 3;
+constexpr uint32_t kCheckpointCrcFromVersion = 4;
 
 void WritePair(util::BinaryWriter& w, const data::PairId& pair) {
   w.WriteU32(pair.r);
@@ -166,7 +170,8 @@ util::Status SaveAlCheckpoint(const std::string& path,
                               const IbcIndexCache* index_cache) {
   const std::string tmp = path + ".tmp";
   {
-    util::BinaryWriter w(tmp, kCheckpointMagic, kCheckpointVersion);
+    util::BinaryWriter w(tmp, kCheckpointMagic, kCheckpointVersion,
+                         /*with_crc=*/true);
     w.WriteString(checkpoint.dataset_name);
     w.WriteU64(checkpoint.config_fingerprint);
     w.WriteU32(checkpoint.next_round);
@@ -185,19 +190,29 @@ util::Status SaveAlCheckpoint(const std::string& path,
     } else {
       w.WriteU64(0);  // empty cache section
     }
-    DIAL_RETURN_IF_ERROR(w.Finish());
+    // Durable finish = fsync the temp file's contents before the rename:
+    // once the rename lands, the name can only ever point at complete bytes.
+    const util::Status finish = w.Finish(/*durable=*/true);
+    if (!finish.ok()) {
+      std::remove(tmp.c_str());  // no stale .tmp litter on failed saves
+      return finish;
+    }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return util::Status::IoError("rename to " + path + " failed");
   }
+  // And fsync the directory after the rename, making the *entry* durable —
+  // file-fsync + rename alone can still lose the new name on power cut.
+  DIAL_RETURN_IF_ERROR(util::SyncParentDir(path));
   return util::Status::OK();
 }
 
 util::Status LoadAlCheckpoint(const std::string& path, AlCheckpoint* checkpoint,
                               IbcIndexCache* index_cache) {
   DIAL_CHECK(checkpoint != nullptr);
-  util::BinaryReader r(path, kCheckpointMagic, kCheckpointVersion);
+  util::BinaryReader r(path, kCheckpointMagic, kCheckpointMinVersion,
+                       kCheckpointVersion, kCheckpointCrcFromVersion);
   DIAL_RETURN_IF_ERROR(r.status());
   checkpoint->dataset_name = r.ReadString();
   checkpoint->config_fingerprint = r.ReadU64();

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "data/word_factory.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 
 namespace dial::data {
@@ -29,6 +30,12 @@ uint64_t LoadU64(const char* p) {
   return v;
 }
 
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
 int64_t LoadI64(const char* p) {
   int64_t v;
   std::memcpy(&v, p, sizeof(v));
@@ -39,7 +46,7 @@ int64_t LoadI64(const char* p) {
 
 RecordPackWriter::RecordPackWriter(const std::string& path,
                                    std::vector<std::string> schema)
-    : writer_(path, kRecordPackMagic, kRecordPackVersion),
+    : writer_(path, kRecordPackMagic, kRecordPackVersion, /*with_crc=*/true),
       schema_(std::move(schema)) {
   writer_.WriteU64(schema_.size());
   for (const std::string& attr : schema_) writer_.WriteString(attr);
@@ -150,11 +157,31 @@ util::Status RecordPackReader::Open(const std::string& path, Mode mode) {
     Close();
     return util::Status::Corruption("record pack " + path + ": " + why);
   };
-  if (LoadU64(base_) !=
-      (uint64_t{kRecordPackVersion} << 32 | kRecordPackMagic)) {
-    return corrupt("bad magic or version");
+  if (LoadU32(base_) != kRecordPackMagic) {
+    return corrupt("bad magic");
   }
-  const char* footer = base_ + (file_size_ - kFooterBytes);
+  const uint32_t version = LoadU32(base_ + 4);
+  if (version < kRecordPackMinVersion || version > kRecordPackVersion) {
+    return corrupt("unsupported version");
+  }
+  // v2+: whole-file CRC over the mapping, checked before any structure is
+  // trusted (an interior bit-flip leaves the footer intact and would
+  // otherwise parse). The trailer is then sliced off so the footer math
+  // below sees the same payload a v1 file would end with.
+  uint64_t payload_size = file_size_;
+  if (version >= kRecordPackCrcFromVersion) {
+    if (payload_size < 8 + kFooterBytes + util::kCrcTrailerBytes) {
+      return corrupt("file too small for CRC trailer");
+    }
+    payload_size -= util::kCrcTrailerBytes;
+    if (LoadU32(base_ + payload_size) != util::kCrcTrailerMagic) {
+      return corrupt("missing CRC trailer");
+    }
+    if (LoadU32(base_ + payload_size + 4) != util::Crc32c(base_, payload_size)) {
+      return corrupt("CRC32C mismatch");
+    }
+  }
+  const char* footer = base_ + (payload_size - kFooterBytes);
   uint32_t footer_magic;
   std::memcpy(&footer_magic, footer + 16, sizeof(footer_magic));
   if (footer_magic != kRecordPackFooterMagic) {
@@ -165,12 +192,12 @@ util::Status RecordPackReader::Open(const std::string& path, Mode mode) {
   if (table_pos % 8 != 0) return corrupt("unaligned offset table");
   // Division-based overflow guard: num_records near 2^64 must not wrap the
   // byte-count product below.
-  if (num_records > file_size_ / sizeof(uint64_t)) {
+  if (num_records > payload_size / sizeof(uint64_t)) {
     return corrupt("offset table overflows file");
   }
   if (table_pos < 16 ||
       table_pos + 8 + num_records * sizeof(uint64_t) + kFooterBytes !=
-          file_size_) {
+          payload_size) {
     return corrupt("offset table does not span to footer");
   }
   if (LoadU64(base_ + table_pos) != num_records) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/fault.h"
+
 namespace dial::serve {
 
 namespace {
@@ -40,6 +42,7 @@ Scheduler::Scheduler(SchedulerOptions options, BatchExecutor executor)
     : options_(options), executor_(std::move(executor)) {
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   const size_t workers = std::max<size_t>(1, options_.num_workers);
+  busy_since_us_.assign(workers, 0);  // before the threads that index it
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -58,15 +61,28 @@ Scheduler::~Scheduler() {
 }
 
 bool Scheduler::Submit(ServeRequest request, ServeCallback callback) {
+  // Per-request deadline: the wire value wins, then the scheduler default;
+  // -1 everywhere means "never shed". Resolved to an absolute expiry here so
+  // claim-time shedding is a single compare.
+  const int64_t deadline_ms = request.deadline_ms >= 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (stop_ || in_flight_ >= options_.ring_capacity) {
+    const bool injected =
+        util::FaultInjector::Armed() &&
+        util::FaultInjector::Global().ShouldFail(
+            util::FaultSite::kSchedulerSubmit);
+    if (injected || stop_ || in_flight_ >= options_.ring_capacity) {
       ++stats_.rejected;
       return false;
     }
     ++stats_.submitted;
     ++in_flight_;
-    queue_.push_back(Pending{std::move(request), std::move(callback), NowMicros()});
+    const int64_t now = NowMicros();
+    queue_.push_back(Pending{
+        std::move(request), std::move(callback), now,
+        deadline_ms >= 0 ? now + deadline_ms * 1000 : INT64_MAX});
   }
   batch_cv_.notify_one();  // an idle worker claims straight off the queue
   return true;
@@ -79,7 +95,32 @@ void Scheduler::Drain() {
 
 SchedulerStats Scheduler::stats() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return stats_;
+  SchedulerStats s = stats_;
+  s.queue_depth = queue_.size();
+  for (const auto& rb : ready_batches_) s.queue_depth += rb.size();
+  s.busy_workers = busy_workers_;
+  const int64_t now = NowMicros();
+  for (const int64_t since : busy_since_us_) {
+    if (since != 0 && now - since > options_.stall_timeout_ms * 1000) {
+      ++s.stalled_workers;
+    }
+  }
+  return s;
+}
+
+int64_t Scheduler::RetryAfterMsHint() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const size_t workers = std::max<size_t>(1, workers_.size());
+  // Before the first batch completes there is no service-time estimate;
+  // assume 1 ms/request rather than hinting 0 (retry immediately) into an
+  // already-overloaded server.
+  const double per_request_us =
+      ewma_request_us_ > 0.0 ? ewma_request_us_ : 1000.0;
+  const double backlog_us =
+      per_request_us * static_cast<double>(in_flight_) /
+      static_cast<double>(workers);
+  const auto ms = static_cast<int64_t>(backlog_us / 1000.0);
+  return std::clamp<int64_t>(ms, 1, 60000);
 }
 
 std::vector<Scheduler::Pending> Scheduler::ExtractLocked(
@@ -137,6 +178,7 @@ void Scheduler::DispatcherLoop() {
 void Scheduler::WorkerLoop(size_t worker_id) {
   while (true) {
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
     {
       std::unique_lock<std::mutex> lock(mu_);
       batch_cv_.wait(lock, [this] {
@@ -157,10 +199,29 @@ void Scheduler::WorkerLoop(size_t worker_id) {
                                              /*idle_workers=*/1);
         batch = ExtractLocked(plan.indices);
       }
+      // Shed-on-expiry at the last moment before execution (covers both the
+      // flushed path and the direct claim): a request whose deadline has
+      // passed gets a kDeadlineExceeded callback instead of a forward pass —
+      // under overload, capacity goes only to responses a client still
+      // wants. `>=` makes deadline_ms:0 a deterministic shed.
+      const int64_t now = NowMicros();
+      {
+        std::vector<Pending> live;
+        live.reserve(batch.size());
+        for (Pending& p : batch) {
+          (now >= p.deadline_us ? expired : live).push_back(std::move(p));
+        }
+        batch = std::move(live);
+      }
+      stats_.deadline_expired += expired.size();
       ++busy_workers_;
-      ++stats_.batches;
-      stats_.requests_executed += batch.size();
-      stats_.max_batch_observed = std::max(stats_.max_batch_observed, batch.size());
+      busy_since_us_[worker_id] = now;
+      if (!batch.empty()) {
+        ++stats_.batches;
+        stats_.requests_executed += batch.size();
+        stats_.max_batch_observed =
+            std::max(stats_.max_batch_observed, batch.size());
+      }
       // Deadline arming happens here, not in Submit: with work-conserving
       // claims an idle worker takes new work immediately, so a deadline can
       // only matter for requests this claim left behind while every worker
@@ -172,12 +233,33 @@ void Scheduler::WorkerLoop(size_t worker_id) {
         queue_cv_.notify_one();  // arm for the new head, or disarm a stale timer
       }
     }
-    const size_t n = batch.size();
-    executor_(worker_id, std::move(batch));
+    // Expired callbacks fire outside the lock, like executed ones.
+    for (Pending& p : expired) {
+      ServeResponse response;
+      response.status =
+          util::Status::DeadlineExceeded("deadline expired before execution");
+      response.id = p.request.id;
+      response.op = p.request.op;
+      p.callback(std::move(response));
+    }
+    const size_t live_n = batch.size();
+    const size_t total_n = live_n + expired.size();
+    const int64_t exec_begin = NowMicros();
+    if (live_n > 0) executor_(worker_id, std::move(batch));
+    const int64_t exec_end = NowMicros();
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (live_n > 0) {
+        const double per_request =
+            static_cast<double>(exec_end - exec_begin) /
+            static_cast<double>(live_n);
+        ewma_request_us_ = ewma_request_us_ == 0.0
+                               ? per_request
+                               : 0.8 * ewma_request_us_ + 0.2 * per_request;
+      }
+      busy_since_us_[worker_id] = 0;
       --busy_workers_;
-      in_flight_ -= n;
+      in_flight_ -= total_n;
       if (in_flight_ == 0) drained_cv_.notify_all();
     }
   }

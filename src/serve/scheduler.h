@@ -50,6 +50,12 @@ struct ServeRequest {
   // kTopK / kEmbed query text; kUpsert's replacement record text.
   std::string text;
   size_t k = 10;
+  /// Relative deadline in milliseconds (-1 = use the scheduler default; the
+  /// default's default is "none"). A request still queued when its deadline
+  /// passes is shed with kDeadlineExceeded instead of executed — under
+  /// overload the server spends capacity only on responses a client is
+  /// still waiting for.
+  int64_t deadline_ms = -1;
 };
 
 struct TopKResult {
@@ -69,6 +75,9 @@ struct ServeResponse {
   /// How many requests shared this response's engine forward (diagnostics;
   /// the bench asserts cross-request batching through it).
   size_t batch_size = 0;
+  /// Overload responses only: suggested client back-off (see
+  /// Scheduler::RetryAfterMsHint).
+  int64_t retry_after_ms = 0;
 };
 
 using ServeCallback = std::function<void(ServeResponse)>;
@@ -83,6 +92,13 @@ struct SchedulerOptions {
   /// Bound on queued-but-unexecuted requests; Submit rejects beyond it
   /// (overload backpressure) rather than queueing unboundedly.
   size_t ring_capacity = 1024;
+  /// Deadline applied to requests that do not carry their own (-1 = none).
+  int64_t default_deadline_ms = -1;
+  /// A worker inside the executor for longer than this is reported stalled
+  /// by stats()/health (detection only — the worker is not killed; a stuck
+  /// forward pass indicates a bug, and silently losing its batch would
+  /// mask it).
+  int64_t stall_timeout_ms = 30000;
 };
 
 struct SchedulerStats {
@@ -93,7 +109,14 @@ struct SchedulerStats {
   /// Batches frozen by the deadline watchdog (head aged past max_delay_us
   /// while every worker was busy) rather than claimed by an idle worker.
   uint64_t deadline_flushes = 0;
+  /// Requests shed at claim time because their deadline had already passed.
+  uint64_t deadline_expired = 0;
   size_t max_batch_observed = 0;
+  // Point-in-time snapshot fields, filled by stats():
+  size_t queue_depth = 0;
+  size_t busy_workers = 0;
+  /// Workers busy past stall_timeout_ms (0 on a healthy server).
+  size_t stalled_workers = 0;
   double mean_batch_size() const {
     return batches == 0 ? 0.0 : static_cast<double>(requests_executed) /
                                     static_cast<double>(batches);
@@ -130,6 +153,8 @@ class Scheduler {
     ServeRequest request;
     ServeCallback callback;
     int64_t enqueue_us = 0;
+    /// Absolute expiry (steady-clock µs); INT64_MAX = no deadline.
+    int64_t deadline_us = 0;
   };
 
   /// Executes one packed batch; called on a worker thread with that worker's
@@ -152,6 +177,13 @@ class Scheduler {
   void Drain();
 
   SchedulerStats stats() const;
+
+  /// Suggested client back-off after an overload rejection: estimated time
+  /// for the current backlog to clear (EWMA per-request service time ×
+  /// in-flight / workers), clamped to [1, 60000] ms. A hint, not a promise.
+  int64_t RetryAfterMsHint() const;
+
+  size_t num_workers() const { return workers_.size(); }
 
  private:
   void DispatcherLoop();
@@ -181,6 +213,10 @@ class Scheduler {
   bool dispatcher_armed_ = false;
   bool stop_ = false;
   SchedulerStats stats_;
+  /// Per-worker claim timestamp (0 = idle) — the stall watchdog's input.
+  std::vector<int64_t> busy_since_us_;
+  /// EWMA of per-request executor time in µs (feeds RetryAfterMsHint).
+  double ewma_request_us_ = 0.0;
 
   std::thread dispatcher_;
   std::vector<std::thread> workers_;

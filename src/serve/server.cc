@@ -5,15 +5,26 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "serve/json.h"
+#include "util/fault.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace dial::serve {
 
 ssize_t ReadRetry(int fd, void* buf, size_t len) {
   while (true) {
+    // Injected EINTR storm: exercises this loop's retry path end-to-end
+    // (the injector's consecutive-hit cap bounds the storm, so p=1.0 still
+    // terminates).
+    if (util::FaultInjector::Armed() &&
+        util::FaultInjector::Global().ShouldFail(util::FaultSite::kSocketRecv)) {
+      errno = EINTR;
+      continue;
+    }
     const ssize_t n = ::read(fd, buf, len);
     if (n < 0 && errno == EINTR) continue;
     return n;
@@ -23,6 +34,11 @@ ssize_t ReadRetry(int fd, void* buf, size_t len) {
 bool SendAll(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
+    if (util::FaultInjector::Armed() &&
+        util::FaultInjector::Global().ShouldFail(util::FaultSite::kSocketSend)) {
+      errno = EINTR;  // injected interrupted send; the loop must retry
+      continue;
+    }
     const ssize_t n = ::send(fd, data + sent, len - sent,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
@@ -45,6 +61,13 @@ util::StatusOr<ServeRequest> ParseRequest(const JsonValue& obj) {
   }
   ServeRequest req;
   req.id = obj.GetString("id", "");
+  const double deadline = obj.GetNumber("deadline_ms", -1.0);
+  if (deadline >= 0) {
+    if (deadline > 86'400'000.0) {  // > 1 day is a client bug, not a deadline
+      return util::Status::InvalidArgument("'deadline_ms' out of range");
+    }
+    req.deadline_ms = static_cast<int64_t>(deadline);
+  }
   const std::string op = obj.GetString("op", "");
   if (op == "match") {
     req.op = ServeOp::kMatch;
@@ -144,6 +167,9 @@ util::Status Server::Start() {
   if (::listen(listen_fd_, 64) != 0) {
     return util::Status::IoError("listen(): " + std::string(std::strerror(errno)));
   }
+  start_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return util::Status::OK();
 }
@@ -204,9 +230,42 @@ void Server::HandleLine(int fd, const std::string& line) {
             JsonValue::Number(static_cast<double>(stats.requests_executed)));
     out.Set("deadline_flushes",
             JsonValue::Number(static_cast<double>(stats.deadline_flushes)));
+    out.Set("deadline_expired",
+            JsonValue::Number(static_cast<double>(stats.deadline_expired)));
     out.Set("max_batch_observed",
             JsonValue::Number(static_cast<double>(stats.max_batch_observed)));
     out.Set("mean_batch_size", JsonValue::Number(stats.mean_batch_size()));
+    SendLine(fd, out.Dump());
+    return;
+  }
+  if (op == "health") {
+    // Answered inline off the connection thread, never queued: a health
+    // probe must get through precisely when the scheduler is too backed up
+    // to answer anything else.
+    const SchedulerStats stats = scheduler_->stats();
+    const int64_t now_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    JsonValue out = JsonValue::Object();
+    out.Set("id", JsonValue::Str(id));
+    out.Set("status", JsonValue::Str("ok"));
+    out.Set("healthy", JsonValue::Bool(stats.stalled_workers == 0));
+    out.Set("uptime_s", JsonValue::Number(
+                            static_cast<double>(now_us - start_us_) / 1e6));
+    out.Set("workers",
+            JsonValue::Number(static_cast<double>(scheduler_->num_workers())));
+    out.Set("busy_workers",
+            JsonValue::Number(static_cast<double>(stats.busy_workers)));
+    out.Set("stalled_workers",
+            JsonValue::Number(static_cast<double>(stats.stalled_workers)));
+    out.Set("queue_depth",
+            JsonValue::Number(static_cast<double>(stats.queue_depth)));
+    out.Set("rejected", JsonValue::Number(static_cast<double>(stats.rejected)));
+    out.Set("deadline_expired",
+            JsonValue::Number(static_cast<double>(stats.deadline_expired)));
+    out.Set("bundle_fingerprint",
+            JsonValue::Str(util::HexDigest(bundle_->fingerprint())));
     SendLine(fd, out.Dump());
     return;
   }
@@ -238,7 +297,8 @@ void Server::HandleLine(int fd, const std::string& line) {
     ServeResponse overload;
     overload.id = id;
     overload.op = req_op;
-    overload.status = util::Status::Internal("overload");
+    overload.status = util::Status::Unavailable("scheduler ring full");
+    overload.retry_after_ms = scheduler_->RetryAfterMsHint();
     SendLine(fd, RenderResponse(overload));
   }
 }
@@ -387,9 +447,23 @@ std::string Server::RenderResponse(const ServeResponse& response) const {
   JsonValue out = JsonValue::Object();
   out.Set("id", JsonValue::Str(response.id));
   if (!response.status.ok()) {
-    const bool overload = response.status.message() == "overload";
-    out.Set("status", JsonValue::Str(overload ? "overload" : "error"));
-    if (!overload) out.Set("message", JsonValue::Str(response.status.message()));
+    // Wire status by code, not message text: kUnavailable is the transient
+    // back-off signal, kDeadlineExceeded means the deadline the client set
+    // passed before execution; everything else is a real error.
+    switch (response.status.code()) {
+      case util::StatusCode::kUnavailable:
+        out.Set("status", JsonValue::Str("overload"));
+        out.Set("retry_after_ms", JsonValue::Number(static_cast<double>(
+                                      response.retry_after_ms)));
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        out.Set("status", JsonValue::Str("deadline_exceeded"));
+        break;
+      default:
+        out.Set("status", JsonValue::Str("error"));
+        out.Set("message", JsonValue::Str(response.status.message()));
+        break;
+    }
     return out.Dump();
   }
   out.Set("status", JsonValue::Str("ok"));
@@ -452,6 +526,14 @@ void Server::SendFramed(int fd, const std::string& framed) {
 void Server::WaitForShutdown() {
   std::unique_lock<std::mutex> lock(shutdown_mu_);
   shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::RequestShutdown() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
 }
 
 SchedulerStats Server::scheduler_stats() const {

@@ -32,10 +32,16 @@
 ///   {"op":"retire","id":"6","r":3}                 -> {... "live":N} tombstones record r
 ///                                                     (topk never returns it again)
 ///   {"op":"stats","id":"7"}                        -> scheduler counters (answered inline)
-///   {"op":"shutdown","id":"8"}                     -> acks, then stops the server
+///   {"op":"health","id":"8"}                       -> liveness: uptime, queue depth, worker
+///                                                     state, shed counters, bundle fingerprint
+///   {"op":"shutdown","id":"9"}                     -> acks, then stops the server
+/// Any scheduler-bound request may carry "deadline_ms": a request still
+/// queued when its deadline passes is shed with
+/// {"status":"deadline_exceeded"} instead of executed.
 /// Errors: {"id":..,"status":"error","message":..}; a full ring responds
-/// {"status":"overload"}. Floats are emitted with %.9g, so parsing the wire
-/// value back to float reproduces the exact bits the model produced.
+/// {"status":"overload","retry_after_ms":N} (suggested back-off). Floats are
+/// emitted with %.9g, so parsing the wire value back to float reproduces the
+/// exact bits the model produced.
 
 namespace dial::serve {
 
@@ -85,6 +91,12 @@ class Server {
   /// Blocks until a shutdown request arrives (or Stop is called).
   void WaitForShutdown();
 
+  /// Unblocks WaitForShutdown as if a shutdown request had arrived — the
+  /// SIGTERM/SIGINT path (called from a watcher thread, not the handler
+  /// itself). The caller then runs Stop(), which drains queued requests
+  /// before tearing connections down.
+  void RequestShutdown();
+
   /// Idempotent: closes the listener and every connection, drains workers.
   void Stop();
 
@@ -119,6 +131,8 @@ class Server {
   std::vector<std::unique_ptr<autograd::InferenceContext>> contexts_;
 
   int listen_fd_ = -1;
+  /// Steady-clock µs at Start() — the health op's uptime base.
+  int64_t start_us_ = 0;
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::vector<int> conn_fds_;

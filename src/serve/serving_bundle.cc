@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace dial::serve {
@@ -10,7 +11,11 @@ namespace dial::serve {
 namespace {
 
 constexpr uint32_t kBundleMagic = 0x5345'5256;  // "SERV"
-constexpr uint32_t kBundleVersion = 1;
+// v2: CRC32C trailer (whole-file, verified before parsing); payload layout
+// unchanged. v1 files still load — unverified, the pre-CRC contract.
+constexpr uint32_t kBundleVersion = 2;
+constexpr uint32_t kBundleMinVersion = 1;
+constexpr uint32_t kBundleCrcFromVersion = 2;
 
 /// Embedding batch cap: keeps the load-time arena at request-sized shapes
 /// (bit-identical across any chunking — the engine's batching contract).
@@ -110,6 +115,7 @@ std::unique_ptr<ServingBundle> ServingBundle::Train(const ServingOptions& option
   bundle->tplm_config_.transformer.vocab_size = bundle->vocab_.size();
   bundle->matcher_ = std::move(models.matcher);
   bundle->committee_ = std::move(models.committee);
+  bundle->fingerprint_ = bundle->ComputeFingerprint();
   bundle->BuildIndexes();
   return bundle;
 }
@@ -144,8 +150,28 @@ void ServingBundle::BuildIndexes() {
   }
 }
 
+uint64_t ServingBundle::ComputeFingerprint() const {
+  // Identity of the *artifact configuration*, not the weights: everything
+  // that pins which model a health probe is talking to, cheap enough to
+  // recompute at load without walking megabytes of parameters.
+  uint64_t h = util::Fnv1a(options_.dataset);
+  h = util::HashCombine(h, util::Fnv1a(data::ScaleName(options_.scale)));
+  h = util::HashCombine(h, options_.data_seed);
+  h = util::HashCombine(h, options_.al_seed);
+  h = util::HashCombine(h, util::Fnv1a(core::IndexBackendName(options_.backend)));
+  h = util::HashCombine(h, options_.k_neighbors);
+  h = util::HashCombine(h, vocab_max_);
+  h = util::HashCombine(h, tplm_config_.transformer.vocab_size);
+  h = util::HashCombine(h, tplm_config_.transformer.dim);
+  h = util::HashCombine(h, tplm_config_.transformer.num_layers);
+  h = util::HashCombine(h, tplm_config_.transformer.num_heads);
+  h = util::HashCombine(h, committee_ != nullptr ? committee_->size() : 0u);
+  return h;
+}
+
 util::Status ServingBundle::Save(const std::string& path) {
-  util::BinaryWriter writer(path, kBundleMagic, kBundleVersion);
+  util::BinaryWriter writer(path, kBundleMagic, kBundleVersion,
+                            /*with_crc=*/true);
   writer.WriteString(bundle_.name);
   writer.WriteString(data::ScaleName(options_.scale));
   writer.WriteU64(options_.data_seed);
@@ -166,7 +192,8 @@ util::Status ServingBundle::Save(const std::string& path) {
 
 util::StatusOr<std::unique_ptr<ServingBundle>> ServingBundle::Load(
     const std::string& path) {
-  util::BinaryReader reader(path, kBundleMagic, kBundleVersion);
+  util::BinaryReader reader(path, kBundleMagic, kBundleMinVersion,
+                            kBundleVersion, kBundleCrcFromVersion);
   DIAL_RETURN_IF_ERROR(reader.status());
 
   auto bundle = std::unique_ptr<ServingBundle>(new ServingBundle());
@@ -256,6 +283,7 @@ util::StatusOr<std::unique_ptr<ServingBundle>> ServingBundle::Load(
     return util::Status::Corruption("serving bundle: trailing bytes");
   }
 
+  bundle->fingerprint_ = bundle->ComputeFingerprint();
   bundle->BuildIndexes();
   return bundle;
 }

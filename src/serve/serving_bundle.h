@@ -97,6 +97,10 @@ class ServingBundle {
                             const std::string& text, size_t k) const;
 
   const ServingOptions& options() const { return options_; }
+  /// Stable hash of the bundle's configuration identity (dataset, scale,
+  /// seeds, backend, model shape) — surfaced by the serve `health` op so a
+  /// client can tell which artifact a server is running without a file path.
+  uint64_t fingerprint() const { return fingerprint_; }
   const data::DatasetBundle& bundle() const { return bundle_; }
   const core::Matcher& matcher() const { return *matcher_; }
   bool has_committee() const { return committee_ != nullptr; }
@@ -138,11 +142,14 @@ class ServingBundle {
   /// resets the record<->index-id maps to the identity.
   void BuildIndexes();
 
+  uint64_t ComputeFingerprint() const;
+
   /// Overlay-aware record text (requires index_mu_ held).
   std::string RTextLocked(uint32_t r) const;
   text::EncodedSequence EncodePairByIdLocked(data::PairId pair) const;
 
   ServingOptions options_;
+  uint64_t fingerprint_ = 0;
   /// The configured vocab cap (pre-shrink) — needed to regenerate the
   /// identical vocabulary at load time.
   uint64_t vocab_max_ = 0;

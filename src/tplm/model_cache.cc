@@ -10,7 +10,11 @@ namespace dial::tplm {
 
 namespace {
 constexpr uint32_t kMagic = 0xd1a17001u;  // "dial tplm"
-constexpr uint32_t kVersion = 1;
+// v2: CRC32C trailer; v1 entries still load unverified (a stale or corrupt
+// entry is recoverable anyway — the cache just re-pretrains).
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
+constexpr uint32_t kCrcFromVersion = 2;
 }  // namespace
 
 ModelCache::ModelCache(std::string dir) : dir_(std::move(dir)) {
@@ -51,7 +55,8 @@ PretrainStats ModelCache::GetOrPretrain(TplmModel& model,
   std::string path;
   if (!dir_.empty()) {
     path = KeyPath(model, options, corpus_tag);
-    util::BinaryReader reader(path, kMagic, kVersion);
+    util::BinaryReader reader(path, kMagic, kMinVersion, kVersion,
+                              kCrcFromVersion);
     if (reader.status().ok()) {
       util::Status load = model.Load(reader);
       if (load.ok()) {
@@ -64,7 +69,7 @@ PretrainStats ModelCache::GetOrPretrain(TplmModel& model,
   }
   PretrainStats stats = Pretrain(model, vocab, corpus, options);
   if (!path.empty()) {
-    util::BinaryWriter writer(path, kMagic, kVersion);
+    util::BinaryWriter writer(path, kMagic, kVersion, /*with_crc=*/true);
     model.Save(writer);
     util::Status st = writer.Finish();
     if (!st.ok()) {

@@ -1,0 +1,36 @@
+#ifndef DIAL_UTIL_CRC32C_H_
+#define DIAL_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC32C (Castagnoli) — the checksum guarding every persisted artifact
+/// (serving bundle, AL checkpoint, record pack, model cache). Hardware
+/// accelerated where the CPU offers it (SSE4.2 `crc32` on x86, the ARMv8
+/// CRC extension on aarch64) with a table-driven scalar fallback, selected
+/// once at first use via the same detect-then-dispatch idea as `la/arch.h`
+/// (a single function pointer here — checksums need no per-tier TUs).
+///
+/// `Crc32c(p, n)` is the standard finalized form (init/final XOR with
+/// 0xFFFFFFFF): `Crc32c("123456789") == 0xE3069283`. `Crc32cExtend` chains:
+/// `Crc32cExtend(Crc32c(a), b)` equals the CRC of the concatenation, which
+/// is what lets `BinaryWriter` checksum incrementally as bytes stream out.
+
+namespace dial::util {
+
+/// CRC32C of `crc`'s stream extended by `n` more bytes. Pass the previous
+/// finalized value (0 for an empty prefix).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Finalized CRC32C of one buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Active implementation, for logs/tests: "sse4.2", "armv8-crc", "scalar".
+const char* Crc32cImplName();
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_CRC32C_H_

@@ -1,0 +1,187 @@
+#include "util/fault.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace dial::util {
+
+namespace {
+
+/// Injection storms must terminate even at probability 1.0: retry loops
+/// (EINTR simulation) would otherwise spin forever. Real storms end too.
+constexpr uint64_t kMaxConsecutiveInjections = 1000;
+
+constexpr const char* kSiteNames[kNumFaultSites] = {
+    "file_write", "file_read", "socket_send", "socket_recv",
+    "scheduler_submit"};
+
+/// xorshift64* — tiny, seedable, and good enough to decorrelate sites.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  return kSiteNames[static_cast<int>(site)];
+}
+
+bool ParseFaultSite(const std::string& name, FaultSite* site) {
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) {
+      *site = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+bool FaultInjector::Armed() { return armed_.load(std::memory_order_relaxed); }
+
+FaultInjector::FaultInjector() {
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("DIAL_FAULT_SEED"); env != nullptr) {
+    seed = std::strtoull(env, nullptr, 10);
+    if (seed == 0) seed = 1;  // xorshift's absorbing state
+  }
+  const char* spec = std::getenv("DIAL_FAULT_SITES");
+  const Status status = Configure(seed, spec != nullptr ? spec : "");
+  if (!status.ok()) {
+    DIAL_LOG_WARNING << "ignoring DIAL_FAULT_SITES: " << status.ToString();
+  }
+}
+
+Status FaultInjector::Configure(uint64_t seed, const std::string& spec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  rng_state_ = seed != 0 ? seed : 1;
+  for (auto& site : sites_) site = SiteState{};
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec entry missing '=': " + entry);
+    }
+    FaultSite site;
+    if (!ParseFaultSite(entry.substr(0, eq), &site)) {
+      return Status::InvalidArgument("unknown fault site: " +
+                                     entry.substr(0, eq));
+    }
+    SiteState& state = sites_[static_cast<int>(site)];
+    const std::string value = entry.substr(eq + 1);
+    if (value.rfind("fail@", 0) == 0 || value.rfind("crash@", 0) == 0) {
+      const size_t at = value.find('@');
+      char* end = nullptr;
+      const uint64_t n = std::strtoull(value.c_str() + at + 1, &end, 10);
+      if (n == 0 || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad fault count in: " + entry);
+      }
+      (value[0] == 'f' ? state.fail_at : state.crash_at) = n;
+    } else {
+      char* end = nullptr;
+      const double p = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("bad fault probability in: " + entry);
+      }
+      state.probability = p;
+    }
+  }
+  RecomputeArmedLocked();
+  return Status::OK();
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::unique_lock<std::mutex> lock(mu_);
+  rng_state_ = seed != 0 ? seed : 1;
+}
+
+void FaultInjector::SetProbability(FaultSite site, double p) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sites_[static_cast<int>(site)].probability = p;
+  RecomputeArmedLocked();
+}
+
+void FaultInjector::FailNth(FaultSite site, uint64_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sites_[static_cast<int>(site)].fail_at = n;
+  RecomputeArmedLocked();
+}
+
+void FaultInjector::CrashNth(FaultSite site, uint64_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sites_[static_cast<int>(site)].crash_at = n;
+  RecomputeArmedLocked();
+}
+
+void FaultInjector::Reset() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& site : sites_) site = SiteState{};
+  RecomputeArmedLocked();
+}
+
+void FaultInjector::RecomputeArmedLocked() {
+  bool armed = false;
+  for (const auto& site : sites_) {
+    armed = armed || site.probability > 0.0 || site.fail_at > 0 ||
+            site.crash_at > 0;
+  }
+  armed_.store(armed, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(FaultSite which) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SiteState& site = sites_[static_cast<int>(which)];
+  ++site.calls;
+  bool inject = false;
+  if (site.crash_at > 0 && --site.crash_at == 0) {
+    // Simulated crash: no flushing, no destructors — the point is to leave
+    // whatever half-written state the OS happens to have.
+    ::_exit(kCrashExitCode);
+  }
+  if (site.fail_at > 0 && --site.fail_at == 0) inject = true;
+  if (!inject && site.probability > 0.0 &&
+      site.consecutive < kMaxConsecutiveInjections) {
+    const double u =
+        static_cast<double>(NextRandom(&rng_state_) >> 11) * 0x1.0p-53;
+    inject = u < site.probability;
+  }
+  if (inject) {
+    ++site.injected;
+    ++site.consecutive;
+  } else {
+    site.consecutive = 0;
+  }
+  return inject;
+}
+
+uint64_t FaultInjector::calls(FaultSite site) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sites_[static_cast<int>(site)].calls;
+}
+
+uint64_t FaultInjector::injected(FaultSite site) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sites_[static_cast<int>(site)].injected;
+}
+
+}  // namespace dial::util

@@ -1,0 +1,116 @@
+#ifndef DIAL_UTIL_FAULT_H_
+#define DIAL_UTIL_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Deterministic fault injection for the robustness suites: a process-global
+/// injector with named sites compiled into the I/O chokepoints (file
+/// write/read in `util::BinaryWriter`/`BinaryReader`, socket send/recv in
+/// the serve front end, scheduler submit). Disabled — the production state —
+/// the per-site check is a single relaxed atomic load of `Armed()`, so the
+/// hooks cost nothing measurable on the hot paths.
+///
+/// Faults are driven two ways:
+///   - Programmatic (tests): `SetProbability(site, p)` for seeded random
+///     failures, `FailNth(site, n)` for a deterministic one-shot on the n-th
+///     call, `CrashNth(site, n)` for a hard `_exit` mid-operation (fork the
+///     process first — the mid-write crash/reload tests do).
+///   - Environment (CI fault matrix): `DIAL_FAULT_SEED=<u64>` seeds the RNG,
+///     `DIAL_FAULT_SITES="file_write=0.01,socket_recv=0.5"` arms sites by
+///     name at process start. Same spec also accepts `site=fail@N` /
+///     `site=crash@N` one-shots.
+///
+/// Determinism: one seeded xorshift RNG per injector, mutated only under the
+/// mutex, so a (seed, call-sequence) pair always injects the same faults.
+/// A consecutive-injection cap (1000) keeps probability-1.0 configs from
+/// livelocking retry loops — real EINTR storms end too.
+
+namespace dial::util {
+
+enum class FaultSite : int {
+  kFileWrite = 0,
+  kFileRead = 1,
+  kSocketSend = 2,
+  kSocketRecv = 3,
+  kSchedulerSubmit = 4,
+};
+
+inline constexpr size_t kNumFaultSites = 5;
+
+/// "file_write", "file_read", "socket_send", "socket_recv",
+/// "scheduler_submit".
+const char* FaultSiteName(FaultSite site);
+
+/// Parses a site name; false (out untouched) for unknown names.
+bool ParseFaultSite(const std::string& name, FaultSite* site);
+
+class FaultInjector {
+ public:
+  /// The process-global injector. First access reads DIAL_FAULT_SEED /
+  /// DIAL_FAULT_SITES (a malformed spec is logged and ignored — tests cover
+  /// parsing via Configure directly).
+  static FaultInjector& Global();
+
+  /// True when any site is armed anywhere. Injection hooks gate on this
+  /// before calling ShouldFail, keeping the disabled cost to one relaxed
+  /// atomic load.
+  static bool Armed();
+
+  /// Reseeds and arms sites from a spec string:
+  ///   "site=prob[,site=prob...]" with prob in [0,1], or "site=fail@N" /
+  ///   "site=crash@N" for one-shots on the N-th call (1-based).
+  /// Replaces the previous configuration entirely.
+  Status Configure(uint64_t seed, const std::string& spec);
+
+  void SetSeed(uint64_t seed);
+  /// Random failure with probability `p` per call (0 disarms).
+  void SetProbability(FaultSite site, double p);
+  /// Deterministic one-shot failure on the n-th call from now (1-based).
+  void FailNth(FaultSite site, uint64_t n);
+  /// Hard `_exit(kCrashExitCode)` on the n-th call — simulates a crash in
+  /// the middle of an operation. Only sane in a forked child.
+  void CrashNth(FaultSite site, uint64_t n);
+  /// Disarms every site and zeroes the counters (seed kept).
+  void Reset();
+
+  /// The per-call decision point: counts the call and reports whether the
+  /// hook should fail it. May not return (CrashNth).
+  bool ShouldFail(FaultSite site);
+
+  /// Calls seen / faults injected at `site` since the last Reset.
+  uint64_t calls(FaultSite site) const;
+  uint64_t injected(FaultSite site) const;
+
+  static constexpr int kCrashExitCode = 137;
+
+ private:
+  FaultInjector();
+
+  struct SiteState {
+    double probability = 0.0;
+    uint64_t fail_at = 0;   // 0 = disarmed; counts down per call
+    uint64_t crash_at = 0;  // 0 = disarmed
+    uint64_t calls = 0;
+    uint64_t injected = 0;
+    uint64_t consecutive = 0;
+  };
+
+  void RecomputeArmedLocked();
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  uint64_t rng_state_ = 1;
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+}  // namespace dial::util
+
+#endif  // DIAL_UTIL_FAULT_H_

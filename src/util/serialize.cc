@@ -1,5 +1,11 @@
 #include "util/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/crc32c.h"
+#include "util/fault.h"
+
 namespace dial::util {
 
 namespace {
@@ -7,8 +13,22 @@ namespace {
 constexpr uint64_t kMaxVectorBytes = 1ull << 30;
 }  // namespace
 
-BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic, uint32_t version)
-    : path_(path) {
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : slash == 0 ? "/" : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError("cannot open directory for fsync: " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed for directory: " + dir);
+  return Status::OK();
+}
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
+                           uint32_t version, bool with_crc)
+    : path_(path), with_crc_(with_crc) {
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     status_ = Status::IoError("cannot open for write: " + path);
@@ -24,11 +44,17 @@ BinaryWriter::~BinaryWriter() {
 
 void BinaryWriter::WriteBytes(const void* data, size_t n) {
   if (!status_.ok() || file_ == nullptr || n == 0) return;
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().ShouldFail(FaultSite::kFileWrite)) {
+    status_ = Status::IoError("injected fault: short write to " + path_);
+    return;
+  }
   if (std::fwrite(data, 1, n, file_) != n) {
     status_ = Status::IoError("short write to " + path_);
     return;
   }
   bytes_written_ += n;
+  if (with_crc_) crc_ = Crc32cExtend(crc_, data, n);
 }
 
 void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
@@ -66,8 +92,21 @@ void BinaryWriter::WriteZeros(size_t n) {
   }
 }
 
-Status BinaryWriter::Finish() {
+Status BinaryWriter::Finish(bool durable) {
   if (file_ != nullptr) {
+    if (with_crc_) {
+      // The trailer covers everything before it and is excluded from the
+      // running checksum (disarm before emitting it).
+      const uint32_t crc = crc_;
+      with_crc_ = false;
+      WriteU32(kCrcTrailerMagic);
+      WriteU32(crc);
+    }
+    if (durable && status_.ok()) {
+      if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+        status_ = Status::IoError("fsync failed for " + path_);
+      }
+    }
     if (std::fclose(file_) != 0 && status_.ok()) {
       status_ = Status::IoError("close failed for " + path_);
     }
@@ -77,7 +116,13 @@ Status BinaryWriter::Finish() {
 }
 
 BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
-                           uint32_t expected_version) {
+                           uint32_t expected_version)
+    : BinaryReader(path, magic, expected_version, expected_version,
+                   /*crc_from_version=*/UINT32_MAX) {}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
+                           uint32_t min_version, uint32_t max_version,
+                           uint32_t crc_from_version) {
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     status_ = Status::NotFound("cannot open for read: " + path);
@@ -94,13 +139,71 @@ BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
   }
   file_size_ = static_cast<uint64_t>(size);
   const uint32_t got_magic = ReadU32();
-  const uint32_t got_version = ReadU32();
+  version_ = ReadU32();
   if (!status_.ok()) return;
   if (got_magic != magic) {
     status_ = Status::Corruption("bad magic in " + path);
-  } else if (got_version != expected_version) {
-    status_ = Status::Corruption("unsupported version in " + path);
+    return;
   }
+  if (version_ < min_version || version_ > max_version) {
+    status_ = Status::Corruption("unsupported version in " + path);
+    return;
+  }
+  if (version_ >= crc_from_version) VerifyCrcTrailer(path);
+}
+
+void BinaryReader::VerifyCrcTrailer(const std::string& path) {
+  // Whole-file verify before any field parsing: a file that fails its
+  // checksum never gets a chance to deserialize plausibly-bounded garbage.
+  if (file_size_ < 8 + kCrcTrailerBytes) {
+    status_ = Status::Corruption("file too small for CRC trailer: " + path);
+    return;
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    status_ = Status::IoError("cannot seek in " + path);
+    return;
+  }
+  const uint64_t body = file_size_ - kCrcTrailerBytes;
+  uint32_t crc = 0;
+  char buf[1 << 16];
+  uint64_t left = body;
+  while (left > 0) {
+    const size_t chunk =
+        left < sizeof(buf) ? static_cast<size_t>(left) : sizeof(buf);
+    if (FaultInjector::Armed() &&
+        FaultInjector::Global().ShouldFail(FaultSite::kFileRead)) {
+      status_ = Status::IoError("injected fault: read error in " + path);
+      return;
+    }
+    if (std::fread(buf, 1, chunk, file_) != chunk) {
+      status_ = Status::Corruption("short read verifying " + path);
+      return;
+    }
+    crc = Crc32cExtend(crc, buf, chunk);
+    left -= chunk;
+  }
+  uint32_t trailer_magic = 0;
+  uint32_t stored_crc = 0;
+  if (std::fread(&trailer_magic, 1, 4, file_) != 4 ||
+      std::fread(&stored_crc, 1, 4, file_) != 4) {
+    status_ = Status::Corruption("short read verifying " + path);
+    return;
+  }
+  if (trailer_magic != kCrcTrailerMagic) {
+    status_ = Status::Corruption("missing CRC trailer in " + path);
+    return;
+  }
+  if (stored_crc != crc) {
+    status_ = Status::Corruption("CRC32C mismatch in " + path);
+    return;
+  }
+  // Hide the trailer from payload reads and rewind to just past the header.
+  file_size_ = body;
+  if (std::fseek(file_, 8, SEEK_SET) != 0) {
+    status_ = Status::IoError("cannot seek in " + path);
+    return;
+  }
+  offset_ = 8;
 }
 
 BinaryReader::~BinaryReader() {
@@ -114,6 +217,11 @@ uint64_t BinaryReader::RemainingBytes() const {
 bool BinaryReader::ReadBytes(void* data, size_t n) {
   if (!status_.ok() || file_ == nullptr) return false;
   if (n == 0) return true;
+  if (FaultInjector::Armed() &&
+      FaultInjector::Global().ShouldFail(FaultSite::kFileRead)) {
+    status_ = Status::IoError("injected fault: read error");
+    return false;
+  }
   if (n > RemainingBytes() || std::fread(data, 1, n, file_) != n) {
     status_ = Status::Corruption("short read");
     return false;

@@ -10,18 +10,40 @@
 
 /// \file
 /// Little binary writer/reader with a magic header + format version, used to
-/// persist pretrained model weights (`tplm::ModelCache`). All multi-byte
-/// values are little-endian (the only platform we target); readers validate
-/// lengths so truncated/corrupted files fail with `Status` rather than UB.
+/// persist model weights, checkpoints, serving bundles, and record packs.
+/// All multi-byte values are little-endian (the only platform we target);
+/// readers validate lengths so truncated/corrupted files fail with `Status`
+/// rather than UB.
+///
+/// Integrity: a writer opened `with_crc` checksums every byte it emits
+/// (CRC32C, incrementally — no second pass) and `Finish` appends an 8-byte
+/// trailer `[u32 kCrcTrailerMagic][u32 crc]`. A reader given a
+/// `crc_from_version` verifies the whole file against the trailer up front
+/// — before any field is parsed — so an interior bit-flip fails fast with
+/// `kCorruption` instead of deserializing garbage that happens to pass the
+/// per-field bounds checks. The trailer is then hidden from `RemainingBytes`
+/// so format parsers never see it.
 
 namespace dial::util {
+
+/// Trailer marker ("CRC3" little-endian) preceding the stored CRC32C.
+inline constexpr uint32_t kCrcTrailerMagic = 0x33435243u;
+
+/// Trailer size: u32 marker + u32 CRC32C of everything before the trailer.
+inline constexpr uint64_t kCrcTrailerBytes = 8;
+
+/// fsyncs the directory containing `path`, making a just-renamed entry
+/// durable (rename + file fsync alone leave the *directory entry* volatile).
+Status SyncParentDir(const std::string& path);
 
 /// Streams POD values and vectors to a file. Any I/O failure latches into an
 /// error status returned by `Finish()`.
 class BinaryWriter {
  public:
-  /// Opens `path` for writing and emits the header.
-  BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
+  /// Opens `path` for writing and emits the header. `with_crc` arms the
+  /// incremental checksum; Finish then appends the CRC trailer.
+  BinaryWriter(const std::string& path, uint32_t magic, uint32_t version,
+               bool with_crc = false);
   ~BinaryWriter();
 
   BinaryWriter(const BinaryWriter&) = delete;
@@ -48,8 +70,11 @@ class BinaryWriter {
   /// without re-stat()ing the file.
   uint64_t BytesWritten() const { return bytes_written_; }
 
-  /// Closes the file and reports the first error encountered, if any.
-  Status Finish();
+  /// Appends the CRC trailer (when armed), closes the file, and reports the
+  /// first error encountered. `durable` additionally fsyncs file contents
+  /// before close — pair with SyncParentDir after a rename for crash-safe
+  /// replace-by-rename saves.
+  Status Finish(bool durable = false);
 
  private:
   void WriteBytes(const void* data, size_t n);
@@ -58,12 +83,24 @@ class BinaryWriter {
   Status status_;
   std::string path_;
   uint64_t bytes_written_ = 0;
+  bool with_crc_ = false;
+  uint32_t crc_ = 0;
 };
 
-/// Reads a file produced by BinaryWriter, validating magic and version.
+/// Reads a file produced by BinaryWriter, validating magic and version —
+/// and, for versions carrying it, the CRC trailer (verified up front).
 class BinaryReader {
  public:
+  /// Exact-version reader for CRC-less legacy formats.
   BinaryReader(const std::string& path, uint32_t magic, uint32_t expected_version);
+
+  /// Accepts versions in [min_version, max_version]; files at versions >=
+  /// crc_from_version must carry a valid CRC trailer (whole-file verify
+  /// before the first field read; the trailer is then invisible to
+  /// RemainingBytes and payload reads). Older versions load unverified —
+  /// the back-compat path.
+  BinaryReader(const std::string& path, uint32_t magic, uint32_t min_version,
+               uint32_t max_version, uint32_t crc_from_version);
   ~BinaryReader();
 
   BinaryReader(const BinaryReader&) = delete;
@@ -72,10 +109,13 @@ class BinaryReader {
   /// Non-OK if the file failed to open or validate; check before reading.
   const Status& status() const { return status_; }
 
-  /// Bytes left between the read cursor and end-of-file. Length-prefixed
-  /// reads validate their length against this before allocating, so a
-  /// corrupted length field fails cleanly instead of reserving up to the
-  /// 1 GiB sanity cap.
+  /// The file's format version (valid once status() is OK).
+  uint32_t version() const { return version_; }
+
+  /// Bytes left between the read cursor and the end of the payload (the CRC
+  /// trailer, when present, is excluded). Length-prefixed reads validate
+  /// their length against this before allocating, so a corrupted length
+  /// field fails cleanly instead of reserving up to the 1 GiB sanity cap.
   uint64_t RemainingBytes() const;
 
   uint32_t ReadU32();
@@ -89,11 +129,13 @@ class BinaryReader {
 
  private:
   bool ReadBytes(void* data, size_t n);
+  void VerifyCrcTrailer(const std::string& path);
 
   std::FILE* file_ = nullptr;
   Status status_;
   uint64_t file_size_ = 0;
   uint64_t offset_ = 0;
+  uint32_t version_ = 0;
 };
 
 }  // namespace dial::util

@@ -17,6 +17,10 @@ const char* CodeName(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,12 @@ enum class StatusCode : int {
   kIoError = 3,
   kCorruption = 4,
   kInternal = 5,
+  /// Transient overload: the caller should back off and retry (the serve
+  /// layer renders this as an "overload" response with a retry hint).
+  kUnavailable = 6,
+  /// The request's deadline expired before execution; retrying immediately
+  /// is pointless under the same load.
+  kDeadlineExceeded = 7,
 };
 
 /// Value-semantic error carrier. Default-constructed Status is OK.
@@ -44,6 +50,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

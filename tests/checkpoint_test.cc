@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "status_matchers.h"
+#include "util/serialize.h"
 
 namespace dial::core {
 namespace {
@@ -145,6 +147,62 @@ TEST(Checkpoint, LoadGarbageMagicFails) {
   out.close();
   AlCheckpoint loaded;
   EXPECT_FALSE(LoadAlCheckpoint(path, &loaded).ok());
+}
+
+TEST(Checkpoint, EverySingleBitFlipIsRejected) {
+  // The v4 CRC trailer must catch any single corrupted bit anywhere in the
+  // artifact — payload, header, or the trailer itself. No repair here: the
+  // mutated file must fail to load with kCorruption, every time.
+  const std::string path = TempPath("ckpt_flip_src.bin");
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, SampleCheckpoint()));
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const std::string bad_path = TempPath("ckpt_flip.bin");
+  const size_t step = std::max<size_t>(1, bytes.size() / 128);
+  for (size_t i = 0; i < bytes.size(); i += step) {
+    std::string mutated = bytes;
+    mutated[i] ^= static_cast<char>(1 << (i % 8));
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    AlCheckpoint loaded;
+    const util::Status status = LoadAlCheckpoint(bad_path, &loaded);
+    ASSERT_FALSE(status.ok()) << "accepted bit flip at byte " << i;
+    EXPECT_EQ(status.code(), util::StatusCode::kCorruption) << status.message();
+  }
+  std::remove(path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(Checkpoint, LoadsVersion3CheckpointWithoutTrailer) {
+  // Synthesize a v3 checkpoint (the pre-CRC format) from a v4 one by
+  // dropping the trailer and patching the header version: checkpoints
+  // written before the CRC rollout must keep loading.
+  const AlCheckpoint original = SampleCheckpoint();
+  const std::string path = TempPath("ckpt_v3_src.bin");
+  DIAL_ASSERT_OK(SaveAlCheckpoint(path, original));
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), util::kCrcTrailerBytes + 8);
+  bytes.resize(bytes.size() - util::kCrcTrailerBytes);
+  const uint32_t v3 = 3;
+  std::memcpy(&bytes[sizeof(uint32_t)], &v3, sizeof(v3));
+  const std::string v3_path = TempPath("ckpt_v3.bin");
+  std::ofstream out(v3_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  DIAL_ASSERT_OK_AND_ASSIGN(const AlCheckpoint loaded, LoadAlCheckpoint(v3_path));
+  EXPECT_EQ(loaded.dataset_name, original.dataset_name);
+  EXPECT_EQ(loaded.config_fingerprint, original.config_fingerprint);
+  EXPECT_EQ(loaded.labels_used, original.labels_used);
+  ASSERT_EQ(loaded.rounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.rounds[0].test_prf.f1, 0.847);
+  std::remove(path.c_str());
+  std::remove(v3_path.c_str());
 }
 
 TEST(Checkpoint, FingerprintSensitivity) {

@@ -11,12 +11,17 @@
 
 #include "data/record.h"
 #include "status_matchers.h"
+#include "util/crc32c.h"
+#include "util/serialize.h"
 
 /// Record-pack wire format and reader hardening: round trips (both read
 /// modes, bit-identical), the mmap mapping outliving the file, empty packs,
 /// and the corruption surface — every truncation length must fail Open with
 /// a Status, never parse garbage or crash (the suite runs under ASan/UBSan
 /// via the smoke label, so stray reads would be caught, not just wrong).
+/// v2 packs end in a CRC32C trailer, so structural-corruption tests patch
+/// the checksum after mutating (otherwise the CRC check fires first and the
+/// structural validation under test never runs).
 
 namespace dial::data {
 namespace {
@@ -34,6 +39,16 @@ std::string ReadFile(const std::string& path) {
 void WriteFile(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Recomputes the v2 CRC trailer after a structural mutation so the mutated
+/// bytes reach the structural validation under test instead of being
+/// swallowed by the checksum check.
+std::string Rechecksum(std::string bytes) {
+  const size_t payload = bytes.size() - util::kCrcTrailerBytes;
+  const uint32_t crc = util::Crc32c(bytes.data(), payload);
+  std::memcpy(&bytes[payload + sizeof(uint32_t)], &crc, sizeof(crc));
+  return bytes;
 }
 
 /// A small pack with awkward values: empties, embedded NUL and newline,
@@ -170,16 +185,21 @@ TEST(RecordPack, CorruptedFooterAndOffsetsRejected) {
   const std::string path = WriteFixture("rp_corrupt_src.pack");
   const std::string bytes = ReadFile(path);
   const std::string bad_path = Path("rp_corrupt.pack");
+  // End-relative positions, behind the 8-byte CRC trailer: the footer is
+  // [table_pos u64][num_records u64][footer magic u32][trailer].
+  const size_t footer_magic_end = bytes.size() - util::kCrcTrailerBytes - 1;
+  const size_t num_records_at = bytes.size() - util::kCrcTrailerBytes - 12;
+  const size_t table_pos_at = bytes.size() - util::kCrcTrailerBytes - 20;
   const auto expect_rejected = [&](std::string mutated, const char* what) {
     SCOPED_TRACE(what);
-    WriteFile(bad_path, mutated);
+    WriteFile(bad_path, Rechecksum(std::move(mutated)));
     RecordPackReader reader;
     EXPECT_FALSE(reader.Open(bad_path).ok());
   };
 
   {  // Footer magic.
     std::string b = bytes;
-    b[b.size() - 1] ^= 0x5a;
+    b[footer_magic_end] ^= 0x5a;
     expect_rejected(std::move(b), "footer magic");
   }
   {  // Header magic.
@@ -191,27 +211,27 @@ TEST(RecordPack, CorruptedFooterAndOffsetsRejected) {
      // offset-table span computation must not wrap past the size check.
     std::string b = bytes;
     const uint64_t huge = 1ull << 61;
-    std::memcpy(&b[b.size() - 12], &huge, sizeof(huge));
+    std::memcpy(&b[num_records_at], &huge, sizeof(huge));
     expect_rejected(std::move(b), "record count overflow");
   }
   {  // Offset table pointing past EOF.
     std::string b = bytes;
     const uint64_t bogus = b.size() * 2;
-    std::memcpy(&b[b.size() - 20], &bogus, sizeof(bogus));
+    std::memcpy(&b[table_pos_at], &bogus, sizeof(bogus));
     expect_rejected(std::move(b), "table position past EOF");
   }
   {  // Misaligned offset table position.
     std::string b = bytes;
     uint64_t pos;
-    std::memcpy(&pos, &b[b.size() - 20], sizeof(pos));
+    std::memcpy(&pos, &b[table_pos_at], sizeof(pos));
     pos += 1;
-    std::memcpy(&b[b.size() - 20], &pos, sizeof(pos));
+    std::memcpy(&b[table_pos_at], &pos, sizeof(pos));
     expect_rejected(std::move(b), "misaligned table");
   }
   {  // Non-monotone offsets: swap the first two table entries.
     std::string b = bytes;
     uint64_t pos;
-    std::memcpy(&pos, &b[b.size() - 20], sizeof(pos));
+    std::memcpy(&pos, &b[table_pos_at], sizeof(pos));
     ASSERT_LT(pos + 24, b.size());
     uint64_t o0, o1;
     std::memcpy(&o0, &b[pos + 8], sizeof(o0));
@@ -224,15 +244,59 @@ TEST(RecordPack, CorruptedFooterAndOffsetsRejected) {
      // failure (length exceeds the record region), not read out of bounds.
     std::string b = bytes;
     uint64_t pos;
-    std::memcpy(&pos, &b[b.size() - 20], sizeof(pos));
+    std::memcpy(&pos, &b[table_pos_at], sizeof(pos));
     uint64_t rec0;
     std::memcpy(&rec0, &b[pos + 8], sizeof(rec0));
     const uint64_t huge = 1ull << 40;  // first value's length field
     std::memcpy(&b[rec0 + 8], &huge, sizeof(huge));
-    WriteFile(bad_path, b);
+    WriteFile(bad_path, Rechecksum(std::move(b)));
     RecordPackReader reader;
     DIAL_ASSERT_OK(reader.Open(bad_path));
     EXPECT_DEATH(reader.Get(0), "Check failed");
+  }
+}
+
+TEST(RecordPack, EverySingleBitFlipIsRejected) {
+  const std::string path = WriteFixture("rp_flip_src.pack");
+  const std::string bytes = ReadFile(path);
+  const std::string bad_path = Path("rp_flip.pack");
+  // Flip one bit at every 3rd byte (cycling through bit positions) with NO
+  // checksum repair: the CRC trailer — or for flips inside the header or
+  // trailer themselves, the magic/version checks — must reject every one.
+  for (size_t i = 0; i < bytes.size(); i += 3) {
+    SCOPED_TRACE("bit flip at byte " + std::to_string(i));
+    std::string b = bytes;
+    b[i] ^= static_cast<char>(1 << (i % 8));
+    WriteFile(bad_path, b);
+    for (const auto mode : {RecordPackReader::Mode::kMmap,
+                            RecordPackReader::Mode::kInMemory}) {
+      RecordPackReader reader;
+      const util::Status status = reader.Open(bad_path, mode);
+      ASSERT_FALSE(status.ok());
+      EXPECT_EQ(status.code(), util::StatusCode::kCorruption) << status.message();
+    }
+  }
+}
+
+TEST(RecordPack, LoadsVersion1PackWithoutTrailer) {
+  // Synthesize a v1 pack (the pre-CRC format) from a v2 one: drop the
+  // trailer and patch the header version. Old packs on disk must keep
+  // loading bit-for-bit.
+  const std::string path = WriteFixture("rp_v1_src.pack");
+  std::string bytes = ReadFile(path);
+  bytes.resize(bytes.size() - util::kCrcTrailerBytes);
+  const uint32_t v1 = 1;
+  std::memcpy(&bytes[sizeof(uint32_t)], &v1, sizeof(v1));
+  const std::string v1_path = Path("rp_v1.pack");
+  WriteFile(v1_path, bytes);
+  for (const auto mode : {RecordPackReader::Mode::kMmap,
+                          RecordPackReader::Mode::kInMemory}) {
+    RecordPackReader reader;
+    DIAL_ASSERT_OK(reader.Open(v1_path, mode));
+    ASSERT_EQ(reader.size(), 4u);
+    EXPECT_EQ(reader.Get(0).values[0], "alpha one");
+    EXPECT_EQ(reader.Get(2).values[2], std::string(300, 'x'));
+    EXPECT_EQ(reader.EntityId(3), -1);
   }
 }
 

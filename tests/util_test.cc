@@ -6,6 +6,7 @@
 #include <limits>
 #include <set>
 
+#include "util/crc32c.h"
 #include "util/flags.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -512,6 +513,107 @@ TEST(Serialize, TruncationDetected) {
 TEST(Serialize, MissingFileIsNotFound) {
   BinaryReader reader("/nonexistent/dir/file.bin", 0x1u, 1);
   EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ CRC trailer
+
+TEST(Crc32c, KnownVectorsAndIncrementalExtend) {
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);  // the standard check value
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::string data(1031, '\x7f');  // prime length crosses 8-byte chunks
+  uint32_t crc = 0;
+  for (size_t i = 0; i < data.size(); i += 13) {
+    crc = Crc32cExtend(crc, data.data() + i, std::min<size_t>(13, data.size() - i));
+  }
+  EXPECT_EQ(crc, Crc32c(data.data(), data.size()));
+}
+
+TEST(Serialize, CrcTrailerRoundTripsAndAddsEightBytes) {
+  const std::string plain = testing::TempDir() + "/dial_crc_plain.bin";
+  const std::string checked = testing::TempDir() + "/dial_crc_checked.bin";
+  const std::vector<float> payload(17, 2.5f);
+  size_t plain_size = 0;
+  {
+    BinaryWriter writer(plain, 0x1111u, 1);
+    writer.WriteFloatVector(payload);
+    ASSERT_TRUE(writer.Finish().ok());
+    plain_size = writer.BytesWritten();
+  }
+  {
+    BinaryWriter writer(checked, 0x1111u, 1, /*with_crc=*/true);
+    writer.WriteFloatVector(payload);
+    ASSERT_TRUE(writer.Finish().ok());
+    EXPECT_EQ(writer.BytesWritten(), plain_size + kCrcTrailerBytes);
+  }
+  BinaryReader reader(checked, 0x1111u, 1, 1, /*crc_from_version=*/1);
+  ASSERT_TRUE(reader.status().ok()) << reader.status().message();
+  const std::vector<float> got = reader.ReadFloatVector();
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(got, payload);
+  std::remove(plain.c_str());
+  std::remove(checked.c_str());
+}
+
+TEST(Serialize, CrcTrailerRejectsEveryBitFlip) {
+  const std::string path = testing::TempDir() + "/dial_crc_flip.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1, /*with_crc=*/true);
+    writer.WriteString("checksummed payload");
+    writer.WriteU64(0x0123456789abcdefull);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  std::string bytes;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char chunk[4096];
+    size_t n;
+    while ((n = fread(chunk, 1, sizeof(chunk), f)) > 0) bytes.append(chunk, n);
+    fclose(f);
+  }
+  const std::string bad = testing::TempDir() + "/dial_crc_flip_bad.bin";
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= static_cast<char>(1 << (i % 8));
+    FILE* f = fopen(bad.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fwrite(mutated.data(), 1, mutated.size(), f), mutated.size());
+    fclose(f);
+    BinaryReader reader(bad, 0x1111u, 1, 1, /*crc_from_version=*/1);
+    ASSERT_FALSE(reader.status().ok()) << "accepted flip at byte " << i;
+    EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+  }
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(Serialize, CrcOnlyAppliesFromConfiguredVersion) {
+  // A reader whose crc_from_version is above the file's version must treat
+  // the file as trailer-less — the back-compat path old artifacts take.
+  const std::string path = testing::TempDir() + "/dial_crc_compat.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1);  // v1, no trailer
+    writer.WriteU32(7u);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path, 0x1111u, 1, 2, /*crc_from_version=*/2);
+  ASSERT_TRUE(reader.status().ok()) << reader.status().message();
+  EXPECT_EQ(reader.ReadU32(), 7u);
+  ASSERT_TRUE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DurableFinishSurvivesReload) {
+  const std::string path = testing::TempDir() + "/dial_crc_durable.bin";
+  {
+    BinaryWriter writer(path, 0x1111u, 1, /*with_crc=*/true);
+    writer.WriteString("fsynced");
+    ASSERT_TRUE(writer.Finish(/*durable=*/true).ok());
+  }
+  BinaryReader reader(path, 0x1111u, 1, 1, /*crc_from_version=*/1);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.ReadString(), "fsynced");
+  std::remove(path.c_str());
 }
 
 // -------------------------------------------------------------- thread pool

@@ -13,16 +13,22 @@
 //   printf '{"op":"match","id":"1","r":3,"s":7}\n' | nc -U /tmp/dial.sock
 //
 // --self_test starts the server, drives a client session against it
-// (match/topk/embed/upsert/retire/stats/shutdown), and exits 0 on success —
-// the CI smoke for the binary.
+// (match/topk/embed/upsert/retire/health/deadline-expiry/stats/shutdown),
+// then re-serves and exercises the SIGTERM drain path, and exits 0 on
+// success — the CI smoke for the binary.
+//
+// SIGTERM/SIGINT stop the server cleanly: queued requests drain, every
+// accepted request gets its response, and the socket file is removed.
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/json.h"
@@ -32,6 +38,42 @@
 namespace {
 
 using dial::serve::JsonValue;
+
+/// Self-pipe carrying shutdown signals out of async-signal context: the
+/// handler does the one thing that is safe (write a byte); a watcher thread
+/// turns the byte into Server::RequestShutdown(), where mutexes are legal.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int /*signum*/) {
+  const char byte = 1;
+  // A full pipe just means a shutdown is already pending; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Installs SIGTERM/SIGINT -> self-pipe and returns the watcher thread that
+/// forwards the first signal to RequestShutdown. Join after closing the
+/// pipe's write end (which unblocks the watcher on signal-free shutdowns).
+std::thread WatchShutdownSignals(dial::serve::Server& server) {
+  DIAL_CHECK(::pipe(g_signal_pipe) == 0) << std::strerror(errno);
+  struct sigaction sa{};
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  return std::thread([&server] {
+    char byte;
+    if (dial::serve::ReadRetry(g_signal_pipe[0], &byte, 1) > 0) {
+      server.RequestShutdown();
+    }
+  });
+}
+
+void JoinShutdownWatcher(std::thread& watcher) {
+  ::close(g_signal_pipe[1]);  // EOF unblocks the watcher if no signal came
+  watcher.join();
+  ::close(g_signal_pipe[0]);
+  g_signal_pipe[0] = g_signal_pipe[1] = -1;
+}
 
 /// Minimal blocking client for --self_test.
 class Client {
@@ -77,7 +119,7 @@ class Client {
 
 int SelfTest(dial::serve::ServingBundle& bundle, const std::string& socket_path,
              dial::serve::ServerOptions options) {
-  dial::serve::Server server(&bundle, std::move(options));
+  dial::serve::Server server(&bundle, options);
   DIAL_CHECK_OK(server.Start());
   Client client(socket_path);
 
@@ -125,13 +167,53 @@ int SelfTest(dial::serve::ServingBundle& bundle, const std::string& socket_path,
   JsonValue match_after = client.Call(R"({"op":"match","id":"m3","r":1,"s":0})");
   DIAL_CHECK(match_after.GetString("status", "") == "ok") << match_after.Dump();
 
+  // Health: answered inline, reports worker liveness and the bundle's
+  // fingerprint.
+  JsonValue health = client.Call(R"({"op":"health","id":"h1"})");
+  DIAL_CHECK(health.GetString("status", "") == "ok") << health.Dump();
+  DIAL_CHECK(health.Get("healthy") != nullptr &&
+             health.Get("healthy")->AsBool())
+      << health.Dump();
+  DIAL_CHECK(health.GetNumber("workers", 0) >= 1) << health.Dump();
+  DIAL_CHECK(health.GetNumber("stalled_workers", -1) == 0) << health.Dump();
+  DIAL_CHECK(!health.GetString("bundle_fingerprint", "").empty())
+      << health.Dump();
+
+  // Deadline expiry: deadline_ms 0 expires at enqueue time, so the claim
+  // check (now >= deadline) sheds it deterministically.
+  JsonValue expired = client.Call(
+      R"({"op":"match","id":"d1","r":0,"s":0,"deadline_ms":0})");
+  DIAL_CHECK(expired.GetString("status", "") == "deadline_exceeded")
+      << expired.Dump();
+
   JsonValue stats = client.Call(R"({"op":"stats","id":"s1"})");
   DIAL_CHECK(stats.GetNumber("requests_executed", 0) >= 9) << stats.Dump();
+  DIAL_CHECK(stats.GetNumber("deadline_expired", 0) >= 1) << stats.Dump();
 
   JsonValue ack = client.Call(R"({"op":"shutdown","id":"q1"})");
   DIAL_CHECK(ack.GetString("status", "") == "ok") << ack.Dump();
   server.WaitForShutdown();
   server.Stop();
+
+  // Phase 2: fresh server on the same socket, stopped via SIGTERM — the
+  // production shutdown path (self-pipe -> watcher -> drain -> clean stop).
+  {
+    dial::serve::Server term_server(&bundle, options);
+    DIAL_CHECK_OK(term_server.Start());
+    std::thread watcher = WatchShutdownSignals(term_server);
+    Client term_client(socket_path);
+    JsonValue m = term_client.Call(R"({"op":"match","id":"tm1","r":0,"s":0})");
+    DIAL_CHECK(m.GetString("status", "") == "ok") << m.Dump();
+    ::raise(SIGTERM);
+    term_server.WaitForShutdown();
+    term_server.Stop();
+    JoinShutdownWatcher(watcher);
+    DIAL_CHECK(term_server.scheduler_stats().requests_executed >= 1);
+    // Clean stop removes the socket file.
+    DIAL_CHECK(::access(socket_path.c_str(), F_OK) != 0)
+        << "socket file survived shutdown";
+  }
+
   std::printf("self_test ok: %s\n", stats.Dump().c_str());
   return 0;
 }
@@ -155,6 +237,15 @@ int main(int argc, char** argv) {
   int64_t* max_delay_us =
       flags.AddInt("max_delay_us", 2000, "deadline before a partial batch flushes");
   int64_t* ring = flags.AddInt("ring", 1024, "request ring capacity (overload bound)");
+  int64_t* deadline_ms = flags.AddInt(
+      "deadline_ms", -1,
+      "default per-request deadline in ms; queued requests older than this "
+      "are shed with deadline_exceeded (-1 = none; a request's own "
+      "deadline_ms overrides)");
+  int64_t* stall_ms = flags.AddInt(
+      "stall_ms", 30000,
+      "report a worker as stalled in health/stats after this many ms inside "
+      "one batch");
   bool* self_test = flags.AddBool(
       "self_test", false, "serve, run a scripted client session, exit (CI smoke)");
   std::string* precision_text = flags.AddString(
@@ -206,6 +297,8 @@ int main(int argc, char** argv) {
   server_options.scheduler.max_batch = static_cast<size_t>(*max_batch);
   server_options.scheduler.max_delay_us = *max_delay_us;
   server_options.scheduler.ring_capacity = static_cast<size_t>(*ring);
+  server_options.scheduler.default_deadline_ms = *deadline_ms;
+  server_options.scheduler.stall_timeout_ms = *stall_ms;
   server_options.precision = precision;
 
   if (*self_test) {
@@ -214,12 +307,14 @@ int main(int argc, char** argv) {
 
   dial::serve::Server server(bundle.get(), std::move(server_options));
   DIAL_CHECK_OK(server.Start());
+  std::thread signal_watcher = WatchShutdownSignals(server);
   std::printf("serving %s on %s (%lld workers, max_batch %lld, deadline %lld us)\n",
               bundle->options().dataset.c_str(), socket_path->c_str(),
               static_cast<long long>(*workers), static_cast<long long>(*max_batch),
               static_cast<long long>(*max_delay_us));
   server.WaitForShutdown();
   server.Stop();
+  JoinShutdownWatcher(signal_watcher);
   const dial::serve::SchedulerStats stats = server.scheduler_stats();
   std::printf("shutdown: %llu requests in %llu batches (mean %.2f, max %zu)\n",
               static_cast<unsigned long long>(stats.requests_executed),
